@@ -1,0 +1,211 @@
+//! Checksum arithmetic for ABFT over INT8×INT8→INT32 GEMMs.
+//!
+//! For `Y = W·X` with `W ∈ ℤ^{m×k}` and `X ∈ ℤ^{k×n}`, the column-checksum identity is
+//!
+//! ```text
+//! eᵀ·Y = (eᵀ·W)·X
+//! ```
+//!
+//! where `e` is the all-ones vector. The left side is computed from the (possibly corrupted)
+//! accumulator outputs; the right side is computed from the operands by the checksum row/
+//! column added to the systolic array (Fig. 3 and Fig. 7 of the paper). Their difference per
+//! output column is the *column deviation*; the sum of deviations is the matrix-sum deviation
+//! (MSD) used by ApproxABFT and by the statistical unit.
+//!
+//! All checksum arithmetic is carried out in `i64`: operands are INT8 and accumulators INT32,
+//! so exact sums fit comfortably and cannot themselves overflow.
+
+use realm_tensor::{MatI32, MatI8};
+
+/// Column sums of the INT8 left operand: `eᵀ·W`, one entry per inner-dimension index.
+pub fn operand_col_sums(w: &MatI8) -> Vec<i64> {
+    let mut sums = vec![0i64; w.cols()];
+    for r in 0..w.rows() {
+        for (c, s) in sums.iter_mut().enumerate() {
+            *s += w[(r, c)] as i64;
+        }
+    }
+    sums
+}
+
+/// Expected output column checksum `(eᵀ·W)·X`, one entry per output column.
+///
+/// # Panics
+///
+/// Panics if `w.cols() != x.rows()` (the GEMM would have been rejected upstream).
+pub fn expected_col_checksum(w: &MatI8, x: &MatI8) -> Vec<i64> {
+    assert_eq!(w.cols(), x.rows(), "checksum shapes disagree with the GEMM");
+    let etw = operand_col_sums(w);
+    let mut expected = vec![0i64; x.cols()];
+    for p in 0..x.rows() {
+        let weight = etw[p];
+        if weight == 0 {
+            continue;
+        }
+        let row = x.row(p);
+        for (j, e) in expected.iter_mut().enumerate() {
+            *e += weight * row[j] as i64;
+        }
+    }
+    expected
+}
+
+/// Observed output column checksum `eᵀ·Y`, one entry per output column.
+pub fn observed_col_checksum(acc: &MatI32) -> Vec<i64> {
+    let mut sums = vec![0i64; acc.cols()];
+    for r in 0..acc.rows() {
+        let row = acc.row(r);
+        for (c, s) in sums.iter_mut().enumerate() {
+            *s += row[c] as i64;
+        }
+    }
+    sums
+}
+
+/// Per-column deviations `eᵀ·Y − (eᵀ·W)·X` of a (possibly corrupted) accumulator.
+///
+/// A fault-free GEMM yields all zeros. Each injected additive error of magnitude `d` in
+/// column `j` shifts deviation `j` by exactly `d`, so the deviation vector is the column-wise
+/// error signature the statistical unit buffers.
+///
+/// # Panics
+///
+/// Panics if the shapes are inconsistent with `acc = w · x`.
+pub fn column_deviations(w: &MatI8, x: &MatI8, acc: &MatI32) -> Vec<i64> {
+    assert_eq!(acc.rows(), w.rows(), "accumulator rows disagree with W");
+    assert_eq!(acc.cols(), x.cols(), "accumulator columns disagree with X");
+    let expected = expected_col_checksum(w, x);
+    let observed = observed_col_checksum(acc);
+    observed
+        .into_iter()
+        .zip(expected)
+        .map(|(o, e)| o - e)
+        .collect()
+}
+
+/// Matrix-sum deviation: the sum of all column deviations (`eᵀ·Y·e − eᵀ·W·X·e`).
+pub fn msd(deviations: &[i64]) -> i64 {
+    deviations.iter().sum()
+}
+
+/// Row-side checksums `W·(X·e)` vs `Y·e`, used by two-sided classical ABFT to localise the
+/// corrupted row in addition to detecting it.
+///
+/// # Panics
+///
+/// Panics if the shapes are inconsistent with `acc = w · x`.
+pub fn row_deviations(w: &MatI8, x: &MatI8, acc: &MatI32) -> Vec<i64> {
+    assert_eq!(acc.rows(), w.rows(), "accumulator rows disagree with W");
+    assert_eq!(acc.cols(), x.cols(), "accumulator columns disagree with X");
+    // X·e: row sums of X.
+    let xe: Vec<i64> = (0..x.rows())
+        .map(|r| x.row(r).iter().map(|&v| v as i64).sum())
+        .collect();
+    (0..w.rows())
+        .map(|i| {
+            let expected: i64 = w
+                .row(i)
+                .iter()
+                .zip(&xe)
+                .map(|(&wv, &xv)| wv as i64 * xv)
+                .sum();
+            let observed: i64 = acc.row(i).iter().map(|&v| v as i64).sum();
+            observed - expected
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_tensor::gemm;
+    use realm_tensor::rng;
+
+    fn random_operands(seed: u64, m: usize, k: usize, n: usize) -> (MatI8, MatI8, MatI32) {
+        use rand::Rng;
+        let mut r = rng::seeded(seed);
+        let w = MatI8::from_fn(m, k, |_, _| r.gen_range(-40..=40));
+        let x = MatI8::from_fn(k, n, |_, _| r.gen_range(-40..=40));
+        let acc = gemm::gemm_i8(&w, &x).unwrap();
+        (w, x, acc)
+    }
+
+    #[test]
+    fn fault_free_gemm_has_zero_deviations() {
+        let (w, x, acc) = random_operands(1, 6, 9, 7);
+        let dev = column_deviations(&w, &x, &acc);
+        assert_eq!(dev.len(), 7);
+        assert!(dev.iter().all(|&d| d == 0));
+        assert_eq!(msd(&dev), 0);
+        assert!(row_deviations(&w, &x, &acc).iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn single_additive_error_appears_in_exactly_one_column() {
+        let (w, x, mut acc) = random_operands(2, 5, 8, 6);
+        acc[(2, 3)] = acc[(2, 3)].wrapping_add(1 << 18);
+        let dev = column_deviations(&w, &x, &acc);
+        assert_eq!(dev[3], 1 << 18);
+        assert!(dev.iter().enumerate().all(|(j, &d)| j == 3 || d == 0));
+        assert_eq!(msd(&dev), 1 << 18);
+        let rdev = row_deviations(&w, &x, &acc);
+        assert_eq!(rdev[2], 1 << 18);
+    }
+
+    #[test]
+    fn multiple_errors_in_one_column_accumulate() {
+        let (w, x, mut acc) = random_operands(3, 4, 4, 4);
+        acc[(0, 1)] = acc[(0, 1)].wrapping_add(100);
+        acc[(2, 1)] = acc[(2, 1)].wrapping_add(-40);
+        let dev = column_deviations(&w, &x, &acc);
+        assert_eq!(dev[1], 60);
+        assert_eq!(msd(&dev), 60);
+    }
+
+    #[test]
+    fn msd_reflects_sum_of_all_injected_errors() {
+        let (w, x, mut acc) = random_operands(4, 8, 8, 8);
+        let errors = [(0usize, 0usize, 1i64 << 10), (3, 5, 1 << 12), (7, 7, -(1 << 9))];
+        for &(r, c, d) in &errors {
+            acc[(r, c)] = acc[(r, c)].wrapping_add(d as i32);
+        }
+        let dev = column_deviations(&w, &x, &acc);
+        let expected_msd: i64 = errors.iter().map(|&(_, _, d)| d).sum();
+        assert_eq!(msd(&dev), expected_msd);
+    }
+
+    #[test]
+    fn operand_col_sums_match_manual_computation() {
+        let w = MatI8::from_vec(2, 3, vec![1, -2, 3, 4, 5, -6]).unwrap();
+        assert_eq!(operand_col_sums(&w), vec![5, 3, -3]);
+    }
+
+    #[test]
+    fn expected_checksum_equals_observed_for_clean_gemm() {
+        let (w, x, acc) = random_operands(5, 10, 12, 9);
+        assert_eq!(expected_col_checksum(&w, &x), observed_col_checksum(&acc));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn shape_mismatch_is_detected() {
+        let w = MatI8::zeros(2, 3);
+        let x = MatI8::zeros(3, 2);
+        let acc = MatI32::zeros(3, 2);
+        let _ = column_deviations(&w, &x, &acc);
+    }
+
+    #[test]
+    fn checksums_survive_worst_case_magnitudes_without_overflow() {
+        // 127-valued 64x64 operands: column checksums reach 127*127*64 ≈ 1.03e6 per column and
+        // the MSD reaches ~6.6e7 — comfortably inside i64 but past i16/i32 territory when
+        // summed across columns, which is exactly why the checksum path uses i64.
+        let w = MatI8::filled(64, 64, 127);
+        let x = MatI8::filled(64, 64, 127);
+        let acc = gemm::gemm_i8(&w, &x).unwrap();
+        let dev = column_deviations(&w, &x, &acc);
+        assert!(dev.iter().all(|&d| d == 0));
+        let expected = expected_col_checksum(&w, &x);
+        assert!(expected.iter().all(|&e| e == 127i64 * 127 * 64 * 64));
+    }
+}

@@ -1,0 +1,115 @@
+//! The common detector interface shared by classical, Approx and statistical ABFT.
+
+use realm_tensor::{MatI32, MatI8};
+use serde::{Deserialize, Serialize};
+
+/// Verdict of one ABFT inspection of a GEMM result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Whether the detector requests a recovery (recomputation / replay) of this GEMM.
+    pub trigger_recovery: bool,
+    /// Whether any non-zero deviation was observed at all (errors may exist without a
+    /// recovery being warranted — the whole point of the statistical scheme).
+    pub errors_detected: bool,
+    /// Matrix-sum deviation of the inspected accumulator.
+    pub msd: i64,
+    /// Number of output columns whose deviation magnitude exceeded the detector's magnitude
+    /// threshold (`freq_eff` in the paper); equals the number of non-zero deviations for the
+    /// classical detector.
+    pub effective_frequency: usize,
+    /// Magnitude threshold `θmag` applied (log₂ domain), when the detector uses one.
+    pub theta_mag_log2: Option<f64>,
+}
+
+impl Detection {
+    /// A verdict for a fault-free GEMM: nothing detected, nothing to recover.
+    pub fn clean() -> Self {
+        Self {
+            trigger_recovery: false,
+            errors_detected: false,
+            msd: 0,
+            effective_frequency: 0,
+            theta_mag_log2: None,
+        }
+    }
+}
+
+impl Default for Detection {
+    fn default() -> Self {
+        Self::clean()
+    }
+}
+
+/// An ABFT error detector operating on one GEMM invocation.
+///
+/// Implementations receive the INT8 operands (assumed fault-free — operands are read from
+/// ECC-protected memory in the paper's fault model) and the INT32 accumulator as produced by
+/// the (possibly faulty) datapath.
+pub trait AbftDetector: Send + Sync {
+    /// Inspects one GEMM result and decides whether recovery is needed.
+    fn inspect(&self, w: &MatI8, x: &MatI8, acc: &MatI32) -> Detection;
+
+    /// Short human-readable name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+impl<D: AbftDetector + ?Sized> AbftDetector for &D {
+    fn inspect(&self, w: &MatI8, x: &MatI8, acc: &MatI32) -> Detection {
+        (**self).inspect(w, x, acc)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<D: AbftDetector + ?Sized> AbftDetector for Box<D> {
+    fn inspect(&self, w: &MatI8, x: &MatI8, acc: &MatI32) -> Detection {
+        (**self).inspect(w, x, acc)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_detection_is_default() {
+        let d = Detection::default();
+        assert!(!d.trigger_recovery);
+        assert!(!d.errors_detected);
+        assert_eq!(d.msd, 0);
+        assert_eq!(d.effective_frequency, 0);
+        assert!(d.theta_mag_log2.is_none());
+        assert_eq!(d, Detection::clean());
+    }
+
+    #[test]
+    fn trait_objects_forward_calls() {
+        struct AlwaysTrigger;
+        impl AbftDetector for AlwaysTrigger {
+            fn inspect(&self, _: &MatI8, _: &MatI8, _: &MatI32) -> Detection {
+                Detection {
+                    trigger_recovery: true,
+                    errors_detected: true,
+                    ..Detection::clean()
+                }
+            }
+            fn name(&self) -> &'static str {
+                "always"
+            }
+        }
+        let boxed: Box<dyn AbftDetector> = Box::new(AlwaysTrigger);
+        let verdict = boxed.inspect(&MatI8::zeros(1, 1), &MatI8::zeros(1, 1), &MatI32::zeros(1, 1));
+        assert!(verdict.trigger_recovery);
+        assert_eq!(boxed.name(), "always");
+        let by_ref = &AlwaysTrigger;
+        assert!(by_ref
+            .inspect(&MatI8::zeros(1, 1), &MatI8::zeros(1, 1), &MatI32::zeros(1, 1))
+            .trigger_recovery);
+    }
+}

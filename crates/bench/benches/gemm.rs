@@ -1,0 +1,56 @@
+//! Microbenchmarks of the quantized GEMM substrate: the INT8×INT8→INT32 kernel, the f32
+//! reference kernel, and the quantize/de-quantize path around them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use realm_tensor::{gemm, quant, rng, MatF32, MatI8};
+
+fn random_i8(seed: u64, rows: usize, cols: usize) -> MatI8 {
+    use rand::Rng;
+    let mut r = rng::seeded(seed);
+    MatI8::from_fn(rows, cols, |_, _| r.gen_range(-100..=100))
+}
+
+fn bench_gemm_i8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_i8");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let a = random_i8(1, n, n);
+        let b = random_i8(2, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| gemm::gemm_i8(&a, &b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm_f32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_f32");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let mut r = rng::seeded(3);
+        let a = rng::gaussian_matrix(&mut r, n, n, 0.0, 1.0);
+        let b = rng::gaussian_matrix(&mut r, n, n, 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| gemm::gemm_f32(&a, &b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantization");
+    group.sample_size(30);
+    let mut r = rng::seeded(5);
+    let x: MatF32 = rng::outlier_matrix(&mut r, 64, 256, 1.0, 0.03, 24.0);
+    group.bench_function("quantize_symmetric_64x256", |bencher| {
+        bencher.iter(|| quant::quantize_symmetric(&x));
+    });
+    let (q, scale) = quant::quantize_symmetric(&x);
+    group.bench_function("dequantize_64x256", |bencher| {
+        bencher.iter(|| quant::dequantize(&q, scale));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm_i8, bench_gemm_f32, bench_quantization);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! End-to-end benchmark of protected inference: the cost of running a task evaluation through
+//! the injector + protector hook chain for each protection scheme. This is the software
+//! analogue of the paper's runtime-overhead claim: ABFT detection adds little to the GEMM
+//! work, and statistical ABFT avoids most of classical ABFT's recomputation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use realm_core::pipeline::{PipelineConfig, ProtectedPipeline};
+use realm_eval::wikitext::WikitextTask;
+use realm_llm::{config::ModelConfig, model::Model};
+use realm_systolic::{Dataflow, ProtectionScheme, SystolicArray};
+
+fn bench_protected_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protected_pipeline");
+    group.sample_size(10);
+    let model = Model::new(&ModelConfig::tiny_opt(), 3).expect("valid preset");
+    let task = WikitextTask::quick(model.language(), 3);
+    let config = PipelineConfig {
+        array: SystolicArray::small(Dataflow::WeightStationary),
+        ..PipelineConfig::default()
+    };
+    let pipeline = ProtectedPipeline::new(&model, config);
+    for scheme in [
+        ProtectionScheme::None,
+        ProtectionScheme::ClassicalAbft,
+        ProtectionScheme::ApproxAbft,
+        ProtectionScheme::StatisticalAbft,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("voltage_0.66", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| pipeline.run(&task, scheme, 0.66, 7).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_generation_under_protection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protected_generation");
+    group.sample_size(10);
+    let model = Model::new(&ModelConfig::tiny_llama(), 5).expect("valid preset");
+    let prompt = [1u32, 5, 9, 2];
+    group.bench_function("clean_generate_8", |b| {
+        b.iter(|| {
+            model
+                .generate(&prompt, 8, &mut realm_llm::NoopHook)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protected_pipeline, bench_generation_under_protection);
+criterion_main!(benches);

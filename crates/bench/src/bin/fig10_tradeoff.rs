@@ -1,0 +1,124 @@
+//! Fig. 10 — trade-off between the acceptable performance degradation and its impact on
+//! recovery latency and total energy.
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin fig10_tradeoff [-- --quick]
+//! ```
+
+use realm_bench::{
+    banner, component_pipeline_config, hellaswag_task, llama3_model, opt_model, voltage_grid,
+    wikitext_task, HARNESS_SEED,
+};
+use realm_abft::CriticalRegion;
+use realm_core::pipeline::ProtectedPipeline;
+use realm_core::protection::RegionAssignment;
+use realm_core::report::render_table;
+use realm_core::sweep::degradation_tradeoff;
+use realm_eval::task::Task;
+use realm_llm::{Component, Model};
+
+/// Detector thresholds corresponding to an acceptable-degradation budget.
+///
+/// In the paper, the critical-region parameters are fitted under the chosen budget: a larger
+/// budget moves the boundary outward (more error patterns tolerated, fewer recoveries). The
+/// full fitting procedure lives in `realm_core::fit`; for the trade-off sweep we scale the
+/// default region's frequency threshold proportionally to the budget, which captures the same
+/// monotone relationship without re-running a characterization per budget point.
+fn regions_for_budget(budget: f64, reference_budget: f64) -> RegionAssignment {
+    let mut regions = RegionAssignment::new();
+    let shift = (budget / reference_budget).log2();
+    for component in Component::ALL {
+        let base = if component.is_sensitive() {
+            CriticalRegion::sensitive_default()
+        } else {
+            CriticalRegion::resilient_default()
+        };
+        regions.set(
+            component,
+            CriticalRegion {
+                theta_freq_log2: base.theta_freq_log2 + shift,
+                ..base
+            },
+        );
+    }
+    regions
+}
+
+fn panel<T: Task + Sync>(
+    title: &str,
+    model: &Model,
+    task: &T,
+    component: Component,
+    budgets: &[f64],
+    reference_budget: f64,
+    eval_voltage: f64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!("--- {title} ---\n");
+    let mut rows = Vec::new();
+    for &budget in budgets {
+        let pipeline = ProtectedPipeline::with_regions(
+            model,
+            component_pipeline_config(component),
+            regions_for_budget(budget, reference_budget),
+        );
+        let points = degradation_tradeoff(
+            &pipeline,
+            task,
+            &[budget],
+            &voltage_grid(),
+            eval_voltage,
+            HARNESS_SEED,
+        )?;
+        if let Some(p) = points.first() {
+            rows.push(vec![
+                format!("{:.2}", p.budget),
+                format!("{}", p.recovery_cycles),
+                format!("{:.2}", p.optimal_voltage),
+                format!("{:.4e}", p.optimal_energy_j),
+            ]);
+        } else {
+            rows.push(vec![format!("{budget:.2}"), "-".into(), "-".into(), "-".into()]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "acceptable degradation",
+                format!("recovery cycles @ {eval_voltage} V").as_str(),
+                "optimal voltage [V]",
+                "total energy [J]"
+            ],
+            &rows
+        )
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("degradation vs recovery latency / energy trade-off", "Fig. 10");
+    let opt = opt_model();
+    let opt_task = wikitext_task(&opt);
+    panel(
+        "OPT proxy, FC1 at 0.64 V",
+        &opt,
+        &opt_task,
+        Component::Fc1,
+        &[0.1, 0.3, 1.0, 3.0, 10.0],
+        0.3,
+        0.64,
+    )?;
+
+    let llama = llama3_model();
+    let llama_task = hellaswag_task(&llama);
+    panel(
+        "LLaMA-3 proxy, Up at 0.64 V",
+        &llama,
+        &llama_task,
+        Component::Up,
+        &[0.25, 0.5, 1.0, 2.0, 5.0],
+        0.5,
+        0.64,
+    )?;
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Fig. 1 — motivation: (a) lower operating voltages raise the BER and wreck perplexity
+//! without protection; (b) statistical ABFT saves most of classical ABFT's recovery cost.
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin fig1_motivation [-- --quick]
+//! ```
+
+use realm_bench::{banner, opt_model, trials, wikitext_task, HARNESS_SEED};
+use realm_core::characterize::{componentwise_study, StudyConfig};
+use realm_core::pipeline::{PipelineConfig, ProtectedPipeline};
+use realm_core::report::render_table;
+use realm_inject::VoltageBerCurve;
+use realm_llm::{Component, Stage};
+use realm_systolic::ProtectionScheme;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("motivation", "Fig. 1");
+    let model = opt_model();
+    let task = wikitext_task(&model);
+    let curve = VoltageBerCurve::default_14nm();
+
+    // --- Fig. 1(a): voltage → BER → perplexity without protection -----------------------
+    println!("Fig. 1(a): operating voltage, BER and unprotected perplexity\n");
+    let config = StudyConfig {
+        trials: trials(),
+        seed: HARNESS_SEED,
+        bit: 30,
+    };
+    let voltages = [0.90, 0.82, 0.76, 0.70, 0.66, 0.62, 0.58];
+    let mut rows = Vec::new();
+    for &v in &voltages {
+        let ber = curve.ber_at(v);
+        // Unprotected degradation at this BER: inject into every component of every layer.
+        let series = componentwise_study(
+            &model,
+            &task,
+            &[
+                Component::Q,
+                Component::K,
+                Component::V,
+                Component::O,
+                Component::Fc1,
+                Component::Fc2,
+            ],
+            &[ber],
+            Some(Stage::Prefill),
+            &config,
+        )?;
+        let worst = series
+            .iter()
+            .map(|s| s.points[0].value)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mean = series.iter().map(|s| s.points[0].value).sum::<f64>() / series.len() as f64;
+        rows.push(vec![
+            format!("{v:.2}"),
+            format!("{ber:.2e}"),
+            format!("{mean:.2}"),
+            format!("{worst:.2}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["voltage [V]", "BER", "mean perplexity", "worst component"],
+            &rows
+        )
+    );
+
+    // --- Fig. 1(b): recovery cost saved by statistical ABFT ------------------------------
+    println!("Fig. 1(b): recovery rate vs voltage (classical vs statistical ABFT)\n");
+    let pipeline = ProtectedPipeline::new(&model, PipelineConfig::default());
+    let mut rows = Vec::new();
+    for &v in &voltages {
+        let classical = pipeline.run(&task, ProtectionScheme::ClassicalAbft, v, 3)?;
+        let statistical = pipeline.run(&task, ProtectionScheme::StatisticalAbft, v, 3)?;
+        let saved = if classical.recoveries > 0 {
+            100.0 * (classical.recoveries - statistical.recoveries) as f64
+                / classical.recoveries as f64
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            format!("{v:.2}"),
+            format!("{:.3}", classical.recovery_rate()),
+            format!("{:.3}", statistical.recovery_rate()),
+            format!("{saved:.1}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "voltage [V]",
+                "classical recovery rate",
+                "statistical recovery rate",
+                "recovery cost saved [%]"
+            ],
+            &rows
+        )
+    );
+    Ok(())
+}

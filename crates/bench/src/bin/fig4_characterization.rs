@@ -1,0 +1,173 @@
+//! Fig. 4 — the full resilience characterization (research questions Q1.1–Q2.2).
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin fig4_characterization [-- --study q13] [--quick]
+//! ```
+//!
+//! Without `--study`, every panel is regenerated. Panels map to the paper as follows:
+//! `q11` → Fig. 4(a)(b), `q12` → Fig. 4(c)(d), `q13` → Fig. 4(e)(f), `q14` → Fig. 4(g)(h),
+//! `q21` → Fig. 4(i)(j), `q22` → Fig. 4(k)(l).
+
+use realm_bench::{
+    banner, ber_grid, lambada_task, llama2_model, opt_model, trials, wikitext_task, HARNESS_SEED,
+};
+use realm_core::characterize::{
+    bitwise_study, componentwise_study, layerwise_study, magfreq_study, stagewise_study,
+    StudyConfig,
+};
+use realm_core::report::render_series_table;
+use realm_eval::task::Task;
+use realm_llm::{Component, Stage};
+
+fn study_config() -> StudyConfig {
+    StudyConfig {
+        trials: trials(),
+        seed: HARNESS_SEED,
+        bit: 30,
+    }
+}
+
+fn requested_study() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--study")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("LLM resilience characterization", "Fig. 4, Q1.1-Q2.2");
+    let study = requested_study();
+    let run = |name: &str| study.as_deref().map_or(true, |s| s == name);
+
+    let opt = opt_model();
+    let opt_lambada = lambada_task(&opt);
+    let llama = llama2_model();
+    let llama_wikitext = wikitext_task(&llama);
+    let config = study_config();
+    let bers = ber_grid();
+
+    if run("q11") {
+        println!("-- Q1.1 layer-wise resilience (Fig. 4(a)(b)) --\n");
+        let layers: Vec<usize> = vec![0, opt.config().num_layers / 2, opt.config().num_layers - 1];
+        let series = layerwise_study(&opt, &opt_lambada, &layers, &bers, &config)?;
+        println!("OPT proxy, LAMBADA-style accuracy:\n{}", render_series_table("BER", &series));
+        let layers: Vec<usize> =
+            vec![0, llama.config().num_layers / 2, llama.config().num_layers - 1];
+        let series = layerwise_study(&llama, &llama_wikitext, &layers, &bers, &config)?;
+        println!("LLaMA-2 proxy, WikiText-style perplexity:\n{}", render_series_table("BER", &series));
+    }
+
+    if run("q12") {
+        println!("-- Q1.2 bit-wise resilience (Fig. 4(c)(d)) --\n");
+        let bits = [10u8, 14, 22, 30];
+        let series = bitwise_study(&opt, &opt_lambada, Component::K, &bits, &bers, &config)?;
+        println!(
+            "errors in K (re-quantized INT8 output):\n{}",
+            render_series_table("BER", &series)
+        );
+        let series = bitwise_study(&llama, &llama_wikitext, Component::O, &bits, &bers, &config)?;
+        println!(
+            "errors in O (floating-point output):\n{}",
+            render_series_table("BER", &series)
+        );
+    }
+
+    if run("q13") {
+        println!("-- Q1.3 component-wise resilience, prefill stage (Fig. 4(e)(f)) --\n");
+        let opt_components = [
+            Component::Q,
+            Component::K,
+            Component::V,
+            Component::QkT,
+            Component::Sv,
+            Component::O,
+            Component::Fc1,
+            Component::Fc2,
+        ];
+        let series = componentwise_study(
+            &opt,
+            &opt_lambada,
+            &opt_components,
+            &bers,
+            Some(Stage::Prefill),
+            &config,
+        )?;
+        println!("OPT proxy:\n{}", render_series_table("BER", &series));
+        let llama_components = [
+            Component::Q,
+            Component::K,
+            Component::V,
+            Component::QkT,
+            Component::Sv,
+            Component::O,
+            Component::Gate,
+            Component::Up,
+            Component::Down,
+        ];
+        let series = componentwise_study(
+            &llama,
+            &llama_wikitext,
+            &llama_components,
+            &bers,
+            Some(Stage::Prefill),
+            &config,
+        )?;
+        println!("LLaMA-2 proxy:\n{}", render_series_table("BER", &series));
+    }
+
+    if run("q14") {
+        println!("-- Q1.4 magnitude/frequency trade-off (Fig. 4(g)(h)) --\n");
+        let msds = [19u32, 21, 25, 26, 30];
+        let freqs = [0u32, 2, 4, 6, 8, 10, 12, 14];
+        for (label, component) in [("resilient (K)", Component::K), ("sensitive (O)", Component::O)] {
+            println!("{label}:");
+            println!("log2(MSD)  log2(freq)  log2(mag)  {}", opt_lambada.metric());
+            let grid = magfreq_study(&opt, &opt_lambada, component, &msds, &freqs, &config)?;
+            for p in &grid {
+                println!(
+                    "{:>9}  {:>10}  {:>9}  {:>10.2}",
+                    p.log2_msd, p.log2_freq, p.log2_mag, p.value
+                );
+            }
+            println!();
+        }
+    }
+
+    if run("q21") {
+        println!("-- Q2.1 prefill vs decode sensitivity (Fig. 4(i)(j)) --\n");
+        let task = realm_eval::xsum::XsumTask::standard(llama.language(), HARNESS_SEED);
+        let series = stagewise_study(&llama, &task, &bers, &config)?;
+        println!(
+            "LLaMA-2 proxy, X-Sum-style ROUGE-1:\n{}",
+            render_series_table("BER", &series)
+        );
+    }
+
+    if run("q22") {
+        println!("-- Q2.2 component-wise resilience, decode stage (Fig. 4(k)(l)) --\n");
+        let task = realm_eval::gsm8k::Gsm8kTask::standard(llama.language(), HARNESS_SEED);
+        let components = [
+            Component::Q,
+            Component::K,
+            Component::V,
+            Component::Sv,
+            Component::O,
+            Component::Up,
+            Component::Down,
+        ];
+        let series = componentwise_study(
+            &llama,
+            &task,
+            &components,
+            &bers,
+            Some(Stage::Decode),
+            &config,
+        )?;
+        println!(
+            "LLaMA-2 proxy, GSM8K-style accuracy:\n{}",
+            render_series_table("BER", &series)
+        );
+    }
+
+    Ok(())
+}

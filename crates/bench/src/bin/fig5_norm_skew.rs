@@ -1,0 +1,52 @@
+//! Fig. 5 — why normalization makes components sensitive: a single injected error before
+//! LayerNorm/RMSNorm skews the per-token mean and standard deviation and therefore disturbs
+//! every element of the normalized output.
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin fig5_norm_skew [-- --quick]
+//! ```
+
+use realm_bench::{banner, llama2_model, opt_model, HARNESS_SEED};
+use realm_core::characterize::norm_skew_study;
+use realm_core::report::render_table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("normalization skew under a single injected error", "Fig. 5");
+
+    for (name, model) in [("OPT proxy", opt_model()), ("LLaMA-2 proxy", llama2_model())] {
+        println!("{name}:");
+        let mut rows = Vec::new();
+        for magnitude in [0.0f32, 50.0, 200.0, 500.0, 2000.0] {
+            let report = norm_skew_study(&model, magnitude, HARNESS_SEED);
+            rows.push(vec![
+                format!("{magnitude:.0}"),
+                format!("{:.2}", report.clean_mean),
+                format!("{:.2}", report.clean_std),
+                format!("{:.2}", report.skewed_mean),
+                format!("{:.2}", report.skewed_std),
+                format!("{:.1}", 100.0 * report.post_norm_disturbed_fraction),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "error magnitude",
+                    "clean mu",
+                    "clean sigma",
+                    "skewed mu",
+                    "skewed sigma",
+                    "post-norm disturbed [%]"
+                ],
+                &rows
+            )
+        );
+    }
+    println!(
+        "Reading: the clean hidden state's statistics are dominated by its outlier channels; \
+         a single large error acts as an artificial outlier, inflating sigma and disturbing \
+         nearly every normalized element — the paper's explanation for why post-normalization \
+         components (O, FC2, Down) are the sensitive ones."
+    );
+    Ok(())
+}

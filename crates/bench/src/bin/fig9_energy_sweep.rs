@@ -1,0 +1,105 @@
+//! Fig. 9 — LLM performance and total energy vs operating voltage for every protection
+//! scheme, protecting component `K` of the OPT proxy and component `V` of the LLaMA-3 proxy.
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin fig9_energy_sweep [-- --quick]
+//! ```
+
+use realm_bench::{
+    banner, component_pipeline_config, hellaswag_task, llama3_model, opt_model, voltage_grid,
+    wikitext_task, HARNESS_SEED,
+};
+use realm_core::pipeline::ProtectedPipeline;
+use realm_core::report::render_voltage_sweep;
+use realm_core::sweep::scheme_comparison;
+use realm_eval::task::Task;
+use realm_llm::{Component, Model};
+use realm_systolic::ProtectionScheme;
+
+fn panel<T: Task + Sync>(
+    title: &str,
+    model: &Model,
+    task: &T,
+    component: Component,
+    budget: f64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!("--- {title} ---\n");
+    let pipeline = ProtectedPipeline::new(model, component_pipeline_config(component));
+    let clean = pipeline.clean_value(task)?;
+    println!("clean {}: {clean:.2}\n", task.metric());
+    let voltages = voltage_grid();
+    let schemes = [
+        ProtectionScheme::None,
+        ProtectionScheme::ThunderVolt,
+        ProtectionScheme::Dmr,
+        ProtectionScheme::ClassicalAbft,
+        ProtectionScheme::ApproxAbft,
+        ProtectionScheme::StatisticalAbft,
+    ];
+    let sweeps = scheme_comparison(&pipeline, task, &schemes, &voltages, HARNESS_SEED)?;
+    for sweep in &sweeps {
+        println!("{}", render_voltage_sweep(sweep));
+    }
+    println!("sweet spots under an acceptable degradation of {budget}:");
+    let higher_is_better = task.metric().higher_is_better();
+    let baseline_best = sweeps
+        .iter()
+        .filter(|s| s.scheme != ProtectionScheme::StatisticalAbft && s.scheme != ProtectionScheme::None)
+        .filter_map(|s| s.sweet_spot(clean, higher_is_better, budget))
+        .map(|o| o.energy.total_j())
+        .fold(f64::INFINITY, f64::min);
+    for sweep in &sweeps {
+        match sweep.sweet_spot(clean, higher_is_better, budget) {
+            Some(spot) => {
+                let saving = if sweep.scheme == ProtectionScheme::StatisticalAbft
+                    && baseline_best.is_finite()
+                {
+                    format!(
+                        "  ({:.2}% vs best prior scheme)",
+                        100.0 * (baseline_best - spot.energy.total_j()) / baseline_best
+                    )
+                } else {
+                    String::new()
+                };
+                println!(
+                    "  {:<28} {:.2} V   {:.4e} J{}",
+                    sweep.scheme.to_string(),
+                    spot.voltage,
+                    spot.energy.total_j(),
+                    saving
+                );
+            }
+            None => println!(
+                "  {:<28} no operating point stays within the budget",
+                sweep.scheme.to_string()
+            ),
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("LLM performance and total energy vs operating voltage", "Fig. 9");
+
+    let opt = opt_model();
+    let opt_task = wikitext_task(&opt);
+    panel(
+        "Fig. 9(a): OPT proxy on WikiText-style perplexity, protecting K",
+        &opt,
+        &opt_task,
+        Component::K,
+        0.3,
+    )?;
+
+    let llama = llama3_model();
+    let llama_task = hellaswag_task(&llama);
+    panel(
+        "Fig. 9(b): LLaMA-3 proxy on HellaSwag-style accuracy, protecting V",
+        &llama,
+        &llama_task,
+        Component::V,
+        0.5,
+    )?;
+    Ok(())
+}

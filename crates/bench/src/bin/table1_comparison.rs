@@ -1,0 +1,71 @@
+//! Table I — comparison of representative fault-mitigation techniques, augmented with the
+//! quantities this reproduction can actually measure: hardware overhead and recovery rate at
+//! a representative low-voltage operating point.
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin table1_comparison [-- --quick]
+//! ```
+
+use realm_bench::{banner, opt_model, wikitext_task};
+use realm_core::pipeline::{PipelineConfig, ProtectedPipeline};
+use realm_core::report::render_table;
+use realm_systolic::{AreaPowerModel, ProtectionScheme, SystolicArray};
+
+/// The qualitative rows of Table I (taken verbatim from the paper's comparison).
+fn qualitative(scheme: ProtectionScheme) -> (&'static str, &'static str, &'static str) {
+    // (level, hardware efficiency, scalability)
+    match scheme {
+        ProtectionScheme::None => ("-", "-", "-"),
+        ProtectionScheme::Dmr => ("circuit", "low", "medium"),
+        ProtectionScheme::RazorFfs | ProtectionScheme::ThunderVolt => ("circuit", "low", "low"),
+        ProtectionScheme::ClassicalAbft | ProtectionScheme::ApproxAbft => {
+            ("circuit-algorithm", "medium", "high")
+        }
+        ProtectionScheme::StatisticalAbft => ("circuit-algorithm", "high", "high"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("fault-mitigation technique comparison", "Table I");
+    let array = SystolicArray::paper_256x256_ws();
+    let area_power = AreaPowerModel::default_14nm(&array);
+
+    let model = opt_model();
+    let task = wikitext_task(&model);
+    let pipeline = ProtectedPipeline::new(&model, PipelineConfig::default());
+    let voltage = 0.68;
+
+    let mut rows = Vec::new();
+    for scheme in ProtectionScheme::ALL {
+        let (level, hw_eff, scalability) = qualitative(scheme);
+        let overhead = area_power.overhead(scheme);
+        let outcome = pipeline.run(&task, scheme, voltage, 5)?;
+        rows.push(vec![
+            scheme.label().to_string(),
+            level.to_string(),
+            hw_eff.to_string(),
+            scalability.to_string(),
+            format!("{:.2}", overhead.area_percent),
+            format!("{:.2}", overhead.power_percent),
+            format!("{:.3}", outcome.recovery_rate()),
+            format!("{:.2}", outcome.task_value),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "method",
+                "level",
+                "hw efficiency",
+                "scalability",
+                "area ovh [%]",
+                "power ovh [%]",
+                format!("recovery rate @ {voltage} V").as_str(),
+                "perplexity",
+            ],
+            &rows
+        )
+    );
+    Ok(())
+}

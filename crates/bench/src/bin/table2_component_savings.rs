@@ -1,0 +1,82 @@
+//! Table II — optimal operating voltage and energy saving of statistical ABFT for every
+//! network component of both evaluation models.
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin table2_component_savings [-- --quick]
+//! ```
+
+use realm_bench::{
+    banner, component_pipeline_config, hellaswag_task, llama3_model, opt_model, quick_mode,
+    voltage_grid, wikitext_task, HARNESS_SEED,
+};
+use realm_core::report::render_component_savings;
+use realm_core::sweep::component_sweet_spots;
+use realm_eval::task::Task;
+use realm_llm::{Component, Model};
+use realm_systolic::ProtectionScheme;
+
+fn components_for(model: &Model) -> Vec<Component> {
+    let mut components: Vec<Component> = model.config().block_components().to_vec();
+    if quick_mode() {
+        components.truncate(4);
+    }
+    components
+}
+
+fn panel<T: Task + Sync>(
+    title: &str,
+    model: &Model,
+    task: &T,
+    budget: f64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!("--- {title} ---\n");
+    let components = components_for(model);
+    let base_config = component_pipeline_config(components[0]);
+    let rows = component_sweet_spots(
+        model,
+        &base_config,
+        task,
+        &components,
+        ProtectionScheme::ApproxAbft,
+        &voltage_grid(),
+        budget,
+        HARNESS_SEED,
+    )?;
+    println!("{}", render_component_savings(&rows));
+    if let (Some(best), Some(worst)) = (
+        rows.iter().max_by(|a, b| {
+            a.energy_saving_percent
+                .partial_cmp(&b.energy_saving_percent)
+                .unwrap()
+        }),
+        rows.iter().min_by(|a, b| {
+            a.energy_saving_percent
+                .partial_cmp(&b.energy_saving_percent)
+                .unwrap()
+        }),
+    ) {
+        println!(
+            "largest saving: {} ({:.1}%); smallest saving: {} ({:.1}%) — sensitive components \
+             leave less headroom, as in the paper.\n",
+            best.component, best.energy_saving_percent, worst.component, worst.energy_saving_percent
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("per-component optimal voltage and energy saving", "Table II");
+    let opt = opt_model();
+    let opt_task = wikitext_task(&opt);
+    panel("OPT proxy (WikiText-style perplexity, +0.3 budget)", &opt, &opt_task, 0.3)?;
+
+    let llama = llama3_model();
+    let llama_task = hellaswag_task(&llama);
+    panel(
+        "LLaMA-3 proxy (HellaSwag-style accuracy, 0.5% budget)",
+        &llama,
+        &llama_task,
+        0.5,
+    )?;
+    Ok(())
+}

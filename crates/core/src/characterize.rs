@@ -1,0 +1,484 @@
+//! LLM resilience characterization: the paper's error-injection studies Q1.1–Q2.2 (Sec. IV).
+//!
+//! Every study follows the same recipe: pick an error model and a target (which layers /
+//! components / stages receive errors), run many independent Monte-Carlo trials of a task
+//! evaluation with that injector attached, and report the mean task metric per sweep point.
+//! The functions here produce the data series behind Fig. 4 and Fig. 5; the `realm-bench`
+//! binaries print them in the paper's layout.
+
+use crate::Result;
+use rayon::prelude::*;
+use realm_eval::task::Task;
+use realm_inject::{
+    campaign::TrialSummary,
+    error_model::{FixedBitModel, MagFreqModel},
+    injector::ErrorInjector,
+    targeting::Target,
+};
+use realm_llm::norm::LayerNorm;
+use realm_llm::{Component, Model, Stage};
+use realm_tensor::rng;
+use serde::{Deserialize, Serialize};
+
+/// Shared configuration of a characterization study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Independent fault-injection trials per sweep point.
+    pub trials: usize,
+    /// Base seed; every trial derives its own deterministic seed from it.
+    pub seed: u64,
+    /// Bit position flipped by the BER-style studies (the paper targets bit 30).
+    pub bit: u8,
+}
+
+impl StudyConfig {
+    /// A quick configuration for tests and examples (few trials).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            trials: 4,
+            seed,
+            bit: 30,
+        }
+    }
+
+    /// The configuration used by the benchmark harnesses.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            trials: 12,
+            seed,
+            bit: 30,
+        }
+    }
+}
+
+/// One sweep point: an x-coordinate (BER, frequency, ...) and the aggregated task metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept quantity (meaning depends on the study: BER, log₂ freq, ...).
+    pub x: f64,
+    /// Mean task metric over the trials.
+    pub value: f64,
+    /// Sample standard deviation over the trials.
+    pub std: f64,
+}
+
+/// A labelled series of sweep points (one curve of a figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label (layer index, bit position, component name, ...).
+    pub label: String,
+    /// The sweep points in x order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// One magnitude/frequency grid point of the Q1.4 study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MagFreqPoint {
+    /// log₂ of the injected error magnitude.
+    pub log2_mag: f64,
+    /// log₂ of the injected error frequency.
+    pub log2_freq: f64,
+    /// log₂ of the resulting matrix-sum deviation (`log2_mag + log2_freq`).
+    pub log2_msd: f64,
+    /// Mean task metric over the trials.
+    pub value: f64,
+}
+
+fn worst_case_value(task: &dyn Task) -> f64 {
+    if task.metric().higher_is_better() {
+        0.0
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Runs `trials` fault-injection trials of `task` with the given error model and target and
+/// aggregates the metric.
+pub fn injection_trials<T, M>(
+    model: &Model,
+    task: &T,
+    make_model: &M,
+    target: &Target,
+    config: &StudyConfig,
+) -> TrialSummary
+where
+    T: Task + Sync,
+    M: Fn() -> realm_inject::error_model::BitFlipModel + Sync,
+{
+    let values: Vec<f64> = (0..config.trials)
+        .into_par_iter()
+        .map(|i| {
+            let seed = rng::derive_seed(config.seed, i as u64);
+            let mut injector = ErrorInjector::new(make_model(), target.clone(), seed);
+            task.evaluate(model, &mut injector)
+                .unwrap_or_else(|_| worst_case_value(task))
+        })
+        .collect();
+    TrialSummary::from_values(&values)
+}
+
+fn fixed_bit_trials<T: Task + Sync>(
+    model: &Model,
+    task: &T,
+    ber: f64,
+    target: &Target,
+    config: &StudyConfig,
+) -> TrialSummary {
+    let bit = config.bit;
+    let values: Vec<f64> = (0..config.trials)
+        .into_par_iter()
+        .map(|i| {
+            let seed = rng::derive_seed(config.seed, i as u64);
+            let mut injector = ErrorInjector::new(FixedBitModel::new(ber, bit), target.clone(), seed);
+            task.evaluate(model, &mut injector)
+                .unwrap_or_else(|_| worst_case_value(task))
+        })
+        .collect();
+    TrialSummary::from_values(&values)
+}
+
+/// Q1.1 — layer-wise resilience: errors are injected into every component of one layer at a
+/// time while the BER is swept (Fig. 4(a)(b)).
+pub fn layerwise_study<T: Task + Sync>(
+    model: &Model,
+    task: &T,
+    layers: &[usize],
+    bers: &[f64],
+    config: &StudyConfig,
+) -> Result<Vec<Series>> {
+    validate_sweep("layers", layers.len())?;
+    validate_sweep("bers", bers.len())?;
+    Ok(layers
+        .iter()
+        .map(|&layer| Series {
+            label: format!("layer{layer}"),
+            points: bers
+                .iter()
+                .map(|&ber| {
+                    let target = Target::new().layer(layer).stage(Stage::Prefill);
+                    let summary = fixed_bit_trials(model, task, ber, &target, config);
+                    SweepPoint {
+                        x: ber,
+                        value: summary.mean,
+                        std: summary.std,
+                    }
+                })
+                .collect(),
+        })
+        .collect())
+}
+
+/// Q1.2 — bit-wise resilience: a single component receives flips of one bit position while
+/// the BER is swept (Fig. 4(c)(d)).
+pub fn bitwise_study<T: Task + Sync>(
+    model: &Model,
+    task: &T,
+    component: Component,
+    bits: &[u8],
+    bers: &[f64],
+    config: &StudyConfig,
+) -> Result<Vec<Series>> {
+    validate_sweep("bits", bits.len())?;
+    validate_sweep("bers", bers.len())?;
+    Ok(bits
+        .iter()
+        .map(|&bit| Series {
+            label: format!("bit {bit}"),
+            points: bers
+                .iter()
+                .map(|&ber| {
+                    let target = Target::new().component(component);
+                    let cfg = StudyConfig { bit, ..*config };
+                    let summary = fixed_bit_trials(model, task, ber, &target, &cfg);
+                    SweepPoint {
+                        x: ber,
+                        value: summary.mean,
+                        std: summary.std,
+                    }
+                })
+                .collect(),
+        })
+        .collect())
+}
+
+/// Q1.3 / Q2.2 — component-wise resilience: each component receives bit-30 flips across all
+/// layers while the BER is swept; `stage` selects prefill (Q1.3) or decode (Q2.2) injection
+/// (Fig. 4(e)(f)(k)(l)).
+pub fn componentwise_study<T: Task + Sync>(
+    model: &Model,
+    task: &T,
+    components: &[Component],
+    bers: &[f64],
+    stage: Option<Stage>,
+    config: &StudyConfig,
+) -> Result<Vec<Series>> {
+    validate_sweep("components", components.len())?;
+    validate_sweep("bers", bers.len())?;
+    Ok(components
+        .iter()
+        .map(|&component| Series {
+            label: component.label().to_string(),
+            points: bers
+                .iter()
+                .map(|&ber| {
+                    let mut target = Target::new().component(component);
+                    if let Some(stage) = stage {
+                        target = target.stage(stage);
+                    }
+                    let summary = fixed_bit_trials(model, task, ber, &target, config);
+                    SweepPoint {
+                        x: ber,
+                        value: summary.mean,
+                        std: summary.std,
+                    }
+                })
+                .collect(),
+        })
+        .collect())
+}
+
+/// Q1.4 — magnitude/frequency trade-off: controlled identical errors with `MSD = freq × mag`
+/// are injected into one component (Fig. 4(g)(h)).
+pub fn magfreq_study<T: Task + Sync>(
+    model: &Model,
+    task: &T,
+    component: Component,
+    log2_msds: &[u32],
+    log2_freqs: &[u32],
+    config: &StudyConfig,
+) -> Result<Vec<MagFreqPoint>> {
+    validate_sweep("log2_msds", log2_msds.len())?;
+    validate_sweep("log2_freqs", log2_freqs.len())?;
+    let mut grid = Vec::new();
+    for &log2_msd in log2_msds {
+        for &log2_freq in log2_freqs {
+            if log2_freq >= log2_msd {
+                continue; // magnitude would drop below one accumulator LSB
+            }
+            let log2_mag = log2_msd - log2_freq;
+            let model_spec = MagFreqModel::new(1i64 << log2_mag, 1usize << log2_freq);
+            let target = Target::new().component(component).stage(Stage::Prefill);
+            let values: Vec<f64> = (0..config.trials)
+                .into_par_iter()
+                .map(|i| {
+                    let seed = rng::derive_seed(config.seed, (log2_msd as u64) << 32 | i as u64);
+                    let mut injector = ErrorInjector::new(model_spec, target.clone(), seed);
+                    task.evaluate(model, &mut injector)
+                        .unwrap_or_else(|_| worst_case_value(task))
+                })
+                .collect();
+            let summary = TrialSummary::from_values(&values);
+            grid.push(MagFreqPoint {
+                log2_mag: log2_mag as f64,
+                log2_freq: log2_freq as f64,
+                log2_msd: log2_msd as f64,
+                value: summary.mean,
+            });
+        }
+    }
+    Ok(grid)
+}
+
+/// Q2.1 — prefill vs decode sensitivity: the same error model targets only the prefill stage,
+/// only the decode stage, or both (Fig. 4(i)(j)).
+pub fn stagewise_study<T: Task + Sync>(
+    model: &Model,
+    task: &T,
+    bers: &[f64],
+    config: &StudyConfig,
+) -> Result<Vec<Series>> {
+    validate_sweep("bers", bers.len())?;
+    let scopes: [(&str, Option<Stage>); 3] = [
+        ("two_stage", None),
+        ("prefill_stage", Some(Stage::Prefill)),
+        ("decode_stage", Some(Stage::Decode)),
+    ];
+    Ok(scopes
+        .iter()
+        .map(|(label, stage)| Series {
+            label: (*label).to_string(),
+            points: bers
+                .iter()
+                .map(|&ber| {
+                    let mut target = Target::new();
+                    if let Some(stage) = stage {
+                        target = target.stage(*stage);
+                    }
+                    let summary = fixed_bit_trials(model, task, ber, &target, config);
+                    SweepPoint {
+                        x: ber,
+                        value: summary.mean,
+                        std: summary.std,
+                    }
+                })
+                .collect(),
+        })
+        .collect())
+}
+
+/// Report of the normalization-skew experiment (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormSkewReport {
+    /// Mean of the clean pre-norm hidden state.
+    pub clean_mean: f32,
+    /// Standard deviation of the clean pre-norm hidden state.
+    pub clean_std: f32,
+    /// Mean after injecting a single error of the given magnitude.
+    pub skewed_mean: f32,
+    /// Standard deviation after injecting the error.
+    pub skewed_std: f32,
+    /// Fraction of post-normalization elements that moved by more than a tenth of the clean
+    /// output's standard deviation — the "everything shifts" effect of Fig. 5(b).
+    pub post_norm_disturbed_fraction: f32,
+}
+
+/// Fig. 5 — how one injected error before a normalization layer skews µ/σ and disturbs every
+/// normalized element.
+pub fn norm_skew_study(model: &Model, error_magnitude: f32, seed: u64) -> NormSkewReport {
+    let hidden = model.config().hidden_size;
+    let mut r = rng::seeded(rng::derive_seed(seed, 0xF16_5));
+    // A representative pre-norm hidden state: embed a random token (outlier channels and all).
+    use rand::Rng;
+    let token = r.gen_range(0..model.config().vocab_size as u32);
+    let clean = model
+        .embed(&[token])
+        .expect("token sampled from the vocabulary");
+    let mut corrupted = clean.clone();
+    let position = r.gen_range(0..hidden);
+    corrupted[(0, position)] += error_magnitude;
+
+    let norm = LayerNorm::identity(hidden);
+    let clean_stats = norm.row_statistics(&clean)[0];
+    let skewed_stats = norm.row_statistics(&corrupted)[0];
+    let clean_out = norm.forward(&clean);
+    let skewed_out = norm.forward(&corrupted);
+    let clean_out_std = realm_tensor::stats::summary(&clean_out).std.max(1e-6);
+    let disturbed = clean_out
+        .row(0)
+        .iter()
+        .zip(skewed_out.row(0))
+        .enumerate()
+        .filter(|(c, (a, b))| *c != position && (**b - **a).abs() > 0.1 * clean_out_std)
+        .count();
+    NormSkewReport {
+        clean_mean: clean_stats.0,
+        clean_std: clean_stats.1,
+        skewed_mean: skewed_stats.0,
+        skewed_std: skewed_stats.1,
+        post_norm_disturbed_fraction: disturbed as f32 / (hidden - 1) as f32,
+    }
+}
+
+fn validate_sweep(name: &str, len: usize) -> Result<()> {
+    if len == 0 {
+        return Err(crate::CoreError::InvalidExperiment {
+            detail: format!("the {name} sweep is empty"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_eval::lambada::LambadaTask;
+    use realm_eval::wikitext::WikitextTask;
+    use realm_llm::config::ModelConfig;
+
+    fn setup() -> (Model, WikitextTask) {
+        let model = Model::new(&ModelConfig::tiny_opt(), 7).unwrap();
+        let task = WikitextTask::quick(model.language(), 7);
+        (model, task)
+    }
+
+    #[test]
+    fn componentwise_study_reveals_sensitivity_ordering() {
+        let (model, task) = setup();
+        let config = StudyConfig::quick(3);
+        let series = componentwise_study(
+            &model,
+            &task,
+            &[Component::QkT, Component::O],
+            &[5e-3],
+            Some(Stage::Prefill),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(series.len(), 2);
+        let qkt = series[0].points[0].value;
+        let o = series[1].points[0].value;
+        assert!(
+            o > qkt,
+            "O (post-norm) must degrade perplexity more than the softmax-bounded QK^T: {o} vs {qkt}"
+        );
+    }
+
+    #[test]
+    fn layerwise_study_produces_one_series_per_layer() {
+        let (model, task) = setup();
+        let config = StudyConfig::quick(3);
+        let series = layerwise_study(&model, &task, &[0, 1], &[1e-4, 1e-2], &config).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].points.len(), 2);
+        assert_eq!(series[0].label, "layer0");
+        // Degradation grows with BER within each layer's series.
+        for s in &series {
+            assert!(s.points[1].value >= s.points[0].value * 0.5);
+        }
+    }
+
+    #[test]
+    fn bitwise_study_shows_low_bits_are_harmless() {
+        let (model, task) = setup();
+        let config = StudyConfig::quick(5);
+        let series =
+            bitwise_study(&model, &task, Component::O, &[4, 30], &[1e-2], &config).unwrap();
+        let low_bit = series[0].points[0].value;
+        let high_bit = series[1].points[0].value;
+        assert!(
+            high_bit > low_bit,
+            "bit-30 flips ({high_bit}) must hurt more than bit-4 flips ({low_bit})"
+        );
+    }
+
+    #[test]
+    fn magfreq_study_covers_the_grid_below_the_msd_diagonal() {
+        let (model, task) = setup();
+        let config = StudyConfig::quick(2);
+        let grid = magfreq_study(&model, &task, Component::K, &[20, 24], &[0, 2, 30], &config)
+            .unwrap();
+        // log2_freq = 30 exceeds both MSDs and is skipped.
+        assert_eq!(grid.len(), 4);
+        for p in &grid {
+            assert_eq!(p.log2_mag + p.log2_freq, p.log2_msd);
+            assert!(p.value.is_finite());
+        }
+    }
+
+    #[test]
+    fn stagewise_study_reports_three_scopes() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 9).unwrap();
+        let task = LambadaTask::quick(model.language(), 9);
+        let config = StudyConfig::quick(2);
+        let series = stagewise_study(&model, &task, &[1e-3], &config).unwrap();
+        assert_eq!(series.len(), 3);
+        let labels: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["two_stage", "prefill_stage", "decode_stage"]);
+    }
+
+    #[test]
+    fn norm_skew_study_shows_statistics_blowup() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 9).unwrap();
+        let report = norm_skew_study(&model, 500.0, 3);
+        assert!(report.skewed_std > report.clean_std * 2.0);
+        assert!(report.post_norm_disturbed_fraction > 0.5);
+    }
+
+    #[test]
+    fn empty_sweeps_are_rejected() {
+        let (model, task) = setup();
+        let config = StudyConfig::quick(1);
+        assert!(layerwise_study(&model, &task, &[], &[1e-3], &config).is_err());
+        assert!(componentwise_study(&model, &task, &[Component::O], &[], None, &config).is_err());
+    }
+}

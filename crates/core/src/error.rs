@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+use realm_llm::LlmError;
+use realm_tensor::TensorError;
+
+/// Errors produced by the ReaLM framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An experiment configuration is inconsistent (empty sweeps, invalid budgets, ...).
+    InvalidExperiment {
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
+    /// Fitting the critical region failed (e.g. no critical samples under the budget).
+    FitFailed {
+        /// Explanation of why the fit could not be produced.
+        detail: String,
+    },
+    /// An underlying model-inference error.
+    Llm(LlmError),
+    /// An underlying tensor error.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidExperiment { detail } => {
+                write!(f, "invalid experiment configuration: {detail}")
+            }
+            CoreError::FitFailed { detail } => write!(f, "critical-region fit failed: {detail}"),
+            CoreError::Llm(e) => write!(f, "model inference failed: {e}"),
+            CoreError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Llm(e) => Some(e),
+            CoreError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LlmError> for CoreError {
+    fn from(e: LlmError) -> Self {
+        CoreError::Llm(e)
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_are_wired() {
+        let e = CoreError::InvalidExperiment {
+            detail: "empty voltage sweep".into(),
+        };
+        assert!(e.to_string().contains("empty voltage sweep"));
+        assert!(e.source().is_none());
+
+        let inner = LlmError::InvalidSequence { detail: "x".into() };
+        let wrapped: CoreError = inner.into();
+        assert!(wrapped.source().is_some());
+        assert!(wrapped.to_string().contains("model inference failed"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,305 @@
+//! Scheme protectors: GEMM hooks that detect errors and trigger recovery during inference.
+//!
+//! A [`SchemeProtector`] is the runtime embodiment of a protection scheme: attached after the
+//! error injector in the hook chain, it sees the (possibly corrupted) INT32 accumulator of
+//! every quantized GEMM, runs the scheme's detector, restores the correct result when a
+//! recovery is triggered (the operands are fault-free, so recomputation is exact — exactly
+//! the paper's "recompute at nominal voltage" assumption) and charges the recovery cost.
+
+use realm_abft::{
+    approx::ApproxAbft, classical::ClassicalAbft, critical_region::CriticalRegion,
+    detector::AbftDetector, detector::Detection, recovery::RecoveryPolicy,
+    recovery::RecoveryStats, statistical::StatisticalAbft,
+};
+use realm_llm::{Component, GemmContext, GemmHook};
+use realm_systolic::{ProtectionScheme, SystolicArray};
+use realm_tensor::{gemm, MatI32, MatI8};
+use std::collections::BTreeMap;
+
+/// Per-component critical regions used by the statistical scheme.
+///
+/// Components without an explicit entry fall back to the paper's defaults: the sensitive
+/// default for `O`/`FC2`/`Down` and the resilient default for everything else.
+#[derive(Debug, Clone, Default)]
+pub struct RegionAssignment {
+    regions: BTreeMap<Component, CriticalRegion>,
+}
+
+impl RegionAssignment {
+    /// Creates an empty assignment (every component uses its class default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an assignment from fitted per-component regions.
+    pub fn from_regions(regions: BTreeMap<Component, CriticalRegion>) -> Self {
+        Self { regions }
+    }
+
+    /// Sets the region for one component.
+    pub fn set(&mut self, component: Component, region: CriticalRegion) {
+        self.regions.insert(component, region);
+    }
+
+    /// The region that will be used for a component.
+    pub fn region_for(&self, component: Component) -> CriticalRegion {
+        self.regions.get(&component).copied().unwrap_or_else(|| {
+            if component.is_sensitive() {
+                CriticalRegion::sensitive_default()
+            } else {
+                CriticalRegion::resilient_default()
+            }
+        })
+    }
+
+    /// Number of explicitly assigned components.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Returns `true` if no component has an explicit region.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+/// A protection scheme attached to the model's GEMM stream.
+pub struct SchemeProtector {
+    scheme: ProtectionScheme,
+    policy: RecoveryPolicy,
+    array: SystolicArray,
+    classical: ClassicalAbft,
+    approx: ApproxAbft,
+    statistical: BTreeMap<Component, StatisticalAbft>,
+    stats: RecoveryStats,
+    correct_on_recovery: bool,
+}
+
+impl SchemeProtector {
+    /// Creates a protector for `scheme` using per-component `regions` (only consulted by the
+    /// statistical scheme) and the default recovery policy for the scheme.
+    pub fn new(scheme: ProtectionScheme, array: SystolicArray, regions: &RegionAssignment) -> Self {
+        let statistical = Component::ALL
+            .iter()
+            .map(|&c| (c, StatisticalAbft::new(regions.region_for(c))))
+            .collect();
+        Self {
+            scheme,
+            policy: RecoveryPolicy::default_for_scheme(scheme),
+            array,
+            classical: ClassicalAbft::new(),
+            approx: ApproxAbft::paper_default(),
+            statistical,
+            stats: RecoveryStats::new(),
+            correct_on_recovery: true,
+        }
+    }
+
+    /// Creates a protector with default regions for every component.
+    pub fn with_default_regions(scheme: ProtectionScheme, array: SystolicArray) -> Self {
+        Self::new(scheme, array, &RegionAssignment::new())
+    }
+
+    /// The protection scheme this protector implements.
+    pub fn scheme(&self) -> ProtectionScheme {
+        self.scheme
+    }
+
+    /// The recovery policy in use.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Overrides the recovery policy (e.g. to model overvolting instead of recomputation).
+    pub fn set_policy(&mut self, policy: RecoveryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Accumulated recovery statistics.
+    pub fn stats(&self) -> &RecoveryStats {
+        &self.stats
+    }
+
+    /// Resets the accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = RecoveryStats::new();
+    }
+
+    /// Controls whether a triggered recovery actually restores the correct accumulator.
+    ///
+    /// Always `true` in normal operation; disabling it lets experiments measure "detection
+    /// only" behaviour (e.g. to isolate the quality impact of skipped recoveries).
+    pub fn set_correct_on_recovery(&mut self, correct: bool) {
+        self.correct_on_recovery = correct;
+    }
+
+    fn detect(&self, ctx: &GemmContext, w: &MatI8, x: &MatI8, acc: &MatI32) -> Option<Detection> {
+        match self.scheme {
+            ProtectionScheme::None => None,
+            // DMR, Razor and ThunderVolt detect at the circuit level; their detection
+            // coverage for additive datapath errors is equivalent to a full checksum
+            // comparison, so the classical detector stands in for them. Their costs differ
+            // through the recovery policy and the area/power model, not the detector.
+            ProtectionScheme::Dmr
+            | ProtectionScheme::RazorFfs
+            | ProtectionScheme::ThunderVolt
+            | ProtectionScheme::ClassicalAbft => Some(self.classical.inspect(w, x, acc)),
+            ProtectionScheme::ApproxAbft => Some(self.approx.inspect(w, x, acc)),
+            ProtectionScheme::StatisticalAbft => Some(
+                self.statistical
+                    .get(&ctx.component)
+                    .expect("every component has a statistical detector")
+                    .inspect(w, x, acc),
+            ),
+        }
+    }
+}
+
+impl std::fmt::Debug for SchemeProtector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchemeProtector")
+            .field("scheme", &self.scheme)
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl GemmHook for SchemeProtector {
+    fn on_gemm(&mut self, ctx: &GemmContext, w: &MatI8, x: &MatI8, acc: &mut MatI32) {
+        let Some(detection) = self.detect(ctx, w, x, acc) else {
+            return;
+        };
+        let schedule = self
+            .array
+            .schedule_gemm(w.rows(), w.cols(), x.cols());
+        self.stats.record(
+            &self.policy,
+            detection.errors_detected,
+            detection.trigger_recovery,
+            schedule.macs,
+            schedule.cycles,
+            detection.effective_frequency as u64,
+        );
+        if detection.trigger_recovery
+            && self.correct_on_recovery
+            && !matches!(self.policy, RecoveryPolicy::None)
+        {
+            // Operands are fault-free (ECC-protected memory), so re-executing the GEMM at a
+            // safe voltage reproduces the exact result.
+            *acc = gemm::gemm_i8(w, x).expect("operand shapes were already validated");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_inject::{error_model::FixedBitModel, injector::ErrorInjector};
+    use realm_llm::hooks::HookChain;
+    use realm_llm::{config::ModelConfig, model::Model, NoopHook};
+    use realm_systolic::Dataflow;
+
+    fn array() -> SystolicArray {
+        SystolicArray::small(Dataflow::WeightStationary)
+    }
+
+    #[test]
+    fn region_assignment_defaults_by_sensitivity() {
+        let assignment = RegionAssignment::new();
+        assert!(assignment.is_empty());
+        let sensitive = assignment.region_for(Component::O);
+        let resilient = assignment.region_for(Component::Q);
+        assert!(sensitive.theta_freq_log2 < resilient.theta_freq_log2);
+        let mut custom = RegionAssignment::new();
+        custom.set(Component::Q, CriticalRegion::new(1.5, 30.0, 6.0));
+        assert_eq!(custom.len(), 1);
+        assert!((custom.region_for(Component::Q).b - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classical_protector_restores_clean_results() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 2).unwrap();
+        let (clean_logits, _) = model.prefill(&[1, 2, 3, 4], &mut NoopHook).unwrap();
+
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.2), 9);
+        let mut protector =
+            SchemeProtector::with_default_regions(ProtectionScheme::ClassicalAbft, array());
+        let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
+        let (protected_logits, _) = model.prefill(&[1, 2, 3, 4], &mut chain).unwrap();
+
+        assert_eq!(protected_logits, clean_logits, "classical ABFT fully repairs the run");
+        assert!(protector.stats().recoveries_triggered > 0);
+        assert!(protector.stats().recovery_macs > 0);
+    }
+
+    #[test]
+    fn unprotected_scheme_leaves_errors_in_place() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 2).unwrap();
+        let (clean_logits, _) = model.prefill(&[1, 2, 3, 4], &mut NoopHook).unwrap();
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.2), 9);
+        let mut protector = SchemeProtector::with_default_regions(ProtectionScheme::None, array());
+        let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
+        let (faulty_logits, _) = model.prefill(&[1, 2, 3, 4], &mut chain).unwrap();
+        assert_ne!(faulty_logits, clean_logits);
+        assert_eq!(protector.stats().gemms_inspected, 0);
+    }
+
+    #[test]
+    fn statistical_protector_recovers_less_than_classical() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 2).unwrap();
+        let prompt: Vec<u32> = (0..12).map(|t| t % 8).collect();
+
+        let run = |scheme: ProtectionScheme| {
+            let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.002), 77);
+            let mut protector = SchemeProtector::with_default_regions(scheme, array());
+            let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
+            model.prefill(&prompt, &mut chain).unwrap();
+            (
+                protector.stats().recoveries_triggered,
+                protector.stats().gemms_with_errors,
+            )
+        };
+        let (classical_recoveries, classical_errors) = run(ProtectionScheme::ClassicalAbft);
+        let (statistical_recoveries, statistical_errors) = run(ProtectionScheme::StatisticalAbft);
+        assert_eq!(classical_errors, statistical_errors, "same faults are observed");
+        assert_eq!(
+            classical_recoveries, classical_errors,
+            "classical recovers every corrupted GEMM"
+        );
+        assert!(
+            statistical_recoveries < classical_recoveries,
+            "statistical ABFT must skip some recoveries ({statistical_recoveries} vs {classical_recoveries})"
+        );
+    }
+
+    #[test]
+    fn per_error_replay_policy_records_cycles_not_macs() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 2).unwrap();
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.05), 5);
+        let mut protector =
+            SchemeProtector::with_default_regions(ProtectionScheme::ThunderVolt, array());
+        let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
+        model.prefill(&[3, 4, 5, 6], &mut chain).unwrap();
+        let stats = protector.stats();
+        assert!(stats.recoveries_triggered > 0);
+        assert_eq!(stats.recovery_macs, 0, "replay does not recompute whole GEMMs");
+        assert!(stats.recovery_cycles > 0);
+    }
+
+    #[test]
+    fn disabling_correction_keeps_detection_statistics() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 2).unwrap();
+        let (clean_logits, _) = model.prefill(&[1, 2, 3], &mut NoopHook).unwrap();
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.2), 9);
+        let mut protector =
+            SchemeProtector::with_default_regions(ProtectionScheme::ClassicalAbft, array());
+        protector.set_correct_on_recovery(false);
+        let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
+        let (logits, _) = model.prefill(&[1, 2, 3], &mut chain).unwrap();
+        assert_ne!(logits, clean_logits, "errors remain because correction is disabled");
+        assert!(protector.stats().recoveries_triggered > 0);
+        protector.reset_stats();
+        assert_eq!(protector.stats().recoveries_triggered, 0);
+    }
+}

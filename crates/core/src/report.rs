@@ -1,0 +1,180 @@
+//! Plain-text reporting helpers shared by the benchmark harnesses and examples.
+//!
+//! Every figure/table binary in `realm-bench` prints its results as aligned text tables so
+//! that the regenerated numbers can be compared against the paper side by side (and diffed
+//! between runs). Keeping the formatting here avoids re-implementing it in each binary.
+
+use crate::characterize::Series;
+use crate::pipeline::PipelineOutcome;
+use crate::sweep::{ComponentSweetSpot, VoltageSweep};
+
+/// Renders a simple aligned table: a header row followed by data rows.
+///
+/// Column widths adapt to the longest cell; all cells are right-aligned except the first
+/// column, which is left-aligned (it usually holds labels).
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let mut out = String::new();
+    let format_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            } else {
+                line.push_str(&format!("  {:>width$}", cell, width = widths[i]));
+            }
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&format_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a characterization series set (one figure panel) as a table: one row per x value,
+/// one column per series.
+pub fn render_series_table(x_label: &str, series: &[Series]) -> String {
+    if series.is_empty() {
+        return String::from("(empty)\n");
+    }
+    let mut header = vec![x_label];
+    for s in series {
+        header.push(s.label.as_str());
+    }
+    let point_count = series[0].points.len();
+    let mut rows = Vec::with_capacity(point_count);
+    for i in 0..point_count {
+        let mut row = vec![format_number(series[0].points[i].x)];
+        for s in series {
+            row.push(
+                s.points
+                    .get(i)
+                    .map(|p| format_number(p.value))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        rows.push(row);
+    }
+    render_table(&header, &rows)
+}
+
+/// Formats a voltage sweep (one curve of Fig. 9) as a table of voltage, BER, task value,
+/// recovery rate and total energy.
+pub fn render_voltage_sweep(sweep: &VoltageSweep) -> String {
+    let header = [
+        "voltage [V]",
+        "BER",
+        "task value",
+        "recovery rate",
+        "energy [J]",
+    ];
+    let rows: Vec<Vec<String>> = sweep.outcomes.iter().map(render_outcome_row).collect();
+    format!("{}\n{}", sweep.scheme, render_table(&header, &rows))
+}
+
+fn render_outcome_row(o: &PipelineOutcome) -> Vec<String> {
+    vec![
+        format!("{:.2}", o.voltage),
+        format!("{:.2e}", o.ber),
+        format_number(o.task_value),
+        format!("{:.3}", o.recovery_rate()),
+        format!("{:.4e}", o.energy.total_j()),
+    ]
+}
+
+/// Formats the Table II rows (per-component optimal voltage and energy saving).
+pub fn render_component_savings(rows: &[ComponentSweetSpot]) -> String {
+    let header = ["component", "optimal voltage [V]", "energy saving [%]"];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.component.label().to_string(),
+                format!("{:.2}", r.optimal_voltage),
+                format!("{:.2}", r.energy_saving_percent),
+            ]
+        })
+        .collect();
+    render_table(&header, &body)
+}
+
+/// Compact number formatting: scientific for very large/small magnitudes, fixed otherwise.
+pub fn format_number(value: f64) -> String {
+    let magnitude = value.abs();
+    if value == 0.0 {
+        "0".to_string()
+    } else if magnitude >= 1e5 || magnitude < 1e-3 {
+        format!("{value:.2e}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::SweepPoint;
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let table = render_table(
+            &["name", "value"],
+            &[
+                vec!["short".into(), "1".into()],
+                vec!["a-much-longer-name".into(), "123456".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].starts_with("a-much-longer-name"));
+        // Both data lines end aligned to the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn render_series_table_has_one_column_per_series() {
+        let series = vec![
+            Series {
+                label: "K".into(),
+                points: vec![SweepPoint { x: 1e-4, value: 15.0, std: 0.1 }],
+            },
+            Series {
+                label: "O".into(),
+                points: vec![SweepPoint { x: 1e-4, value: 90.0, std: 3.0 }],
+            },
+        ];
+        let table = render_series_table("BER", &series);
+        assert!(table.contains("BER"));
+        assert!(table.contains('K'));
+        assert!(table.contains('O'));
+        assert!(table.contains("15.000"));
+        assert!(table.contains("90.000"));
+        assert_eq!(render_series_table("x", &[]), "(empty)\n");
+    }
+
+    #[test]
+    fn format_number_switches_notation() {
+        assert_eq!(format_number(0.0), "0");
+        assert_eq!(format_number(12.3456), "12.346");
+        assert!(format_number(1.0e-6).contains('e'));
+        assert!(format_number(3.2e7).contains('e'));
+    }
+}

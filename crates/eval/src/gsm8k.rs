@@ -1,0 +1,163 @@
+//! Synthetic multi-step reasoning task scored by exact match (the GSM8K analogue).
+//!
+//! GSM8K answers are only correct when the whole reasoning chain lands on the right final
+//! value, which makes the benchmark far more brittle under faults than token-overlap metrics.
+//! The synthetic analogue keeps that property: an example counts as correct only if **every**
+//! generated token of the continuation chain matches the deterministic reference chain.
+
+use crate::corpus::successor_chain;
+use crate::metrics::{self, Metric};
+use crate::task::Task;
+use rand::Rng;
+use realm_llm::weights::SyntheticLanguage;
+use realm_llm::{GemmHook, Model, Result};
+use realm_tensor::rng;
+
+/// One reasoning example: a prompt and the exact chain the model must reproduce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Example {
+    prompt: Vec<u32>,
+    chain: Vec<u32>,
+}
+
+/// Exact-match accuracy over multi-step successor chains.
+#[derive(Debug, Clone)]
+pub struct Gsm8kTask {
+    examples: Vec<Example>,
+    name: String,
+}
+
+impl Gsm8kTask {
+    /// Builds `num_examples` examples with prompts of `prompt_len` tokens and reasoning
+    /// chains of `chain_len` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size parameter is zero.
+    pub fn new(
+        language: &SyntheticLanguage,
+        num_examples: usize,
+        prompt_len: usize,
+        chain_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(num_examples > 0, "the task needs at least one example");
+        assert!(prompt_len > 0 && chain_len > 0, "sizes must be non-zero");
+        let mut rng_ = rng::seeded(rng::derive_seed(seed, 0x65_3A8));
+        let examples = (0..num_examples)
+            .map(|_| {
+                let start = rng_.gen_range(0..language.vocab_size() as u32);
+                let mut prompt = vec![start];
+                prompt.extend(successor_chain(language, start, prompt_len - 1));
+                let last = *prompt.last().expect("prompt is non-empty");
+                let chain = successor_chain(language, last, chain_len);
+                Example { prompt, chain }
+            })
+            .collect();
+        Self {
+            examples,
+            name: "gsm8k-synthetic".to_string(),
+        }
+    }
+
+    /// A small instance for unit tests.
+    pub fn quick(language: &SyntheticLanguage, seed: u64) -> Self {
+        Self::new(language, 8, 5, 4, seed)
+    }
+
+    /// A standard-sized instance for benchmark harnesses.
+    pub fn standard(language: &SyntheticLanguage, seed: u64) -> Self {
+        Self::new(language, 20, 8, 6, seed)
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Returns `true` if the task has no examples (never the case for constructed tasks).
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+}
+
+impl Task for Gsm8kTask {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::Accuracy
+    }
+
+    fn evaluate(&self, model: &Model, hook: &mut dyn GemmHook) -> Result<f64> {
+        let mut correct = 0usize;
+        for example in &self.examples {
+            let output = model.generate(&example.prompt, example.chain.len(), hook)?;
+            if output.tokens == example.chain {
+                correct += 1;
+            }
+        }
+        Ok(metrics::accuracy_percent(correct, self.examples.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_inject::{error_model::BitFlipModel, injector::ErrorInjector};
+    use realm_llm::{config::ModelConfig, NoopHook};
+
+    #[test]
+    fn clean_exact_match_accuracy_is_nontrivial() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 21).unwrap();
+        let task = Gsm8kTask::quick(model.language(), 21);
+        let accuracy = task.evaluate(&model, &mut NoopHook).unwrap();
+        assert!(
+            accuracy >= 50.0,
+            "clean exact-match accuracy {accuracy} should be substantial"
+        );
+    }
+
+    #[test]
+    fn exact_match_is_more_brittle_than_rouge() {
+        use crate::xsum::XsumTask;
+        let model = Model::new(&ModelConfig::tiny_opt(), 21).unwrap();
+        let gsm = Gsm8kTask::new(model.language(), 10, 6, 5, 3);
+        let xsum = XsumTask::new(model.language(), 10, 6, 5, 3);
+
+        let mut injector = ErrorInjector::everywhere(BitFlipModel::high_bits(2e-4), 55);
+        let gsm_faulty = gsm.evaluate(&model, &mut injector).unwrap();
+        let mut injector = ErrorInjector::everywhere(BitFlipModel::high_bits(2e-4), 55);
+        let xsum_faulty = xsum.evaluate(&model, &mut injector).unwrap();
+
+        let gsm_clean = gsm.evaluate(&model, &mut NoopHook).unwrap();
+        let xsum_clean = xsum.evaluate(&model, &mut NoopHook).unwrap();
+
+        let gsm_rel_drop = if gsm_clean > 0.0 {
+            (gsm_clean - gsm_faulty) / gsm_clean
+        } else {
+            0.0
+        };
+        let xsum_rel_drop = if xsum_clean > 0.0 {
+            (xsum_clean - xsum_faulty) / xsum_clean
+        } else {
+            0.0
+        };
+        assert!(
+            gsm_rel_drop + 1e-9 >= xsum_rel_drop,
+            "exact match should degrade at least as fast as ROUGE \
+             (gsm {gsm_rel_drop:.3} vs xsum {xsum_rel_drop:.3})"
+        );
+    }
+
+    #[test]
+    fn task_is_deterministic() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 21).unwrap();
+        let task = Gsm8kTask::quick(model.language(), 4);
+        let a = task.evaluate(&model, &mut NoopHook).unwrap();
+        let b = task.evaluate(&model, &mut NoopHook).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(task.len(), 8);
+    }
+}

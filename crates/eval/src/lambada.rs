@@ -1,0 +1,152 @@
+//! Synthetic last-word-prediction accuracy task (the LAMBADA analogue).
+//!
+//! Each example is a successor chain whose final token must be predicted from the preceding
+//! context; the score is the fraction of examples where the model's argmax prediction equals
+//! the true final token. Like LAMBADA, the answer is fully determined by the context, so a
+//! clean model scores high and datapath faults show up directly as accuracy loss.
+
+use crate::corpus::successor_chain;
+use crate::metrics::{self, Metric};
+use crate::task::Task;
+use rand::Rng;
+use realm_llm::model::argmax_with_margin;
+use realm_llm::weights::SyntheticLanguage;
+use realm_llm::{GemmHook, Model, Result};
+use realm_tensor::rng;
+
+/// One last-word-prediction example: a context and the expected final token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Example {
+    context: Vec<u32>,
+    answer: u32,
+}
+
+/// Last-word prediction over successor chains.
+#[derive(Debug, Clone)]
+pub struct LambadaTask {
+    examples: Vec<Example>,
+    name: String,
+}
+
+impl LambadaTask {
+    /// Builds `num_examples` examples with contexts of `context_len` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_examples` is zero or `context_len < 2`.
+    pub fn new(
+        language: &SyntheticLanguage,
+        num_examples: usize,
+        context_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(num_examples > 0, "the task needs at least one example");
+        assert!(context_len >= 2, "contexts need at least two tokens");
+        let mut rng_ = rng::seeded(rng::derive_seed(seed, 0x1A3BADA));
+        let examples = (0..num_examples)
+            .map(|_| {
+                let start = rng_.gen_range(0..language.vocab_size() as u32);
+                let mut chain = vec![start];
+                chain.extend(successor_chain(language, start, context_len));
+                let answer = *chain.last().expect("chain is non-empty");
+                chain.pop();
+                Example {
+                    context: chain,
+                    answer,
+                }
+            })
+            .collect();
+        Self {
+            examples,
+            name: "lambada-synthetic".to_string(),
+        }
+    }
+
+    /// A small instance for unit tests.
+    pub fn quick(language: &SyntheticLanguage, seed: u64) -> Self {
+        Self::new(language, 12, 8, seed)
+    }
+
+    /// A standard-sized instance for benchmark harnesses.
+    pub fn standard(language: &SyntheticLanguage, seed: u64) -> Self {
+        Self::new(language, 48, 12, seed)
+    }
+
+    /// Number of examples in the task.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Returns `true` if the task has no examples (never the case for constructed tasks).
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+}
+
+impl Task for LambadaTask {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::Accuracy
+    }
+
+    fn evaluate(&self, model: &Model, hook: &mut dyn GemmHook) -> Result<f64> {
+        let mut correct = 0usize;
+        for example in &self.examples {
+            let (logits, _) = model.prefill(&example.context, hook)?;
+            let last = logits.row(logits.rows() - 1);
+            let (prediction, _) = argmax_with_margin(last);
+            if prediction == example.answer {
+                correct += 1;
+            }
+        }
+        Ok(metrics::accuracy_percent(correct, self.examples.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_inject::{error_model::FixedBitModel, injector::ErrorInjector, targeting::Target};
+    use realm_llm::{config::ModelConfig, Component, NoopHook};
+
+    #[test]
+    fn clean_accuracy_is_high() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 5).unwrap();
+        let task = LambadaTask::quick(model.language(), 5);
+        let accuracy = task.evaluate(&model, &mut NoopHook).unwrap();
+        assert!(accuracy >= 60.0, "clean accuracy {accuracy} is too low");
+        assert_eq!(task.len(), 12);
+        assert!(!task.is_empty());
+    }
+
+    #[test]
+    fn sensitive_component_faults_reduce_accuracy() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 5).unwrap();
+        let task = LambadaTask::quick(model.language(), 7);
+        let clean = task.evaluate(&model, &mut NoopHook).unwrap();
+        let mut injector = ErrorInjector::new(
+            FixedBitModel::bit30(0.08),
+            Target::new().component(Component::O),
+            23,
+        );
+        let faulty = task.evaluate(&model, &mut injector).unwrap();
+        assert!(
+            faulty <= clean,
+            "accuracy must not improve under faults (clean {clean}, faulty {faulty})"
+        );
+        assert!(
+            clean - faulty >= 10.0,
+            "bit-30 flips in O should visibly reduce accuracy (clean {clean}, faulty {faulty})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one example")]
+    fn zero_examples_are_rejected() {
+        let lang = SyntheticLanguage::new(32, 0);
+        let _ = LambadaTask::new(&lang, 0, 8, 0);
+    }
+}

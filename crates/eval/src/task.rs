@@ -1,0 +1,120 @@
+//! The task abstraction shared by all synthetic benchmarks.
+
+use crate::metrics::Metric;
+use realm_llm::{GemmHook, Model, Result};
+use serde::{Deserialize, Serialize};
+
+/// A benchmark task that evaluates a model (optionally under fault injection) to one number.
+pub trait Task {
+    /// Human-readable task name used in reports (e.g. `"wikitext-synthetic"`).
+    fn name(&self) -> &str;
+
+    /// The metric family the score belongs to.
+    fn metric(&self) -> Metric;
+
+    /// Evaluates the model through the given GEMM hook and returns the metric value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-inference errors (invalid tokens, context overflow, shape bugs).
+    fn evaluate(&self, model: &Model, hook: &mut dyn GemmHook) -> Result<f64>;
+}
+
+impl<T: Task + ?Sized> Task for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn metric(&self) -> Metric {
+        (**self).metric()
+    }
+
+    fn evaluate(&self, model: &Model, hook: &mut dyn GemmHook) -> Result<f64> {
+        (**self).evaluate(model, hook)
+    }
+}
+
+impl<T: Task + ?Sized> Task for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn metric(&self) -> Metric {
+        (**self).metric()
+    }
+
+    fn evaluate(&self, model: &Model, hook: &mut dyn GemmHook) -> Result<f64> {
+        (**self).evaluate(model, hook)
+    }
+}
+
+/// A labelled task outcome, convenient for serialising experiment reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskResult {
+    /// Task name.
+    pub task: String,
+    /// Metric family of the value.
+    pub metric: Metric,
+    /// Measured value.
+    pub value: f64,
+}
+
+impl TaskResult {
+    /// Evaluates `task` on `model` through `hook` and wraps the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the task's evaluation error.
+    pub fn measure(task: &dyn Task, model: &Model, hook: &mut dyn GemmHook) -> Result<Self> {
+        Ok(Self {
+            task: task.name().to_string(),
+            metric: task.metric(),
+            value: task.evaluate(model, hook)?,
+        })
+    }
+
+    /// Degradation of `faulty` relative to this (clean) result, larger-is-worse.
+    pub fn degradation_to(&self, faulty: &TaskResult) -> f64 {
+        self.metric.degradation(self.value, faulty.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_llm::{config::ModelConfig, NoopHook};
+
+    struct ConstantTask(f64);
+    impl Task for ConstantTask {
+        fn name(&self) -> &str {
+            "constant"
+        }
+        fn metric(&self) -> Metric {
+            Metric::Accuracy
+        }
+        fn evaluate(&self, _model: &Model, _hook: &mut dyn GemmHook) -> Result<f64> {
+            Ok(self.0)
+        }
+    }
+
+    #[test]
+    fn task_result_measures_and_compares() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 1).unwrap();
+        let clean = TaskResult::measure(&ConstantTask(80.0), &model, &mut NoopHook).unwrap();
+        let faulty = TaskResult::measure(&ConstantTask(62.0), &model, &mut NoopHook).unwrap();
+        assert_eq!(clean.task, "constant");
+        assert_eq!(clean.metric, Metric::Accuracy);
+        assert!((clean.degradation_to(&faulty) - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn references_and_boxes_are_tasks() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 1).unwrap();
+        let task = ConstantTask(10.0);
+        let by_ref: &dyn Task = &task;
+        assert_eq!(by_ref.evaluate(&model, &mut NoopHook).unwrap(), 10.0);
+        let boxed: Box<dyn Task> = Box::new(ConstantTask(20.0));
+        assert_eq!(boxed.name(), "constant");
+        assert_eq!(boxed.evaluate(&model, &mut NoopHook).unwrap(), 20.0);
+    }
+}

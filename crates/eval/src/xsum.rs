@@ -1,0 +1,159 @@
+//! Synthetic summarization task scored with ROUGE-1 (the X-Sum analogue).
+//!
+//! Each example provides a prompt whose ground-truth continuation is the deterministic
+//! successor chain of its last token. The model generates the same number of tokens
+//! autoregressively (prefill + decode, exercising the KV cache exactly like real
+//! summarization decoding) and is scored with a unigram ROUGE-1 F1 against the reference
+//! chain. Because generation feeds its own outputs back, this task is where prefill-stage
+//! faults visibly compound — the property behind the paper's Q2.1 finding.
+
+use crate::corpus::successor_chain;
+use crate::metrics::{self, Metric};
+use crate::task::Task;
+use rand::Rng;
+use realm_llm::weights::SyntheticLanguage;
+use realm_llm::{GemmHook, Model, Result};
+use realm_tensor::rng;
+
+/// One summarization example: a prompt and the reference continuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Example {
+    prompt: Vec<u32>,
+    reference: Vec<u32>,
+}
+
+/// Autoregressive generation scored against reference successor chains.
+#[derive(Debug, Clone)]
+pub struct XsumTask {
+    examples: Vec<Example>,
+    name: String,
+}
+
+impl XsumTask {
+    /// Builds `num_examples` examples with prompts of `prompt_len` tokens and references of
+    /// `summary_len` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size parameter is zero.
+    pub fn new(
+        language: &SyntheticLanguage,
+        num_examples: usize,
+        prompt_len: usize,
+        summary_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(num_examples > 0, "the task needs at least one example");
+        assert!(prompt_len > 0 && summary_len > 0, "sizes must be non-zero");
+        let mut rng_ = rng::seeded(rng::derive_seed(seed, 0x5A11));
+        let examples = (0..num_examples)
+            .map(|_| {
+                let start = rng_.gen_range(0..language.vocab_size() as u32);
+                let mut prompt = vec![start];
+                prompt.extend(successor_chain(language, start, prompt_len - 1));
+                let last = *prompt.last().expect("prompt is non-empty");
+                let reference = successor_chain(language, last, summary_len);
+                Example { prompt, reference }
+            })
+            .collect();
+        Self {
+            examples,
+            name: "xsum-synthetic".to_string(),
+        }
+    }
+
+    /// A small instance for unit tests.
+    pub fn quick(language: &SyntheticLanguage, seed: u64) -> Self {
+        Self::new(language, 6, 6, 6, seed)
+    }
+
+    /// A standard-sized instance for benchmark harnesses.
+    pub fn standard(language: &SyntheticLanguage, seed: u64) -> Self {
+        Self::new(language, 16, 10, 8, seed)
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Returns `true` if the task has no examples (never the case for constructed tasks).
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+}
+
+impl Task for XsumTask {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::Rouge1
+    }
+
+    fn evaluate(&self, model: &Model, hook: &mut dyn GemmHook) -> Result<f64> {
+        let mut total = 0.0f64;
+        for example in &self.examples {
+            let output = model.generate(&example.prompt, example.reference.len(), hook)?;
+            total += metrics::rouge1_f1(&output.tokens, &example.reference);
+        }
+        Ok(total / self.examples.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_inject::{error_model::FixedBitModel, injector::ErrorInjector, targeting::Target};
+    use realm_llm::{config::ModelConfig, NoopHook, Stage};
+
+    #[test]
+    fn clean_generation_scores_well() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 11).unwrap();
+        let task = XsumTask::quick(model.language(), 11);
+        let rouge = task.evaluate(&model, &mut NoopHook).unwrap();
+        assert!(rouge > 40.0, "clean ROUGE-1 {rouge} is too low");
+        assert!(rouge <= 100.0);
+        assert_eq!(task.len(), 6);
+    }
+
+    #[test]
+    fn prefill_faults_hurt_more_than_decode_faults() {
+        // Q2.1 in miniature: identical error models targeted at the prefill stage vs the
+        // decode stage; the prefill-injected run should degrade at least as much because the
+        // corrupted KV cache poisons every later step.
+        let model = Model::new(&ModelConfig::tiny_opt(), 11).unwrap();
+        let task = XsumTask::new(model.language(), 10, 8, 8, 13);
+        let clean = task.evaluate(&model, &mut NoopHook).unwrap();
+
+        let mut prefill_injector = ErrorInjector::new(
+            FixedBitModel::bit30(0.02),
+            Target::new().stage(Stage::Prefill),
+            41,
+        );
+        let prefill_score = task.evaluate(&model, &mut prefill_injector).unwrap();
+
+        let mut decode_injector = ErrorInjector::new(
+            FixedBitModel::bit30(0.02),
+            Target::new().stage(Stage::Decode),
+            41,
+        );
+        let decode_score = task.evaluate(&model, &mut decode_injector).unwrap();
+
+        assert!(prefill_score <= clean + 1e-9);
+        assert!(decode_score <= clean + 1e-9);
+        assert!(
+            prefill_score <= decode_score + 15.0,
+            "prefill faults should not be dramatically gentler than decode faults \
+             (prefill {prefill_score}, decode {decode_score})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_summary_length_is_rejected() {
+        let lang = SyntheticLanguage::new(32, 0);
+        let _ = XsumTask::new(&lang, 2, 4, 0, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! The error injector: a [`GemmHook`] that applies a fault model to targeted GEMMs.
+
+use crate::error_model::ErrorModel;
+use crate::targeting::Target;
+use realm_llm::{Component, GemmContext, GemmHook, Stage};
+use realm_tensor::rng::{self, SeededRng};
+use realm_tensor::{MatI32, MatI8};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Statistics accumulated by an [`ErrorInjector`] over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionStats {
+    /// Number of GEMM invocations observed (targeted or not).
+    pub gemms_observed: u64,
+    /// Number of GEMM invocations that matched the target.
+    pub gemms_targeted: u64,
+    /// Number of GEMM invocations in which at least one error was injected.
+    pub gemms_corrupted: u64,
+    /// Total number of injected errors (bit flips or magnitude additions).
+    pub errors_injected: u64,
+    /// Injected-error count per network component.
+    pub per_component: BTreeMap<Component, u64>,
+    /// Injected-error count per inference stage.
+    pub per_stage: BTreeMap<Stage, u64>,
+}
+
+impl InjectionStats {
+    /// Fraction of targeted GEMMs that actually received at least one error.
+    pub fn corruption_rate(&self) -> f64 {
+        if self.gemms_targeted == 0 {
+            0.0
+        } else {
+            self.gemms_corrupted as f64 / self.gemms_targeted as f64
+        }
+    }
+}
+
+/// A GEMM hook that corrupts accumulator results according to an [`ErrorModel`].
+///
+/// The injector owns a deterministic RNG: two injectors constructed with the same model,
+/// target and seed inject exactly the same faults, which keeps every experiment reproducible.
+#[derive(Debug, Clone)]
+pub struct ErrorInjector<M> {
+    model: M,
+    target: Target,
+    rng: SeededRng,
+    stats: InjectionStats,
+    enabled: bool,
+}
+
+impl<M: ErrorModel> ErrorInjector<M> {
+    /// Creates an injector applying `model` to GEMMs selected by `target`.
+    pub fn new(model: M, target: Target, seed: u64) -> Self {
+        Self {
+            model,
+            target,
+            rng: rng::seeded(rng::derive_seed(seed, 0x1_11EC7)),
+            stats: InjectionStats::default(),
+            enabled: true,
+        }
+    }
+
+    /// Creates an injector that targets every GEMM in the model.
+    pub fn everywhere(model: M, seed: u64) -> Self {
+        Self::new(model, Target::everything(), seed)
+    }
+
+    /// The fault model in use.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The targeting filter in use.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &InjectionStats {
+        &self.stats
+    }
+
+    /// Resets the accumulated statistics (the RNG stream is left untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = InjectionStats::default();
+    }
+
+    /// Temporarily enables or disables injection without tearing down the hook chain.
+    ///
+    /// Used by recovery policies that re-execute a GEMM at nominal voltage: the re-execution
+    /// must be fault-free.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether injection is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl<M: ErrorModel> GemmHook for ErrorInjector<M> {
+    fn on_gemm(&mut self, ctx: &GemmContext, _w: &MatI8, _x: &MatI8, acc: &mut MatI32) {
+        self.stats.gemms_observed += 1;
+        if !self.enabled || !self.target.matches(ctx) {
+            return;
+        }
+        self.stats.gemms_targeted += 1;
+        let injected = self.model.corrupt(&mut self.rng, acc);
+        if injected > 0 {
+            self.stats.gemms_corrupted += 1;
+            self.stats.errors_injected += injected as u64;
+            *self.stats.per_component.entry(ctx.component).or_insert(0) += injected as u64;
+            *self.stats.per_stage.entry(ctx.stage).or_insert(0) += injected as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_model::{BitFlipModel, FixedBitModel, MagFreqModel};
+    use realm_llm::{config::ModelConfig, model::Model};
+
+    #[test]
+    fn injector_only_touches_targeted_component() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 1).unwrap();
+        let target = Target::new().component(Component::O);
+        let mut injector = ErrorInjector::new(FixedBitModel::bit30(1.0), target, 3);
+        model.prefill(&[1, 2, 3, 4], &mut injector).unwrap();
+        let stats = injector.stats();
+        assert!(stats.errors_injected > 0);
+        assert!(stats.per_component.contains_key(&Component::O));
+        assert_eq!(stats.per_component.len(), 1);
+        assert_eq!(
+            stats.gemms_targeted,
+            ModelConfig::tiny_opt().num_layers as u64,
+            "one O GEMM per layer during prefill"
+        );
+    }
+
+    #[test]
+    fn injector_counts_observed_vs_targeted() {
+        let model = Model::new(&ModelConfig::tiny_llama(), 1).unwrap();
+        let target = Target::new().stage(Stage::Decode);
+        let mut injector = ErrorInjector::new(BitFlipModel::uniform(0.5), target, 3);
+        let (_, mut cache) = model.prefill(&[1, 2, 3], &mut injector).unwrap();
+        assert_eq!(injector.stats().gemms_targeted, 0, "prefill GEMMs are not targeted");
+        assert!(injector.stats().gemms_observed > 0);
+        model.decode_step(4, &mut cache, &mut injector).unwrap();
+        assert!(injector.stats().gemms_targeted > 0);
+        assert!(injector.stats().errors_injected > 0);
+    }
+
+    #[test]
+    fn disabled_injector_is_a_noop() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 1).unwrap();
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(1.0), 5);
+        injector.set_enabled(false);
+        assert!(!injector.is_enabled());
+        let (faulty_logits, _) = model.prefill(&[1, 2, 3], &mut injector).unwrap();
+        let (clean_logits, _) = model.prefill(&[1, 2, 3], &mut realm_llm::NoopHook).unwrap();
+        assert_eq!(faulty_logits, clean_logits);
+        assert_eq!(injector.stats().errors_injected, 0);
+    }
+
+    #[test]
+    fn same_seed_injects_identical_faults() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 1).unwrap();
+        let run = |seed| {
+            let mut injector =
+                ErrorInjector::everywhere(BitFlipModel::high_bits(1e-3), seed);
+            let (logits, _) = model.prefill(&[5, 6, 7, 8], &mut injector).unwrap();
+            (logits, injector.stats().errors_injected)
+        };
+        let (la, ca) = run(11);
+        let (lb, cb) = run(11);
+        assert_eq!(la, lb);
+        assert_eq!(ca, cb);
+        let (lc, _) = run(12);
+        assert_ne!(la, lc);
+    }
+
+    #[test]
+    fn corruption_rate_reflects_magfreq_model() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 1).unwrap();
+        let target = Target::new().component(Component::Fc1);
+        let mut injector = ErrorInjector::new(MagFreqModel::new(1 << 20, 4), target, 7);
+        model.prefill(&[1, 2, 3, 4, 5], &mut injector).unwrap();
+        let stats = injector.stats();
+        // The controlled model corrupts every targeted GEMM.
+        assert_eq!(stats.gemms_corrupted, stats.gemms_targeted);
+        assert!((stats.corruption_rate() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(
+            stats.errors_injected,
+            stats.gemms_targeted * 4,
+            "4 errors per targeted GEMM"
+        );
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 1).unwrap();
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(1.0), 5);
+        model.prefill(&[1, 2], &mut injector).unwrap();
+        assert!(injector.stats().errors_injected > 0);
+        injector.reset_stats();
+        assert_eq!(injector.stats().errors_injected, 0);
+        assert_eq!(injector.stats().gemms_observed, 0);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_corruption_rate() {
+        assert_eq!(InjectionStats::default().corruption_rate(), 0.0);
+    }
+}

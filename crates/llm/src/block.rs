@@ -1,0 +1,191 @@
+//! Transformer blocks in the two variants studied by the paper (Fig. 2).
+//!
+//! Both variants are pre-normalization blocks:
+//!
+//! ```text
+//! x = x + Attention(Norm1(x))
+//! x = x + Mlp(Norm2(x))
+//! ```
+//!
+//! so the outputs of the attention output projection `O` and of the last MLP projection
+//! (`FC2` or `Down`) are added onto the residual stream, which is then consumed by the *next*
+//! normalization layer. That wiring is what makes them the paper's "sensitive" components: a
+//! corrupted residual element skews the next normalization's statistics and perturbs every
+//! channel downstream.
+
+use crate::attention::MultiHeadAttention;
+use crate::component::Stage;
+use crate::config::{Architecture, ModelConfig};
+use crate::hooks::GemmHook;
+use crate::kv_cache::LayerCache;
+use crate::mlp::Mlp;
+use crate::norm::{LayerNorm, RmsNorm};
+use crate::weights;
+use crate::Result;
+use realm_tensor::rng::SeededRng;
+use realm_tensor::MatF32;
+
+/// Normalization layer variant used by a block.
+#[derive(Debug, Clone)]
+pub enum Norm {
+    /// LayerNorm (OPT-style blocks).
+    Layer(LayerNorm),
+    /// RMSNorm (LLaMA-style blocks).
+    Rms(RmsNorm),
+}
+
+impl Norm {
+    /// Creates the normalization variant matching the architecture.
+    pub fn new(config: &ModelConfig, rng: &mut SeededRng) -> Self {
+        let gamma = weights::norm_gamma(rng, config.hidden_size);
+        match config.architecture {
+            Architecture::OptStyle => {
+                Norm::Layer(LayerNorm::new(gamma, vec![0.0; config.hidden_size]))
+            }
+            Architecture::LlamaStyle => Norm::Rms(RmsNorm::new(gamma)),
+        }
+    }
+
+    /// Applies the normalization to every row of `x`.
+    pub fn forward(&self, x: &MatF32) -> MatF32 {
+        match self {
+            Norm::Layer(n) => n.forward(x),
+            Norm::Rms(n) => n.forward(x),
+        }
+    }
+
+    /// Number of channels the normalization expects.
+    pub fn dim(&self) -> usize {
+        match self {
+            Norm::Layer(n) => n.dim(),
+            Norm::Rms(n) => n.dim(),
+        }
+    }
+}
+
+/// A single pre-normalization Transformer block.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    norm1: Norm,
+    norm2: Norm,
+    attention: MultiHeadAttention,
+    mlp: Mlp,
+}
+
+impl TransformerBlock {
+    /// Creates a block with synthetic weights drawn from `rng`.
+    pub fn new(config: &ModelConfig, rng: &mut SeededRng) -> Self {
+        Self {
+            norm1: Norm::new(config, rng),
+            norm2: Norm::new(config, rng),
+            attention: MultiHeadAttention::new(config, rng),
+            mlp: Mlp::new(config, rng),
+        }
+    }
+
+    /// Accesses the attention sub-layer (used by tests and workload accounting).
+    pub fn attention(&self) -> &MultiHeadAttention {
+        &self.attention
+    }
+
+    /// Runs the block over `x` of shape `(new_tokens, hidden)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the attention and MLP sub-layers.
+    pub fn forward(
+        &self,
+        x: &MatF32,
+        layer: usize,
+        stage: Stage,
+        cache: &mut LayerCache,
+        sequence: &mut usize,
+        hook: &mut dyn GemmHook,
+    ) -> Result<MatF32> {
+        let attn_in = self.norm1.forward(x);
+        let attn_out = self
+            .attention
+            .forward(&attn_in, layer, stage, cache, sequence, hook)?;
+        let x = x.add(&attn_out)?;
+
+        let mlp_in = self.norm2.forward(&x);
+        let mlp_out = self.mlp.forward(&mlp_in, layer, stage, sequence, hook)?;
+        x.add(&mlp_out).map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::{NoopHook, RecordingHook};
+    use crate::Component;
+    use realm_tensor::rng;
+
+    #[test]
+    fn block_preserves_shape_for_both_architectures() {
+        for config in [ModelConfig::tiny_opt(), ModelConfig::tiny_llama()] {
+            let mut r = rng::seeded(6);
+            let block = TransformerBlock::new(&config, &mut r);
+            let x = rng::gaussian_matrix(&mut r, 4, config.hidden_size, 0.0, 1.0);
+            let mut cache = LayerCache::new();
+            let mut seq = 0;
+            let y = block
+                .forward(&x, 0, Stage::Prefill, &mut cache, &mut seq, &mut NoopHook)
+                .unwrap();
+            assert_eq!(y.shape(), x.shape(), "{}", config.name);
+            assert!(y.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn block_reports_architecture_specific_components() {
+        let config = ModelConfig::tiny_llama();
+        let mut r = rng::seeded(6);
+        let block = TransformerBlock::new(&config, &mut r);
+        let x = rng::gaussian_matrix(&mut r, 2, config.hidden_size, 0.0, 1.0);
+        let mut cache = LayerCache::new();
+        let mut seq = 0;
+        let mut rec = RecordingHook::new();
+        block
+            .forward(&x, 0, Stage::Prefill, &mut cache, &mut seq, &mut rec)
+            .unwrap();
+        assert_eq!(rec.count_for(Component::Down), 1);
+        assert_eq!(rec.count_for(Component::Fc2), 0);
+    }
+
+    #[test]
+    fn residual_stream_carries_input_identity() {
+        // Because projections are small, the block output stays close to its input: the
+        // residual connection dominates, as in pretrained transformers. This is the property
+        // that lets the synthetic lm-head predict successors from the final hidden state.
+        let config = ModelConfig::tiny_opt();
+        let mut r = rng::seeded(12);
+        let block = TransformerBlock::new(&config, &mut r);
+        let x = rng::gaussian_matrix(&mut r, 3, config.hidden_size, 0.0, 1.0);
+        let mut cache = LayerCache::new();
+        let mut seq = 0;
+        let y = block
+            .forward(&x, 0, Stage::Prefill, &mut cache, &mut seq, &mut NoopHook)
+            .unwrap();
+        let relative_change = y.distance(&x).unwrap() / x.distance(&MatF32::zeros(3, config.hidden_size)).unwrap();
+        assert!(
+            relative_change < 0.6,
+            "block output should stay close to the residual input, change={relative_change}"
+        );
+    }
+
+    #[test]
+    fn norm_variant_matches_architecture() {
+        let mut r = rng::seeded(1);
+        assert!(matches!(
+            Norm::new(&ModelConfig::tiny_opt(), &mut r),
+            Norm::Layer(_)
+        ));
+        assert!(matches!(
+            Norm::new(&ModelConfig::tiny_llama(), &mut r),
+            Norm::Rms(_)
+        ));
+        let n = Norm::new(&ModelConfig::tiny_opt(), &mut r);
+        assert_eq!(n.dim(), ModelConfig::tiny_opt().hidden_size);
+    }
+}

@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+use realm_tensor::TensorError;
+
+/// Errors produced by model construction and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LlmError {
+    /// A configuration value is inconsistent (e.g. hidden size not divisible by heads).
+    InvalidConfig {
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
+    /// A token id is outside the vocabulary.
+    TokenOutOfRange {
+        /// The offending token id.
+        token: u32,
+        /// Size of the vocabulary.
+        vocab: usize,
+    },
+    /// The prompt or generation request is empty or exceeds the configured context length.
+    InvalidSequence {
+        /// Explanation of the problem.
+        detail: String,
+    },
+    /// An underlying tensor operation failed (almost always a shape bug).
+    Tensor(TensorError),
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlmError::InvalidConfig { detail } => write!(f, "invalid model configuration: {detail}"),
+            LlmError::TokenOutOfRange { token, vocab } => {
+                write!(f, "token {token} out of range for vocabulary of {vocab}")
+            }
+            LlmError::InvalidSequence { detail } => write!(f, "invalid sequence: {detail}"),
+            LlmError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for LlmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LlmError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for LlmError {
+    fn from(e: TensorError) -> Self {
+        LlmError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LlmError::TokenOutOfRange { token: 900, vocab: 512 };
+        assert!(e.to_string().contains("900"));
+        let e = LlmError::InvalidConfig { detail: "hidden % heads != 0".into() };
+        assert!(e.to_string().contains("hidden"));
+    }
+
+    #[test]
+    fn tensor_errors_convert() {
+        let te = TensorError::InvalidDimension { op: "x", detail: "bad".into() };
+        let le: LlmError = te.clone().into();
+        assert!(matches!(le, LlmError::Tensor(_)));
+        assert!(le.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LlmError>();
+    }
+}

@@ -1,0 +1,176 @@
+//! Key/value cache for autoregressive decoding.
+//!
+//! The KV cache is the mechanism behind the paper's prefill-vs-decode asymmetry (Q2.1):
+//! keys and values computed during prefill are reused by every later decode step, so an error
+//! injected during prefill contaminates all subsequent token generations, while an error in a
+//! single decode step only perturbs that step's small contribution to the cache.
+
+use crate::{LlmError, Result};
+use realm_tensor::MatF32;
+
+/// Cached keys and values for a single Transformer layer.
+#[derive(Debug, Clone, Default)]
+pub struct LayerCache {
+    keys: Option<MatF32>,
+    values: Option<MatF32>,
+}
+
+impl LayerCache {
+    /// Creates an empty per-layer cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached token positions.
+    pub fn len(&self) -> usize {
+        self.keys.as_ref().map_or(0, |k| k.rows())
+    }
+
+    /// Returns `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends new key/value rows (one per new token position).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `keys` and `values` have different shapes, or if their width does
+    /// not match previously cached entries.
+    pub fn append(&mut self, keys: &MatF32, values: &MatF32) -> Result<()> {
+        if keys.shape() != values.shape() {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "key shape {:?} and value shape {:?} differ",
+                    keys.shape(),
+                    values.shape()
+                ),
+            });
+        }
+        self.keys = Some(match self.keys.take() {
+            None => keys.clone(),
+            Some(existing) => existing.vstack(keys)?,
+        });
+        self.values = Some(match self.values.take() {
+            None => values.clone(),
+            Some(existing) => existing.vstack(values)?,
+        });
+        Ok(())
+    }
+
+    /// All cached keys, shape `(cached_tokens, hidden)`.
+    ///
+    /// Returns `None` if the cache is empty.
+    pub fn keys(&self) -> Option<&MatF32> {
+        self.keys.as_ref()
+    }
+
+    /// All cached values, shape `(cached_tokens, hidden)`.
+    ///
+    /// Returns `None` if the cache is empty.
+    pub fn values(&self) -> Option<&MatF32> {
+        self.values.as_ref()
+    }
+}
+
+/// KV cache covering every layer of the model.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    layers: Vec<LayerCache>,
+}
+
+impl KvCache {
+    /// Creates an empty cache for a model with `num_layers` layers.
+    pub fn new(num_layers: usize) -> Self {
+        Self {
+            layers: (0..num_layers).map(|_| LayerCache::new()).collect(),
+        }
+    }
+
+    /// Number of layers the cache covers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of cached token positions (identical across layers once populated).
+    pub fn seq_len(&self) -> usize {
+        self.layers.first().map_or(0, LayerCache::len)
+    }
+
+    /// Accesses the cache of one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer(&self, layer: usize) -> &LayerCache {
+        &self.layers[layer]
+    }
+
+    /// Mutably accesses the cache of one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_mut(&mut self, layer: usize) -> &mut LayerCache {
+        &mut self.layers[layer]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cache_reports_zero_length() {
+        let cache = KvCache::new(3);
+        assert_eq!(cache.num_layers(), 3);
+        assert_eq!(cache.seq_len(), 0);
+        assert!(cache.layer(0).is_empty());
+        assert!(cache.layer(0).keys().is_none());
+    }
+
+    #[test]
+    fn append_accumulates_rows() {
+        let mut cache = LayerCache::new();
+        let k1 = MatF32::filled(4, 8, 1.0);
+        let v1 = MatF32::filled(4, 8, 2.0);
+        cache.append(&k1, &v1).unwrap();
+        assert_eq!(cache.len(), 4);
+        let k2 = MatF32::filled(1, 8, 3.0);
+        let v2 = MatF32::filled(1, 8, 4.0);
+        cache.append(&k2, &v2).unwrap();
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.keys().unwrap()[(4, 0)], 3.0);
+        assert_eq!(cache.values().unwrap()[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn append_rejects_mismatched_shapes() {
+        let mut cache = LayerCache::new();
+        let k = MatF32::zeros(2, 8);
+        let v = MatF32::zeros(3, 8);
+        assert!(cache.append(&k, &v).is_err());
+    }
+
+    #[test]
+    fn append_rejects_width_change() {
+        let mut cache = LayerCache::new();
+        cache
+            .append(&MatF32::zeros(2, 8), &MatF32::zeros(2, 8))
+            .unwrap();
+        assert!(cache
+            .append(&MatF32::zeros(1, 16), &MatF32::zeros(1, 16))
+            .is_err());
+    }
+
+    #[test]
+    fn per_layer_caches_are_independent() {
+        let mut cache = KvCache::new(2);
+        cache
+            .layer_mut(0)
+            .append(&MatF32::zeros(3, 4), &MatF32::zeros(3, 4))
+            .unwrap();
+        assert_eq!(cache.layer(0).len(), 3);
+        assert_eq!(cache.layer(1).len(), 0);
+    }
+}

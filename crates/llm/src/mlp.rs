@@ -1,0 +1,216 @@
+//! Feed-forward (MLP) blocks: ReLU MLP for OPT-style models, SiLU-gated MLP for LLaMA-style.
+//!
+//! These contribute the remaining network components of the paper's Fig. 2: `FC1`/`FC2` for
+//! OPT-style blocks and `Gate`/`Up`/`Down` for LLaMA-style blocks. `FC2` and `Down` feed the
+//! residual stream (and therefore the next normalization), which makes them the sensitive
+//! MLP components in the paper's characterization.
+
+use crate::activation::{relu, silu};
+use crate::component::{Component, Stage};
+use crate::config::ModelConfig;
+use crate::hooks::{GemmContext, GemmHook};
+use crate::quantized::{OutputMode, QuantLinear};
+use crate::weights;
+use crate::Result;
+use realm_tensor::rng::SeededRng;
+use realm_tensor::MatF32;
+
+/// OPT-style MLP: `FC2(ReLU(FC1(x)))`.
+#[derive(Debug, Clone)]
+pub struct OptMlp {
+    fc1: QuantLinear,
+    fc2: QuantLinear,
+}
+
+impl OptMlp {
+    /// Creates an OPT-style MLP with synthetic weights.
+    pub fn new(config: &ModelConfig, rng: &mut SeededRng) -> Self {
+        Self {
+            fc1: QuantLinear::from_f32(
+                &weights::projection(rng, config.hidden_size, config.ffn_size),
+                OutputMode::Float,
+            ),
+            fc2: QuantLinear::from_f32(
+                &weights::projection(rng, config.ffn_size, config.hidden_size),
+                OutputMode::Float,
+            ),
+        }
+    }
+
+    /// Runs the MLP over `x` of shape `(tokens, hidden)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs.
+    pub fn forward(
+        &self,
+        x: &MatF32,
+        layer: usize,
+        stage: Stage,
+        sequence: &mut usize,
+        hook: &mut dyn GemmHook,
+    ) -> Result<MatF32> {
+        let ctx1 = GemmContext::new(Component::Fc1, layer, stage, *sequence);
+        *sequence += 1;
+        let hidden = self.fc1.forward(x, &ctx1, hook)?;
+        let activated = relu(&hidden);
+        let ctx2 = GemmContext::new(Component::Fc2, layer, stage, *sequence);
+        *sequence += 1;
+        self.fc2.forward(&activated, &ctx2, hook)
+    }
+}
+
+/// LLaMA-style gated MLP: `Down(SiLU(Gate(x)) ⊙ Up(x))`.
+#[derive(Debug, Clone)]
+pub struct LlamaMlp {
+    gate: QuantLinear,
+    up: QuantLinear,
+    down: QuantLinear,
+}
+
+impl LlamaMlp {
+    /// Creates a LLaMA-style MLP with synthetic weights.
+    pub fn new(config: &ModelConfig, rng: &mut SeededRng) -> Self {
+        Self {
+            gate: QuantLinear::from_f32(
+                &weights::projection(rng, config.hidden_size, config.ffn_size),
+                OutputMode::Float,
+            ),
+            up: QuantLinear::from_f32(
+                &weights::projection(rng, config.hidden_size, config.ffn_size),
+                OutputMode::Float,
+            ),
+            down: QuantLinear::from_f32(
+                &weights::projection(rng, config.ffn_size, config.hidden_size),
+                OutputMode::Float,
+            ),
+        }
+    }
+
+    /// Runs the gated MLP over `x` of shape `(tokens, hidden)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs.
+    pub fn forward(
+        &self,
+        x: &MatF32,
+        layer: usize,
+        stage: Stage,
+        sequence: &mut usize,
+        hook: &mut dyn GemmHook,
+    ) -> Result<MatF32> {
+        let ctx_gate = GemmContext::new(Component::Gate, layer, stage, *sequence);
+        *sequence += 1;
+        let gate_out = self.gate.forward(x, &ctx_gate, hook)?;
+        let ctx_up = GemmContext::new(Component::Up, layer, stage, *sequence);
+        *sequence += 1;
+        let up_out = self.up.forward(x, &ctx_up, hook)?;
+        let gated = silu(&gate_out).hadamard(&up_out)?;
+        let ctx_down = GemmContext::new(Component::Down, layer, stage, *sequence);
+        *sequence += 1;
+        self.down.forward(&gated, &ctx_down, hook)
+    }
+}
+
+/// Either MLP variant; the block picks one based on the model architecture.
+#[derive(Debug, Clone)]
+pub enum Mlp {
+    /// OPT-style ReLU MLP.
+    Opt(OptMlp),
+    /// LLaMA-style SiLU-gated MLP.
+    Llama(LlamaMlp),
+}
+
+impl Mlp {
+    /// Creates the MLP variant matching the model architecture.
+    pub fn new(config: &ModelConfig, rng: &mut SeededRng) -> Self {
+        match config.architecture {
+            crate::Architecture::OptStyle => Mlp::Opt(OptMlp::new(config, rng)),
+            crate::Architecture::LlamaStyle => Mlp::Llama(LlamaMlp::new(config, rng)),
+        }
+    }
+
+    /// Runs the MLP over `x` of shape `(tokens, hidden)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs.
+    pub fn forward(
+        &self,
+        x: &MatF32,
+        layer: usize,
+        stage: Stage,
+        sequence: &mut usize,
+        hook: &mut dyn GemmHook,
+    ) -> Result<MatF32> {
+        match self {
+            Mlp::Opt(m) => m.forward(x, layer, stage, sequence, hook),
+            Mlp::Llama(m) => m.forward(x, layer, stage, sequence, hook),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::{NoopHook, RecordingHook};
+    use realm_tensor::rng;
+
+    #[test]
+    fn opt_mlp_preserves_shape_and_reports_components() {
+        let config = ModelConfig::tiny_opt();
+        let mut r = rng::seeded(2);
+        let mlp = OptMlp::new(&config, &mut r);
+        let x = rng::gaussian_matrix(&mut r, 3, config.hidden_size, 0.0, 1.0);
+        let mut seq = 10;
+        let mut rec = RecordingHook::new();
+        let y = mlp.forward(&x, 1, Stage::Prefill, &mut seq, &mut rec).unwrap();
+        assert_eq!(y.shape(), (3, config.hidden_size));
+        assert_eq!(rec.count_for(Component::Fc1), 1);
+        assert_eq!(rec.count_for(Component::Fc2), 1);
+        assert_eq!(seq, 12);
+    }
+
+    #[test]
+    fn llama_mlp_preserves_shape_and_reports_components() {
+        let config = ModelConfig::tiny_llama();
+        let mut r = rng::seeded(2);
+        let mlp = LlamaMlp::new(&config, &mut r);
+        let x = rng::gaussian_matrix(&mut r, 4, config.hidden_size, 0.0, 1.0);
+        let mut seq = 0;
+        let mut rec = RecordingHook::new();
+        let y = mlp.forward(&x, 0, Stage::Decode, &mut seq, &mut rec).unwrap();
+        assert_eq!(y.shape(), (4, config.hidden_size));
+        assert_eq!(rec.count_for(Component::Gate), 1);
+        assert_eq!(rec.count_for(Component::Up), 1);
+        assert_eq!(rec.count_for(Component::Down), 1);
+        assert!(rec.calls.iter().all(|c| c.stage == Stage::Decode));
+    }
+
+    #[test]
+    fn mlp_variant_matches_architecture() {
+        let mut r = rng::seeded(1);
+        assert!(matches!(
+            Mlp::new(&ModelConfig::tiny_opt(), &mut r),
+            Mlp::Opt(_)
+        ));
+        assert!(matches!(
+            Mlp::new(&ModelConfig::tiny_llama(), &mut r),
+            Mlp::Llama(_)
+        ));
+    }
+
+    #[test]
+    fn outputs_are_finite_and_small_relative_to_input() {
+        // MLP outputs are residual updates; they should not dwarf the residual stream.
+        let config = ModelConfig::tiny_llama();
+        let mut r = rng::seeded(8);
+        let mlp = Mlp::new(&config, &mut r);
+        let x = rng::gaussian_matrix(&mut r, 2, config.hidden_size, 0.0, 1.0);
+        let mut seq = 0;
+        let y = mlp.forward(&x, 0, Stage::Prefill, &mut seq, &mut NoopHook).unwrap();
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert!(y.abs_max() < x.abs_max() * 5.0);
+    }
+}

@@ -1,0 +1,408 @@
+//! The full generative model: embedding, block stack, final normalization and LM head.
+//!
+//! Inference follows the paper's two-stage split:
+//!
+//! * [`Model::prefill`] consumes the whole prompt at once (batched GEMMs on the systolic
+//!   array) and populates the KV cache;
+//! * [`Model::decode_step`] produces one token at a time, reusing the KV cache (mostly GEMV
+//!   work in hardware, but numerically identical here).
+//!
+//! Both paths execute every quantized GEMM through the hook interface so that error
+//! injection and ABFT protection see exactly the same computation.
+
+use crate::block::{Norm, TransformerBlock};
+use crate::component::Stage;
+use crate::config::ModelConfig;
+use crate::hooks::GemmHook;
+use crate::kv_cache::KvCache;
+use crate::weights::{self, Embedding, SyntheticLanguage};
+use crate::{LlmError, Result};
+use realm_tensor::rng;
+use realm_tensor::{gemm, MatF32};
+
+/// Default temperature applied to the synthetic model's logits.
+///
+/// The synthetic LM head separates the preferred successor from other tokens by a wide
+/// margin; the temperature softens that margin so clean perplexity lands in a realistic range
+/// instead of collapsing to 1.0 (see `weights` module documentation).
+pub const DEFAULT_LOGIT_TEMPERATURE: f32 = 3.0;
+
+/// Output of an autoregressive generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationOutput {
+    /// The generated tokens, in order.
+    pub tokens: Vec<u32>,
+    /// The greedy-decoded logit margin (top1 − top2) at each step; a crude confidence signal
+    /// used by some evaluation tasks.
+    pub margins: Vec<f32>,
+}
+
+/// A synthetic quantized LLM.
+#[derive(Debug, Clone)]
+pub struct Model {
+    config: ModelConfig,
+    embedding: Embedding,
+    language: SyntheticLanguage,
+    blocks: Vec<TransformerBlock>,
+    final_norm: Norm,
+    lm_head: MatF32,
+    logit_temperature: f32,
+}
+
+impl Model {
+    /// Builds a model with synthetic weights derived deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::InvalidConfig`] if the configuration fails validation.
+    pub fn new(config: &ModelConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        let mut r = rng::seeded(rng::derive_seed(seed, MODEL_WEIGHT_STREAM));
+        let language = SyntheticLanguage::new(config.vocab_size, seed);
+        let embedding = weights::embedding(config, &mut r);
+        let blocks = (0..config.num_layers)
+            .map(|_| TransformerBlock::new(config, &mut r))
+            .collect();
+        let final_norm = Norm::new(config, &mut r);
+        let lm_head = weights::lm_head(&embedding, &language);
+        Ok(Self {
+            config: config.clone(),
+            embedding,
+            language,
+            blocks,
+            final_norm,
+            lm_head,
+            logit_temperature: DEFAULT_LOGIT_TEMPERATURE,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The synthetic language the model was constructed to predict.
+    pub fn language(&self) -> &SyntheticLanguage {
+        &self.language
+    }
+
+    /// Indices of the outlier channels baked into every token embedding.
+    pub fn outlier_channels(&self) -> &[usize] {
+        &self.embedding.outlier_channels
+    }
+
+    /// Current logit temperature.
+    pub fn logit_temperature(&self) -> f32 {
+        self.logit_temperature
+    }
+
+    /// Overrides the logit temperature (useful for calibrating task difficulty).
+    pub fn set_logit_temperature(&mut self, temperature: f32) {
+        self.logit_temperature = temperature.max(1e-3);
+    }
+
+    /// Creates an empty KV cache sized for this model.
+    pub fn new_cache(&self) -> KvCache {
+        KvCache::new(self.config.num_layers)
+    }
+
+    /// Embeds a token sequence into a `(tokens, hidden)` activation matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::TokenOutOfRange`] if any token exceeds the vocabulary and
+    /// [`LlmError::InvalidSequence`] if the sequence is empty.
+    pub fn embed(&self, tokens: &[u32]) -> Result<MatF32> {
+        if tokens.is_empty() {
+            return Err(LlmError::InvalidSequence {
+                detail: "cannot embed an empty token sequence".into(),
+            });
+        }
+        for &t in tokens {
+            if t as usize >= self.config.vocab_size {
+                return Err(LlmError::TokenOutOfRange {
+                    token: t,
+                    vocab: self.config.vocab_size,
+                });
+            }
+        }
+        Ok(MatF32::from_fn(tokens.len(), self.config.hidden_size, |r, c| {
+            self.embedding.table[(tokens[r] as usize, c)]
+        }))
+    }
+
+    fn run_blocks(
+        &self,
+        mut x: MatF32,
+        stage: Stage,
+        cache: &mut KvCache,
+        hook: &mut dyn GemmHook,
+    ) -> Result<MatF32> {
+        let mut sequence = 0usize;
+        for (layer, block) in self.blocks.iter().enumerate() {
+            x = block.forward(&x, layer, stage, cache.layer_mut(layer), &mut sequence, hook)?;
+        }
+        Ok(x)
+    }
+
+    fn logits_from_hidden(&self, hidden: &MatF32) -> Result<MatF32> {
+        let normed = self.final_norm.forward(hidden);
+        let logits = gemm::gemm_f32(&normed, &self.lm_head)?;
+        Ok(logits.scale(1.0 / self.logit_temperature))
+    }
+
+    /// Runs the prefill stage over a prompt, returning per-position logits and the KV cache.
+    ///
+    /// Row `i` of the returned logits predicts the token at position `i + 1`, which is what
+    /// perplexity evaluation needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty prompts, out-of-range tokens, prompts longer than the
+    /// configured context, or internal shape mismatches.
+    pub fn prefill(
+        &self,
+        prompt: &[u32],
+        hook: &mut dyn GemmHook,
+    ) -> Result<(MatF32, KvCache)> {
+        if prompt.len() > self.config.max_seq_len {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "prompt of {} tokens exceeds max_seq_len {}",
+                    prompt.len(),
+                    self.config.max_seq_len
+                ),
+            });
+        }
+        let x = self.embed(prompt)?;
+        let mut cache = self.new_cache();
+        let hidden = self.run_blocks(x, Stage::Prefill, &mut cache, hook)?;
+        let logits = self.logits_from_hidden(&hidden)?;
+        Ok((logits, cache))
+    }
+
+    /// Runs one decode step for `token`, updating the KV cache, and returns the logits for
+    /// the next token.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the token is out of range or the context length is exceeded.
+    pub fn decode_step(
+        &self,
+        token: u32,
+        cache: &mut KvCache,
+        hook: &mut dyn GemmHook,
+    ) -> Result<Vec<f32>> {
+        if cache.seq_len() >= self.config.max_seq_len {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "KV cache already holds {} tokens (max_seq_len {})",
+                    cache.seq_len(),
+                    self.config.max_seq_len
+                ),
+            });
+        }
+        let x = self.embed(&[token])?;
+        let hidden = self.run_blocks(x, Stage::Decode, cache, hook)?;
+        let logits = self.logits_from_hidden(&hidden)?;
+        Ok(logits.row(0).to_vec())
+    }
+
+    /// Greedy autoregressive generation: prefill the prompt, then generate `num_tokens`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Model::prefill`] and [`Model::decode_step`]; also returns
+    /// [`LlmError::InvalidSequence`] if the total length would exceed the context window.
+    pub fn generate(
+        &self,
+        prompt: &[u32],
+        num_tokens: usize,
+        hook: &mut dyn GemmHook,
+    ) -> Result<GenerationOutput> {
+        if prompt.len() + num_tokens > self.config.max_seq_len {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "prompt ({}) plus generation ({num_tokens}) exceeds max_seq_len {}",
+                    prompt.len(),
+                    self.config.max_seq_len
+                ),
+            });
+        }
+        let (logits, mut cache) = self.prefill(prompt, hook)?;
+        let last = logits.row(logits.rows() - 1);
+        let (mut next, mut margin) = argmax_with_margin(last);
+        let mut tokens = Vec::with_capacity(num_tokens);
+        let mut margins = Vec::with_capacity(num_tokens);
+        for _ in 0..num_tokens {
+            tokens.push(next);
+            margins.push(margin);
+            if tokens.len() == num_tokens {
+                break;
+            }
+            let step_logits = self.decode_step(next, &mut cache, hook)?;
+            let (n, m) = argmax_with_margin(&step_logits);
+            next = n;
+            margin = m;
+        }
+        Ok(GenerationOutput { tokens, margins })
+    }
+
+    /// Total number of multiply-accumulate operations for a prefill of `prompt_len` tokens.
+    ///
+    /// Used by the energy model to translate a workload into systolic-array activity.
+    pub fn prefill_macs(&self, prompt_len: usize) -> u64 {
+        let h = self.config.hidden_size as u64;
+        let f = self.config.ffn_size as u64;
+        let t = prompt_len as u64;
+        let heads = self.config.num_heads as u64;
+        let d = self.config.head_dim() as u64;
+        let attn_proj = 4 * t * h * h; // Q, K, V, O
+        let attn_scores = heads * (t * d * t + t * t * d); // QK^T and SV per head
+        let mlp = match self.config.architecture {
+            crate::Architecture::OptStyle => 2 * t * h * f,
+            crate::Architecture::LlamaStyle => 3 * t * h * f,
+        };
+        (attn_proj + attn_scores + mlp) * self.config.num_layers as u64
+    }
+}
+
+/// Returns the index of the maximum logit and the margin to the runner-up.
+pub fn argmax_with_margin(logits: &[f32]) -> (u32, f32) {
+    let mut best = (0usize, f32::NEG_INFINITY);
+    let mut second = f32::NEG_INFINITY;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > best.1 {
+            second = best.1;
+            best = (i, v);
+        } else if v > second {
+            second = v;
+        }
+    }
+    let margin = if second.is_finite() { best.1 - second } else { 0.0 };
+    (best.0 as u32, margin)
+}
+
+/// Internal stream label separating weight generation from other seed-derived streams.
+const MODEL_WEIGHT_STREAM: u64 = 0x4d4f_4445_4c;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::{NoopHook, RecordingHook};
+    use crate::Component;
+
+    #[test]
+    fn model_builds_for_all_presets() {
+        for config in [
+            ModelConfig::tiny_opt(),
+            ModelConfig::tiny_llama(),
+            ModelConfig::opt_1_3b_proxy(),
+        ] {
+            let m = Model::new(&config, 1).unwrap();
+            assert_eq!(m.config().name, config.name);
+        }
+    }
+
+    #[test]
+    fn model_is_deterministic_in_seed() {
+        let config = ModelConfig::tiny_opt();
+        let a = Model::new(&config, 5).unwrap();
+        let b = Model::new(&config, 5).unwrap();
+        let (la, _) = a.prefill(&[1, 2, 3], &mut NoopHook).unwrap();
+        let (lb, _) = b.prefill(&[1, 2, 3], &mut NoopHook).unwrap();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn embed_validates_tokens() {
+        let m = Model::new(&ModelConfig::tiny_opt(), 0).unwrap();
+        assert!(m.embed(&[]).is_err());
+        assert!(m.embed(&[1000]).is_err());
+        assert!(m.embed(&[0, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn prefill_produces_one_logit_row_per_token() {
+        let config = ModelConfig::tiny_opt();
+        let m = Model::new(&config, 3).unwrap();
+        let (logits, cache) = m.prefill(&[1, 2, 3, 4, 5], &mut NoopHook).unwrap();
+        assert_eq!(logits.shape(), (5, config.vocab_size));
+        assert_eq!(cache.seq_len(), 5);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn prefill_rejects_overlong_prompt() {
+        let config = ModelConfig::tiny_opt();
+        let m = Model::new(&config, 3).unwrap();
+        let prompt: Vec<u32> = (0..config.max_seq_len as u32 + 1).map(|t| t % 8).collect();
+        assert!(m.prefill(&prompt, &mut NoopHook).is_err());
+    }
+
+    #[test]
+    fn clean_model_predicts_successor_tokens() {
+        let config = ModelConfig::tiny_opt();
+        let m = Model::new(&config, 7).unwrap();
+        let lang = m.language().clone();
+        // Build a prompt that follows the synthetic language exactly.
+        let mut prompt = vec![3u32];
+        for _ in 0..10 {
+            prompt.push(lang.successor(*prompt.last().unwrap()));
+        }
+        let (logits, _) = m.prefill(&prompt, &mut NoopHook).unwrap();
+        let mut correct = 0;
+        for i in 0..prompt.len() - 1 {
+            let (pred, _) = argmax_with_margin(logits.row(i));
+            if pred == prompt[i + 1] {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f32 / (prompt.len() - 1) as f32 > 0.6,
+            "clean model should usually predict the successor ({correct}/{})",
+            prompt.len() - 1
+        );
+    }
+
+    #[test]
+    fn generate_respects_requested_length_and_context() {
+        let config = ModelConfig::tiny_opt();
+        let m = Model::new(&config, 9).unwrap();
+        let out = m.generate(&[1, 2, 3], 6, &mut NoopHook).unwrap();
+        assert_eq!(out.tokens.len(), 6);
+        assert_eq!(out.margins.len(), 6);
+        assert!(out.tokens.iter().all(|&t| (t as usize) < config.vocab_size));
+        let too_long = m.generate(&[0; 30], 10, &mut NoopHook);
+        assert!(too_long.is_err());
+    }
+
+    #[test]
+    fn decode_steps_use_decode_stage() {
+        let config = ModelConfig::tiny_opt();
+        let m = Model::new(&config, 9).unwrap();
+        let (_, mut cache) = m.prefill(&[1, 2], &mut NoopHook).unwrap();
+        let mut rec = RecordingHook::new();
+        m.decode_step(5, &mut cache, &mut rec).unwrap();
+        assert!(!rec.calls.is_empty());
+        assert!(rec.calls.iter().all(|c| c.stage == Stage::Decode));
+        assert_eq!(rec.count_for(Component::O), config.num_layers);
+    }
+
+    #[test]
+    fn prefill_macs_scale_with_sequence_length() {
+        let m = Model::new(&ModelConfig::tiny_opt(), 0).unwrap();
+        assert!(m.prefill_macs(16) > m.prefill_macs(4));
+        assert!(m.prefill_macs(1) > 0);
+    }
+
+    #[test]
+    fn argmax_with_margin_finds_top_two() {
+        let (idx, margin) = argmax_with_margin(&[0.1, 3.0, 2.5, -1.0]);
+        assert_eq!(idx, 1);
+        assert!((margin - 0.5).abs() < 1e-6);
+        let (idx, margin) = argmax_with_margin(&[7.0]);
+        assert_eq!(idx, 0);
+        assert_eq!(margin, 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Quantized linear layers and activation-by-activation GEMMs.
+//!
+//! Following the paper's setup (Sec. III-B), every GEMM's inputs are quantized to INT8 and
+//! its results are accumulated in INT32. The INT32 accumulator is the error-injection and
+//! ABFT-verification point, exposed through [`crate::hooks::GemmHook`]. After the hooks run,
+//! the accumulator is converted back according to the component's [`OutputMode`]:
+//!
+//! * [`OutputMode::Float`] — de-quantize to f32 (components whose outputs feed normalization
+//!   or non-linear functions, e.g. `O`, `FC2`, `Down`);
+//! * [`OutputMode::RequantizedInt8`] — re-quantize to INT8 and de-quantize again (components
+//!   whose outputs feed another quantized GEMM, e.g. `Q`, `K`, `V`). Re-quantization clips to
+//!   ±127, which is why very-high-bit errors saturate for these components (Q1.2).
+
+use crate::hooks::{GemmContext, GemmHook};
+use crate::Result;
+use realm_tensor::{gemm, quant, MatF32, MatI8};
+use serde::{Deserialize, Serialize};
+
+/// How a quantized GEMM's INT32 accumulator is converted back for downstream computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutputMode {
+    /// De-quantize the accumulator to f32 without clipping.
+    Float,
+    /// Re-quantize the accumulator to INT8 (saturating at ±127), then de-quantize to f32 for
+    /// the rest of the pipeline. Models components whose outputs are stored as INT8.
+    RequantizedInt8,
+}
+
+/// A linear layer with INT8-quantized static weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantLinear {
+    weight_q: MatI8,
+    weight_scale: f32,
+    output_mode: OutputMode,
+}
+
+impl QuantLinear {
+    /// Quantizes a floating-point weight matrix of shape `(in_features, out_features)`.
+    pub fn from_f32(weight: &MatF32, output_mode: OutputMode) -> Self {
+        let (weight_q, weight_scale) = quant::quantize_symmetric(weight);
+        Self {
+            weight_q,
+            weight_scale,
+            output_mode,
+        }
+    }
+
+    /// Input dimension of the layer.
+    pub fn in_features(&self) -> usize {
+        self.weight_q.rows()
+    }
+
+    /// Output dimension of the layer.
+    pub fn out_features(&self) -> usize {
+        self.weight_q.cols()
+    }
+
+    /// The quantized weights (used by workload accounting and tests).
+    pub fn weight_q(&self) -> &MatI8 {
+        &self.weight_q
+    }
+
+    /// Scale of the quantized weights.
+    pub fn weight_scale(&self) -> f32 {
+        self.weight_scale
+    }
+
+    /// Output conversion mode.
+    pub fn output_mode(&self) -> OutputMode {
+        self.output_mode
+    }
+
+    /// Computes `x · W` through the quantized INT8 → INT32 datapath.
+    ///
+    /// `x` has shape `(tokens, in_features)`; the result has shape `(tokens, out_features)`.
+    /// The hook observes (and may mutate) the INT32 accumulator before conversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.cols() != self.in_features()`.
+    pub fn forward(
+        &self,
+        x: &MatF32,
+        ctx: &GemmContext,
+        hook: &mut dyn GemmHook,
+    ) -> Result<MatF32> {
+        let (xq, x_scale) = quant::quantize_symmetric(x);
+        let mut acc = gemm::gemm_i8(&xq, &self.weight_q)?;
+        hook.on_gemm(ctx, &xq, &self.weight_q, &mut acc);
+        let combined = x_scale * self.weight_scale;
+        Ok(convert_accumulator(&acc, combined, self.output_mode))
+    }
+}
+
+/// Computes `a · b` for two floating-point activation matrices through the quantized datapath.
+///
+/// Used for the attention-internal GEMMs (`QKᵀ` and `SV`) where both operands are activations.
+///
+/// # Errors
+///
+/// Returns an error if `a.cols() != b.rows()`.
+pub fn quant_matmul(
+    a: &MatF32,
+    b: &MatF32,
+    ctx: &GemmContext,
+    hook: &mut dyn GemmHook,
+    output_mode: OutputMode,
+) -> Result<MatF32> {
+    let (aq, a_scale) = quant::quantize_symmetric(a);
+    let (bq, b_scale) = quant::quantize_symmetric(b);
+    let mut acc = gemm::gemm_i8(&aq, &bq)?;
+    hook.on_gemm(ctx, &aq, &bq, &mut acc);
+    Ok(convert_accumulator(&acc, a_scale * b_scale, output_mode))
+}
+
+/// Converts an INT32 accumulator back to f32 according to the output mode.
+///
+/// For [`OutputMode::RequantizedInt8`] the INT8 output scale is derived from a *robust*
+/// percentile of the accumulator magnitudes rather than the absolute maximum. This emulates
+/// statically calibrated activation quantization: a single corrupted element cannot inflate
+/// the scale, so it saturates at the ±127 rail instead — the mechanism behind the paper's
+/// observation that high-bit errors on re-quantized components plateau.
+pub fn convert_accumulator(
+    acc: &realm_tensor::MatI32,
+    combined_scale: f32,
+    mode: OutputMode,
+) -> MatF32 {
+    match mode {
+        OutputMode::Float => quant::dequantize_accumulator(acc, combined_scale),
+        OutputMode::RequantizedInt8 => {
+            let out_scale = robust_output_scale(acc, combined_scale);
+            let q = quant::requantize_accumulator(acc, combined_scale, out_scale);
+            quant::dequantize(&q, out_scale)
+        }
+    }
+}
+
+/// Derives an INT8 output scale from the 99th percentile of accumulator magnitudes.
+fn robust_output_scale(acc: &realm_tensor::MatI32, combined_scale: f32) -> f32 {
+    if acc.is_empty() {
+        return 1.0;
+    }
+    let mut mags: Vec<f32> = acc.iter().map(|&v| (v as f32 * combined_scale).abs()).collect();
+    // Index of the 99th percentile over the *existing* elements (never the absolute maximum
+    // for tensors with more than a handful of entries), so a lone corrupted element cannot
+    // inflate the calibration scale.
+    let idx = (((mags.len() - 1) as f32) * 0.99).floor() as usize;
+    mags.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("finite magnitudes"));
+    let p99 = mags[idx];
+    if p99 > 0.0 && p99.is_finite() {
+        p99 / 127.0
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Component, Stage};
+    use crate::hooks::NoopHook;
+    use realm_tensor::{MatI32, Matrix};
+
+    fn ctx() -> GemmContext {
+        GemmContext::new(Component::Q, 0, Stage::Prefill, 0)
+    }
+
+    #[test]
+    fn quant_linear_matches_f32_reference_within_quant_error() {
+        let w = MatF32::from_fn(16, 8, |r, c| ((r + 2 * c) % 7) as f32 * 0.1 - 0.3);
+        let layer = QuantLinear::from_f32(&w, OutputMode::Float);
+        let x = MatF32::from_fn(4, 16, |r, c| ((r * 16 + c) % 11) as f32 * 0.2 - 1.0);
+        let y = layer.forward(&x, &ctx(), &mut NoopHook).unwrap();
+        let reference = gemm::gemm_f32(&x, &w).unwrap();
+        // Quantization error per output element is bounded; check a loose relative bound.
+        let denom = reference.abs_max().max(1e-6);
+        assert!(y.distance(&reference).unwrap() / denom < 0.5);
+        assert_eq!(layer.in_features(), 16);
+        assert_eq!(layer.out_features(), 8);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input_width() {
+        let layer = QuantLinear::from_f32(&MatF32::zeros(4, 4), OutputMode::Float);
+        let x = MatF32::zeros(2, 5);
+        assert!(layer.forward(&x, &ctx(), &mut NoopHook).is_err());
+    }
+
+    #[test]
+    fn hook_mutation_is_visible_in_output() {
+        struct Spike;
+        impl GemmHook for Spike {
+            fn on_gemm(&mut self, _: &GemmContext, _: &MatI8, _: &MatI8, acc: &mut MatI32) {
+                let v = acc[(0, 0)];
+                acc[(0, 0)] = v ^ (1 << 20);
+            }
+        }
+        let w = MatF32::from_fn(8, 8, |r, c| if r == c { 1.0 } else { 0.0 });
+        let layer = QuantLinear::from_f32(&w, OutputMode::Float);
+        let x = MatF32::filled(1, 8, 1.0);
+        let clean = layer.forward(&x, &ctx(), &mut NoopHook).unwrap();
+        let faulty = layer.forward(&x, &ctx(), &mut Spike).unwrap();
+        assert!((faulty[(0, 0)] - clean[(0, 0)]).abs() > 1.0);
+        assert_eq!(faulty[(0, 1)], clean[(0, 1)]);
+    }
+
+    #[test]
+    fn requantized_mode_saturates_corrupted_elements() {
+        struct HighBitFlip;
+        impl GemmHook for HighBitFlip {
+            fn on_gemm(&mut self, _: &GemmContext, _: &MatI8, _: &MatI8, acc: &mut MatI32) {
+                let v = acc[(0, 0)];
+                acc[(0, 0)] = v ^ (1 << 30);
+            }
+        }
+        let w = MatF32::from_fn(8, 8, |r, c| ((r + c) % 5) as f32 * 0.1);
+        let x = MatF32::from_fn(2, 8, |r, c| (r + c) as f32 * 0.3);
+
+        let float_layer = QuantLinear::from_f32(&w, OutputMode::Float);
+        let req_layer = QuantLinear::from_f32(&w, OutputMode::RequantizedInt8);
+
+        let float_clean = float_layer.forward(&x, &ctx(), &mut NoopHook).unwrap();
+        let float_faulty = float_layer.forward(&x, &ctx(), &mut HighBitFlip).unwrap();
+        let req_clean = req_layer.forward(&x, &ctx(), &mut NoopHook).unwrap();
+        let req_faulty = req_layer.forward(&x, &ctx(), &mut HighBitFlip).unwrap();
+
+        let float_err = (float_faulty[(0, 0)] - float_clean[(0, 0)]).abs();
+        let req_err = (req_faulty[(0, 0)] - req_clean[(0, 0)]).abs();
+        // Re-quantization clips the corrupted element to the INT8 rail, so its error is
+        // orders of magnitude smaller than on the floating-point path.
+        assert!(
+            req_err < float_err / 100.0,
+            "requantized error {req_err} should be far below float error {float_err}"
+        );
+    }
+
+    #[test]
+    fn quant_matmul_approximates_f32_product() {
+        let a = MatF32::from_fn(3, 6, |r, c| (r as f32 - c as f32) * 0.2);
+        let b = MatF32::from_fn(6, 4, |r, c| (r as f32 + c as f32) * 0.1);
+        let y = quant_matmul(&a, &b, &ctx(), &mut NoopHook, OutputMode::Float).unwrap();
+        let reference = gemm::gemm_f32(&a, &b).unwrap();
+        assert!(y.distance(&reference).unwrap() < 0.2);
+    }
+
+    #[test]
+    fn robust_scale_ignores_single_outlier() {
+        let mut acc = MatI32::filled(10, 10, 100);
+        let clean_scale = robust_output_scale(&acc, 1.0);
+        acc[(0, 0)] = 1 << 30;
+        let corrupted_scale = robust_output_scale(&acc, 1.0);
+        assert!((corrupted_scale - clean_scale).abs() / clean_scale < 0.05);
+    }
+
+    #[test]
+    fn convert_accumulator_zero_matrix() {
+        let acc = Matrix::zeros(2, 2);
+        let y = convert_accumulator(&acc, 0.5, OutputMode::RequantizedInt8);
+        assert!(y.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor operations.
+///
+/// Every fallible public function in this crate returns [`TensorError`] so callers can
+/// propagate failures with `?` instead of panicking deep inside an experiment sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The shapes of two operands are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A dimension argument was zero or otherwise invalid.
+    InvalidDimension {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Explanation of which dimension was invalid and why.
+        detail: String,
+    },
+    /// An index was outside the bounds of the matrix.
+    IndexOutOfBounds {
+        /// Requested position as `(row, col)`.
+        index: (usize, usize),
+        /// Shape of the matrix as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::InvalidDimension { op, detail } => {
+                write!(f, "invalid dimension in {op}: {detail}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch_mentions_both_shapes() {
+        let err = TensorError::ShapeMismatch {
+            op: "gemm",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let text = err.to_string();
+        assert!(text.contains("2x3"));
+        assert!(text.contains("4x5"));
+        assert!(text.contains("gemm"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let err = TensorError::IndexOutOfBounds {
+            index: (7, 1),
+            shape: (4, 4),
+        };
+        assert!(err.to_string().contains("(7, 1)"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

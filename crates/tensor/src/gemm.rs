@@ -1,0 +1,221 @@
+//! GEMM kernels: the INT8×INT8→INT32 datapath the paper protects, plus f32 reference paths.
+//!
+//! The paper injects transient errors into the **INT32 accumulation results** of quantized
+//! GEMMs ([`gemm_i8`]); the floating-point path ([`gemm_f32`]) models the non-quantized
+//! portions of the transformer (normalization statistics, softmax) and provides a reference
+//! for quantization-accuracy tests.
+
+use crate::{MatF32, MatI32, MatI8, Result, TensorError};
+
+fn check_compatible(
+    op: &'static str,
+    lhs: (usize, usize),
+    rhs: (usize, usize),
+) -> Result<()> {
+    if lhs.1 != rhs.0 {
+        return Err(TensorError::ShapeMismatch { op, lhs, rhs });
+    }
+    Ok(())
+}
+
+/// Multiplies two INT8 matrices producing an INT32 accumulator matrix.
+///
+/// This is the datapath executed on the systolic array in the paper: operands are quantized
+/// to INT8, products are accumulated in INT32, and transient timing errors manifest as bit
+/// flips in the INT32 results.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use realm_tensor::{MatI8, gemm};
+/// let a = MatI8::filled(2, 3, 2);
+/// let b = MatI8::filled(3, 2, 3);
+/// let y = gemm::gemm_i8(&a, &b)?;
+/// assert_eq!(y[(0, 0)], 18);
+/// # Ok::<(), realm_tensor::TensorError>(())
+/// ```
+pub fn gemm_i8(a: &MatI8, b: &MatI8) -> Result<MatI32> {
+    check_compatible("gemm_i8", a.shape(), b.shape())?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = MatI32::zeros(m, n);
+    // Transpose-free inner loop ordering (i, p, j) keeps the access to `b` row-contiguous.
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            let a_ip = a_ip as i32;
+            if a_ip == 0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (j, &b_pj) in b_row.iter().enumerate() {
+                out_row[j] += a_ip * b_pj as i32;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Multiplies two f32 matrices.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()`.
+pub fn gemm_f32(a: &MatF32, b: &MatF32) -> Result<MatF32> {
+    check_compatible("gemm_f32", a.shape(), b.shape())?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = MatF32::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (j, &b_pj) in b_row.iter().enumerate() {
+                out_row[j] += a_ip * b_pj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Multiplies an INT8 matrix by an INT8 vector (GEMV), producing INT32 accumulators.
+///
+/// GEMV dominates the non-batched decode stage; the paper notes such operations typically run
+/// on vector units rather than the systolic array, but the error-injection studies still need
+/// the same numeric behaviour.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != x.len()`.
+pub fn gemv_i8(a: &MatI8, x: &[i8]) -> Result<Vec<i32>> {
+    if a.cols() != x.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemv_i8",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    let mut out = vec![0i32; a.rows()];
+    for (i, out_i) in out.iter_mut().enumerate() {
+        let row = a.row(i);
+        let mut acc = 0i32;
+        for (p, &a_ip) in row.iter().enumerate() {
+            acc += a_ip as i32 * x[p] as i32;
+        }
+        *out_i = acc;
+    }
+    Ok(out)
+}
+
+/// Computes `a * b` where `a` is f32 and `b` is f32, adding the result into `acc`.
+///
+/// Used by residual paths where the projection output is accumulated onto the residual
+/// stream without materialising an intermediate.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the product shape does not match `acc`.
+pub fn gemm_f32_acc(a: &MatF32, b: &MatF32, acc: &mut MatF32) -> Result<()> {
+    let y = gemm_f32(a, b)?;
+    if y.shape() != acc.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_f32_acc",
+            lhs: y.shape(),
+            rhs: acc.shape(),
+        });
+    }
+    for (dst, src) in acc.iter_mut().zip(y.iter()) {
+        *dst += *src;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn gemm_i8_matches_manual_result() {
+        let a = MatI8::from_vec(2, 2, vec![1, 2, 3, 4]).unwrap();
+        let b = MatI8::from_vec(2, 2, vec![5, 6, 7, 8]).unwrap();
+        let y = gemm_i8(&a, &b).unwrap();
+        assert_eq!(y.as_slice(), &[19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn gemm_i8_rejects_incompatible_shapes() {
+        let a = MatI8::zeros(2, 3);
+        let b = MatI8::zeros(2, 3);
+        assert!(matches!(
+            gemm_i8(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn gemm_i8_handles_saturating_range_without_overflow() {
+        // 128 accumulations of 127*127 stays far below i32::MAX; validate no wrap.
+        let a = MatI8::filled(1, 128, 127);
+        let b = MatI8::filled(128, 1, 127);
+        let y = gemm_i8(&a, &b).unwrap();
+        assert_eq!(y[(0, 0)], 127 * 127 * 128);
+    }
+
+    #[test]
+    fn gemm_f32_identity_preserves_input() {
+        let a = MatF32::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let identity = MatF32::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let y = gemm_f32(&a, &identity).unwrap();
+        assert_eq!(y, a);
+    }
+
+    #[test]
+    fn gemv_matches_gemm_single_column() {
+        let a = MatI8::from_fn(4, 3, |r, c| (r as i8) - (c as i8));
+        let x = vec![1i8, -2, 3];
+        let xv = Matrix::from_vec(3, 1, x.clone()).unwrap();
+        let via_gemm = gemm_i8(&a, &xv).unwrap();
+        let via_gemv = gemv_i8(&a, &x).unwrap();
+        for i in 0..4 {
+            assert_eq!(via_gemm[(i, 0)], via_gemv[i]);
+        }
+    }
+
+    #[test]
+    fn gemv_rejects_wrong_length() {
+        let a = MatI8::zeros(2, 3);
+        assert!(gemv_i8(&a, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn gemm_f32_acc_accumulates() {
+        let a = MatF32::filled(2, 2, 1.0);
+        let b = MatF32::filled(2, 2, 2.0);
+        let mut acc = MatF32::filled(2, 2, 10.0);
+        gemm_f32_acc(&a, &b, &mut acc).unwrap();
+        assert_eq!(acc[(0, 0)], 14.0);
+    }
+
+    #[test]
+    fn int8_and_f32_paths_agree_for_integer_valued_inputs() {
+        let a8 = MatI8::from_fn(3, 5, |r, c| (r as i8 * 2) - c as i8);
+        let b8 = MatI8::from_fn(5, 4, |r, c| (c as i8) - (r as i8));
+        let af = a8.map(|v| v as f32);
+        let bf = b8.map(|v| v as f32);
+        let yi = gemm_i8(&a8, &b8).unwrap();
+        let yf = gemm_f32(&af, &bf).unwrap();
+        for (i, j) in (0..3).flat_map(|i| (0..4).map(move |j| (i, j))) {
+            assert_eq!(yi[(i, j)] as f32, yf[(i, j)]);
+        }
+    }
+}

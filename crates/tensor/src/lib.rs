@@ -1,0 +1,58 @@
+//! # realm-tensor
+//!
+//! Minimal dense-tensor substrate used by the ReaLM reproduction.
+//!
+//! The crate provides exactly what the paper's inference path needs and nothing more:
+//!
+//! * [`Matrix`] — a row-major dense matrix generic over its element type, with the
+//!   concrete aliases [`MatF32`], [`MatI8`] and [`MatI32`] used throughout the workspace.
+//! * [`gemm`] — general matrix-matrix multiplication kernels. The quantized path follows
+//!   the paper's setup (inputs quantized to INT8, accumulation in INT32); the f32 path is
+//!   used for the non-linear portions of the transformer that stay in floating point.
+//! * [`quant`] — symmetric quantization between `f32` and `i8`, including the re-quantization
+//!   of INT32 accumulator outputs back to INT8 that gives rise to the bit-position
+//!   saturation effect studied in the paper (Q1.2).
+//! * [`stats`] — summary statistics (mean, standard deviation, outlier counts) used both by
+//!   the normalization-skew study (Fig. 5) and by synthetic-weight generation.
+//! * [`rng`] — deterministic random-number helpers so every experiment in the workspace is
+//!   reproducible from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use realm_tensor::{MatF32, gemm, quant};
+//!
+//! # fn main() -> Result<(), realm_tensor::TensorError> {
+//! let a = MatF32::from_fn(4, 8, |r, c| (r as f32) - (c as f32) * 0.25);
+//! let b = MatF32::from_fn(8, 3, |r, c| 0.1 * (r as f32 + c as f32));
+//!
+//! // Quantize both operands to INT8 and multiply with INT32 accumulation, the same
+//! // datapath the paper injects errors into.
+//! let (qa, sa) = quant::quantize_symmetric(&a);
+//! let (qb, sb) = quant::quantize_symmetric(&b);
+//! let acc = gemm::gemm_i8(&qa, &qb)?;
+//! let y = quant::dequantize_accumulator(&acc, sa * sb);
+//!
+//! let reference = gemm::gemm_f32(&a, &b)?;
+//! assert_eq!(y.shape(), reference.shape());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gemm;
+pub mod matrix;
+pub mod quant;
+pub mod rng;
+pub mod stats;
+
+mod error;
+
+pub use error::TensorError;
+pub use matrix::{MatF32, MatI32, MatI8, Matrix};
+pub use quant::QuantParams;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,228 @@
+//! Symmetric INT8 quantization, following the SmoothQuant-style setup referenced by the paper.
+//!
+//! GEMM inputs are quantized to INT8, accumulation happens in INT32, and the accumulator is
+//! either de-quantized back to f32 (for components feeding non-linear functions such as the
+//! attention output projection `O`) or re-quantized to INT8 (for components feeding another
+//! quantized GEMM, such as `K`). The paper's Q1.2 insight — that high-bit errors saturate
+//! because of re-quantization clipping — falls directly out of [`requantize_accumulator`].
+
+use crate::{MatF32, MatI32, MatI8};
+use serde::{Deserialize, Serialize};
+
+/// Scale describing a symmetric quantization mapping `real = scale * quantized`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Multiplicative step size between adjacent integer codes.
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// Creates quantization parameters from an absolute-maximum value so that `abs_max`
+    /// maps to the INT8 extreme (±127).
+    ///
+    /// A zero or non-finite `abs_max` falls back to a scale of 1.0 so that all-zero tensors
+    /// quantize losslessly instead of producing NaNs.
+    pub fn from_abs_max(abs_max: f32) -> Self {
+        let scale = if abs_max.is_finite() && abs_max > 0.0 {
+            abs_max / 127.0
+        } else {
+            1.0
+        };
+        Self { scale }
+    }
+
+    /// Quantizes a single value to INT8 with saturation.
+    pub fn quantize(&self, value: f32) -> i8 {
+        let q = (value / self.scale).round();
+        q.clamp(-127.0, 127.0) as i8
+    }
+
+    /// De-quantizes a single INT8 code back to f32.
+    pub fn dequantize(&self, code: i8) -> f32 {
+        code as f32 * self.scale
+    }
+}
+
+impl Default for QuantParams {
+    fn default() -> Self {
+        Self { scale: 1.0 }
+    }
+}
+
+/// Quantizes an f32 matrix symmetrically to INT8 using a single per-tensor scale.
+///
+/// Returns the quantized matrix together with the scale so the caller can combine it with the
+/// other operand's scale when interpreting INT32 accumulators.
+///
+/// # Example
+///
+/// ```
+/// use realm_tensor::{MatF32, quant};
+/// let x = MatF32::from_fn(2, 2, |r, c| (r as f32 - c as f32) * 3.0);
+/// let (q, scale) = quant::quantize_symmetric(&x);
+/// let back = quant::dequantize(&q, scale);
+/// assert!(x.distance(&back)? < 0.1);
+/// # Ok::<(), realm_tensor::TensorError>(())
+/// ```
+pub fn quantize_symmetric(x: &MatF32) -> (MatI8, f32) {
+    let params = QuantParams::from_abs_max(x.abs_max());
+    let q = x.map(|v| params.quantize(v));
+    (q, params.scale)
+}
+
+/// De-quantizes an INT8 matrix given its scale.
+pub fn dequantize(q: &MatI8, scale: f32) -> MatF32 {
+    q.map(|v| v as f32 * scale)
+}
+
+/// Interprets an INT32 accumulator matrix as real values given the product of operand scales.
+///
+/// For `Y = A·B` with `A ≈ scale_a · Qa` and `B ≈ scale_b · Qb`, the accumulator `Qa·Qb`
+/// represents `Y / (scale_a · scale_b)`.
+pub fn dequantize_accumulator(acc: &MatI32, combined_scale: f32) -> MatF32 {
+    acc.map(|v| v as f32 * combined_scale)
+}
+
+/// Re-quantizes an INT32 accumulator directly to INT8 with saturation.
+///
+/// `combined_scale` converts accumulator units to real values and `out_scale` is the scale of
+/// the INT8 output tensor. Values outside ±127 are clipped, which is precisely why the paper
+/// observes that errors in very high bits of re-quantized components (e.g. `K`) saturate: a
+/// huge corrupted accumulator still only reaches the ±127 rail.
+pub fn requantize_accumulator(acc: &MatI32, combined_scale: f32, out_scale: f32) -> MatI8 {
+    let out_scale = if out_scale > 0.0 && out_scale.is_finite() {
+        out_scale
+    } else {
+        1.0
+    };
+    acc.map(|v| {
+        let real = v as f32 * combined_scale;
+        (real / out_scale).round().clamp(-127.0, 127.0) as i8
+    })
+}
+
+/// Quantizes each row with its own scale (per-row / per-token quantization).
+///
+/// Activation tensors in LLMs contain a few very large outlier channels; per-row scales keep
+/// the quantization error of ordinary rows from being dominated by outlier rows. Returns the
+/// quantized matrix and one scale per row.
+pub fn quantize_per_row(x: &MatF32) -> (MatI8, Vec<f32>) {
+    let mut scales = Vec::with_capacity(x.rows());
+    let mut q = MatI8::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let abs_max = x
+            .row(r)
+            .iter()
+            .fold(0.0_f32, |acc, v| acc.max(v.abs()));
+        let params = QuantParams::from_abs_max(abs_max);
+        scales.push(params.scale);
+        for (c, &v) in x.row(r).iter().enumerate() {
+            q.row_mut(r)[c] = params.quantize(v);
+        }
+    }
+    (q, scales)
+}
+
+/// De-quantizes a per-row-quantized matrix.
+///
+/// # Panics
+///
+/// Panics if `scales.len() != q.rows()`.
+pub fn dequantize_per_row(q: &MatI8, scales: &[f32]) -> MatF32 {
+    assert_eq!(
+        scales.len(),
+        q.rows(),
+        "one scale per row is required ({} scales for {} rows)",
+        scales.len(),
+        q.rows()
+    );
+    MatF32::from_fn(q.rows(), q.cols(), |r, c| q[(r, c)] as f32 * scales[r])
+}
+
+/// Worst-case absolute quantization error for a tensor quantized with the given scale.
+///
+/// Symmetric rounding quantization has error at most half a step.
+pub fn max_quantization_error(scale: f32) -> f32 {
+    scale * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_error_is_bounded() {
+        let x = MatF32::from_fn(8, 8, |r, c| ((r * 8 + c) as f32 - 32.0) * 0.37);
+        let (q, scale) = quantize_symmetric(&x);
+        let back = dequantize(&q, scale);
+        let bound = max_quantization_error(scale) + 1e-6;
+        for (a, b) in x.iter().zip(back.iter()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} exceeds {bound}");
+        }
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_to_zero() {
+        let x = MatF32::zeros(4, 4);
+        let (q, scale) = quantize_symmetric(&x);
+        assert!(q.iter().all(|&v| v == 0));
+        assert!(scale.is_finite() && scale > 0.0);
+    }
+
+    #[test]
+    fn abs_max_maps_to_127() {
+        let x = MatF32::from_vec(1, 2, vec![10.0, -5.0]).unwrap();
+        let (q, _) = quantize_symmetric(&x);
+        assert_eq!(q[(0, 0)], 127);
+    }
+
+    #[test]
+    fn requantization_saturates_large_accumulators() {
+        // A corrupted accumulator with a flipped bit 30 is astronomically large, but the
+        // re-quantized INT8 output can only reach the rail.
+        let acc = MatI32::from_vec(1, 2, vec![100, 100 + (1 << 30)]).unwrap();
+        let q = requantize_accumulator(&acc, 1e-3, 0.05);
+        assert_eq!(q[(0, 1)], 127);
+        assert!(q[(0, 0)] < 127);
+    }
+
+    #[test]
+    fn dequantize_accumulator_scales_linearly() {
+        let acc = MatI32::from_vec(1, 3, vec![10, -20, 0]).unwrap();
+        let y = dequantize_accumulator(&acc, 0.5);
+        assert_eq!(y.as_slice(), &[5.0, -10.0, 0.0]);
+    }
+
+    #[test]
+    fn per_row_quantization_handles_outlier_rows() {
+        let x = MatF32::from_fn(2, 4, |r, c| if r == 0 { c as f32 } else { c as f32 * 100.0 });
+        let (q, scales) = quantize_per_row(&x);
+        assert_eq!(scales.len(), 2);
+        assert!(scales[1] > scales[0]);
+        let back = dequantize_per_row(&q, &scales);
+        // The small row keeps good precision despite the outlier row.
+        assert!((back[(0, 3)] - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "one scale per row")]
+    fn dequantize_per_row_panics_on_scale_mismatch() {
+        let q = MatI8::zeros(3, 2);
+        let _ = dequantize_per_row(&q, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn quant_params_single_value_roundtrip() {
+        let p = QuantParams::from_abs_max(6.35);
+        let code = p.quantize(1.0);
+        let back = p.dequantize(code);
+        assert!((back - 1.0).abs() <= p.scale * 0.5 + 1e-6);
+    }
+
+    #[test]
+    fn default_params_are_identity_like() {
+        let p = QuantParams::default();
+        assert_eq!(p.quantize(5.0), 5);
+        assert_eq!(p.dequantize(5), 5.0);
+    }
+}

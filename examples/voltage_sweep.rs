@@ -1,0 +1,57 @@
+//! Voltage sweep and sweet-spot search: a miniature version of Fig. 9 / Table II.
+//!
+//! Sweeps the operating voltage for several protection schemes, prints task quality,
+//! recovery rate and total energy at each point, and reports the minimum-energy voltage that
+//! still satisfies the acceptable-degradation budget.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example voltage_sweep
+//! ```
+
+use realm::core::pipeline::{PipelineConfig, ProtectedPipeline};
+use realm::core::report::render_voltage_sweep;
+use realm::core::sweep::{scheme_comparison, voltage_sweep};
+use realm::eval::wikitext::WikitextTask;
+use realm::llm::{config::ModelConfig, model::Model, Component};
+use realm::systolic::ProtectionScheme;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = Model::new(&ModelConfig::opt_1_3b_proxy(), 11)?;
+    let task = WikitextTask::quick(model.language(), 11);
+
+    // Protect (and attack) the K projection, as in the paper's OPT-1.3B evaluation.
+    let pipeline = ProtectedPipeline::new(&model, PipelineConfig::for_component(Component::K));
+    let clean = pipeline.clean_value(&task)?;
+    println!("clean perplexity: {clean:.2}\n");
+
+    let voltages: Vec<f64> = (0..8).map(|i| 0.60 + 0.04 * i as f64).collect();
+    let schemes = [
+        ProtectionScheme::None,
+        ProtectionScheme::ClassicalAbft,
+        ProtectionScheme::ApproxAbft,
+        ProtectionScheme::StatisticalAbft,
+    ];
+    let sweeps = scheme_comparison(&pipeline, &task, &schemes, &voltages, 3)?;
+    for sweep in &sweeps {
+        println!("{}", render_voltage_sweep(sweep));
+    }
+
+    // Sweet spot: lowest-energy voltage whose perplexity stays within +0.3 of clean.
+    let budget = 0.3;
+    println!("sweet spots under a +{budget} perplexity budget:");
+    for scheme in schemes {
+        let sweep = voltage_sweep(&pipeline, &task, scheme, &voltages, 3)?;
+        match sweep.sweet_spot(clean, false, budget) {
+            Some(spot) => println!(
+                "  {:<28} {:.2} V   {:.4e} J",
+                scheme.to_string(),
+                spot.voltage,
+                spot.energy.total_j()
+            ),
+            None => println!("  {:<28} no within-budget operating point", scheme.to_string()),
+        }
+    }
+    Ok(())
+}

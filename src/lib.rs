@@ -1,0 +1,64 @@
+//! # realm
+//!
+//! Facade crate for the ReaLM reproduction: **Reliable and Efficient Large Language Model
+//! Inference with Statistical Algorithm-Based Fault Tolerance** (DAC 2025).
+//!
+//! The workspace is organised as one crate per subsystem; this facade re-exports them under a
+//! single dependency so examples, integration tests and downstream users can write
+//! `use realm::...`:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`tensor`] | `realm-tensor` | matrices, INT8 quantization, GEMM kernels |
+//! | [`llm`] | `realm-llm` | quantized OPT/LLaMA-style transformer inference with GEMM hooks |
+//! | [`inject`] | `realm-inject` | bit-flip / magnitude-frequency error injection, voltage→BER |
+//! | [`systolic`] | `realm-systolic` | systolic-array model: dataflows, area/power, timing, energy |
+//! | [`abft`] | `realm-abft` | classical, Approx and statistical ABFT detectors + recovery |
+//! | [`eval`] | `realm-eval` | synthetic perplexity / accuracy / ROUGE tasks |
+//! | [`core`] | `realm-core` | characterization, critical-region fitting, protected pipelines, sweeps |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use realm::core::pipeline::{PipelineConfig, ProtectedPipeline};
+//! use realm::eval::wikitext::WikitextTask;
+//! use realm::llm::{config::ModelConfig, model::Model};
+//! use realm::systolic::ProtectionScheme;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Build a synthetic quantized LLM (an OPT-1.3B-style proxy).
+//! let model = Model::new(&ModelConfig::tiny_opt(), 42)?;
+//!
+//! // 2. Pick a task (synthetic WikiText-style perplexity).
+//! let task = WikitextTask::quick(model.language(), 42);
+//!
+//! // 3. Run protected inference at a scaled supply voltage.
+//! let pipeline = ProtectedPipeline::new(&model, PipelineConfig::default());
+//! let outcome = pipeline.run(&task, ProtectionScheme::StatisticalAbft, 0.72, 7)?;
+//! println!("perplexity {:.2} at {:.2} V using {:.2e} J",
+//!          outcome.task_value, outcome.voltage, outcome.energy.total_j());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use realm_abft as abft;
+pub use realm_core as core;
+pub use realm_eval as eval;
+pub use realm_inject as inject;
+pub use realm_llm as llm;
+pub use realm_systolic as systolic;
+pub use realm_tensor as tensor;
+
+/// The workspace version, shared by every crate.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_exposed() {
+        assert!(!super::VERSION.is_empty());
+    }
+}
