@@ -8,7 +8,6 @@
 
 use crate::checksum;
 use crate::detector::{AbftDetector, Detection};
-use realm_tensor::{MatI32, MatI8};
 use serde::{Deserialize, Serialize};
 
 /// MSD-threshold ABFT.
@@ -44,9 +43,8 @@ impl Default for ApproxAbft {
 }
 
 impl AbftDetector for ApproxAbft {
-    fn inspect(&self, w: &MatI8, x: &MatI8, acc: &MatI32) -> Detection {
-        let deviations = checksum::column_deviations(w, x, acc);
-        let msd = checksum::msd(&deviations);
+    fn evaluate(&self, deviations: &[i64]) -> Detection {
+        let msd = checksum::msd(deviations);
         let nonzero = deviations.iter().filter(|&&d| d != 0).count();
         Detection {
             trigger_recovery: msd.unsigned_abs() > self.msd_threshold as u64,
@@ -66,6 +64,7 @@ impl AbftDetector for ApproxAbft {
 mod tests {
     use super::*;
     use realm_tensor::gemm;
+    use realm_tensor::{MatI32, MatI8};
 
     fn operands() -> (MatI8, MatI8, MatI32) {
         let w = MatI8::from_fn(8, 8, |r, c| ((r + c) % 11) as i8 - 5);
@@ -104,7 +103,11 @@ mod tests {
     fn negative_msd_uses_absolute_value() {
         let (w, x, mut acc) = operands();
         acc[(2, 5)] = acc[(2, 5)].wrapping_sub(1 << 26);
-        assert!(ApproxAbft::paper_default().inspect(&w, &x, &acc).trigger_recovery);
+        assert!(
+            ApproxAbft::paper_default()
+                .inspect(&w, &x, &acc)
+                .trigger_recovery
+        );
     }
 
     #[test]

@@ -15,17 +15,14 @@
 //! All checksum arithmetic is carried out in `i64`: operands are INT8 and accumulators INT32,
 //! so exact sums fit comfortably and cannot themselves overflow.
 
-use realm_tensor::{MatI32, MatI8};
+use realm_tensor::{engine, MatI32, MatI8};
 
 /// Column sums of the INT8 left operand: `eᵀ·W`, one entry per inner-dimension index.
+///
+/// Delegates to [`realm_tensor::engine::operand_col_sums`] — the same routine the fused
+/// GEMM backends use, so the checksum definition lives in exactly one place.
 pub fn operand_col_sums(w: &MatI8) -> Vec<i64> {
-    let mut sums = vec![0i64; w.cols()];
-    for r in 0..w.rows() {
-        for (c, s) in sums.iter_mut().enumerate() {
-            *s += w[(r, c)] as i64;
-        }
-    }
-    sums
+    engine::operand_col_sums(w)
 }
 
 /// Expected output column checksum `(eᵀ·W)·X`, one entry per output column.
@@ -35,31 +32,17 @@ pub fn operand_col_sums(w: &MatI8) -> Vec<i64> {
 /// Panics if `w.cols() != x.rows()` (the GEMM would have been rejected upstream).
 pub fn expected_col_checksum(w: &MatI8, x: &MatI8) -> Vec<i64> {
     assert_eq!(w.cols(), x.rows(), "checksum shapes disagree with the GEMM");
-    let etw = operand_col_sums(w);
+    let etw = engine::operand_col_sums(w);
     let mut expected = vec![0i64; x.cols()];
-    for p in 0..x.rows() {
-        let weight = etw[p];
-        if weight == 0 {
-            continue;
-        }
-        let row = x.row(p);
-        for (j, e) in expected.iter_mut().enumerate() {
-            *e += weight * row[j] as i64;
-        }
-    }
+    engine::accumulate_expected(&etw, x, &mut expected);
     expected
 }
 
 /// Observed output column checksum `eᵀ·Y`, one entry per output column.
+///
+/// Delegates to [`realm_tensor::engine::observed_col_sums`], shared with the fused backends.
 pub fn observed_col_checksum(acc: &MatI32) -> Vec<i64> {
-    let mut sums = vec![0i64; acc.cols()];
-    for r in 0..acc.rows() {
-        let row = acc.row(r);
-        for (c, s) in sums.iter_mut().enumerate() {
-            *s += row[c] as i64;
-        }
-    }
-    sums
+    engine::observed_col_sums(acc)
 }
 
 /// Per-column deviations `eᵀ·Y − (eᵀ·W)·X` of a (possibly corrupted) accumulator.
@@ -165,7 +148,11 @@ mod tests {
     #[test]
     fn msd_reflects_sum_of_all_injected_errors() {
         let (w, x, mut acc) = random_operands(4, 8, 8, 8);
-        let errors = [(0usize, 0usize, 1i64 << 10), (3, 5, 1 << 12), (7, 7, -(1 << 9))];
+        let errors = [
+            (0usize, 0usize, 1i64 << 10),
+            (3, 5, 1 << 12),
+            (7, 7, -(1 << 9)),
+        ];
         for &(r, c, d) in &errors {
             acc[(r, c)] = acc[(r, c)].wrapping_add(d as i32);
         }

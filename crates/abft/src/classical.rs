@@ -27,30 +27,52 @@ impl ClassicalAbft {
     }
 
     /// Two-sided classical ABFT (column and row checksums).
+    ///
+    /// Row-side verification needs the raw operands, so it only runs through the two-pass
+    /// [`AbftDetector::inspect`] entry point. On the fused path
+    /// ([`AbftDetector::inspect_checksummed`]) this detector degrades to one-sided column
+    /// coverage — the same coverage the paper's systolic array provides, whose checksum
+    /// hardware is the column row of Fig. 3(b).
     pub fn two_sided() -> Self {
         Self { two_sided: true }
     }
 }
 
 impl AbftDetector for ClassicalAbft {
+    fn evaluate(&self, deviations: &[i64]) -> Detection {
+        let nonzero = deviations.iter().filter(|&&d| d != 0).count();
+        Detection {
+            trigger_recovery: nonzero > 0,
+            errors_detected: nonzero > 0,
+            msd: checksum::msd(deviations),
+            effective_frequency: nonzero,
+            theta_mag_log2: None,
+        }
+    }
+
     fn inspect(&self, w: &MatI8, x: &MatI8, acc: &MatI32) -> Detection {
-        let deviations = checksum::column_deviations(w, x, acc);
-        let mut nonzero = deviations.iter().filter(|&&d| d != 0).count();
+        let mut verdict = self.evaluate(&checksum::column_deviations(w, x, acc));
         if self.two_sided {
-            nonzero += checksum::row_deviations(w, x, acc)
+            // The row-side checksums need the operands, so only this two-pass entry point
+            // can apply them; the fused path (`inspect_checksummed`) is column-side only,
+            // which matches the one-sided checksum column integrated into the systolic array.
+            let row_nonzero = checksum::row_deviations(w, x, acc)
                 .iter()
                 .filter(|&&d| d != 0)
                 .count();
+            if row_nonzero > 0 {
+                verdict.trigger_recovery = true;
+                verdict.errors_detected = true;
+            }
         }
-        let msd = checksum::msd(&deviations);
-        let errors = nonzero > 0;
-        Detection {
-            trigger_recovery: errors,
-            errors_detected: errors,
-            msd,
-            effective_frequency: deviations.iter().filter(|&&d| d != 0).count(),
-            theta_mag_log2: None,
-        }
+        verdict
+    }
+
+    fn inspect_checksummed(&self, result: &realm_tensor::ChecksummedGemm) -> Detection {
+        // Explicitly column-side only: a fused result carries no operands, so the two_sided
+        // row checksums cannot be evaluated here (see `ClassicalAbft::two_sided`). Canceling
+        // same-column errors that only the row side would catch pass this entry point.
+        self.evaluate(&result.column_deviations())
     }
 
     fn name(&self) -> &'static str {
@@ -107,9 +129,17 @@ mod tests {
     fn two_sided_variant_detects_the_same_errors() {
         let (w, x, mut acc) = operands();
         acc[(3, 3)] = acc[(3, 3)].wrapping_add(1 << 10);
-        assert!(ClassicalAbft::two_sided().inspect(&w, &x, &acc).trigger_recovery);
+        assert!(
+            ClassicalAbft::two_sided()
+                .inspect(&w, &x, &acc)
+                .trigger_recovery
+        );
         let (_, _, clean) = operands();
-        assert!(!ClassicalAbft::two_sided().inspect(&w, &x, &clean).trigger_recovery);
+        assert!(
+            !ClassicalAbft::two_sided()
+                .inspect(&w, &x, &clean)
+                .trigger_recovery
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl CriticalRegion {
     ///
     /// Panics if `a <= 1.0` (the derivation of `θ_mag` requires a slope greater than one).
     pub fn new(a: f64, b: f64, theta_freq_log2: f64) -> Self {
-        assert!(a > 1.0, "the inclined boundary requires slope a > 1 (got {a})");
+        assert!(
+            a > 1.0,
+            "the inclined boundary requires slope a > 1 (got {a})"
+        );
         Self {
             a,
             b,
@@ -141,10 +144,7 @@ impl CriticalRegion {
 
         // Inclined boundary: for each MSD diagonal, find the largest acceptable magnitude.
         let mut transition_points: Vec<(f64, f64)> = Vec::new();
-        let mut msds: Vec<f64> = samples
-            .iter()
-            .map(|s| s.log2_mag + s.log2_freq)
-            .collect();
+        let mut msds: Vec<f64> = samples.iter().map(|s| s.log2_mag + s.log2_freq).collect();
         msds.sort_by(|p, q| p.partial_cmp(q).expect("finite MSDs"));
         msds.dedup_by(|p, q| (*p - *q).abs() < 1e-9);
         for &m in &msds {
@@ -222,7 +222,10 @@ mod tests {
         let region = CriticalRegion::resilient_default();
         let small = region.theta_mag_log2(1 << 16);
         let large = region.theta_mag_log2(1 << 28);
-        assert!(large < small, "larger MSD must lower the magnitude threshold");
+        assert!(
+            large < small,
+            "larger MSD must lower the magnitude threshold"
+        );
         assert_eq!(region.theta_mag_log2(0), region.b);
     }
 
@@ -252,7 +255,11 @@ mod tests {
         let samples = synthetic_samples();
         let region = CriticalRegion::fit(&samples, 0.3).expect("fit must succeed");
         // Horizontal boundary at log2(freq) = 3.
-        assert!((region.theta_freq_log2 - 3.0).abs() <= 1.0, "θ_freq {}", region.theta_freq_log2);
+        assert!(
+            (region.theta_freq_log2 - 3.0).abs() <= 1.0,
+            "θ_freq {}",
+            region.theta_freq_log2
+        );
         // Slope a − 1 should approximate the synthetic 0.8.
         assert!((region.a - 1.8).abs() < 0.4, "a {}", region.a);
         // Intercept should land in the neighbourhood of the synthetic 24; the coarse 2-bit

@@ -41,7 +41,9 @@ impl RecoveryPolicy {
         match scheme {
             ProtectionScheme::None => RecoveryPolicy::None,
             ProtectionScheme::RazorFfs | ProtectionScheme::ThunderVolt => {
-                RecoveryPolicy::PerErrorReplay { cycles_per_error: 2 }
+                RecoveryPolicy::PerErrorReplay {
+                    cycles_per_error: 2,
+                }
             }
             ProtectionScheme::Dmr
             | ProtectionScheme::ClassicalAbft
@@ -160,7 +162,9 @@ mod tests {
     #[test]
     fn replay_policy_charges_per_error() {
         let mut stats = RecoveryStats::new();
-        let policy = RecoveryPolicy::PerErrorReplay { cycles_per_error: 2 };
+        let policy = RecoveryPolicy::PerErrorReplay {
+            cycles_per_error: 2,
+        };
         stats.record(&policy, true, true, 1_000_000, 5_000, 7);
         assert_eq!(stats.recovery_macs, 0);
         assert_eq!(stats.recovery_cycles, 14);
@@ -191,10 +195,31 @@ mod tests {
     #[test]
     fn merge_adds_all_counters() {
         let mut a = RecoveryStats::new();
-        a.record(&RecoveryPolicy::recompute_at_nominal(), true, true, 100, 5, 1);
+        a.record(
+            &RecoveryPolicy::recompute_at_nominal(),
+            true,
+            true,
+            100,
+            5,
+            1,
+        );
         let mut b = RecoveryStats::new();
-        b.record(&RecoveryPolicy::recompute_at_nominal(), true, true, 200, 7, 1);
-        b.record(&RecoveryPolicy::recompute_at_nominal(), false, false, 200, 7, 0);
+        b.record(
+            &RecoveryPolicy::recompute_at_nominal(),
+            true,
+            true,
+            200,
+            7,
+            1,
+        );
+        b.record(
+            &RecoveryPolicy::recompute_at_nominal(),
+            false,
+            false,
+            200,
+            7,
+            0,
+        );
         a.merge(&b);
         assert_eq!(a.gemms_inspected, 3);
         assert_eq!(a.recovery_macs, 300);

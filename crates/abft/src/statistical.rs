@@ -16,7 +16,6 @@
 use crate::checksum;
 use crate::critical_region::CriticalRegion;
 use crate::detector::{AbftDetector, Detection};
-use realm_tensor::{MatI32, MatI8};
 use serde::{Deserialize, Serialize};
 
 /// The ReaLM statistical ABFT detector.
@@ -48,9 +47,9 @@ impl StatisticalAbft {
 
     /// Evaluates the detector on a precomputed deviation vector.
     ///
-    /// Exposed separately because the hardware statistical unit (and its behavioural model in
-    /// [`crate::statistical_unit`]) operates on exactly this signature: checksd deviations in,
-    /// recovery decision out.
+    /// Kept as an inherent alias of [`AbftDetector::evaluate`] because the hardware
+    /// statistical unit (and its behavioural model in [`crate::statistical_unit`]) operates
+    /// on exactly this signature: checksum deviations in, recovery decision out.
     pub fn evaluate_deviations(&self, deviations: &[i64]) -> Detection {
         let msd = checksum::msd(deviations);
         let errors_detected = deviations.iter().any(|&d| d != 0);
@@ -74,9 +73,8 @@ impl StatisticalAbft {
 }
 
 impl AbftDetector for StatisticalAbft {
-    fn inspect(&self, w: &MatI8, x: &MatI8, acc: &MatI32) -> Detection {
-        let deviations = checksum::column_deviations(w, x, acc);
-        self.evaluate_deviations(&deviations)
+    fn evaluate(&self, deviations: &[i64]) -> Detection {
+        self.evaluate_deviations(deviations)
     }
 
     fn name(&self) -> &'static str {
@@ -89,6 +87,7 @@ mod tests {
     use super::*;
     use crate::classical::ClassicalAbft;
     use realm_tensor::gemm;
+    use realm_tensor::{MatI32, MatI8};
 
     fn operands(n: usize) -> (MatI8, MatI8, MatI32) {
         let w = MatI8::from_fn(n, n, |r, c| ((r * 5 + c) % 9) as i8 - 4);
@@ -198,7 +197,10 @@ mod tests {
                 statistical_recoveries += 1;
             }
         }
-        assert_eq!(classical_recoveries, 60, "classical recovers every corrupted GEMM");
+        assert_eq!(
+            classical_recoveries, 60,
+            "classical recovers every corrupted GEMM"
+        );
         assert!(
             statistical_recoveries < classical_recoveries / 4,
             "statistical ABFT should skip most recoveries ({statistical_recoveries}/60)"

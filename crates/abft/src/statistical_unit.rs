@@ -52,7 +52,10 @@ impl StatisticalUnit {
     ///
     /// Panics if `buffer_depth` is zero.
     pub fn new(region: CriticalRegion, buffer_depth: usize) -> Self {
-        assert!(buffer_depth > 0, "the statistical unit needs at least one buffer");
+        assert!(
+            buffer_depth > 0,
+            "the statistical unit needs at least one buffer"
+        );
         Self {
             region,
             buffer_depth,
@@ -98,7 +101,8 @@ impl StatisticalUnit {
         let errors_detected = deviations.iter().any(|&d| d != 0);
 
         // Log2LinearFunction unit: θ_mag from the hardware log2 approximation.
-        let theta_mag = self.region.b - (self.region.a - 1.0) * fixed_point_log2(msd.unsigned_abs());
+        let theta_mag =
+            self.region.b - (self.region.a - 1.0) * fixed_point_log2(msd.unsigned_abs());
         // Countif stage: compare every buffered |deviation| against 2^θ_mag. The hardware
         // compares in the log domain (leading-one position vs θ_mag), reproduced here.
         let effective_frequency = deviations
@@ -106,9 +110,8 @@ impl StatisticalUnit {
             .filter(|&&d| d != 0 && fixed_point_log2(d.unsigned_abs()) > theta_mag)
             .count();
 
-        let trigger = errors_detected
-            && msd != 0
-            && (effective_frequency as f64) > self.region.theta_freq();
+        let trigger =
+            errors_detected && msd != 0 && (effective_frequency as f64) > self.region.theta_freq();
         let detection = Detection {
             trigger_recovery: trigger,
             errors_detected,
@@ -150,7 +153,16 @@ mod tests {
 
     #[test]
     fn fixed_point_log2_tracks_exact_log2() {
-        for v in [1u64, 2, 3, 7, 100, 1 << 20, (1 << 30) + 12345, u32::MAX as u64] {
+        for v in [
+            1u64,
+            2,
+            3,
+            7,
+            100,
+            1 << 20,
+            (1 << 30) + 12345,
+            u32::MAX as u64,
+        ] {
             let exact = (v as f64).log2();
             let approx = fixed_point_log2(v);
             assert!(
@@ -191,14 +203,17 @@ mod tests {
             for _ in 0..rng.gen_range(0..20) {
                 let j = rng.gen_range(0..n);
                 let magnitude = 1i64 << rng.gen_range(4..30);
-                observed[j] += if rng.gen::<bool>() { magnitude } else { -magnitude };
+                observed[j] += if rng.gen::<bool>() {
+                    magnitude
+                } else {
+                    -magnitude
+                };
             }
-            let deviations: Vec<i64> = observed
-                .iter()
-                .zip(&expected)
-                .map(|(o, e)| o - e)
-                .collect();
-            let hw = unit.process(&observed, &expected).detection.trigger_recovery;
+            let deviations: Vec<i64> = observed.iter().zip(&expected).map(|(o, e)| o - e).collect();
+            let hw = unit
+                .process(&observed, &expected)
+                .detection
+                .trigger_recovery;
             let sw = software.evaluate_deviations(&deviations).trigger_recovery;
             if hw == sw {
                 agreements += 1;
@@ -221,7 +236,7 @@ mod tests {
     #[test]
     fn cycles_scale_with_stream_length() {
         let unit = StatisticalUnit::paper_256(CriticalRegion::resilient_default());
-        let short = unit.process(&vec![0; 16], &vec![0; 16]).cycles;
+        let short = unit.process(&[0; 16], &[0; 16]).cycles;
         let long = unit.process(&vec![0; 256], &vec![0; 256]).cycles;
         assert_eq!(long - short, 240);
     }

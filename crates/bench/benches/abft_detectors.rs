@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use realm_abft::statistical_unit::StatisticalUnit;
-use realm_abft::{checksum, AbftDetector, ApproxAbft, ClassicalAbft, CriticalRegion, StatisticalAbft};
+use realm_abft::{
+    checksum, AbftDetector, ApproxAbft, ClassicalAbft, CriticalRegion, StatisticalAbft,
+};
 use realm_tensor::{gemm, rng, MatI32, MatI8};
 
 fn corrupted_case(seed: u64, n: usize, errors: usize) -> (MatI8, MatI8, MatI32) {

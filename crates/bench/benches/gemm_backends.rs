@@ -1,0 +1,120 @@
+//! Backend comparison for the quantized GEMM hot path: Reference vs Blocked vs Parallel,
+//! and fused-checksum vs separate-pass checksums on each backend.
+//!
+//! This is the perf contract of the `GemmEngine` tentpole: `Parallel` must beat `Reference`
+//! on the paper-scale 256×256×256 INT8 GEMM, and the fused checksum pass must beat running
+//! the GEMM plus the old two-pass checksum functions. Run with
+//! `REALM_BENCH_JSON=BENCH_gemm.json cargo bench --bench gemm_backends` to refresh the
+//! committed baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use realm_abft::checksum;
+use realm_tensor::engine::EngineKind;
+use realm_tensor::{rng, MatI8};
+
+fn random_i8(seed: u64, rows: usize, cols: usize) -> MatI8 {
+    let mut r = rng::seeded(seed);
+    MatI8::from_fn(rows, cols, |_, _| r.gen_range(-128i16..=127) as i8)
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_i8_backends");
+    group.sample_size(15);
+    for &n in &[64usize, 128, 256] {
+        let a = random_i8(1, n, n);
+        let b = random_i8(2, n, n);
+        for kind in EngineKind::ALL {
+            let engine = kind.build();
+            group.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |bencher, _| {
+                bencher.iter(|| engine.gemm_i8(&a, &b).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fused_vs_two_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checksummed_gemm_256");
+    group.sample_size(15);
+    let n = 256usize;
+    let a = random_i8(3, n, n);
+    let b = random_i8(4, n, n);
+    for kind in EngineKind::ALL {
+        let engine = kind.build();
+        group.bench_function(format!("{}_fused", kind.label()), |bencher| {
+            bencher.iter(|| engine.gemm_i8_checksummed(&a, &b).unwrap());
+        });
+        group.bench_function(format!("{}_two_pass", kind.label()), |bencher| {
+            bencher.iter(|| engine.gemm_i8_checksummed_two_pass(&a, &b).unwrap());
+        });
+    }
+    // The pre-engine baseline: plain GEMM followed by the checksum.rs free functions, i.e.
+    // what the protected pipeline paid per GEMM before this refactor.
+    let reference = EngineKind::Reference.build();
+    group.bench_function("reference_plus_checksum_fns", |bencher| {
+        bencher.iter(|| {
+            let acc = reference.gemm_i8(&a, &b).unwrap();
+            let dev = checksum::column_deviations(&a, &b, &acc);
+            checksum::msd(&dev)
+        });
+    });
+    group.finish();
+}
+
+fn bench_fused_decode_shape(c: &mut Criterion) {
+    // Decode-stage shape: a handful of tokens against a square weight. Here the checksum
+    // passes are a large fraction of the GEMM itself, so fusing them into the kernel's
+    // cache-hot panels is visible, not noise.
+    let mut group = c.benchmark_group("checksummed_gemm_4x2048x2048");
+    group.sample_size(20);
+    // 4 MiB of weights: too big for L2, so the two-pass checksum genuinely re-streams the
+    // matrix while the fused pass reads panels the multiply just touched.
+    let a = random_i8(5, 4, 2048);
+    let b = random_i8(6, 2048, 2048);
+    for kind in [EngineKind::Blocked, EngineKind::Parallel] {
+        let engine = kind.build();
+        group.bench_function(format!("{}_fused", kind.label()), |bencher| {
+            bencher.iter(|| engine.gemm_i8_checksummed(&a, &b).unwrap());
+        });
+        group.bench_function(format!("{}_two_pass", kind.label()), |bencher| {
+            bencher.iter(|| engine.gemm_i8_checksummed_two_pass(&a, &b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_detector_consumption(c: &mut Criterion) {
+    // What the protected pipeline pays per ABFT inspection: with the fused engine output a
+    // detector reads the bundled checksums (O(n)); the old path re-derived them from the raw
+    // matrices on every inspection (O(mk + kn + mn)). This is where the fused-checksum
+    // refactor pays off — the checksums themselves ride the GEMM pass at ~zero marginal
+    // cost (see the `checksummed_gemm_256` group).
+    use realm_abft::classical::ClassicalAbft;
+    use realm_abft::detector::AbftDetector;
+    let mut group = c.benchmark_group("detector_inspect_256");
+    group.sample_size(20);
+    let n = 256usize;
+    let w = random_i8(7, n, n);
+    let x = random_i8(8, n, n);
+    let engine = EngineKind::Parallel.build();
+    let fused = engine.gemm_i8_checksummed(&w, &x).unwrap();
+    let acc = fused.acc().clone();
+    let detector = ClassicalAbft::new();
+    group.bench_function("two_pass_inspect", |bencher| {
+        bencher.iter(|| detector.inspect(&w, &x, &acc));
+    });
+    group.bench_function("fused_inspect", |bencher| {
+        bencher.iter(|| detector.inspect_checksummed(&fused));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_backends,
+    bench_fused_vs_two_pass,
+    bench_fused_decode_shape,
+    bench_detector_consumption
+);
+criterion_main!(benches);

@@ -51,5 +51,9 @@ fn bench_generation_under_protection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_protected_pipeline, bench_generation_under_protection);
+criterion_group!(
+    benches,
+    bench_protected_pipeline,
+    bench_generation_under_protection
+);
 criterion_main!(benches);

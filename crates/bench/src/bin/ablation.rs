@@ -13,8 +13,8 @@
 //! cargo run --release -p realm-bench --bin ablation [-- --quick]
 //! ```
 
-use realm_bench::{banner, opt_model, trials, wikitext_task, HARNESS_SEED};
 use realm_abft::CriticalRegion;
+use realm_bench::{banner, opt_model, trials, wikitext_task, HARNESS_SEED};
 use realm_core::characterize::{componentwise_study, StudyConfig};
 use realm_core::pipeline::{PipelineConfig, ProtectedPipeline};
 use realm_core::protection::RegionAssignment;
@@ -54,8 +54,7 @@ fn adaptivity_ablation() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut rows = Vec::new();
     for (label, regions) in variants {
-        let pipeline =
-            ProtectedPipeline::with_regions(&model, PipelineConfig::default(), regions);
+        let pipeline = ProtectedPipeline::with_regions(&model, PipelineConfig::default(), regions);
         let outcome = pipeline.run(&task, ProtectionScheme::StatisticalAbft, voltage, 3)?;
         rows.push(vec![
             label.to_string(),

@@ -5,11 +5,11 @@
 //! cargo run --release -p realm-bench --bin fig10_tradeoff [-- --quick]
 //! ```
 
+use realm_abft::CriticalRegion;
 use realm_bench::{
     banner, component_pipeline_config, hellaswag_task, llama3_model, opt_model, voltage_grid,
     wikitext_task, HARNESS_SEED,
 };
-use realm_abft::CriticalRegion;
 use realm_core::pipeline::ProtectedPipeline;
 use realm_core::protection::RegionAssignment;
 use realm_core::report::render_table;
@@ -77,7 +77,12 @@ fn panel<T: Task + Sync>(
                 format!("{:.4e}", p.optimal_energy_j),
             ]);
         } else {
-            rows.push(vec![format!("{budget:.2}"), "-".into(), "-".into(), "-".into()]);
+            rows.push(vec![
+                format!("{budget:.2}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
         }
     }
     println!(
@@ -96,7 +101,10 @@ fn panel<T: Task + Sync>(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    banner("degradation vs recovery latency / energy trade-off", "Fig. 10");
+    banner(
+        "degradation vs recovery latency / energy trade-off",
+        "Fig. 10",
+    );
     let opt = opt_model();
     let opt_task = wikitext_task(&opt);
     panel(

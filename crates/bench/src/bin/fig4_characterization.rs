@@ -37,7 +37,7 @@ fn requested_study() -> Option<String> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("LLM resilience characterization", "Fig. 4, Q1.1-Q2.2");
     let study = requested_study();
-    let run = |name: &str| study.as_deref().map_or(true, |s| s == name);
+    let run = |name: &str| study.as_deref().is_none_or(|s| s == name);
 
     let opt = opt_model();
     let opt_lambada = lambada_task(&opt);
@@ -50,11 +50,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("-- Q1.1 layer-wise resilience (Fig. 4(a)(b)) --\n");
         let layers: Vec<usize> = vec![0, opt.config().num_layers / 2, opt.config().num_layers - 1];
         let series = layerwise_study(&opt, &opt_lambada, &layers, &bers, &config)?;
-        println!("OPT proxy, LAMBADA-style accuracy:\n{}", render_series_table("BER", &series));
-        let layers: Vec<usize> =
-            vec![0, llama.config().num_layers / 2, llama.config().num_layers - 1];
+        println!(
+            "OPT proxy, LAMBADA-style accuracy:\n{}",
+            render_series_table("BER", &series)
+        );
+        let layers: Vec<usize> = vec![
+            0,
+            llama.config().num_layers / 2,
+            llama.config().num_layers - 1,
+        ];
         let series = layerwise_study(&llama, &llama_wikitext, &layers, &bers, &config)?;
-        println!("LLaMA-2 proxy, WikiText-style perplexity:\n{}", render_series_table("BER", &series));
+        println!(
+            "LLaMA-2 proxy, WikiText-style perplexity:\n{}",
+            render_series_table("BER", &series)
+        );
     }
 
     if run("q12") {
@@ -119,7 +128,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("-- Q1.4 magnitude/frequency trade-off (Fig. 4(g)(h)) --\n");
         let msds = [19u32, 21, 25, 26, 30];
         let freqs = [0u32, 2, 4, 6, 8, 10, 12, 14];
-        for (label, component) in [("resilient (K)", Component::K), ("sensitive (O)", Component::O)] {
+        for (label, component) in [
+            ("resilient (K)", Component::K),
+            ("sensitive (O)", Component::O),
+        ] {
             println!("{label}:");
             println!("log2(MSD)  log2(freq)  log2(mag)  {}", opt_lambada.metric());
             let grid = magfreq_study(&opt, &opt_lambada, component, &msds, &freqs, &config)?;

@@ -13,7 +13,10 @@ use realm_core::report::render_table;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("normalization skew under a single injected error", "Fig. 5");
 
-    for (name, model) in [("OPT proxy", opt_model()), ("LLaMA-2 proxy", llama2_model())] {
+    for (name, model) in [
+        ("OPT proxy", opt_model()),
+        ("LLaMA-2 proxy", llama2_model()),
+    ] {
         println!("{name}:");
         let mut rows = Vec::new();
         for magnitude in [0.0f32, 50.0, 200.0, 500.0, 2000.0] {

@@ -28,7 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let fit = fit_component_region(&model, &task, component, &msds, &freqs, &budget, &config)?;
         rows.push(vec![
             component.label().to_string(),
-            if component.is_sensitive() { "sensitive" } else { "resilient" }.to_string(),
+            if component.is_sensitive() {
+                "sensitive"
+            } else {
+                "resilient"
+            }
+            .to_string(),
             format!("{:.2}", fit.region.a),
             format!("{:.2}", fit.region.b),
             format!("{:.2}", fit.region.theta_freq_log2),

@@ -44,7 +44,9 @@ fn panel<T: Task + Sync>(
     let higher_is_better = task.metric().higher_is_better();
     let baseline_best = sweeps
         .iter()
-        .filter(|s| s.scheme != ProtectionScheme::StatisticalAbft && s.scheme != ProtectionScheme::None)
+        .filter(|s| {
+            s.scheme != ProtectionScheme::StatisticalAbft && s.scheme != ProtectionScheme::None
+        })
         .filter_map(|s| s.sweet_spot(clean, higher_is_better, budget))
         .map(|o| o.energy.total_j())
         .fold(f64::INFINITY, f64::min);
@@ -80,7 +82,10 @@ fn panel<T: Task + Sync>(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    banner("LLM performance and total energy vs operating voltage", "Fig. 9");
+    banner(
+        "LLM performance and total energy vs operating voltage",
+        "Fig. 9",
+    );
 
     let opt = opt_model();
     let opt_task = wikitext_task(&opt);

@@ -58,17 +58,28 @@ fn panel<T: Task + Sync>(
         println!(
             "largest saving: {} ({:.1}%); smallest saving: {} ({:.1}%) — sensitive components \
              leave less headroom, as in the paper.\n",
-            best.component, best.energy_saving_percent, worst.component, worst.energy_saving_percent
+            best.component,
+            best.energy_saving_percent,
+            worst.component,
+            worst.energy_saving_percent
         );
     }
     Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    banner("per-component optimal voltage and energy saving", "Table II");
+    banner(
+        "per-component optimal voltage and energy saving",
+        "Table II",
+    );
     let opt = opt_model();
     let opt_task = wikitext_task(&opt);
-    panel("OPT proxy (WikiText-style perplexity, +0.3 budget)", &opt, &opt_task, 0.3)?;
+    panel(
+        "OPT proxy (WikiText-style perplexity, +0.3 budget)",
+        &opt,
+        &opt_task,
+        0.3,
+    )?;
 
     let llama = llama3_model();
     let llama_task = hellaswag_task(&llama);

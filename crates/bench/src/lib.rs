@@ -26,7 +26,9 @@ pub const HARNESS_SEED: u64 = 2025;
 /// `REALM_QUICK=1` environment variable; CI and `cargo bench` runs use it to stay fast.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
-        || std::env::var("REALM_QUICK").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("REALM_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }
 
 /// Number of Monte-Carlo trials per sweep point, honouring quick mode.

@@ -129,7 +129,8 @@ fn fixed_bit_trials<T: Task + Sync>(
         .into_par_iter()
         .map(|i| {
             let seed = rng::derive_seed(config.seed, i as u64);
-            let mut injector = ErrorInjector::new(FixedBitModel::new(ber, bit), target.clone(), seed);
+            let mut injector =
+                ErrorInjector::new(FixedBitModel::new(ber, bit), target.clone(), seed);
             task.evaluate(model, &mut injector)
                 .unwrap_or_else(|_| worst_case_value(task))
         })
@@ -336,7 +337,7 @@ pub struct NormSkewReport {
 /// normalized element.
 pub fn norm_skew_study(model: &Model, error_magnitude: f32, seed: u64) -> NormSkewReport {
     let hidden = model.config().hidden_size;
-    let mut r = rng::seeded(rng::derive_seed(seed, 0xF16_5));
+    let mut r = rng::seeded(rng::derive_seed(seed, 0xF165));
     // A representative pre-norm hidden state: embed a random token (outlier channels and all).
     use rand::Rng;
     let token = r.gen_range(0..model.config().vocab_size as u32);
@@ -445,8 +446,8 @@ mod tests {
     fn magfreq_study_covers_the_grid_below_the_msd_diagonal() {
         let (model, task) = setup();
         let config = StudyConfig::quick(2);
-        let grid = magfreq_study(&model, &task, Component::K, &[20, 24], &[0, 2, 30], &config)
-            .unwrap();
+        let grid =
+            magfreq_study(&model, &task, Component::K, &[20, 24], &[0, 2, 30], &config).unwrap();
         // log2_freq = 30 exceeds both MSDs and is skipped.
         assert_eq!(grid.len(), 4);
         for p in &grid {

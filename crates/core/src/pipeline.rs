@@ -21,6 +21,7 @@ use realm_llm::{Component, Model};
 use realm_systolic::{
     energy::WorkloadSpec, AreaPowerModel, EnergyModel, ProtectionScheme, SystolicArray,
 };
+use realm_tensor::EngineKind;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a protected-inference pipeline.
@@ -39,6 +40,10 @@ pub struct PipelineConfig {
     /// Number of lower accumulator bits excluded from injection (timing errors favour the
     /// high bits); 16 matches the high-bit model used in the characterization.
     pub min_error_bit: u8,
+    /// GEMM execution backend for the protector's recovery recomputation. All backends are
+    /// bit-exact, so this only changes how fast the sweeps run; it defaults to the parallel
+    /// backend like the models themselves.
+    pub engine: EngineKind,
 }
 
 impl Default for PipelineConfig {
@@ -49,6 +54,7 @@ impl Default for PipelineConfig {
             energy: EnergyModel::default_14nm(),
             protected_component: None,
             min_error_bit: 16,
+            engine: EngineKind::Parallel,
         }
     }
 }
@@ -117,7 +123,11 @@ impl<'m> ProtectedPipeline<'m> {
     }
 
     /// Creates a pipeline with explicitly fitted critical regions.
-    pub fn with_regions(model: &'m Model, config: PipelineConfig, regions: RegionAssignment) -> Self {
+    pub fn with_regions(
+        model: &'m Model,
+        config: PipelineConfig,
+        regions: RegionAssignment,
+    ) -> Self {
         Self {
             model,
             config,
@@ -158,7 +168,12 @@ impl<'m> ProtectedPipeline<'m> {
             target,
             seed,
         );
-        let mut protector = SchemeProtector::new(scheme, self.config.array, &self.regions);
+        let mut protector = SchemeProtector::with_engine(
+            scheme,
+            self.config.array,
+            &self.regions,
+            self.config.engine.build(),
+        );
 
         let task_value = {
             let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
@@ -185,7 +200,9 @@ impl<'m> ProtectedPipeline<'m> {
             voltage,
             ber,
             task_value,
-            gemms_inspected: recovery_stats.gemms_inspected.max(injection_stats.gemms_observed),
+            gemms_inspected: recovery_stats
+                .gemms_inspected
+                .max(injection_stats.gemms_observed),
             recoveries: recovery_stats.recoveries_triggered,
             compute_macs,
             recovery_macs: recovery_stats.recovery_macs,
@@ -207,8 +224,7 @@ impl<'m> ProtectedPipeline<'m> {
     fn workload_macs(&self) -> u64 {
         // A representative workload unit: one prefill of half the context window. The energy
         // comparison across schemes and voltages only needs a consistent workload definition.
-        self.model
-            .prefill_macs(self.model.config().max_seq_len / 2)
+        self.model.prefill_macs(self.model.config().max_seq_len / 2)
     }
 }
 
@@ -312,9 +328,7 @@ mod tests {
     fn invalid_voltage_is_rejected() {
         let (model, task) = setup();
         let pipeline = ProtectedPipeline::new(&model, small_config());
-        assert!(pipeline
-            .run(&task, ProtectionScheme::None, 0.0, 1)
-            .is_err());
+        assert!(pipeline.run(&task, ProtectionScheme::None, 0.0, 1).is_err());
     }
 
     #[test]

@@ -8,13 +8,14 @@
 
 use realm_abft::{
     approx::ApproxAbft, classical::ClassicalAbft, critical_region::CriticalRegion,
-    detector::AbftDetector, detector::Detection, recovery::RecoveryPolicy,
-    recovery::RecoveryStats, statistical::StatisticalAbft,
+    detector::AbftDetector, detector::Detection, recovery::RecoveryPolicy, recovery::RecoveryStats,
+    statistical::StatisticalAbft,
 };
 use realm_llm::{Component, GemmContext, GemmHook};
 use realm_systolic::{ProtectionScheme, SystolicArray};
-use realm_tensor::{gemm, MatI32, MatI8};
+use realm_tensor::{engine, ChecksummedGemm, GemmEngine, MatI32, MatI8};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Per-component critical regions used by the statistical scheme.
 ///
@@ -73,12 +74,28 @@ pub struct SchemeProtector {
     statistical: BTreeMap<Component, StatisticalAbft>,
     stats: RecoveryStats,
     correct_on_recovery: bool,
+    engine: Arc<dyn GemmEngine>,
 }
 
 impl SchemeProtector {
     /// Creates a protector for `scheme` using per-component `regions` (only consulted by the
-    /// statistical scheme) and the default recovery policy for the scheme.
+    /// statistical scheme) and the default recovery policy for the scheme. Recovery
+    /// recomputation runs on the process-default GEMM backend; use
+    /// [`SchemeProtector::with_engine`] to pin a specific one.
     pub fn new(scheme: ProtectionScheme, array: SystolicArray, regions: &RegionAssignment) -> Self {
+        Self::with_engine(scheme, array, regions, engine::default_engine())
+    }
+
+    /// Creates a protector whose recovery recomputation runs on `engine`.
+    ///
+    /// All backends are bit-exact, so this choice affects wall-clock time only — the paper's
+    /// "recompute at nominal voltage" recovery reproduces the exact accumulator either way.
+    pub fn with_engine(
+        scheme: ProtectionScheme,
+        array: SystolicArray,
+        regions: &RegionAssignment,
+        engine: Arc<dyn GemmEngine>,
+    ) -> Self {
         let statistical = Component::ALL
             .iter()
             .map(|&c| (c, StatisticalAbft::new(regions.region_for(c))))
@@ -92,6 +109,7 @@ impl SchemeProtector {
             statistical,
             stats: RecoveryStats::new(),
             correct_on_recovery: true,
+            engine,
         }
     }
 
@@ -133,7 +151,8 @@ impl SchemeProtector {
         self.correct_on_recovery = correct;
     }
 
-    fn detect(&self, ctx: &GemmContext, w: &MatI8, x: &MatI8, acc: &MatI32) -> Option<Detection> {
+    /// The detector the active scheme applies to `ctx`'s component, if any.
+    fn detector_for(&self, ctx: &GemmContext) -> Option<&dyn AbftDetector> {
         match self.scheme {
             ProtectionScheme::None => None,
             // DMR, Razor and ThunderVolt detect at the circuit level; their detection
@@ -143,15 +162,31 @@ impl SchemeProtector {
             ProtectionScheme::Dmr
             | ProtectionScheme::RazorFfs
             | ProtectionScheme::ThunderVolt
-            | ProtectionScheme::ClassicalAbft => Some(self.classical.inspect(w, x, acc)),
-            ProtectionScheme::ApproxAbft => Some(self.approx.inspect(w, x, acc)),
+            | ProtectionScheme::ClassicalAbft => Some(&self.classical),
+            ProtectionScheme::ApproxAbft => Some(&self.approx),
             ProtectionScheme::StatisticalAbft => Some(
                 self.statistical
                     .get(&ctx.component)
-                    .expect("every component has a statistical detector")
-                    .inspect(w, x, acc),
+                    .expect("every component has a statistical detector"),
             ),
         }
+    }
+
+    /// Charges one inspection to the stats and reports whether recovery should rewrite the
+    /// accumulator.
+    fn record(&mut self, detection: &Detection, m: usize, k: usize, n: usize) -> bool {
+        let schedule = self.array.schedule_gemm(m, k, n);
+        self.stats.record(
+            &self.policy,
+            detection.errors_detected,
+            detection.trigger_recovery,
+            schedule.macs,
+            schedule.cycles,
+            detection.effective_frequency as u64,
+        );
+        detection.trigger_recovery
+            && self.correct_on_recovery
+            && !matches!(self.policy, RecoveryPolicy::None)
     }
 }
 
@@ -167,28 +202,47 @@ impl std::fmt::Debug for SchemeProtector {
 
 impl GemmHook for SchemeProtector {
     fn on_gemm(&mut self, ctx: &GemmContext, w: &MatI8, x: &MatI8, acc: &mut MatI32) {
-        let Some(detection) = self.detect(ctx, w, x, acc) else {
+        let Some(detector) = self.detector_for(ctx) else {
             return;
         };
-        let schedule = self
-            .array
-            .schedule_gemm(w.rows(), w.cols(), x.cols());
-        self.stats.record(
-            &self.policy,
-            detection.errors_detected,
-            detection.trigger_recovery,
-            schedule.macs,
-            schedule.cycles,
-            detection.effective_frequency as u64,
-        );
-        if detection.trigger_recovery
-            && self.correct_on_recovery
-            && !matches!(self.policy, RecoveryPolicy::None)
-        {
+        let detection = detector.inspect(w, x, acc);
+        if self.record(&detection, w.rows(), w.cols(), x.cols()) {
             // Operands are fault-free (ECC-protected memory), so re-executing the GEMM at a
             // safe voltage reproduces the exact result.
-            *acc = gemm::gemm_i8(w, x).expect("operand shapes were already validated");
+            *acc = self
+                .engine
+                .gemm_i8(w, x)
+                .expect("operand shapes were already validated");
         }
+    }
+
+    fn on_gemm_checksummed(
+        &mut self,
+        ctx: &GemmContext,
+        w: &MatI8,
+        x: &MatI8,
+        result: &mut ChecksummedGemm,
+    ) {
+        let Some(detector) = self.detector_for(ctx) else {
+            return;
+        };
+        // The fused pass already paid for the operand-side checksum; only the observed side
+        // is (lazily) refreshed if an upstream injector mutated the accumulator. This is the
+        // hot path of every protected pipeline run.
+        let detection = detector.inspect_checksummed(result);
+        if self.record(&detection, w.rows(), w.cols(), x.cols()) {
+            let recovered = self
+                .engine
+                .gemm_i8_checksummed(w, x)
+                .expect("operand shapes were already validated");
+            *result = recovered;
+        }
+    }
+
+    fn wants_checksums(&self) -> bool {
+        // `ProtectionScheme::None` never inspects anything, so those runs can skip the
+        // fused checksum reductions at the GEMM level entirely.
+        !matches!(self.scheme, ProtectionScheme::None)
     }
 }
 
@@ -228,7 +282,10 @@ mod tests {
         let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
         let (protected_logits, _) = model.prefill(&[1, 2, 3, 4], &mut chain).unwrap();
 
-        assert_eq!(protected_logits, clean_logits, "classical ABFT fully repairs the run");
+        assert_eq!(
+            protected_logits, clean_logits,
+            "classical ABFT fully repairs the run"
+        );
         assert!(protector.stats().recoveries_triggered > 0);
         assert!(protector.stats().recovery_macs > 0);
     }
@@ -262,7 +319,10 @@ mod tests {
         };
         let (classical_recoveries, classical_errors) = run(ProtectionScheme::ClassicalAbft);
         let (statistical_recoveries, statistical_errors) = run(ProtectionScheme::StatisticalAbft);
-        assert_eq!(classical_errors, statistical_errors, "same faults are observed");
+        assert_eq!(
+            classical_errors, statistical_errors,
+            "same faults are observed"
+        );
         assert_eq!(
             classical_recoveries, classical_errors,
             "classical recovers every corrupted GEMM"
@@ -283,7 +343,10 @@ mod tests {
         model.prefill(&[3, 4, 5, 6], &mut chain).unwrap();
         let stats = protector.stats();
         assert!(stats.recoveries_triggered > 0);
-        assert_eq!(stats.recovery_macs, 0, "replay does not recompute whole GEMMs");
+        assert_eq!(
+            stats.recovery_macs, 0,
+            "replay does not recompute whole GEMMs"
+        );
         assert!(stats.recovery_cycles > 0);
     }
 
@@ -297,7 +360,10 @@ mod tests {
         protector.set_correct_on_recovery(false);
         let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
         let (logits, _) = model.prefill(&[1, 2, 3], &mut chain).unwrap();
-        assert_ne!(logits, clean_logits, "errors remain because correction is disabled");
+        assert_ne!(
+            logits, clean_logits,
+            "errors remain because correction is disabled"
+        );
         assert!(protector.stats().recoveries_triggered > 0);
         protector.reset_stats();
         assert_eq!(protector.stats().recoveries_triggered, 0);

@@ -119,7 +119,7 @@ pub fn format_number(value: f64) -> String {
     let magnitude = value.abs();
     if value == 0.0 {
         "0".to_string()
-    } else if magnitude >= 1e5 || magnitude < 1e-3 {
+    } else if !(1e-3..1e5).contains(&magnitude) {
         format!("{value:.2e}")
     } else {
         format!("{value:.3}")
@@ -154,11 +154,19 @@ mod tests {
         let series = vec![
             Series {
                 label: "K".into(),
-                points: vec![SweepPoint { x: 1e-4, value: 15.0, std: 0.1 }],
+                points: vec![SweepPoint {
+                    x: 1e-4,
+                    value: 15.0,
+                    std: 0.1,
+                }],
             },
             Series {
                 label: "O".into(),
-                points: vec![SweepPoint { x: 1e-4, value: 90.0, std: 3.0 }],
+                points: vec![SweepPoint {
+                    x: 1e-4,
+                    value: 90.0,
+                    std: 3.0,
+                }],
             },
         ];
         let table = render_series_table("BER", &series);

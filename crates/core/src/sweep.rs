@@ -134,7 +134,13 @@ pub fn component_sweet_spots(
         };
         let pipeline = ProtectedPipeline::new(model, config);
         let clean_value = pipeline.clean_value(task)?;
-        let ours = voltage_sweep(&pipeline, task, ProtectionScheme::StatisticalAbft, voltages, seed)?;
+        let ours = voltage_sweep(
+            &pipeline,
+            task,
+            ProtectionScheme::StatisticalAbft,
+            voltages,
+            seed,
+        )?;
         let baseline = voltage_sweep(&pipeline, task, baseline_scheme, voltages, seed)?;
         let our_spot = ours
             .sweet_spot(clean_value, higher_is_better, budget)
@@ -250,7 +256,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sweep.outcomes.len(), 4);
-        let spot = sweep.sweet_spot(clean, false, 0.5).expect("a sweet spot exists");
+        let spot = sweep
+            .sweet_spot(clean, false, 0.5)
+            .expect("a sweet spot exists");
         assert!(voltages.contains(&spot.voltage));
         // The sweet spot must not sit at the highest voltage: undervolting saves energy.
         assert!(spot.voltage < 0.86 + 1e-12);
@@ -279,7 +287,10 @@ mod tests {
         let sweeps = scheme_comparison(
             &pipeline,
             &task,
-            &[ProtectionScheme::ClassicalAbft, ProtectionScheme::StatisticalAbft],
+            &[
+                ProtectionScheme::ClassicalAbft,
+                ProtectionScheme::StatisticalAbft,
+            ],
             &[0.68, 0.80],
             9,
         )

@@ -63,7 +63,10 @@ impl Corpus {
     ///
     /// Panics if the spec asks for zero sequences or sequences shorter than two tokens.
     pub fn sample(language: &SyntheticLanguage, spec: &CorpusSpec, seed: u64) -> Self {
-        assert!(spec.num_sequences > 0, "a corpus needs at least one sequence");
+        assert!(
+            spec.num_sequences > 0,
+            "a corpus needs at least one sequence"
+        );
         assert!(spec.seq_len >= 2, "sequences need at least two tokens");
         let mut rng_ = rng::seeded(rng::derive_seed(seed, 0xC0_4B05));
         let zipf = ZipfSampler::new(language.vocab_size(), spec.zipf_exponent);
@@ -111,7 +114,10 @@ impl Corpus {
 
     /// Total number of next-token prediction targets in the corpus.
     pub fn num_targets(&self) -> usize {
-        self.sequences.iter().map(|s| s.len().saturating_sub(1)).sum()
+        self.sequences
+            .iter()
+            .map(|s| s.len().saturating_sub(1))
+            .sum()
     }
 
     /// Fraction of transitions that follow the successor map (useful for sanity checks).
@@ -184,7 +190,10 @@ mod tests {
         let corpus = Corpus::sample(&lang, &spec, 11);
         let measured = corpus.measured_fidelity(&lang);
         // Noise tokens occasionally coincide with the successor, so measured ≥ spec slightly.
-        assert!((measured - 0.8).abs() < 0.08, "measured fidelity {measured}");
+        assert!(
+            (measured - 0.8).abs() < 0.08,
+            "measured fidelity {measured}"
+        );
     }
 
     #[test]

@@ -46,8 +46,14 @@ impl HellaswagTask {
         seed: u64,
     ) -> Self {
         assert!(num_examples > 0, "the task needs at least one example");
-        assert!(num_choices >= 2, "multiple choice needs at least two candidates");
-        assert!(prompt_len > 0 && continuation_len > 0, "sizes must be non-zero");
+        assert!(
+            num_choices >= 2,
+            "multiple choice needs at least two candidates"
+        );
+        assert!(
+            prompt_len > 0 && continuation_len > 0,
+            "sizes must be non-zero"
+        );
         let mut rng_ = rng::seeded(rng::derive_seed(seed, 0x8E11A));
         let vocab = language.vocab_size() as u32;
         let examples = (0..num_examples)
@@ -153,7 +159,10 @@ mod tests {
         let task = HellaswagTask::quick(model.language(), 31);
         let accuracy = task.evaluate(&model, &mut NoopHook).unwrap();
         // Chance level for 4 candidates is 25%.
-        assert!(accuracy >= 62.5, "clean accuracy {accuracy} barely beats chance");
+        assert!(
+            accuracy >= 62.5,
+            "clean accuracy {accuracy} barely beats chance"
+        );
         assert_eq!(task.len(), 8);
     }
 

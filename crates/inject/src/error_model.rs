@@ -68,7 +68,11 @@ impl BitFlipModel {
         assert!((0.0..=1.0).contains(&ber), "BER {ber} must be in [0, 1]");
         assert!(min_bit < max_bit, "empty bit range {min_bit}..{max_bit}");
         assert!(max_bit <= ACCUMULATOR_BITS, "max_bit {max_bit} exceeds 32");
-        Self { ber, min_bit, max_bit }
+        Self {
+            ber,
+            min_bit,
+            max_bit,
+        }
     }
 
     fn eligible_bits(&self) -> u32 {

@@ -4,7 +4,7 @@ use crate::error_model::ErrorModel;
 use crate::targeting::Target;
 use realm_llm::{Component, GemmContext, GemmHook, Stage};
 use realm_tensor::rng::{self, SeededRng};
-use realm_tensor::{MatI32, MatI8};
+use realm_tensor::{ChecksummedGemm, MatI32, MatI8};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -100,12 +100,10 @@ impl<M: ErrorModel> ErrorInjector<M> {
     }
 }
 
-impl<M: ErrorModel> GemmHook for ErrorInjector<M> {
-    fn on_gemm(&mut self, ctx: &GemmContext, _w: &MatI8, _x: &MatI8, acc: &mut MatI32) {
-        self.stats.gemms_observed += 1;
-        if !self.enabled || !self.target.matches(ctx) {
-            return;
-        }
+impl<M: ErrorModel> ErrorInjector<M> {
+    /// Applies the fault model to a targeted accumulator and books the statistics.
+    /// Returns the number of injected errors.
+    fn corrupt_targeted(&mut self, ctx: &GemmContext, acc: &mut MatI32) -> usize {
         self.stats.gemms_targeted += 1;
         let injected = self.model.corrupt(&mut self.rng, acc);
         if injected > 0 {
@@ -114,6 +112,42 @@ impl<M: ErrorModel> GemmHook for ErrorInjector<M> {
             *self.stats.per_component.entry(ctx.component).or_insert(0) += injected as u64;
             *self.stats.per_stage.entry(ctx.stage).or_insert(0) += injected as u64;
         }
+        injected
+    }
+}
+
+impl<M: ErrorModel> GemmHook for ErrorInjector<M> {
+    fn on_gemm(&mut self, ctx: &GemmContext, _w: &MatI8, _x: &MatI8, acc: &mut MatI32) {
+        self.stats.gemms_observed += 1;
+        if !self.enabled || !self.target.matches(ctx) {
+            return;
+        }
+        self.corrupt_targeted(ctx, acc);
+    }
+
+    fn on_gemm_checksummed(
+        &mut self,
+        ctx: &GemmContext,
+        _w: &MatI8,
+        _x: &MatI8,
+        result: &mut ChecksummedGemm,
+    ) {
+        self.stats.gemms_observed += 1;
+        // Untargeted (and fault-free) GEMMs must not touch the accumulator at all: taking
+        // `acc_mut` would mark the fused observed checksum stale and force a downstream
+        // protector into a full recompute — at low BER that is almost every GEMM.
+        if !self.enabled || !self.target.matches(ctx) {
+            return;
+        }
+        if self.corrupt_targeted(ctx, result.acc_mut()) == 0 {
+            result.assume_observed_fresh();
+        }
+    }
+
+    fn wants_checksums(&self) -> bool {
+        // The injector only mutates the accumulator; it never reads the checksums. A
+        // downstream protector in the same chain is what opts the chain in.
+        false
     }
 }
 
@@ -146,7 +180,11 @@ mod tests {
         let target = Target::new().stage(Stage::Decode);
         let mut injector = ErrorInjector::new(BitFlipModel::uniform(0.5), target, 3);
         let (_, mut cache) = model.prefill(&[1, 2, 3], &mut injector).unwrap();
-        assert_eq!(injector.stats().gemms_targeted, 0, "prefill GEMMs are not targeted");
+        assert_eq!(
+            injector.stats().gemms_targeted,
+            0,
+            "prefill GEMMs are not targeted"
+        );
         assert!(injector.stats().gemms_observed > 0);
         model.decode_step(4, &mut cache, &mut injector).unwrap();
         assert!(injector.stats().gemms_targeted > 0);
@@ -169,8 +207,7 @@ mod tests {
     fn same_seed_injects_identical_faults() {
         let model = Model::new(&ModelConfig::tiny_opt(), 1).unwrap();
         let run = |seed| {
-            let mut injector =
-                ErrorInjector::everywhere(BitFlipModel::high_bits(1e-3), seed);
+            let mut injector = ErrorInjector::everywhere(BitFlipModel::high_bits(1e-3), seed);
             let (logits, _) = model.prefill(&[5, 6, 7, 8], &mut injector).unwrap();
             (logits, injector.stats().errors_injected)
         };

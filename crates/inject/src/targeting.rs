@@ -80,9 +80,9 @@ impl Target {
     pub fn matches(&self, ctx: &GemmContext) -> bool {
         self.components
             .as_ref()
-            .map_or(true, |s| s.contains(&ctx.component))
-            && self.layers.as_ref().map_or(true, |s| s.contains(&ctx.layer))
-            && self.stages.as_ref().map_or(true, |s| s.contains(&ctx.stage))
+            .is_none_or(|s| s.contains(&ctx.component))
+            && self.layers.as_ref().is_none_or(|s| s.contains(&ctx.layer))
+            && self.stages.as_ref().is_none_or(|s| s.contains(&ctx.stage))
     }
 
     /// Returns the configured component filter, if any.
@@ -113,10 +113,16 @@ impl Target {
                 .join(",")
         });
         let layers = self.layers.as_ref().map(|s| {
-            s.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(",")
+            s.iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         });
         let stages = self.stages.as_ref().map(|s| {
-            s.iter().map(|st| st.to_string()).collect::<Vec<_>>().join(",")
+            s.iter()
+                .map(|st| st.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         });
         format!(
             "{} {} {}",

@@ -42,11 +42,19 @@ impl VoltageBerCurve {
     /// # Panics
     ///
     /// Panics if any parameter is non-positive or `ber_nominal > ber_max`.
-    pub fn new(nominal_voltage: f64, ber_nominal: f64, decades_per_volt: f64, ber_max: f64) -> Self {
+    pub fn new(
+        nominal_voltage: f64,
+        ber_nominal: f64,
+        decades_per_volt: f64,
+        ber_max: f64,
+    ) -> Self {
         assert!(nominal_voltage > 0.0, "nominal voltage must be positive");
         assert!(ber_nominal > 0.0 && ber_max > 0.0, "BERs must be positive");
         assert!(decades_per_volt > 0.0, "slope must be positive");
-        assert!(ber_nominal <= ber_max, "nominal BER cannot exceed the ceiling");
+        assert!(
+            ber_nominal <= ber_max,
+            "nominal BER cannot exceed the ceiling"
+        );
         Self {
             nominal_voltage,
             ber_nominal,
@@ -116,7 +124,10 @@ mod tests {
     fn nominal_voltage_has_negligible_ber() {
         let curve = VoltageBerCurve::default_14nm();
         assert!(curve.ber_at(0.9) <= 1e-10);
-        assert!(curve.ber_at(1.0) <= 1e-10, "overvolting never increases BER");
+        assert!(
+            curve.ber_at(1.0) <= 1e-10,
+            "overvolting never increases BER"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::quantized::{quant_matmul, OutputMode, QuantLinear};
 use crate::weights;
 use crate::Result;
 use realm_tensor::rng::SeededRng;
-use realm_tensor::MatF32;
+use realm_tensor::{GemmEngine, MatF32};
 
 /// Multi-head self-attention for a single Transformer layer.
 #[derive(Debug, Clone)]
@@ -65,6 +65,7 @@ impl MultiHeadAttention {
     /// # Errors
     ///
     /// Propagates shape errors from the underlying GEMMs and cache operations.
+    #[allow(clippy::too_many_arguments)] // mirrors the block-forward plumbing: ctx + engine + hook
     pub fn forward(
         &self,
         x: &MatF32,
@@ -72,6 +73,7 @@ impl MultiHeadAttention {
         stage: Stage,
         cache: &mut LayerCache,
         sequence: &mut usize,
+        engine: &dyn GemmEngine,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
         let offset = cache.len();
@@ -83,13 +85,13 @@ impl MultiHeadAttention {
 
         let q = self
             .wq
-            .forward(x, &ctx(Component::Q, sequence), hook)?;
+            .forward(x, engine, &ctx(Component::Q, sequence), hook)?;
         let k = self
             .wk
-            .forward(x, &ctx(Component::K, sequence), hook)?;
+            .forward(x, engine, &ctx(Component::K, sequence), hook)?;
         let v = self
             .wv
-            .forward(x, &ctx(Component::V, sequence), hook)?;
+            .forward(x, engine, &ctx(Component::V, sequence), hook)?;
 
         cache.append(&k, &v)?;
         let keys = cache.keys().expect("cache populated by append");
@@ -109,6 +111,7 @@ impl MultiHeadAttention {
             let mut scores = quant_matmul(
                 &q_h,
                 &k_h.transposed(),
+                engine,
                 &ctx(Component::QkT, sequence),
                 hook,
                 OutputMode::Float,
@@ -120,6 +123,7 @@ impl MultiHeadAttention {
             let ctx_h = quant_matmul(
                 &probs,
                 &v_h,
+                engine,
                 &ctx(Component::Sv, sequence),
                 hook,
                 OutputMode::Float,
@@ -132,8 +136,7 @@ impl MultiHeadAttention {
         }
 
         self.wo
-            .forward(&context, &ctx(Component::O, sequence), hook)
-            .map_err(Into::into)
+            .forward(&context, engine, &ctx(Component::O, sequence), hook)
     }
 }
 
@@ -147,6 +150,7 @@ mod tests {
     use super::*;
     use crate::hooks::{NoopHook, RecordingHook};
     use realm_tensor::rng;
+    use realm_tensor::ReferenceEngine;
 
     fn attention_and_input() -> (MultiHeadAttention, MatF32, ModelConfig) {
         let config = ModelConfig::tiny_opt();
@@ -162,7 +166,15 @@ mod tests {
         let mut cache = LayerCache::new();
         let mut seq = 0;
         let y = attn
-            .forward(&x, 0, Stage::Prefill, &mut cache, &mut seq, &mut NoopHook)
+            .forward(
+                &x,
+                0,
+                Stage::Prefill,
+                &mut cache,
+                &mut seq,
+                &ReferenceEngine,
+                &mut NoopHook,
+            )
             .unwrap();
         assert_eq!(y.shape(), (5, config.hidden_size));
         assert_eq!(cache.len(), 5);
@@ -175,8 +187,16 @@ mod tests {
         let mut cache = LayerCache::new();
         let mut seq = 0;
         let mut rec = RecordingHook::new();
-        attn.forward(&x, 3, Stage::Prefill, &mut cache, &mut seq, &mut rec)
-            .unwrap();
+        attn.forward(
+            &x,
+            3,
+            Stage::Prefill,
+            &mut cache,
+            &mut seq,
+            &ReferenceEngine,
+            &mut rec,
+        )
+        .unwrap();
         // Q, K, V once each; QK^T and SV once per head; O once.
         assert_eq!(rec.count_for(Component::Q), 1);
         assert_eq!(rec.count_for(Component::K), 1);
@@ -195,13 +215,29 @@ mod tests {
         let (attn, x, config) = attention_and_input();
         let mut cache = LayerCache::new();
         let mut seq = 0;
-        attn.forward(&x, 0, Stage::Prefill, &mut cache, &mut seq, &mut NoopHook)
-            .unwrap();
+        attn.forward(
+            &x,
+            0,
+            Stage::Prefill,
+            &mut cache,
+            &mut seq,
+            &ReferenceEngine,
+            &mut NoopHook,
+        )
+        .unwrap();
         assert_eq!(cache.len(), 5);
         let mut r = rng::seeded(99);
         let new = rng::gaussian_matrix(&mut r, 1, config.hidden_size, 0.0, 1.0);
         let y = attn
-            .forward(&new, 0, Stage::Decode, &mut cache, &mut seq, &mut NoopHook)
+            .forward(
+                &new,
+                0,
+                Stage::Decode,
+                &mut cache,
+                &mut seq,
+                &ReferenceEngine,
+                &mut NoopHook,
+            )
             .unwrap();
         assert_eq!(y.shape(), (1, config.hidden_size));
         assert_eq!(cache.len(), 6);
@@ -223,15 +259,39 @@ mod tests {
         let mut cache_full = LayerCache::new();
         let mut seq = 0;
         let y_full = attn
-            .forward(&full, 0, Stage::Prefill, &mut cache_full, &mut seq, &mut NoopHook)
+            .forward(
+                &full,
+                0,
+                Stage::Prefill,
+                &mut cache_full,
+                &mut seq,
+                &ReferenceEngine,
+                &mut NoopHook,
+            )
             .unwrap();
 
         let mut cache_inc = LayerCache::new();
         let mut seq = 0;
-        attn.forward(&prefix, 0, Stage::Prefill, &mut cache_inc, &mut seq, &mut NoopHook)
-            .unwrap();
+        attn.forward(
+            &prefix,
+            0,
+            Stage::Prefill,
+            &mut cache_inc,
+            &mut seq,
+            &ReferenceEngine,
+            &mut NoopHook,
+        )
+        .unwrap();
         let y_inc = attn
-            .forward(&last, 0, Stage::Decode, &mut cache_inc, &mut seq, &mut NoopHook)
+            .forward(
+                &last,
+                0,
+                Stage::Decode,
+                &mut cache_inc,
+                &mut seq,
+                &ReferenceEngine,
+                &mut NoopHook,
+            )
             .unwrap();
 
         for c in 0..config.hidden_size {

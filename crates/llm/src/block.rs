@@ -23,7 +23,7 @@ use crate::norm::{LayerNorm, RmsNorm};
 use crate::weights;
 use crate::Result;
 use realm_tensor::rng::SeededRng;
-use realm_tensor::MatF32;
+use realm_tensor::{GemmEngine, MatF32};
 
 /// Normalization layer variant used by a block.
 #[derive(Debug, Clone)]
@@ -93,6 +93,7 @@ impl TransformerBlock {
     /// # Errors
     ///
     /// Propagates shape errors from the attention and MLP sub-layers.
+    #[allow(clippy::too_many_arguments)] // mirrors the attention-forward plumbing: ctx + engine + hook
     pub fn forward(
         &self,
         x: &MatF32,
@@ -100,16 +101,19 @@ impl TransformerBlock {
         stage: Stage,
         cache: &mut LayerCache,
         sequence: &mut usize,
+        engine: &dyn GemmEngine,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
         let attn_in = self.norm1.forward(x);
         let attn_out = self
             .attention
-            .forward(&attn_in, layer, stage, cache, sequence, hook)?;
+            .forward(&attn_in, layer, stage, cache, sequence, engine, hook)?;
         let x = x.add(&attn_out)?;
 
         let mlp_in = self.norm2.forward(&x);
-        let mlp_out = self.mlp.forward(&mlp_in, layer, stage, sequence, hook)?;
+        let mlp_out = self
+            .mlp
+            .forward(&mlp_in, layer, stage, sequence, engine, hook)?;
         x.add(&mlp_out).map_err(Into::into)
     }
 }
@@ -120,6 +124,7 @@ mod tests {
     use crate::hooks::{NoopHook, RecordingHook};
     use crate::Component;
     use realm_tensor::rng;
+    use realm_tensor::ReferenceEngine;
 
     #[test]
     fn block_preserves_shape_for_both_architectures() {
@@ -130,7 +135,15 @@ mod tests {
             let mut cache = LayerCache::new();
             let mut seq = 0;
             let y = block
-                .forward(&x, 0, Stage::Prefill, &mut cache, &mut seq, &mut NoopHook)
+                .forward(
+                    &x,
+                    0,
+                    Stage::Prefill,
+                    &mut cache,
+                    &mut seq,
+                    &ReferenceEngine,
+                    &mut NoopHook,
+                )
                 .unwrap();
             assert_eq!(y.shape(), x.shape(), "{}", config.name);
             assert!(y.iter().all(|v| v.is_finite()));
@@ -147,7 +160,15 @@ mod tests {
         let mut seq = 0;
         let mut rec = RecordingHook::new();
         block
-            .forward(&x, 0, Stage::Prefill, &mut cache, &mut seq, &mut rec)
+            .forward(
+                &x,
+                0,
+                Stage::Prefill,
+                &mut cache,
+                &mut seq,
+                &ReferenceEngine,
+                &mut rec,
+            )
             .unwrap();
         assert_eq!(rec.count_for(Component::Down), 1);
         assert_eq!(rec.count_for(Component::Fc2), 0);
@@ -165,9 +186,18 @@ mod tests {
         let mut cache = LayerCache::new();
         let mut seq = 0;
         let y = block
-            .forward(&x, 0, Stage::Prefill, &mut cache, &mut seq, &mut NoopHook)
+            .forward(
+                &x,
+                0,
+                Stage::Prefill,
+                &mut cache,
+                &mut seq,
+                &ReferenceEngine,
+                &mut NoopHook,
+            )
             .unwrap();
-        let relative_change = y.distance(&x).unwrap() / x.distance(&MatF32::zeros(3, config.hidden_size)).unwrap();
+        let relative_change =
+            y.distance(&x).unwrap() / x.distance(&MatF32::zeros(3, config.hidden_size)).unwrap();
         assert!(
             relative_change < 0.6,
             "block output should stay close to the residual input, change={relative_change}"

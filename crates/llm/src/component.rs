@@ -159,7 +159,10 @@ mod tests {
             .copied()
             .filter(|c| c.is_sensitive())
             .collect();
-        assert_eq!(sensitive, vec![Component::O, Component::Fc2, Component::Down]);
+        assert_eq!(
+            sensitive,
+            vec![Component::O, Component::Fc2, Component::Down]
+        );
     }
 
     #[test]
@@ -191,12 +194,5 @@ mod tests {
         assert_eq!(Component::QkT.to_string(), "QK^T");
         assert_eq!(Stage::Prefill.to_string(), "prefill");
         assert_eq!(Stage::Decode.to_string(), "decode");
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let json = serde_json::to_string(&Component::Down).unwrap();
-        let back: Component = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, Component::Down);
     }
 }

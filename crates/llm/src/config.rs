@@ -8,6 +8,7 @@
 //! reuse) and on the activation statistics, both of which are preserved.
 
 use crate::{LlmError, Result};
+use realm_tensor::EngineKind;
 use serde::{Deserialize, Serialize};
 
 /// The Transformer block variant (Fig. 2 of the paper).
@@ -51,6 +52,9 @@ pub struct ModelConfig {
     pub outlier_fraction: f32,
     /// Magnitude gain of outlier channels relative to the bulk.
     pub outlier_gain: f32,
+    /// GEMM execution backend the model's quantized datapath runs on. All backends are
+    /// bit-exact (see `realm_tensor::engine`), so this only changes wall-clock speed.
+    pub engine: EngineKind,
 }
 
 impl ModelConfig {
@@ -72,7 +76,7 @@ impl ModelConfig {
                 detail: "all dimensions must be non-zero".into(),
             });
         }
-        if self.hidden_size % self.num_heads != 0 {
+        if !self.hidden_size.is_multiple_of(self.num_heads) {
             return Err(LlmError::InvalidConfig {
                 detail: format!(
                     "hidden_size {} is not divisible by num_heads {}",
@@ -82,7 +86,10 @@ impl ModelConfig {
         }
         if !(0.0..=1.0).contains(&self.outlier_fraction) {
             return Err(LlmError::InvalidConfig {
-                detail: format!("outlier_fraction {} must be in [0, 1]", self.outlier_fraction),
+                detail: format!(
+                    "outlier_fraction {} must be in [0, 1]",
+                    self.outlier_fraction
+                ),
             });
         }
         if self.outlier_gain < 1.0 {
@@ -124,6 +131,7 @@ impl ModelConfig {
             max_seq_len: 64,
             outlier_fraction: 0.03,
             outlier_gain: 24.0,
+            engine: EngineKind::Parallel,
         }
     }
 
@@ -140,6 +148,7 @@ impl ModelConfig {
             max_seq_len: 64,
             outlier_fraction: 0.03,
             outlier_gain: 24.0,
+            engine: EngineKind::Parallel,
         }
     }
 
@@ -156,6 +165,7 @@ impl ModelConfig {
             max_seq_len: 64,
             outlier_fraction: 0.03,
             outlier_gain: 24.0,
+            engine: EngineKind::Parallel,
         }
     }
 
@@ -172,6 +182,7 @@ impl ModelConfig {
             max_seq_len: 32,
             outlier_fraction: 0.05,
             outlier_gain: 16.0,
+            engine: EngineKind::Parallel,
         }
     }
 
@@ -188,6 +199,7 @@ impl ModelConfig {
             max_seq_len: 32,
             outlier_fraction: 0.05,
             outlier_gain: 16.0,
+            engine: EngineKind::Parallel,
         }
     }
 
@@ -221,7 +233,8 @@ mod tests {
             ModelConfig::tiny_opt(),
             ModelConfig::tiny_llama(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 
@@ -230,7 +243,10 @@ mod tests {
         let mut cfg = ModelConfig::tiny_opt();
         cfg.hidden_size = 30;
         cfg.num_heads = 4;
-        assert!(matches!(cfg.validate(), Err(LlmError::InvalidConfig { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(LlmError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

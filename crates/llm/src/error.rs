@@ -31,7 +31,9 @@ pub enum LlmError {
 impl fmt::Display for LlmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LlmError::InvalidConfig { detail } => write!(f, "invalid model configuration: {detail}"),
+            LlmError::InvalidConfig { detail } => {
+                write!(f, "invalid model configuration: {detail}")
+            }
             LlmError::TokenOutOfRange { token, vocab } => {
                 write!(f, "token {token} out of range for vocabulary of {vocab}")
             }
@@ -62,15 +64,23 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = LlmError::TokenOutOfRange { token: 900, vocab: 512 };
+        let e = LlmError::TokenOutOfRange {
+            token: 900,
+            vocab: 512,
+        };
         assert!(e.to_string().contains("900"));
-        let e = LlmError::InvalidConfig { detail: "hidden % heads != 0".into() };
+        let e = LlmError::InvalidConfig {
+            detail: "hidden % heads != 0".into(),
+        };
         assert!(e.to_string().contains("hidden"));
     }
 
     #[test]
     fn tensor_errors_convert() {
-        let te = TensorError::InvalidDimension { op: "x", detail: "bad".into() };
+        let te = TensorError::InvalidDimension {
+            op: "x",
+            detail: "bad".into(),
+        };
         let le: LlmError = te.clone().into();
         assert!(matches!(le, LlmError::Tensor(_)));
         assert!(le.source().is_some());

@@ -15,7 +15,7 @@
 //! protection, matching the physical order of fault and detection.
 
 use crate::component::{Component, Stage};
-use realm_tensor::{MatI32, MatI8};
+use realm_tensor::{ChecksummedGemm, MatI32, MatI8};
 use serde::{Deserialize, Serialize};
 
 /// Metadata describing a single GEMM invocation inside the model.
@@ -55,6 +55,33 @@ pub trait GemmHook {
     /// Called after the accumulator has been computed and before it is converted back to
     /// floating point (or re-quantized).
     fn on_gemm(&mut self, ctx: &GemmContext, w: &MatI8, x: &MatI8, acc: &mut MatI32);
+
+    /// Checksummed variant: called when the GEMM ran through a fused-checksum
+    /// [`realm_tensor::GemmEngine`] pass, handing the hook the accumulator *with* its ABFT
+    /// column checksums so protectors can skip the operand re-read.
+    ///
+    /// The default implementation forwards to [`GemmHook::on_gemm`] on the accumulator
+    /// (which conservatively marks the observed checksum stale); checksum-aware hooks such
+    /// as `SchemeProtector` override it to consume the fused checksums directly.
+    fn on_gemm_checksummed(
+        &mut self,
+        ctx: &GemmContext,
+        w: &MatI8,
+        x: &MatI8,
+        result: &mut ChecksummedGemm,
+    ) {
+        self.on_gemm(ctx, w, x, result.acc_mut());
+    }
+
+    /// Whether this hook consumes the fused ABFT checksums.
+    ///
+    /// The model queries this before each GEMM: when no hook in the chain wants checksums
+    /// (fault-free baselines, unprotected runs), the plain GEMM runs and the checksum
+    /// reductions are skipped entirely. Defaults to `true` so custom hooks are safe; pure
+    /// observers and mutators (recorders, injectors) override it to `false`.
+    fn wants_checksums(&self) -> bool {
+        true
+    }
 }
 
 /// A hook that does nothing: fault-free, unprotected inference.
@@ -79,17 +106,49 @@ pub struct NoopHook;
 
 impl GemmHook for NoopHook {
     fn on_gemm(&mut self, _ctx: &GemmContext, _w: &MatI8, _x: &MatI8, _acc: &mut MatI32) {}
+
+    fn wants_checksums(&self) -> bool {
+        false
+    }
 }
 
 impl<H: GemmHook + ?Sized> GemmHook for &mut H {
     fn on_gemm(&mut self, ctx: &GemmContext, w: &MatI8, x: &MatI8, acc: &mut MatI32) {
         (**self).on_gemm(ctx, w, x, acc);
     }
+
+    fn on_gemm_checksummed(
+        &mut self,
+        ctx: &GemmContext,
+        w: &MatI8,
+        x: &MatI8,
+        result: &mut ChecksummedGemm,
+    ) {
+        (**self).on_gemm_checksummed(ctx, w, x, result);
+    }
+
+    fn wants_checksums(&self) -> bool {
+        (**self).wants_checksums()
+    }
 }
 
 impl<H: GemmHook + ?Sized> GemmHook for Box<H> {
     fn on_gemm(&mut self, ctx: &GemmContext, w: &MatI8, x: &MatI8, acc: &mut MatI32) {
         (**self).on_gemm(ctx, w, x, acc);
+    }
+
+    fn on_gemm_checksummed(
+        &mut self,
+        ctx: &GemmContext,
+        w: &MatI8,
+        x: &MatI8,
+        result: &mut ChecksummedGemm,
+    ) {
+        (**self).on_gemm_checksummed(ctx, w, x, result);
+    }
+
+    fn wants_checksums(&self) -> bool {
+        (**self).wants_checksums()
     }
 }
 
@@ -141,6 +200,25 @@ impl GemmHook for HookChain<'_> {
             hook.on_gemm(ctx, w, x, acc);
         }
     }
+
+    fn on_gemm_checksummed(
+        &mut self,
+        ctx: &GemmContext,
+        w: &MatI8,
+        x: &MatI8,
+        result: &mut ChecksummedGemm,
+    ) {
+        // Each hook sees the checksummed result in turn: an injector mutates the accumulator
+        // (marking the observed checksum stale), a downstream protector then inspects the
+        // deviations of exactly what the injector left behind.
+        for hook in &mut self.hooks {
+            hook.on_gemm_checksummed(ctx, w, x, result);
+        }
+    }
+
+    fn wants_checksums(&self) -> bool {
+        self.hooks.iter().any(|h| h.wants_checksums())
+    }
 }
 
 /// A hook that records which GEMMs were executed; useful in tests and for workload accounting.
@@ -165,7 +243,10 @@ impl RecordingHook {
 
     /// Number of GEMMs observed for a specific component.
     pub fn count_for(&self, component: Component) -> usize {
-        self.calls.iter().filter(|c| c.component == component).count()
+        self.calls
+            .iter()
+            .filter(|c| c.component == component)
+            .count()
     }
 
     /// Number of GEMMs observed for a specific stage.
@@ -178,6 +259,23 @@ impl GemmHook for RecordingHook {
     fn on_gemm(&mut self, ctx: &GemmContext, w: &MatI8, x: &MatI8, _acc: &mut MatI32) {
         self.calls.push(*ctx);
         self.total_macs += (w.rows() * w.cols() * x.cols()) as u64;
+    }
+
+    fn on_gemm_checksummed(
+        &mut self,
+        ctx: &GemmContext,
+        w: &MatI8,
+        x: &MatI8,
+        _result: &mut ChecksummedGemm,
+    ) {
+        // Pure observer: avoid the default's `acc_mut` so the fused observed checksum stays
+        // fresh for hooks later in the chain.
+        self.calls.push(*ctx);
+        self.total_macs += (w.rows() * w.cols() * x.cols()) as u64;
+    }
+
+    fn wants_checksums(&self) -> bool {
+        false
     }
 }
 

@@ -13,7 +13,7 @@ use crate::quantized::{OutputMode, QuantLinear};
 use crate::weights;
 use crate::Result;
 use realm_tensor::rng::SeededRng;
-use realm_tensor::MatF32;
+use realm_tensor::{GemmEngine, MatF32};
 
 /// OPT-style MLP: `FC2(ReLU(FC1(x)))`.
 #[derive(Debug, Clone)]
@@ -48,15 +48,16 @@ impl OptMlp {
         layer: usize,
         stage: Stage,
         sequence: &mut usize,
+        engine: &dyn GemmEngine,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
         let ctx1 = GemmContext::new(Component::Fc1, layer, stage, *sequence);
         *sequence += 1;
-        let hidden = self.fc1.forward(x, &ctx1, hook)?;
+        let hidden = self.fc1.forward(x, engine, &ctx1, hook)?;
         let activated = relu(&hidden);
         let ctx2 = GemmContext::new(Component::Fc2, layer, stage, *sequence);
         *sequence += 1;
-        self.fc2.forward(&activated, &ctx2, hook)
+        self.fc2.forward(&activated, engine, &ctx2, hook)
     }
 }
 
@@ -98,18 +99,19 @@ impl LlamaMlp {
         layer: usize,
         stage: Stage,
         sequence: &mut usize,
+        engine: &dyn GemmEngine,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
         let ctx_gate = GemmContext::new(Component::Gate, layer, stage, *sequence);
         *sequence += 1;
-        let gate_out = self.gate.forward(x, &ctx_gate, hook)?;
+        let gate_out = self.gate.forward(x, engine, &ctx_gate, hook)?;
         let ctx_up = GemmContext::new(Component::Up, layer, stage, *sequence);
         *sequence += 1;
-        let up_out = self.up.forward(x, &ctx_up, hook)?;
+        let up_out = self.up.forward(x, engine, &ctx_up, hook)?;
         let gated = silu(&gate_out).hadamard(&up_out)?;
         let ctx_down = GemmContext::new(Component::Down, layer, stage, *sequence);
         *sequence += 1;
-        self.down.forward(&gated, &ctx_down, hook)
+        self.down.forward(&gated, engine, &ctx_down, hook)
     }
 }
 
@@ -142,11 +144,12 @@ impl Mlp {
         layer: usize,
         stage: Stage,
         sequence: &mut usize,
+        engine: &dyn GemmEngine,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
         match self {
-            Mlp::Opt(m) => m.forward(x, layer, stage, sequence, hook),
-            Mlp::Llama(m) => m.forward(x, layer, stage, sequence, hook),
+            Mlp::Opt(m) => m.forward(x, layer, stage, sequence, engine, hook),
+            Mlp::Llama(m) => m.forward(x, layer, stage, sequence, engine, hook),
         }
     }
 }
@@ -156,6 +159,7 @@ mod tests {
     use super::*;
     use crate::hooks::{NoopHook, RecordingHook};
     use realm_tensor::rng;
+    use realm_tensor::ReferenceEngine;
 
     #[test]
     fn opt_mlp_preserves_shape_and_reports_components() {
@@ -165,7 +169,9 @@ mod tests {
         let x = rng::gaussian_matrix(&mut r, 3, config.hidden_size, 0.0, 1.0);
         let mut seq = 10;
         let mut rec = RecordingHook::new();
-        let y = mlp.forward(&x, 1, Stage::Prefill, &mut seq, &mut rec).unwrap();
+        let y = mlp
+            .forward(&x, 1, Stage::Prefill, &mut seq, &ReferenceEngine, &mut rec)
+            .unwrap();
         assert_eq!(y.shape(), (3, config.hidden_size));
         assert_eq!(rec.count_for(Component::Fc1), 1);
         assert_eq!(rec.count_for(Component::Fc2), 1);
@@ -180,7 +186,9 @@ mod tests {
         let x = rng::gaussian_matrix(&mut r, 4, config.hidden_size, 0.0, 1.0);
         let mut seq = 0;
         let mut rec = RecordingHook::new();
-        let y = mlp.forward(&x, 0, Stage::Decode, &mut seq, &mut rec).unwrap();
+        let y = mlp
+            .forward(&x, 0, Stage::Decode, &mut seq, &ReferenceEngine, &mut rec)
+            .unwrap();
         assert_eq!(y.shape(), (4, config.hidden_size));
         assert_eq!(rec.count_for(Component::Gate), 1);
         assert_eq!(rec.count_for(Component::Up), 1);
@@ -209,7 +217,16 @@ mod tests {
         let mlp = Mlp::new(&config, &mut r);
         let x = rng::gaussian_matrix(&mut r, 2, config.hidden_size, 0.0, 1.0);
         let mut seq = 0;
-        let y = mlp.forward(&x, 0, Stage::Prefill, &mut seq, &mut NoopHook).unwrap();
+        let y = mlp
+            .forward(
+                &x,
+                0,
+                Stage::Prefill,
+                &mut seq,
+                &ReferenceEngine,
+                &mut NoopHook,
+            )
+            .unwrap();
         assert!(y.iter().all(|v| v.is_finite()));
         assert!(y.abs_max() < x.abs_max() * 5.0);
     }

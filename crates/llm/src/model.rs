@@ -18,7 +18,8 @@ use crate::kv_cache::KvCache;
 use crate::weights::{self, Embedding, SyntheticLanguage};
 use crate::{LlmError, Result};
 use realm_tensor::rng;
-use realm_tensor::{gemm, MatF32};
+use realm_tensor::{gemm, GemmEngine, MatF32};
+use std::sync::Arc;
 
 /// Default temperature applied to the synthetic model's logits.
 ///
@@ -47,6 +48,7 @@ pub struct Model {
     final_norm: Norm,
     lm_head: MatF32,
     logit_temperature: f32,
+    engine: Arc<dyn GemmEngine>,
 }
 
 impl Model {
@@ -73,7 +75,21 @@ impl Model {
             final_norm,
             lm_head,
             logit_temperature: DEFAULT_LOGIT_TEMPERATURE,
+            engine: config.engine.build(),
         })
+    }
+
+    /// The GEMM execution backend every quantized GEMM of this model runs on.
+    ///
+    /// Selected by [`ModelConfig::engine`] at construction; all backends are bit-exact, so
+    /// swapping it changes wall-clock speed, never a single logit.
+    pub fn engine(&self) -> &dyn GemmEngine {
+        self.engine.as_ref()
+    }
+
+    /// Overrides the GEMM backend (e.g. to pin a characterization sweep to the oracle).
+    pub fn set_engine(&mut self, engine: Arc<dyn GemmEngine>) {
+        self.engine = engine;
     }
 
     /// The model configuration.
@@ -126,9 +142,11 @@ impl Model {
                 });
             }
         }
-        Ok(MatF32::from_fn(tokens.len(), self.config.hidden_size, |r, c| {
-            self.embedding.table[(tokens[r] as usize, c)]
-        }))
+        Ok(MatF32::from_fn(
+            tokens.len(),
+            self.config.hidden_size,
+            |r, c| self.embedding.table[(tokens[r] as usize, c)],
+        ))
     }
 
     fn run_blocks(
@@ -140,7 +158,15 @@ impl Model {
     ) -> Result<MatF32> {
         let mut sequence = 0usize;
         for (layer, block) in self.blocks.iter().enumerate() {
-            x = block.forward(&x, layer, stage, cache.layer_mut(layer), &mut sequence, hook)?;
+            x = block.forward(
+                &x,
+                layer,
+                stage,
+                cache.layer_mut(layer),
+                &mut sequence,
+                self.engine.as_ref(),
+                hook,
+            )?;
         }
         Ok(x)
     }
@@ -160,11 +186,7 @@ impl Model {
     ///
     /// Returns an error for empty prompts, out-of-range tokens, prompts longer than the
     /// configured context, or internal shape mismatches.
-    pub fn prefill(
-        &self,
-        prompt: &[u32],
-        hook: &mut dyn GemmHook,
-    ) -> Result<(MatF32, KvCache)> {
+    pub fn prefill(&self, prompt: &[u32], hook: &mut dyn GemmHook) -> Result<(MatF32, KvCache)> {
         if prompt.len() > self.config.max_seq_len {
             return Err(LlmError::InvalidSequence {
                 detail: format!(
@@ -279,12 +301,16 @@ pub fn argmax_with_margin(logits: &[f32]) -> (u32, f32) {
             second = v;
         }
     }
-    let margin = if second.is_finite() { best.1 - second } else { 0.0 };
+    let margin = if second.is_finite() {
+        best.1 - second
+    } else {
+        0.0
+    };
     (best.0 as u32, margin)
 }
 
 /// Internal stream label separating weight generation from other seed-derived streams.
-const MODEL_WEIGHT_STREAM: u64 = 0x4d4f_4445_4c;
+const MODEL_WEIGHT_STREAM: u64 = 0x004d_4f44_454c;
 
 #[cfg(test)]
 mod tests {

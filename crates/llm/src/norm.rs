@@ -36,7 +36,11 @@ impl LayerNorm {
     ///
     /// Panics if `gamma` and `beta` have different lengths.
     pub fn new(gamma: Vec<f32>, beta: Vec<f32>) -> Self {
-        assert_eq!(gamma.len(), beta.len(), "gamma and beta must have equal length");
+        assert_eq!(
+            gamma.len(),
+            beta.len(),
+            "gamma and beta must have equal length"
+        );
         Self {
             gamma,
             beta,
@@ -171,7 +175,10 @@ mod tests {
         let x = MatF32::from_fn(1, 8, |_, c| c as f32);
         let y = ln.forward(&x);
         let mean: f32 = y.row(0).iter().sum::<f32>() / 8.0;
-        assert!((mean - 1.0).abs() < 1e-5, "beta shifts the mean to 1, got {mean}");
+        assert!(
+            (mean - 1.0).abs() < 1e-5,
+            "beta shifts the mean to 1, got {mean}"
+        );
     }
 
     #[test]
@@ -180,8 +187,7 @@ mod tests {
         let x = MatF32::from_fn(2, 32, |_, c| (c as f32 - 16.0) * 0.3);
         let y = rn.forward(&x);
         for r in 0..2 {
-            let rms: f32 =
-                (y.row(r).iter().map(|v| v * v).sum::<f32>() / 32.0).sqrt();
+            let rms: f32 = (y.row(r).iter().map(|v| v * v).sum::<f32>() / 32.0).sqrt();
             assert!((rms - 1.0).abs() < 1e-3, "rms {rms}");
         }
     }

@@ -13,7 +13,7 @@
 
 use crate::hooks::{GemmContext, GemmHook};
 use crate::Result;
-use realm_tensor::{gemm, quant, MatF32, MatI8};
+use realm_tensor::{quant, GemmEngine, MatF32, MatI8};
 use serde::{Deserialize, Serialize};
 
 /// How a quantized GEMM's INT32 accumulator is converted back for downstream computation.
@@ -70,10 +70,13 @@ impl QuantLinear {
         self.output_mode
     }
 
-    /// Computes `x · W` through the quantized INT8 → INT32 datapath.
+    /// Computes `x · W` through the quantized INT8 → INT32 datapath of `engine`.
     ///
     /// `x` has shape `(tokens, in_features)`; the result has shape `(tokens, out_features)`.
-    /// The hook observes (and may mutate) the INT32 accumulator before conversion.
+    /// When a hook in the chain consumes checksums ([`GemmHook::wants_checksums`]) the GEMM
+    /// runs through the engine's fused-checksum pass and the hook observes (and may mutate)
+    /// the checksummed INT32 accumulator before conversion; otherwise the plain GEMM runs
+    /// and the checksum reductions are skipped entirely.
     ///
     /// # Errors
     ///
@@ -81,18 +84,19 @@ impl QuantLinear {
     pub fn forward(
         &self,
         x: &MatF32,
+        engine: &dyn GemmEngine,
         ctx: &GemmContext,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
         let (xq, x_scale) = quant::quantize_symmetric(x);
-        let mut acc = gemm::gemm_i8(&xq, &self.weight_q)?;
-        hook.on_gemm(ctx, &xq, &self.weight_q, &mut acc);
+        let acc = run_hooked_gemm(&xq, &self.weight_q, engine, ctx, hook)?;
         let combined = x_scale * self.weight_scale;
         Ok(convert_accumulator(&acc, combined, self.output_mode))
     }
 }
 
-/// Computes `a · b` for two floating-point activation matrices through the quantized datapath.
+/// Computes `a · b` for two floating-point activation matrices through the quantized datapath
+/// of `engine`.
 ///
 /// Used for the attention-internal GEMMs (`QKᵀ` and `SV`) where both operands are activations.
 ///
@@ -102,15 +106,37 @@ impl QuantLinear {
 pub fn quant_matmul(
     a: &MatF32,
     b: &MatF32,
+    engine: &dyn GemmEngine,
     ctx: &GemmContext,
     hook: &mut dyn GemmHook,
     output_mode: OutputMode,
 ) -> Result<MatF32> {
     let (aq, a_scale) = quant::quantize_symmetric(a);
     let (bq, b_scale) = quant::quantize_symmetric(b);
-    let mut acc = gemm::gemm_i8(&aq, &bq)?;
-    hook.on_gemm(ctx, &aq, &bq, &mut acc);
+    let acc = run_hooked_gemm(&aq, &bq, engine, ctx, hook)?;
     Ok(convert_accumulator(&acc, a_scale * b_scale, output_mode))
+}
+
+/// Executes one quantized GEMM through the engine and hook, picking the fused-checksum pass
+/// only when a hook in the chain will consume the checksums ([`GemmHook::wants_checksums`]).
+/// Fault-free baselines, unprotected runs and injection-only campaigns therefore skip the
+/// checksum reductions entirely.
+fn run_hooked_gemm(
+    wq: &MatI8,
+    xq: &MatI8,
+    engine: &dyn GemmEngine,
+    ctx: &GemmContext,
+    hook: &mut dyn GemmHook,
+) -> Result<realm_tensor::MatI32> {
+    if hook.wants_checksums() {
+        let mut result = engine.gemm_i8_checksummed(wq, xq)?;
+        hook.on_gemm_checksummed(ctx, wq, xq, &mut result);
+        Ok(result.into_acc())
+    } else {
+        let mut acc = engine.gemm_i8(wq, xq)?;
+        hook.on_gemm(ctx, wq, xq, &mut acc);
+        Ok(acc)
+    }
 }
 
 /// Converts an INT32 accumulator back to f32 according to the output mode.
@@ -140,7 +166,10 @@ fn robust_output_scale(acc: &realm_tensor::MatI32, combined_scale: f32) -> f32 {
     if acc.is_empty() {
         return 1.0;
     }
-    let mut mags: Vec<f32> = acc.iter().map(|&v| (v as f32 * combined_scale).abs()).collect();
+    let mut mags: Vec<f32> = acc
+        .iter()
+        .map(|&v| (v as f32 * combined_scale).abs())
+        .collect();
     // Index of the 99th percentile over the *existing* elements (never the absolute maximum
     // for tensors with more than a handful of entries), so a lone corrupted element cannot
     // inflate the calibration scale.
@@ -159,7 +188,7 @@ mod tests {
     use super::*;
     use crate::component::{Component, Stage};
     use crate::hooks::NoopHook;
-    use realm_tensor::{MatI32, Matrix};
+    use realm_tensor::{gemm, MatI32, Matrix, ReferenceEngine};
 
     fn ctx() -> GemmContext {
         GemmContext::new(Component::Q, 0, Stage::Prefill, 0)
@@ -170,7 +199,9 @@ mod tests {
         let w = MatF32::from_fn(16, 8, |r, c| ((r + 2 * c) % 7) as f32 * 0.1 - 0.3);
         let layer = QuantLinear::from_f32(&w, OutputMode::Float);
         let x = MatF32::from_fn(4, 16, |r, c| ((r * 16 + c) % 11) as f32 * 0.2 - 1.0);
-        let y = layer.forward(&x, &ctx(), &mut NoopHook).unwrap();
+        let y = layer
+            .forward(&x, &ReferenceEngine, &ctx(), &mut NoopHook)
+            .unwrap();
         let reference = gemm::gemm_f32(&x, &w).unwrap();
         // Quantization error per output element is bounded; check a loose relative bound.
         let denom = reference.abs_max().max(1e-6);
@@ -183,7 +214,9 @@ mod tests {
     fn forward_rejects_wrong_input_width() {
         let layer = QuantLinear::from_f32(&MatF32::zeros(4, 4), OutputMode::Float);
         let x = MatF32::zeros(2, 5);
-        assert!(layer.forward(&x, &ctx(), &mut NoopHook).is_err());
+        assert!(layer
+            .forward(&x, &ReferenceEngine, &ctx(), &mut NoopHook)
+            .is_err());
     }
 
     #[test]
@@ -198,8 +231,12 @@ mod tests {
         let w = MatF32::from_fn(8, 8, |r, c| if r == c { 1.0 } else { 0.0 });
         let layer = QuantLinear::from_f32(&w, OutputMode::Float);
         let x = MatF32::filled(1, 8, 1.0);
-        let clean = layer.forward(&x, &ctx(), &mut NoopHook).unwrap();
-        let faulty = layer.forward(&x, &ctx(), &mut Spike).unwrap();
+        let clean = layer
+            .forward(&x, &ReferenceEngine, &ctx(), &mut NoopHook)
+            .unwrap();
+        let faulty = layer
+            .forward(&x, &ReferenceEngine, &ctx(), &mut Spike)
+            .unwrap();
         assert!((faulty[(0, 0)] - clean[(0, 0)]).abs() > 1.0);
         assert_eq!(faulty[(0, 1)], clean[(0, 1)]);
     }
@@ -219,10 +256,18 @@ mod tests {
         let float_layer = QuantLinear::from_f32(&w, OutputMode::Float);
         let req_layer = QuantLinear::from_f32(&w, OutputMode::RequantizedInt8);
 
-        let float_clean = float_layer.forward(&x, &ctx(), &mut NoopHook).unwrap();
-        let float_faulty = float_layer.forward(&x, &ctx(), &mut HighBitFlip).unwrap();
-        let req_clean = req_layer.forward(&x, &ctx(), &mut NoopHook).unwrap();
-        let req_faulty = req_layer.forward(&x, &ctx(), &mut HighBitFlip).unwrap();
+        let float_clean = float_layer
+            .forward(&x, &ReferenceEngine, &ctx(), &mut NoopHook)
+            .unwrap();
+        let float_faulty = float_layer
+            .forward(&x, &ReferenceEngine, &ctx(), &mut HighBitFlip)
+            .unwrap();
+        let req_clean = req_layer
+            .forward(&x, &ReferenceEngine, &ctx(), &mut NoopHook)
+            .unwrap();
+        let req_faulty = req_layer
+            .forward(&x, &ReferenceEngine, &ctx(), &mut HighBitFlip)
+            .unwrap();
 
         let float_err = (float_faulty[(0, 0)] - float_clean[(0, 0)]).abs();
         let req_err = (req_faulty[(0, 0)] - req_clean[(0, 0)]).abs();
@@ -238,7 +283,15 @@ mod tests {
     fn quant_matmul_approximates_f32_product() {
         let a = MatF32::from_fn(3, 6, |r, c| (r as f32 - c as f32) * 0.2);
         let b = MatF32::from_fn(6, 4, |r, c| (r as f32 + c as f32) * 0.1);
-        let y = quant_matmul(&a, &b, &ctx(), &mut NoopHook, OutputMode::Float).unwrap();
+        let y = quant_matmul(
+            &a,
+            &b,
+            &ReferenceEngine,
+            &ctx(),
+            &mut NoopHook,
+            OutputMode::Float,
+        )
+        .unwrap();
         let reference = gemm::gemm_f32(&a, &b).unwrap();
         assert!(y.distance(&reference).unwrap() < 0.2);
     }

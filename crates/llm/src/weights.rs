@@ -49,7 +49,10 @@ impl SyntheticLanguage {
     ///
     /// Panics if `vocab_size < 2`.
     pub fn new(vocab_size: usize, seed: u64) -> Self {
-        assert!(vocab_size >= 2, "a synthetic language needs at least two tokens");
+        assert!(
+            vocab_size >= 2,
+            "a synthetic language needs at least two tokens"
+        );
         use rand::Rng;
         let mut r = rng::seeded(rng::derive_seed(seed, 0x1a16));
         let successor = (0..vocab_size)
@@ -136,7 +139,13 @@ pub fn embedding(config: &ModelConfig, rng_: &mut SeededRng) -> Embedding {
 /// block outputs are small updates to the residual stream).
 pub fn projection(rng_: &mut SeededRng, in_features: usize, out_features: usize) -> MatF32 {
     let scale = PROJECTION_STD / (in_features as f32).sqrt().max(1.0);
-    rng::gaussian_matrix(rng_, in_features, out_features, 0.0, scale * (in_features as f32).sqrt())
+    rng::gaussian_matrix(
+        rng_,
+        in_features,
+        out_features,
+        0.0,
+        scale * (in_features as f32).sqrt(),
+    )
 }
 
 /// Builds the language-model head of shape `(hidden, vocab)` that predicts each token's

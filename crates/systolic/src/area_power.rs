@@ -105,7 +105,10 @@ impl AreaPowerModel {
 
     /// Builds the model with custom unit costs.
     pub fn with_costs(array: &SystolicArray, costs: UnitCosts) -> Self {
-        Self { array: *array, costs }
+        Self {
+            array: *array,
+            costs,
+        }
     }
 
     /// The array the model describes.

@@ -39,7 +39,10 @@ impl EnergyModel {
     pub fn new(nominal_voltage: f64, mac_energy_pj: f64, leakage_fraction: f64) -> Self {
         assert!(nominal_voltage > 0.0, "nominal voltage must be positive");
         assert!(mac_energy_pj > 0.0, "MAC energy must be positive");
-        assert!(leakage_fraction >= 0.0, "leakage fraction cannot be negative");
+        assert!(
+            leakage_fraction >= 0.0,
+            "leakage fraction cannot be negative"
+        );
         Self {
             nominal_voltage,
             mac_energy_pj,

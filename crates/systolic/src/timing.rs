@@ -129,7 +129,8 @@ fn erfc(x: f64) -> f64 {
     let x_abs = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x_abs);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     let erf = 1.0 - poly * (-x_abs * x_abs).exp();
     let erf = if sign_negative { -erf } else { erf };
     1.0 - erf
@@ -174,7 +175,11 @@ mod tests {
         let t = TimingModel::paper_14nm();
         let v0 = t.zero_slack_voltage();
         assert!(v0 > t.threshold_voltage && v0 < t.nominal_voltage);
-        assert!(t.slack_at(v0).abs() < 1.0, "slack at v0 is {}", t.slack_at(v0));
+        assert!(
+            t.slack_at(v0).abs() < 1.0,
+            "slack at v0 is {}",
+            t.slack_at(v0)
+        );
         assert!(t.ber_at(v0) > 1e-3, "at zero slack errors are frequent");
     }
 

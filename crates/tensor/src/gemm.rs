@@ -7,11 +7,7 @@
 
 use crate::{MatF32, MatI32, MatI8, Result, TensorError};
 
-fn check_compatible(
-    op: &'static str,
-    lhs: (usize, usize),
-    rhs: (usize, usize),
-) -> Result<()> {
+fn check_compatible(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> Result<()> {
     if lhs.1 != rhs.0 {
         return Err(TensorError::ShapeMismatch { op, lhs, rhs });
     }

@@ -9,6 +9,11 @@
 //! * [`gemm`] — general matrix-matrix multiplication kernels. The quantized path follows
 //!   the paper's setup (inputs quantized to INT8, accumulation in INT32); the f32 path is
 //!   used for the non-linear portions of the transformer that stay in floating point.
+//! * [`engine`] — interchangeable execution backends for the quantized GEMM
+//!   ([`engine::ReferenceEngine`], [`engine::BlockedEngine`], [`engine::ParallelEngine`]),
+//!   including the fused-checksum variant that computes the ABFT column checksums inside the
+//!   GEMM pass. Every consumer in the workspace routes its quantized GEMMs through a
+//!   [`GemmEngine`] handle selected by [`EngineKind`].
 //! * [`quant`] — symmetric quantization between `f32` and `i8`, including the re-quantization
 //!   of INT32 accumulator outputs back to INT8 that gives rise to the bit-position
 //!   saturation effect studied in the paper (Q1.2).
@@ -42,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod engine;
 pub mod gemm;
 pub mod matrix;
 pub mod quant;
@@ -50,6 +56,9 @@ pub mod stats;
 
 mod error;
 
+pub use engine::{
+    BlockedEngine, ChecksummedGemm, EngineKind, GemmEngine, ParallelEngine, ReferenceEngine,
+};
 pub use error::TensorError;
 pub use matrix::{MatF32, MatI32, MatI8, Matrix};
 pub use quant::QuantParams;

@@ -270,24 +270,18 @@ impl<T: Copy> Matrix<T> {
 impl<T: Copy + PartialOrd> Matrix<T> {
     /// Returns the maximum element, or `None` for an empty matrix.
     pub fn max_element(&self) -> Option<T> {
-        self.data
-            .iter()
-            .copied()
-            .fold(None, |acc, v| match acc {
-                None => Some(v),
-                Some(a) => Some(if v > a { v } else { a }),
-            })
+        self.data.iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(if v > a { v } else { a }),
+        })
     }
 
     /// Returns the minimum element, or `None` for an empty matrix.
     pub fn min_element(&self) -> Option<T> {
-        self.data
-            .iter()
-            .copied()
-            .fold(None, |acc, v| match acc {
-                None => Some(v),
-                Some(a) => Some(if v < a { v } else { a }),
-            })
+        self.data.iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(if v < a { v } else { a }),
+        })
     }
 }
 

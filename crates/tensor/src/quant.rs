@@ -110,10 +110,7 @@ pub fn quantize_per_row(x: &MatF32) -> (MatI8, Vec<f32>) {
     let mut scales = Vec::with_capacity(x.rows());
     let mut q = MatI8::zeros(x.rows(), x.cols());
     for r in 0..x.rows() {
-        let abs_max = x
-            .row(r)
-            .iter()
-            .fold(0.0_f32, |acc, v| acc.max(v.abs()));
+        let abs_max = x.row(r).iter().fold(0.0_f32, |acc, v| acc.max(v.abs()));
         let params = QuantParams::from_abs_max(abs_max);
         scales.push(params.scale);
         for (c, &v) in x.row(r).iter().enumerate() {
@@ -195,7 +192,11 @@ mod tests {
 
     #[test]
     fn per_row_quantization_handles_outlier_rows() {
-        let x = MatF32::from_fn(2, 4, |r, c| if r == 0 { c as f32 } else { c as f32 * 100.0 });
+        let x = MatF32::from_fn(
+            2,
+            4,
+            |r, c| if r == 0 { c as f32 } else { c as f32 * 100.0 },
+        );
         let (q, scales) = quantize_per_row(&x);
         assert_eq!(scales.len(), 2);
         assert!(scales[1] > scales[0]);

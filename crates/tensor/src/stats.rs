@@ -113,7 +113,11 @@ pub fn kurtosis_excess(x: &MatF32) -> f32 {
 /// Builds a histogram of `log2(|value| + 1)` with `bins` buckets spanning `[0, max_log2)`.
 ///
 /// Used to visualise accumulator error-magnitude distributions in the figure harnesses.
-pub fn log2_histogram(values: impl IntoIterator<Item = f64>, bins: usize, max_log2: f64) -> Vec<usize> {
+pub fn log2_histogram(
+    values: impl IntoIterator<Item = f64>,
+    bins: usize,
+    max_log2: f64,
+) -> Vec<usize> {
     let mut hist = vec![0usize; bins.max(1)];
     if bins == 0 || max_log2 <= 0.0 {
         return hist;

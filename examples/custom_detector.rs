@@ -13,14 +13,14 @@
 //! cargo run --release --example custom_detector
 //! ```
 
+use rand::Rng;
 use realm::abft::detector::AbftDetector;
 use realm::abft::{ClassicalAbft, StatisticalAbft};
 use realm::core::characterize::StudyConfig;
 use realm::core::fit::{fit_component_region, DegradationBudget};
-use realm::llm::{config::ModelConfig, model::Model, Component};
 use realm::eval::wikitext::WikitextTask;
+use realm::llm::{config::ModelConfig, model::Model, Component};
 use realm::tensor::{gemm, MatI8};
-use rand::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = Model::new(&ModelConfig::tiny_opt(), 5)?;
@@ -75,7 +75,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  statistical ABFT: {statistical_recoveries}");
     println!(
         "\nrecovery cost saved: {:.1}%",
-        100.0 * (classical_recoveries - statistical_recoveries) as f64 / classical_recoveries as f64
+        100.0 * (classical_recoveries - statistical_recoveries) as f64
+            / classical_recoveries as f64
     );
     Ok(())
 }

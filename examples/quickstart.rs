@@ -5,6 +5,8 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! # optionally pin the GEMM backend (reference | blocked | parallel):
+//! cargo run --release --example quickstart -- blocked
 //! ```
 
 use realm::core::pipeline::{PipelineConfig, ProtectedPipeline};
@@ -13,14 +15,23 @@ use realm::eval::wikitext::WikitextTask;
 use realm::inject::VoltageBerCurve;
 use realm::llm::{config::ModelConfig, model::Model};
 use realm::systolic::ProtectionScheme;
+use realm::tensor::EngineKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The GEMM execution backend is selectable from the command line; every backend is
+    // bit-exact, so this changes the run's speed and nothing else.
+    let engine: EngineKind = match std::env::args().nth(1) {
+        Some(arg) => arg.parse()?,
+        None => EngineKind::default(),
+    };
+
     // A scaled-down OPT-1.3B-style model with synthetic weights. The seed makes every run of
     // this example print the same numbers.
-    let config = ModelConfig::opt_1_3b_proxy();
+    let mut config = ModelConfig::opt_1_3b_proxy();
+    config.engine = engine;
     let model = Model::new(&config, 2025)?;
     println!(
-        "model: {} ({} layers, hidden {}, vocab {})",
+        "model: {} ({} layers, hidden {}, vocab {})  gemm backend: {engine}",
         config.name, config.num_layers, config.hidden_size, config.vocab_size
     );
 
@@ -38,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         curve.ber_at(voltage)
     );
 
-    let pipeline = ProtectedPipeline::new(&model, PipelineConfig::default());
+    let pipeline_config = PipelineConfig {
+        engine,
+        ..PipelineConfig::default()
+    };
+    let pipeline = ProtectedPipeline::new(&model, pipeline_config);
     println!(
         "{:<28} {:>12} {:>16} {:>14}",
         "scheme", "perplexity", "recovery rate", "energy [J]"
@@ -60,8 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!(
-        "\nStatistical ABFT keeps perplexity near the clean {clean:.2} while triggering far \
-         fewer recoveries than classical ABFT — the paper's headline effect."
+        "\nStatistical ABFT recovers most of the quality lost at this operating point while \
+         triggering a fraction of classical ABFT's recoveries (and energy) — the paper's \
+         headline trade-off. Re-run with a backend argument (reference|blocked|parallel) to \
+         see that the numbers are bit-identical on every GEMM engine."
     );
     Ok(())
 }

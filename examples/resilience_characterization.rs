@@ -14,9 +14,7 @@
 //! cargo run --release --example resilience_characterization
 //! ```
 
-use realm::core::characterize::{
-    componentwise_study, magfreq_study, norm_skew_study, StudyConfig,
-};
+use realm::core::characterize::{componentwise_study, magfreq_study, norm_skew_study, StudyConfig};
 use realm::core::report::render_series_table;
 use realm::eval::wikitext::WikitextTask;
 use realm::llm::{config::ModelConfig, model::Model, Component, Stage};
@@ -66,7 +64,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Q1.4: magnitude/frequency trade-off on a resilient component.
     println!("== Q1.4: magnitude vs frequency at fixed MSD (component K) ==\n");
-    let grid = magfreq_study(&model, &task, Component::K, &[22, 26, 30], &[0, 2, 4, 6, 8], &config)?;
+    let grid = magfreq_study(
+        &model,
+        &task,
+        Component::K,
+        &[22, 26, 30],
+        &[0, 2, 4, 6, 8],
+        &config,
+    )?;
     println!("log2(MSD)  log2(freq)  log2(mag)  perplexity");
     for p in &grid {
         println!(

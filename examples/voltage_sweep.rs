@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 spot.voltage,
                 spot.energy.total_j()
             ),
-            None => println!("  {:<28} no within-budget operating point", scheme.to_string()),
+            None => println!(
+                "  {:<28} no within-budget operating point",
+                scheme.to_string()
+            ),
         }
     }
     Ok(())

@@ -52,13 +52,13 @@ fn statistical_abft_saves_energy_without_losing_quality() {
     let clean = pipeline.clean_value(&task).unwrap();
 
     let unprotected = pipeline
-        .run(&task, ProtectionScheme::None, 0.64, 9)
+        .run(&task, ProtectionScheme::None, 0.62, 9)
         .unwrap();
     let classical = pipeline
-        .run(&task, ProtectionScheme::ClassicalAbft, 0.64, 9)
+        .run(&task, ProtectionScheme::ClassicalAbft, 0.62, 9)
         .unwrap();
     let statistical = pipeline
-        .run(&task, ProtectionScheme::StatisticalAbft, 0.64, 9)
+        .run(&task, ProtectionScheme::StatisticalAbft, 0.62, 9)
         .unwrap();
 
     assert!(statistical.recoveries < classical.recoveries);
@@ -98,14 +98,7 @@ fn sensitivity_ordering_matches_the_paper() {
         &config,
     )
     .unwrap();
-    let value = |label: &str| {
-        series
-            .iter()
-            .find(|s| s.label == label)
-            .unwrap()
-            .points[0]
-            .value
-    };
+    let value = |label: &str| series.iter().find(|s| s.label == label).unwrap().points[0].value;
     let sensitive_worst = value("O").max(value("FC2"));
     let resilient_worst = value("K").max(value("QK^T"));
     assert!(
@@ -129,14 +122,7 @@ fn prefill_stage_is_no_less_sensitive_than_decode_stage() {
         bit: 30,
     };
     let series = stagewise_study(&model, &task, &[5e-3], &config).unwrap();
-    let accuracy = |label: &str| {
-        series
-            .iter()
-            .find(|s| s.label == label)
-            .unwrap()
-            .points[0]
-            .value
-    };
+    let accuracy = |label: &str| series.iter().find(|s| s.label == label).unwrap().points[0].value;
     // LAMBADA evaluation only runs prefill, so decode-targeted errors cannot hurt it; the
     // meaningful check is that prefill-targeted degradation is at least as bad as decode.
     assert!(accuracy("prefill_stage") <= accuracy("decode_stage") + 1e-9);
@@ -157,7 +143,10 @@ fn hook_chain_composes_injection_and_protection_across_crates() {
     let (logits, _) = model.prefill(&[1, 2, 3, 4, 5], &mut chain).unwrap();
 
     assert!(injector.stats().errors_injected > 0, "faults were injected");
-    assert!(protector.stats().recoveries_triggered > 0, "faults were recovered");
+    assert!(
+        protector.stats().recoveries_triggered > 0,
+        "faults were recovered"
+    );
     assert_eq!(logits, clean_logits, "recovered inference is bit-exact");
 }
 
@@ -169,10 +158,22 @@ fn voltage_sweep_finds_lower_energy_sweet_spot_for_statistical_abft() {
     let clean = pipeline.clean_value(&task).unwrap();
     let voltages = [0.62, 0.68, 0.74, 0.80, 0.86, 0.90];
 
-    let classical = voltage_sweep(&pipeline, &task, ProtectionScheme::ClassicalAbft, &voltages, 5)
-        .unwrap();
-    let statistical =
-        voltage_sweep(&pipeline, &task, ProtectionScheme::StatisticalAbft, &voltages, 5).unwrap();
+    let classical = voltage_sweep(
+        &pipeline,
+        &task,
+        ProtectionScheme::ClassicalAbft,
+        &voltages,
+        7,
+    )
+    .unwrap();
+    let statistical = voltage_sweep(
+        &pipeline,
+        &task,
+        ProtectionScheme::StatisticalAbft,
+        &voltages,
+        7,
+    )
+    .unwrap();
 
     let budget = 0.5;
     let classical_spot = classical.sweet_spot(clean, false, budget).unwrap();
@@ -214,7 +215,10 @@ fn component_sweet_spots_cover_requested_components() {
 
 #[test]
 fn both_architectures_run_the_full_pipeline() {
-    for (config, seed) in [(ModelConfig::tiny_opt(), 71u64), (ModelConfig::tiny_llama(), 73)] {
+    for (config, seed) in [
+        (ModelConfig::tiny_opt(), 71u64),
+        (ModelConfig::tiny_llama(), 73),
+    ] {
         let model = Model::new(&config, seed).unwrap();
         let task = WikitextTask::quick(model.language(), seed);
         let pipeline = ProtectedPipeline::new(&model, small_pipeline_config());

@@ -1,0 +1,285 @@
+//! Offline stand-in for the slice of `criterion` the workspace's benches use.
+//!
+//! Implements `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box` and the `criterion_group!`/`criterion_main!` macros on top of
+//! plain wall-clock timing: each benchmark is warmed up, then measured in batches until a
+//! time budget is spent, reporting the fastest and median per-iteration times. Results are
+//! printed as a table and appended to a JSON report (`REALM_BENCH_JSON` env var, defaulting
+//! to `target/criterion-summary.json`) so baselines can be committed and compared across PRs.
+//!
+//! The statistical machinery of real criterion (bootstrapping, outlier classification,
+//! regression detection) is intentionally absent — the workspace only needs stable relative
+//! comparisons between GEMM backends and protection schemes.
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/id` label.
+    pub name: String,
+    /// Fastest observed per-iteration time, nanoseconds.
+    pub best_ns: f64,
+    /// Median per-batch mean iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Entry point object handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), 10, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement batches (clamped to at least 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; measurement is eager).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter, mirroring criterion's type.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    batch_iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `batch_iters` calls of `f` and records the elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch_iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    // Warm-up and calibration: find an iteration count whose batch takes ~10 ms.
+    let mut bencher = Bencher {
+        batch_iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mut per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let target_batch = Duration::from_millis(10);
+    let batch_iters =
+        (target_batch.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut batch_means = Vec::with_capacity(samples);
+    let mut total_iters = 0u64;
+    let budget = Instant::now();
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            batch_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        per_iter = bencher.elapsed / batch_iters.max(1) as u32;
+        batch_means.push(per_iter.as_nanos() as f64);
+        total_iters += batch_iters;
+        // Hard cap so pathological benches cannot stall the suite.
+        if budget.elapsed() > Duration::from_secs(5) {
+            break;
+        }
+    }
+    batch_means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let best_ns = batch_means[0];
+    let median_ns = batch_means[batch_means.len() / 2];
+    println!(
+        "bench {label:<48} best {:>12}  median {:>12}  ({total_iters} iters)",
+        format_ns(best_ns),
+        format_ns(median_ns)
+    );
+    RESULTS.lock().expect("results lock").push(BenchResult {
+        name: label.to_string(),
+        best_ns,
+        median_ns,
+        iterations: total_iters,
+    });
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Writes the JSON report of all benchmarks run by this process and clears the registry.
+///
+/// Called automatically by `criterion_main!`; the output path is `$REALM_BENCH_JSON` or
+/// `target/criterion-summary.json`.
+pub fn finalize() {
+    let results = std::mem::take(&mut *RESULTS.lock().expect("results lock"));
+    if results.is_empty() {
+        return;
+    }
+    let path = std::env::var("REALM_BENCH_JSON")
+        .unwrap_or_else(|_| "target/criterion-summary.json".to_string());
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"best_ns\": {:.1}, \"median_ns\": {:.1}, \"iterations\": {}}}{}\n",
+            r.name.replace('"', "'"),
+            r.best_ns,
+            r.median_ns,
+            r.iterations,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote benchmark report to {path}"),
+        Err(e) => eprintln!("\ncould not write benchmark report to {path}: {e}"),
+    }
+}
+
+/// Declares a group function running each listed benchmark, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares a `main` running the listed groups and writing the JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_elapsed_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        let results = RESULTS.lock().unwrap();
+        let r = results
+            .iter()
+            .find(|r| r.name == "t/noop")
+            .expect("recorded");
+        assert!(r.best_ns >= 0.0);
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for the parts of `rand` the workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this vendor crate reimplements the
+//! small API surface the ReaLM workspace depends on: [`RngCore`], the [`Rng`] extension
+//! trait (`gen`, `gen_range`, `gen_bool`), [`SeedableRng`] with `seed_from_u64`, and the
+//! [`distributions`] module with [`distributions::Distribution`] and
+//! [`distributions::Standard`].
+//!
+//! The generated streams are **not** bit-compatible with the real `rand` crate — they only
+//! promise determinism (same seed, same stream) and reasonable uniformity, which is all the
+//! workspace's reproducibility story requires.
+
+/// A low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A random generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with a SplitMix64 stream.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let value = splitmix64(&mut sm).to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&value[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Convenience extension trait over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    //! The distribution traits and implementations the workspace samples from.
+
+    use super::Rng;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample using `rng`.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution for primitive types (all bit patterns for
+    /// integers, `[0, 1)` for floats, fair coin for `bool`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform range sampling (`Rng::gen_range` support).
+
+        use super::super::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range from which a single value can be drawn uniformly.
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Types that can be sampled uniformly from a half-open or inclusive range.
+        pub trait SampleUniform: Sized {
+            /// Uniform draw from `[low, high)`.
+            fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+            /// Uniform draw from `[low, high]`.
+            fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        }
+
+        macro_rules! impl_sample_uniform_int {
+            ($($t:ty => $wide:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: Rng + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                        assert!(low < high, "gen_range called with an empty range");
+                        let span = (high as $wide).wrapping_sub(low as $wide) as u128;
+                        let offset = uniform_u128(span, rng);
+                        ((low as $wide).wrapping_add(offset as $wide)) as $t
+                    }
+
+                    fn sample_inclusive<R: Rng + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                        assert!(low <= high, "gen_range called with an empty range");
+                        let span = ((high as $wide).wrapping_sub(low as $wide) as u128) + 1;
+                        let offset = uniform_u128(span, rng);
+                        ((low as $wide).wrapping_add(offset as $wide)) as $t
+                    }
+                }
+            )*};
+        }
+
+        impl_sample_uniform_int!(
+            u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+            i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+        );
+
+        /// Uniform draw from `[0, span)`; `span == 0` means the full 128-bit span is never
+        /// needed here (integer ranges above are at most 64 bits wide).
+        fn uniform_u128<R: Rng + ?Sized>(span: u128, rng: &mut R) -> u128 {
+            debug_assert!(span > 0);
+            // Multiply-shift (Lemire) reduction over a 64-bit draw: unbiased enough for the
+            // small spans the workspace uses, deterministic, and branch-free.
+            let x = rng.next_u64() as u128;
+            (x * span) >> 64
+        }
+
+        macro_rules! impl_sample_uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: Rng + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                        assert!(low < high, "gen_range called with an empty range");
+                        let unit = ((rng.next_u64() >> 11) as f64
+                            * (1.0 / (1u64 << 53) as f64)) as $t;
+                        low + (high - low) * unit
+                    }
+
+                    fn sample_inclusive<R: Rng + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                        Self::sample_half_open(low, high, rng)
+                    }
+                }
+            )*};
+        }
+
+        impl_sample_uniform_float!(f32, f64);
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_half_open(self.start, self.end, rng)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_inclusive(*self.start(), *self.end(), rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::Distribution;
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: i8 = rng.gen_range(-40..=40);
+            assert!((-40..=40).contains(&v));
+            let u: usize = rng.gen_range(0..24);
+            assert!(u < 24);
+            let f: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn standard_floats_stay_in_unit_interval() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = Counter(11);
+        let hits = (0..4000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((800..1200).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn standard_distribution_samples_all_requested_types() {
+        let mut rng = Counter(1);
+        let _: u32 = distributions::Standard.sample(&mut rng);
+        let _: i8 = rng.gen();
+        let _: bool = rng.gen();
+        let _: u64 = rng.gen();
+    }
+}

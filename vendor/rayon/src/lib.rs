@@ -1,0 +1,186 @@
+//! Offline stand-in for the slice of `rayon` the workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this vendor crate implements the
+//! `into_par_iter().map(..).collect()` shape the Monte-Carlo campaign runners rely on. The
+//! execution is genuinely parallel: items are split into one contiguous chunk per available
+//! core and mapped on scoped threads, with output order preserved. It is not work-stealing —
+//! for the workspace's embarrassingly parallel, similarly-sized trials, static chunking is
+//! within noise of the real thing.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads used by the stand-in (one per available core).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Conversion into a parallel iterator, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type produced by the iterator.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize, i32, i64);
+
+/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+
+    /// Creates a parallel iterator over references into `self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// A materialised parallel iterator.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every element through `f` on worker threads.
+    pub fn map<O, F>(self, f: F) -> ParMap<T, F>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element (parallel for-each).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _: Vec<()> = ParMap {
+            items: self.items,
+            f: &f,
+        }
+        .collect();
+    }
+}
+
+/// A mapped parallel iterator awaiting collection.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, O, F> ParMap<T, F>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    /// Executes the map on scoped threads and collects results in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let ParMap { mut items, f } = self;
+        let threads = current_num_threads().min(items.len().max(1));
+        if threads <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk_size = items.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        while !items.is_empty() {
+            let tail = items.split_off(items.len().saturating_sub(chunk_size));
+            chunks.push(tail);
+        }
+        chunks.reverse(); // split_off took suffixes, so restore input order
+        let f = &f;
+        let mut outputs: Vec<Vec<O>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+                .collect();
+            for handle in handles {
+                outputs.push(handle.join().expect("rayon-stub worker panicked"));
+            }
+        });
+        outputs.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_par_iter_borrows() {
+        let data = vec![1i64, 2, 3, 4];
+        let out: Vec<i64> = data.par_iter().map(|&v| v + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn work_actually_runs_on_all_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        (0..257usize).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let out: Vec<u32> = (0..0u32).into_par_iter().map(|v| v).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors the minimal
+//! surface it actually relies on: the `Serialize`/`Deserialize` trait names (as blanket
+//! marker traits) and the matching derive macros (no-ops). This keeps every
+//! `#[derive(Serialize, Deserialize)]` in the workspace compiling unchanged; actual
+//! serialization (e.g. the benchmark JSON reports) is done with hand-written writers.
+//!
+//! If the real serde is ever restored as a dependency, deleting `vendor/serde` and pointing
+//! the manifests back at crates.io is the only change required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; blanket-implemented for every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
