@@ -15,7 +15,7 @@
 //! All checksum arithmetic is carried out in `i64`: operands are INT8 and accumulators INT32,
 //! so exact sums fit comfortably and cannot themselves overflow.
 
-use realm_tensor::{engine, MatI32, MatI8};
+use realm_tensor::{engine, MatI32, MatI8, RowPartition};
 
 /// Column sums of the INT8 left operand: `eᵀ·W`, one entry per inner-dimension index.
 ///
@@ -69,6 +69,89 @@ pub fn column_deviations(w: &MatI8, x: &MatI8, acc: &MatI32) -> Vec<i64> {
 /// Matrix-sum deviation: the sum of all column deviations (`eᵀ·Y·e − eᵀ·W·X·e`).
 pub fn msd(deviations: &[i64]) -> i64 {
     deviations.iter().sum()
+}
+
+/// Per-row-group column deviations of a batch-stacked GEMM: one deviation vector per group
+/// of `parts`, where group `g`'s vector is `eᵍᵀ·Y − (eᵍᵀ·W)·X` with `eᵍ` selecting only
+/// that group's rows.
+///
+/// This is how a detection on one batched GEMM is attributed back to the originating
+/// sequence: the batch-wide column checksum sums over every sequence's rows, so it can say
+/// *that* something deviated but not *whose* rows deviated. Re-reducing the checksums over
+/// each group's row range — one extra pass over `w`, `x` and `acc` in total, paid only when
+/// a detection fires — recovers the per-sequence signature. Empty groups yield all-zero
+/// vectors.
+///
+/// # Panics
+///
+/// Panics if the shapes are inconsistent with `acc = w · x` or `parts` does not cover
+/// exactly the accumulator's rows.
+pub fn group_column_deviations(
+    w: &MatI8,
+    x: &MatI8,
+    acc: &MatI32,
+    parts: &RowPartition,
+) -> Vec<Vec<i64>> {
+    assert_eq!(w.cols(), x.rows(), "checksum shapes disagree with the GEMM");
+    assert_eq!(acc.rows(), w.rows(), "accumulator rows disagree with W");
+    assert_eq!(acc.cols(), x.cols(), "accumulator columns disagree with X");
+    assert_eq!(
+        parts.total_rows(),
+        acc.rows(),
+        "row partition disagrees with the accumulator"
+    );
+    let groups = parts.num_groups();
+    let n = x.cols();
+    // Per-group operand checksums eᵍᵀ·W: one pass over w.
+    let mut etw = vec![vec![0i64; w.cols()]; groups];
+    for (g, etw_g) in etw.iter_mut().enumerate() {
+        for r in parts.range(g) {
+            for (s, &v) in etw_g.iter_mut().zip(w.row(r)) {
+                *s += v as i64;
+            }
+        }
+    }
+    // Per-group expected checksums (eᵍᵀ·W)·X: one fused pass over x for all groups.
+    let mut deviations = vec![vec![0i64; n]; groups];
+    for (p, x_row) in (0..x.rows()).map(|p| (p, x.row(p))) {
+        for (etw_g, dev_g) in etw.iter().zip(deviations.iter_mut()) {
+            let weight = etw_g[p];
+            if weight == 0 {
+                continue;
+            }
+            for (d, &v) in dev_g.iter_mut().zip(x_row) {
+                *d -= weight * v as i64;
+            }
+        }
+    }
+    // Per-group observed checksums eᵍᵀ·Y: one pass over acc, folded straight into the
+    // deviations (observed − expected).
+    for (g, dev_g) in deviations.iter_mut().enumerate() {
+        for r in parts.range(g) {
+            for (d, &v) in dev_g.iter_mut().zip(acc.row(r)) {
+                *d += v as i64;
+            }
+        }
+    }
+    deviations
+}
+
+/// Indices of the groups of `parts` whose rows carry a non-zero checksum deviation.
+///
+/// The attribution core of batched protection: given a flagged batch-stacked GEMM, returns
+/// the batch sequence indices the deviation traces back to. Like any column-checksum scheme
+/// it cannot see errors that cancel exactly within one group's column sums.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`group_column_deviations`].
+pub fn deviating_groups(w: &MatI8, x: &MatI8, acc: &MatI32, parts: &RowPartition) -> Vec<usize> {
+    group_column_deviations(w, x, acc, parts)
+        .iter()
+        .enumerate()
+        .filter(|(_, dev)| dev.iter().any(|&d| d != 0))
+        .map(|(g, _)| g)
+        .collect()
 }
 
 /// Row-side checksums `W·(X·e)` vs `Y·e`, used by two-sided classical ABFT to localise the
@@ -159,6 +242,38 @@ mod tests {
         let dev = column_deviations(&w, &x, &acc);
         let expected_msd: i64 = errors.iter().map(|&(_, _, d)| d).sum();
         assert_eq!(msd(&dev), expected_msd);
+    }
+
+    #[test]
+    fn group_deviations_sum_to_batch_deviations_and_localise_errors() {
+        let (w, x, mut acc) = random_operands(9, 9, 7, 5);
+        let parts = RowPartition::from_lens(&[3, 0, 4, 2]);
+        // Corrupt one row of group 2 and one row of group 3.
+        acc[(4, 1)] = acc[(4, 1)].wrapping_add(1 << 16);
+        acc[(8, 3)] = acc[(8, 3)].wrapping_add(-(1 << 12));
+
+        let groups = group_column_deviations(&w, &x, &acc, &parts);
+        assert_eq!(groups.len(), 4);
+        assert!(groups[0].iter().all(|&d| d == 0));
+        assert!(groups[1].iter().all(|&d| d == 0), "empty group stays clean");
+        assert_eq!(groups[2][1], 1 << 16);
+        assert_eq!(groups[3][3], -(1 << 12));
+
+        // Group deviations partition the batch-wide deviation vector exactly.
+        let total = column_deviations(&w, &x, &acc);
+        for j in 0..total.len() {
+            let sum: i64 = groups.iter().map(|g| g[j]).sum();
+            assert_eq!(sum, total[j], "column {j}");
+        }
+
+        assert_eq!(deviating_groups(&w, &x, &acc, &parts), vec![2, 3]);
+    }
+
+    #[test]
+    fn clean_batched_gemm_attributes_to_no_group() {
+        let (w, x, acc) = random_operands(10, 8, 6, 4);
+        let parts = RowPartition::from_lens(&[4, 4]);
+        assert!(deviating_groups(&w, &x, &acc, &parts).is_empty());
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub mod sweep;
 mod error;
 
 pub use error::CoreError;
-pub use pipeline::{PipelineConfig, PipelineOutcome, ProtectedPipeline};
-pub use protection::SchemeProtector;
+pub use pipeline::{BatchedGenerationOutcome, PipelineConfig, PipelineOutcome, ProtectedPipeline};
+pub use protection::{SchemeProtector, SequenceAttribution};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -10,13 +10,15 @@
 //! * the task evaluation itself,
 //! * the systolic-array area/power model and the energy model for the final accounting.
 
-use crate::protection::{RegionAssignment, SchemeProtector};
+use crate::protection::{RegionAssignment, SchemeProtector, SequenceAttribution};
 use crate::{CoreError, Result};
 use realm_eval::task::Task;
 use realm_inject::{
-    error_model::BitFlipModel, injector::ErrorInjector, targeting::Target, VoltageBerCurve,
+    campaign::run_trials_with, error_model::BitFlipModel, injector::ErrorInjector,
+    targeting::Target, VoltageBerCurve,
 };
 use realm_llm::hooks::HookChain;
+use realm_llm::model::GenerationOutput;
 use realm_llm::{Component, Model};
 use realm_systolic::{
     energy::WorkloadSpec, AreaPowerModel, EnergyModel, ProtectionScheme, SystolicArray,
@@ -44,6 +46,10 @@ pub struct PipelineConfig {
     /// bit-exact, so this only changes how fast the sweeps run; it defaults to the parallel
     /// backend like the models themselves.
     pub engine: EngineKind,
+    /// Number of sequences batched trials run together (see
+    /// [`ProtectedPipeline::run_batched`]). `1` reproduces the sequential behaviour; larger
+    /// batches amortise checksum and detection cost across the batch.
+    pub batch_size: usize,
 }
 
 impl Default for PipelineConfig {
@@ -55,6 +61,7 @@ impl Default for PipelineConfig {
             protected_component: None,
             min_error_bit: 16,
             engine: EngineKind::Parallel,
+            batch_size: 1,
         }
     }
 }
@@ -66,6 +73,12 @@ impl PipelineConfig {
             protected_component: Some(component),
             ..Self::default()
         }
+    }
+
+    /// Sets the batch width used by batched trials.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
     }
 }
 
@@ -101,6 +114,45 @@ impl PipelineOutcome {
             0.0
         } else {
             self.recoveries as f64 / self.gemms_inspected as f64
+        }
+    }
+}
+
+/// Outcome of one batched protected-generation trial.
+///
+/// One trial runs a whole batch of sequences through shared prefill and lockstep decode
+/// under injection and protection, so detection statistics are batch-wide while
+/// `per_sequence` carries the checksum-based attribution of every detection/recovery back
+/// to the batch index it originated from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedGenerationOutcome {
+    /// Protection scheme that was active.
+    pub scheme: ProtectionScheme,
+    /// Operating voltage of the run.
+    pub voltage: f64,
+    /// Bit-error rate implied by the voltage.
+    pub ber: f64,
+    /// Generated tokens and margins, one entry per batch sequence in order.
+    pub outputs: Vec<GenerationOutput>,
+    /// Number of GEMMs inspected by the protector (shared GEMMs count once per batch).
+    pub gemms_inspected: u64,
+    /// Number of recoveries the protector triggered.
+    pub recoveries: u64,
+    /// Total number of injected errors.
+    pub errors_injected: u64,
+    /// Detection/recovery attribution per batch sequence index (dense, one per sequence).
+    pub per_sequence: Vec<SequenceAttribution>,
+}
+
+impl BatchedGenerationOutcome {
+    /// Detector inspections per generated token across the whole batch — the amortisation
+    /// figure batching exists for (lower is better).
+    pub fn inspections_per_token(&self) -> f64 {
+        let tokens: usize = self.outputs.iter().map(|o| o.tokens.len()).sum();
+        if tokens == 0 {
+            0.0
+        } else {
+            self.gemms_inspected as f64 / tokens as f64
         }
     }
 }
@@ -209,6 +261,136 @@ impl<'m> ProtectedPipeline<'m> {
             recovery_cycles: recovery_stats.recovery_cycles,
             energy,
         })
+    }
+
+    /// Runs one batched protected-generation trial: all `prompts` share prefill GEMMs and
+    /// lockstep decode under injection at `voltage` with protection scheme `scheme`.
+    ///
+    /// Detections and recoveries are attributed back to the originating batch sequence via
+    /// the per-row-group checksum re-reduction (see
+    /// [`SchemeProtector::sequence_attribution`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidExperiment`] for non-positive voltages or an empty
+    /// prompt list, and propagates model errors.
+    pub fn run_generation_batch(
+        &self,
+        prompts: &[Vec<u32>],
+        new_tokens: usize,
+        scheme: ProtectionScheme,
+        voltage: f64,
+        seed: u64,
+    ) -> Result<BatchedGenerationOutcome> {
+        if voltage <= 0.0 {
+            return Err(CoreError::InvalidExperiment {
+                detail: format!("operating voltage must be positive, got {voltage}"),
+            });
+        }
+        if prompts.is_empty() {
+            return Err(CoreError::InvalidExperiment {
+                detail: "batched generation needs at least one prompt".into(),
+            });
+        }
+        let ber = self.config.curve.ber_at(voltage);
+        let target = match self.config.protected_component {
+            Some(component) => Target::new().component(component),
+            None => Target::everything(),
+        };
+        let mut injector = ErrorInjector::new(
+            BitFlipModel::with_bit_range(ber, self.config.min_error_bit, 32),
+            target,
+            seed,
+        );
+        let mut protector = SchemeProtector::with_engine(
+            scheme,
+            self.config.array,
+            &self.regions,
+            self.config.engine.build(),
+        );
+        let outputs = {
+            let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
+            self.model
+                .generate_batch(prompts, new_tokens, &mut chain)
+                .map_err(CoreError::from)?
+        };
+        let per_sequence = (0..prompts.len())
+            .map(|seq| {
+                protector
+                    .sequence_attribution()
+                    .get(&seq)
+                    .copied()
+                    .unwrap_or_default()
+            })
+            .collect();
+        Ok(BatchedGenerationOutcome {
+            scheme,
+            voltage,
+            ber,
+            outputs,
+            gemms_inspected: protector.stats().gemms_inspected,
+            recoveries: protector.stats().recoveries_triggered,
+            errors_injected: injector.stats().errors_injected,
+            per_sequence,
+        })
+    }
+
+    /// Runs one batched trial on [`PipelineConfig::batch_size`] synthetic ragged prompts
+    /// drawn deterministically from the model's language and `seed`.
+    ///
+    /// This is the entry point sweeps use to run batched trials without hand-building
+    /// prompt sets; [`ProtectedPipeline::run_batched_campaign`] fans it out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`ProtectedPipeline::run_generation_batch`].
+    pub fn run_batched(
+        &self,
+        scheme: ProtectionScheme,
+        voltage: f64,
+        seed: u64,
+    ) -> Result<BatchedGenerationOutcome> {
+        let prompts = self.synthetic_batch_prompts(seed);
+        let new_tokens = (self.model.config().max_seq_len / 4).max(1);
+        self.run_generation_batch(&prompts, new_tokens, scheme, voltage, seed)
+    }
+
+    /// Runs `trials` independent batched trials in parallel with deterministic per-trial
+    /// seeds and returns every outcome (per-sequence attribution included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first trial error encountered.
+    pub fn run_batched_campaign(
+        &self,
+        scheme: ProtectionScheme,
+        voltage: f64,
+        trials: usize,
+        base_seed: u64,
+    ) -> Result<Vec<BatchedGenerationOutcome>> {
+        run_trials_with(trials, base_seed, |seed| {
+            self.run_batched(scheme, voltage, seed)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Deterministic ragged prompts for batched trials: `batch_size` chains of the model's
+    /// synthetic language with lengths cycling between 4 and 11 tokens.
+    fn synthetic_batch_prompts(&self, seed: u64) -> Vec<Vec<u32>> {
+        let language = self.model.language();
+        let vocab = self.model.config().vocab_size as u64;
+        let max_prompt = (self.model.config().max_seq_len / 2).max(2);
+        (0..self.config.batch_size.max(1))
+            .map(|i| {
+                let len = (4 + (seed as usize + 3 * i) % 8).min(max_prompt);
+                let mut prompt = vec![((seed + i as u64 * 17) % vocab) as u32];
+                while prompt.len() < len {
+                    prompt.push(language.successor(*prompt.last().expect("non-empty")));
+                }
+                prompt
+            })
+            .collect()
     }
 
     /// Clean-reference value of a task (no injection, no protection).
@@ -322,6 +504,73 @@ mod tests {
             classical.recovery_macs
         );
         assert!(statistical.energy.total_j() <= classical.energy.total_j());
+    }
+
+    #[test]
+    fn batched_generation_amortises_inspections_and_preserves_output() {
+        let (model, _) = setup();
+        let pipeline = ProtectedPipeline::new(&model, small_config());
+        let prompts: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![4, 5], vec![6, 7, 8, 9], vec![2]];
+        let clean = model
+            .generate_batch(&prompts, 4, &mut realm_llm::NoopHook)
+            .unwrap();
+
+        let batched = pipeline
+            .run_generation_batch(&prompts, 4, ProtectionScheme::ClassicalAbft, 0.60, 7)
+            .unwrap();
+        assert_eq!(batched.outputs.len(), 4);
+        assert_eq!(batched.per_sequence.len(), 4);
+        assert!(batched.errors_injected > 0);
+        assert!(batched.recoveries > 0);
+        assert_eq!(
+            batched.outputs, clean,
+            "classical ABFT repairs the batched faulty run to the clean tokens"
+        );
+
+        // Sequentially protected runs inspect each sequence's shared GEMMs separately, so
+        // the batched run must inspect strictly fewer GEMMs for the same tokens.
+        let mut sequential_inspected = 0;
+        for prompt in &prompts {
+            let outcome = pipeline
+                .run_generation_batch(
+                    std::slice::from_ref(prompt),
+                    4,
+                    ProtectionScheme::ClassicalAbft,
+                    0.60,
+                    7,
+                )
+                .unwrap();
+            sequential_inspected += outcome.gemms_inspected;
+        }
+        assert!(
+            batched.gemms_inspected < sequential_inspected,
+            "batching amortises inspections ({} vs {sequential_inspected})",
+            batched.gemms_inspected
+        );
+        assert!(batched.inspections_per_token() > 0.0);
+    }
+
+    #[test]
+    fn batched_campaign_runs_deterministic_trials() {
+        let (model, _) = setup();
+        let config = small_config().with_batch_size(3);
+        assert_eq!(config.batch_size, 3);
+        let pipeline = ProtectedPipeline::new(&model, config);
+        let a = pipeline
+            .run_batched_campaign(ProtectionScheme::StatisticalAbft, 0.62, 4, 11)
+            .unwrap();
+        let b = pipeline
+            .run_batched_campaign(ProtectionScheme::StatisticalAbft, 0.62, 4, 11)
+            .unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a, b, "same base seed reproduces the whole campaign");
+        for outcome in &a {
+            assert_eq!(outcome.outputs.len(), 3);
+            assert_eq!(outcome.per_sequence.len(), 3);
+        }
+        assert!(pipeline
+            .run_generation_batch(&[], 4, ProtectionScheme::None, 0.9, 1)
+            .is_err());
     }
 
     #[test]

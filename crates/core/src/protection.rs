@@ -7,15 +7,29 @@
 //! the paper's "recompute at nominal voltage" assumption) and charges the recovery cost.
 
 use realm_abft::{
-    approx::ApproxAbft, classical::ClassicalAbft, critical_region::CriticalRegion,
+    approx::ApproxAbft, checksum, classical::ClassicalAbft, critical_region::CriticalRegion,
     detector::AbftDetector, detector::Detection, recovery::RecoveryPolicy, recovery::RecoveryStats,
     statistical::StatisticalAbft,
 };
-use realm_llm::{Component, GemmContext, GemmHook};
+use realm_llm::{Component, GemmContext, GemmHook, GemmOrigin};
 use realm_systolic::{ProtectionScheme, SystolicArray};
-use realm_tensor::{engine, ChecksummedGemm, GemmEngine, MatI32, MatI8};
+use realm_tensor::{engine, ChecksummedGemm, GemmEngine, MatI32, MatI8, RowPartition};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Per-batch-sequence detection/recovery attribution accumulated by a [`SchemeProtector`].
+///
+/// In a batched forward pass one inspected GEMM carries the rows of every sequence; when
+/// the detector flags it, the protector re-reduces the checksums over each sequence's row
+/// range (see [`realm_abft::checksum::deviating_groups`]) and charges the detection — and
+/// any recovery — to the sequences whose rows actually deviated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SequenceAttribution {
+    /// Inspections in which this sequence's rows carried a non-zero deviation.
+    pub detections: u64,
+    /// Detections on this sequence's rows that triggered a recovery.
+    pub recoveries: u64,
+}
 
 /// Per-component critical regions used by the statistical scheme.
 ///
@@ -75,6 +89,8 @@ pub struct SchemeProtector {
     stats: RecoveryStats,
     correct_on_recovery: bool,
     engine: Arc<dyn GemmEngine>,
+    partition: Option<RowPartition>,
+    per_sequence: BTreeMap<usize, SequenceAttribution>,
 }
 
 impl SchemeProtector {
@@ -110,6 +126,8 @@ impl SchemeProtector {
             stats: RecoveryStats::new(),
             correct_on_recovery: true,
             engine,
+            partition: None,
+            per_sequence: BTreeMap::new(),
         }
     }
 
@@ -138,9 +156,17 @@ impl SchemeProtector {
         &self.stats
     }
 
-    /// Resets the accumulated statistics.
+    /// Per-batch-sequence detection/recovery attribution, keyed by batch sequence index.
+    ///
+    /// Single-sequence runs attribute everything to index 0.
+    pub fn sequence_attribution(&self) -> &BTreeMap<usize, SequenceAttribution> {
+        &self.per_sequence
+    }
+
+    /// Resets the accumulated statistics (including per-sequence attribution).
     pub fn reset_stats(&mut self) {
         self.stats = RecoveryStats::new();
+        self.per_sequence = BTreeMap::new();
     }
 
     /// Controls whether a triggered recovery actually restores the correct accumulator.
@@ -188,6 +214,41 @@ impl SchemeProtector {
             && self.correct_on_recovery
             && !matches!(self.policy, RecoveryPolicy::None)
     }
+
+    /// Resolves which batch sequences a flagged GEMM's deviation traces back to.
+    ///
+    /// GEMMs owned wholly by one sequence attribute directly; batch-stacked GEMMs
+    /// re-reduce the checksums per row group (one extra pass, paid only on detections).
+    fn affected_sequences(
+        &self,
+        ctx: &GemmContext,
+        w: &MatI8,
+        x: &MatI8,
+        acc: &MatI32,
+    ) -> Vec<usize> {
+        match ctx.origin {
+            GemmOrigin::Sequence(seq) => vec![seq],
+            GemmOrigin::BatchedRows => match &self.partition {
+                // `w` is the stacked activation operand of `Y = W·X`, so its rows — and the
+                // accumulator's — are partitioned by sequence.
+                Some(parts) if parts.total_rows() == acc.rows() => {
+                    checksum::deviating_groups(w, x, acc, parts)
+                }
+                _ => Vec::new(),
+            },
+        }
+    }
+
+    /// Charges a detection (and, when `recovered`, a recovery) to each affected sequence.
+    fn attribute(&mut self, affected: &[usize], recovered: bool) {
+        for &seq in affected {
+            let entry = self.per_sequence.entry(seq).or_default();
+            entry.detections += 1;
+            if recovered {
+                entry.recoveries += 1;
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for SchemeProtector {
@@ -206,7 +267,15 @@ impl GemmHook for SchemeProtector {
             return;
         };
         let detection = detector.inspect(w, x, acc);
-        if self.record(&detection, w.rows(), w.cols(), x.cols()) {
+        // Attribution must read the accumulator before recovery rewrites it.
+        let affected = if detection.errors_detected {
+            self.affected_sequences(ctx, w, x, acc)
+        } else {
+            Vec::new()
+        };
+        let recover = self.record(&detection, w.rows(), w.cols(), x.cols());
+        self.attribute(&affected, recover);
+        if recover {
             // Operands are fault-free (ECC-protected memory), so re-executing the GEMM at a
             // safe voltage reproduces the exact result.
             *acc = self
@@ -230,7 +299,16 @@ impl GemmHook for SchemeProtector {
         // is (lazily) refreshed if an upstream injector mutated the accumulator. This is the
         // hot path of every protected pipeline run.
         let detection = detector.inspect_checksummed(result);
-        if self.record(&detection, w.rows(), w.cols(), x.cols()) {
+        // Attribution must read the accumulator before recovery rewrites it; the per-group
+        // re-reduction runs only on flagged GEMMs, so the fault-free fast path stays fast.
+        let affected = if detection.errors_detected {
+            self.affected_sequences(ctx, w, x, result.acc())
+        } else {
+            Vec::new()
+        };
+        let recover = self.record(&detection, w.rows(), w.cols(), x.cols());
+        self.attribute(&affected, recover);
+        if recover {
             let recovered = self
                 .engine
                 .gemm_i8_checksummed(w, x)
@@ -243,6 +321,10 @@ impl GemmHook for SchemeProtector {
         // `ProtectionScheme::None` never inspects anything, so those runs can skip the
         // fused checksum reductions at the GEMM level entirely.
         !matches!(self.scheme, ProtectionScheme::None)
+    }
+
+    fn on_batch_begin(&mut self, partition: &RowPartition) {
+        self.partition = Some(partition.clone());
     }
 }
 
@@ -331,6 +413,98 @@ mod tests {
             statistical_recoveries < classical_recoveries,
             "statistical ABFT must skip some recoveries ({statistical_recoveries} vs {classical_recoveries})"
         );
+    }
+
+    #[test]
+    fn batched_detections_attribute_to_the_corrupted_sequence() {
+        use realm_llm::hooks::GemmContext;
+        use realm_tensor::RowPartition;
+
+        // A hook that corrupts one accumulator row belonging to a known batch sequence in
+        // the first batch-stacked GEMM it sees.
+        struct CorruptSequence {
+            partition: Option<RowPartition>,
+            target_seq: usize,
+            done: bool,
+        }
+        impl GemmHook for CorruptSequence {
+            fn on_gemm(&mut self, _: &GemmContext, _: &MatI8, _: &MatI8, _: &mut MatI32) {}
+            fn on_gemm_checksummed(
+                &mut self,
+                ctx: &GemmContext,
+                _w: &MatI8,
+                _x: &MatI8,
+                result: &mut ChecksummedGemm,
+            ) {
+                if self.done || !matches!(ctx.origin, realm_llm::GemmOrigin::BatchedRows) {
+                    return;
+                }
+                let range = self
+                    .partition
+                    .as_ref()
+                    .expect("partition announced before batched GEMMs")
+                    .range(self.target_seq);
+                let row = range.start;
+                let acc = result.acc_mut();
+                acc[(row, 0)] = acc[(row, 0)].wrapping_add(1 << 20);
+                self.done = true;
+            }
+            fn wants_checksums(&self) -> bool {
+                false
+            }
+            fn on_batch_begin(&mut self, partition: &RowPartition) {
+                if self.partition.is_none() {
+                    self.partition = Some(partition.clone());
+                }
+            }
+        }
+
+        let model = Model::new(&ModelConfig::tiny_opt(), 2).unwrap();
+        let prompts: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![4, 5], vec![6, 7, 8, 9]];
+        let (clean_logits, _) = model.prefill_batch(&prompts, &mut NoopHook).unwrap();
+
+        let mut corruptor = CorruptSequence {
+            partition: None,
+            target_seq: 2,
+            done: false,
+        };
+        let mut protector =
+            SchemeProtector::with_default_regions(ProtectionScheme::ClassicalAbft, array());
+        let mut chain = HookChain::new().with(&mut corruptor).with(&mut protector);
+        let (protected_logits, _) = model.prefill_batch(&prompts, &mut chain).unwrap();
+
+        let attribution = protector.sequence_attribution();
+        assert_eq!(
+            attribution.get(&2),
+            Some(&SequenceAttribution {
+                detections: 1,
+                recoveries: 1
+            }),
+            "the corrupted sequence is charged: {attribution:?}"
+        );
+        assert!(
+            !attribution.contains_key(&0) && !attribution.contains_key(&1),
+            "untouched sequences are not charged: {attribution:?}"
+        );
+        assert_eq!(
+            protected_logits, clean_logits,
+            "classical ABFT repairs the batched run"
+        );
+    }
+
+    #[test]
+    fn single_sequence_runs_attribute_to_index_zero() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 2).unwrap();
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.2), 9);
+        let mut protector =
+            SchemeProtector::with_default_regions(ProtectionScheme::ClassicalAbft, array());
+        let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
+        model.prefill(&[1, 2, 3, 4], &mut chain).unwrap();
+        let attribution = protector.sequence_attribution();
+        assert_eq!(attribution.len(), 1);
+        assert!(attribution.get(&0).unwrap().detections > 0);
+        protector.reset_stats();
+        assert!(protector.sequence_attribution().is_empty());
     }
 
     #[test]

@@ -95,6 +95,20 @@ pub fn run_trials<F>(trials: usize, base_seed: u64, trial: F) -> Vec<f64>
 where
     F: Fn(u64) -> f64 + Sync,
 {
+    run_trials_with(trials, base_seed, trial)
+}
+
+/// Runs `trials` independent trials in parallel, returning each trial's full result.
+///
+/// The generic sibling of [`run_trials`] for campaigns whose per-trial outcome is richer
+/// than a single metric value — e.g. batched trials that report per-sequence detection and
+/// recovery attribution. Seeding is identical to [`run_trials`], so a scalar campaign and a
+/// structured campaign with the same base seed observe the same fault streams.
+pub fn run_trials_with<T, F>(trials: usize, base_seed: u64, trial: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
     (0..trials)
         .into_par_iter()
         .map(|i| trial(rng::derive_seed(base_seed, i as u64)))

@@ -8,6 +8,7 @@
 //! component.
 
 use crate::activation::{apply_causal_mask, softmax_rows};
+use crate::batch::BatchedLayerCache;
 use crate::component::{Component, Stage};
 use crate::config::ModelConfig;
 use crate::hooks::{GemmContext, GemmHook};
@@ -16,7 +17,7 @@ use crate::quantized::{quant_matmul, OutputMode, QuantLinear};
 use crate::weights;
 use crate::Result;
 use realm_tensor::rng::SeededRng;
-use realm_tensor::{GemmEngine, MatF32};
+use realm_tensor::{GemmEngine, MatF32, RowPartition};
 
 /// Multi-head self-attention for a single Transformer layer.
 #[derive(Debug, Clone)]
@@ -137,6 +138,112 @@ impl MultiHeadAttention {
 
         self.wo
             .forward(&context, engine, &ctx(Component::O, sequence), hook)
+    }
+
+    /// Runs attention over a batch-stacked `x` (shape `(sum_new_tokens, hidden)`, rows
+    /// grouped by `parts`), reading and updating the shared layer cache.
+    ///
+    /// The `Q`/`K`/`V`/`O` projections each run as **one** batch-wide GEMM (per-group
+    /// quantization keeps them bit-exact with per-sequence execution); the score and
+    /// context GEMMs run per sequence and per head because each sequence has its own cache
+    /// length and causal mask. Empty groups (completed sequences in lockstep decode) are
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs and cache operations.
+    #[allow(clippy::too_many_arguments)] // mirrors the block-forward plumbing: ctx + engine + hook
+    pub fn forward_batch(
+        &self,
+        x: &MatF32,
+        parts: &RowPartition,
+        layer: usize,
+        stage: Stage,
+        cache: &mut BatchedLayerCache,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+    ) -> Result<MatF32> {
+        // Cache lengths before the append are each sequence's causal-mask offset.
+        let prior: Vec<usize> = (0..parts.num_groups()).map(|g| cache.seq_len(g)).collect();
+        let shared_ctx = |component: Component, sequence: &mut usize| {
+            let c = GemmContext::new(component, layer, stage, *sequence).batched();
+            *sequence += 1;
+            c
+        };
+
+        let q =
+            self.wq
+                .forward_batched(x, parts, engine, &shared_ctx(Component::Q, sequence), hook)?;
+        let k =
+            self.wk
+                .forward_batched(x, parts, engine, &shared_ctx(Component::K, sequence), hook)?;
+        let v =
+            self.wv
+                .forward_batched(x, parts, engine, &shared_ctx(Component::V, sequence), hook)?;
+
+        cache.append_batch(&k, &v, parts)?;
+
+        let hidden = self.num_heads * self.head_dim;
+        let mut context = MatF32::zeros(x.rows(), hidden);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+
+        for (g, &mask_offset) in prior.iter().enumerate() {
+            let range = parts.range(g);
+            if range.is_empty() {
+                continue;
+            }
+            let new_tokens = range.len();
+            let q_g = q.rows_slice(range.start, new_tokens)?;
+            let keys_g = cache.seq_keys(g)?;
+            let values_g = cache.seq_values(g)?;
+            let seq_ctx = |component: Component, sequence: &mut usize| {
+                let c = GemmContext::new(component, layer, stage, *sequence).for_sequence(g);
+                *sequence += 1;
+                c
+            };
+
+            for h in 0..self.num_heads {
+                let start = h * self.head_dim;
+                let q_h = cols_slice(&q_g, start, self.head_dim);
+                let k_h = cols_slice(&keys_g, start, self.head_dim);
+                let v_h = cols_slice(&values_g, start, self.head_dim);
+
+                let mut scores = quant_matmul(
+                    &q_h,
+                    &k_h.transposed(),
+                    engine,
+                    &seq_ctx(Component::QkT, sequence),
+                    hook,
+                    OutputMode::Float,
+                )?;
+                scores.apply(|s| s * scale);
+                apply_causal_mask(&mut scores, mask_offset);
+                let probs = softmax_rows(&scores);
+
+                let ctx_h = quant_matmul(
+                    &probs,
+                    &v_h,
+                    engine,
+                    &seq_ctx(Component::Sv, sequence),
+                    hook,
+                    OutputMode::Float,
+                )?;
+                for r in 0..new_tokens {
+                    for c in 0..self.head_dim {
+                        context[(range.start + r, start + c)] = ctx_h[(r, c)];
+                    }
+                }
+            }
+        }
+
+        self.wo.forward_batched(
+            &context,
+            parts,
+            engine,
+            &shared_ctx(Component::O, sequence),
+            hook,
+        )
     }
 }
 

@@ -1,0 +1,467 @@
+//! Batched inference: ragged batches, shared KV storage with row offsets, and the lockstep
+//! scheduler.
+//!
+//! The single-sequence forward path runs every prefill/decode GEMM once *per sequence*, so
+//! ABFT checksum and detection cost scales with the number of sequences. The batched path
+//! stacks all sequences' activations into one `(sum_tokens, hidden)` matrix and runs **one**
+//! fused-checksum GEMM per shared component per layer (`Q`/`K`/`V`/`O` and the MLP), so
+//! detection cost amortises across the batch — the regime the paper's energy-accuracy
+//! tradeoff assumes. Only the attention-internal GEMMs (`QKᵀ`, `SV`) stay per-sequence,
+//! because each sequence has its own cache length and causal mask.
+//!
+//! Everything is bit-exact with the single-sequence path: activations are quantized with one
+//! symmetric scale per row group (see
+//! [`quantize_symmetric_grouped`](crate::quantized::quantize_symmetric_grouped)), so a
+//! batched [`crate::Model::generate_batch`] produces token-identical output to running
+//! [`crate::Model::generate`] once per sequence — the contract `tests/batched_parity.rs`
+//! enforces on every GEMM backend.
+
+use crate::model::{argmax_with_margin, GenerationOutput, Model};
+use crate::{GemmHook, LlmError, Result};
+use realm_tensor::{MatF32, RowPartition};
+
+/// Shared per-layer KV storage for a whole batch.
+///
+/// Keys and values of every sequence live in one matrix per layer, grouped by sequence:
+/// sequence `s` owns the contiguous row block starting at `offset_of(s)` with `seq_len(s)`
+/// rows. Ragged lengths are the normal case — prompts differ, and sequences complete at
+/// different lockstep steps.
+#[derive(Debug, Clone)]
+pub struct BatchedLayerCache {
+    layer: usize,
+    keys: Option<MatF32>,
+    values: Option<MatF32>,
+    lens: Vec<usize>,
+}
+
+impl BatchedLayerCache {
+    /// Creates empty shared storage for `batch_size` sequences at `layer`.
+    pub fn new(layer: usize, batch_size: usize) -> Self {
+        Self {
+            layer,
+            keys: None,
+            values: None,
+            lens: vec![0; batch_size],
+        }
+    }
+
+    /// Number of sequences this cache serves.
+    pub fn batch_size(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Number of cached token positions for sequence `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn seq_len(&self, seq: usize) -> usize {
+        self.lens[seq]
+    }
+
+    /// Row offset of sequence `seq` inside the shared storage.
+    fn offset_of(&self, seq: usize) -> usize {
+        self.lens[..seq].iter().sum()
+    }
+
+    /// Total cached rows across all sequences.
+    pub fn total_rows(&self) -> usize {
+        self.lens.iter().sum()
+    }
+
+    /// Appends each sequence's new key/value rows (grouped by `parts`) at the end of that
+    /// sequence's segment. Sequences with an empty group (completed sequences during
+    /// lockstep decode) are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming this cache's layer index if the shapes of `keys`/`values`
+    /// disagree, the partition does not cover them, or the width changes mid-run.
+    pub fn append_batch(
+        &mut self,
+        keys: &MatF32,
+        values: &MatF32,
+        parts: &RowPartition,
+    ) -> Result<()> {
+        if keys.shape() != values.shape() {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "batched KV cache at layer {}: key shape {:?} and value shape {:?} differ",
+                    self.layer,
+                    keys.shape(),
+                    values.shape()
+                ),
+            });
+        }
+        if parts.num_groups() != self.lens.len() || parts.total_rows() != keys.rows() {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "batched KV cache at layer {}: partition ({} groups, {} rows) does not \
+                     match batch size {} and {} new rows",
+                    self.layer,
+                    parts.num_groups(),
+                    parts.total_rows(),
+                    self.lens.len(),
+                    keys.rows()
+                ),
+            });
+        }
+        let width = keys.cols();
+        if let Some(existing) = &self.keys {
+            if existing.cols() != width {
+                return Err(LlmError::InvalidSequence {
+                    detail: format!(
+                        "batched KV cache at layer {}: width changed from {} to {width}",
+                        self.layer,
+                        existing.cols()
+                    ),
+                });
+            }
+        }
+        if keys.rows() == 0 {
+            return Ok(());
+        }
+        // Rebuild the shared storage with each sequence's new rows spliced onto the end of
+        // its segment; per-sequence segments stay contiguous for O(1) slicing.
+        let new_total = self.total_rows() + keys.rows();
+        let mut new_keys = Vec::with_capacity(new_total * width);
+        let mut new_values = Vec::with_capacity(new_total * width);
+        for seq in 0..self.lens.len() {
+            let offset = self.offset_of(seq);
+            for r in 0..self.lens[seq] {
+                new_keys.extend_from_slice(self.keys.as_ref().expect("non-empty").row(offset + r));
+                new_values
+                    .extend_from_slice(self.values.as_ref().expect("non-empty").row(offset + r));
+            }
+            for r in parts.range(seq) {
+                new_keys.extend_from_slice(keys.row(r));
+                new_values.extend_from_slice(values.row(r));
+            }
+        }
+        self.keys = Some(MatF32::from_vec(new_total, width, new_keys)?);
+        self.values = Some(MatF32::from_vec(new_total, width, new_values)?);
+        for seq in 0..self.lens.len() {
+            self.lens[seq] += parts.len(seq);
+        }
+        Ok(())
+    }
+
+    /// All cached keys of sequence `seq`, shape `(seq_len(seq), hidden)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sequence has no cached rows yet.
+    pub fn seq_keys(&self, seq: usize) -> Result<MatF32> {
+        self.seq_rows(&self.keys, seq, "keys")
+    }
+
+    /// All cached values of sequence `seq`, shape `(seq_len(seq), hidden)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sequence has no cached rows yet.
+    pub fn seq_values(&self, seq: usize) -> Result<MatF32> {
+        self.seq_rows(&self.values, seq, "values")
+    }
+
+    fn seq_rows(&self, storage: &Option<MatF32>, seq: usize, what: &str) -> Result<MatF32> {
+        let Some(storage) = storage else {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "batched KV cache at layer {}: no cached {what} for sequence {seq}",
+                    self.layer
+                ),
+            });
+        };
+        Ok(storage.rows_slice(self.offset_of(seq), self.lens[seq])?)
+    }
+}
+
+/// Batched KV cache covering every layer of the model.
+#[derive(Debug, Clone)]
+pub struct BatchedKvCache {
+    layers: Vec<BatchedLayerCache>,
+    batch_size: usize,
+}
+
+impl BatchedKvCache {
+    /// Creates an empty cache for `num_layers` layers serving `batch_size` sequences.
+    pub fn new(num_layers: usize, batch_size: usize) -> Self {
+        Self {
+            layers: (0..num_layers)
+                .map(|layer| BatchedLayerCache::new(layer, batch_size))
+                .collect(),
+            batch_size,
+        }
+    }
+
+    /// Number of layers the cache covers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of sequences the cache serves.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Cached token positions of sequence `seq` (identical across layers once populated).
+    pub fn seq_len(&self, seq: usize) -> usize {
+        self.layers.first().map_or(0, |l| l.seq_len(seq))
+    }
+
+    /// Accesses the shared storage of one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer(&self, layer: usize) -> &BatchedLayerCache {
+        &self.layers[layer]
+    }
+
+    /// Mutably accesses the shared storage of one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_mut(&mut self, layer: usize) -> &mut BatchedLayerCache {
+        &mut self.layers[layer]
+    }
+}
+
+/// One generation request handed to the [`BatchScheduler`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// Prompt tokens (must be non-empty).
+    pub prompt: Vec<u32>,
+    /// Number of tokens to generate for this request.
+    pub max_new_tokens: usize,
+}
+
+impl BatchRequest {
+    /// Creates a request.
+    pub fn new(prompt: Vec<u32>, max_new_tokens: usize) -> Self {
+        Self {
+            prompt,
+            max_new_tokens,
+        }
+    }
+}
+
+/// Packs ragged prompts into one shared prefill, then drives lockstep decode with
+/// per-sequence completion.
+///
+/// Each lockstep step stacks the pending token of every still-active sequence into one
+/// decode forward; sequences that reach their requested length simply stop contributing rows
+/// (their batch index — and therefore per-sequence attribution — stays stable). Output is
+/// token-identical to running [`Model::generate`] once per request.
+///
+/// # Example
+///
+/// ```
+/// use realm_llm::batch::{BatchRequest, BatchScheduler};
+/// use realm_llm::{config::ModelConfig, model::Model, NoopHook};
+///
+/// # fn main() -> Result<(), realm_llm::LlmError> {
+/// let model = Model::new(&ModelConfig::tiny_opt(), 42)?;
+/// let requests = vec![
+///     BatchRequest::new(vec![1, 5, 9], 4),
+///     BatchRequest::new(vec![2, 7], 6),
+/// ];
+/// let outputs = BatchScheduler::new(&model).run(&requests, &mut NoopHook)?;
+/// assert_eq!(outputs[0].tokens.len(), 4);
+/// assert_eq!(outputs[1].tokens.len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchScheduler<'m> {
+    model: &'m Model,
+}
+
+impl<'m> BatchScheduler<'m> {
+    /// Creates a scheduler driving `model`.
+    pub fn new(model: &'m Model) -> Self {
+        Self { model }
+    }
+
+    /// Runs every request to completion and returns one [`GenerationOutput`] per request,
+    /// in request order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty request list, empty prompts, out-of-range tokens, or
+    /// any request whose prompt plus generation budget exceeds the model's context window.
+    pub fn run(
+        &self,
+        requests: &[BatchRequest],
+        hook: &mut dyn GemmHook,
+    ) -> Result<Vec<GenerationOutput>> {
+        let max_seq_len = self.model.config().max_seq_len;
+        for (i, request) in requests.iter().enumerate() {
+            if request.prompt.len() + request.max_new_tokens > max_seq_len {
+                return Err(LlmError::InvalidSequence {
+                    detail: format!(
+                        "request {i}: prompt ({}) plus generation ({}) exceeds max_seq_len \
+                         {max_seq_len}",
+                        request.prompt.len(),
+                        request.max_new_tokens
+                    ),
+                });
+            }
+        }
+        let prompts: Vec<Vec<u32>> = requests.iter().map(|r| r.prompt.clone()).collect();
+        let (logits, mut cache) = self.model.prefill_batch(&prompts, hook)?;
+
+        struct SeqState {
+            tokens: Vec<u32>,
+            margins: Vec<f32>,
+            next: u32,
+            margin: f32,
+            target: usize,
+        }
+        let mut states: Vec<SeqState> = logits
+            .iter()
+            .zip(requests)
+            .map(|(l, request)| {
+                let (next, margin) = argmax_with_margin(l.row(l.rows() - 1));
+                SeqState {
+                    tokens: Vec::with_capacity(request.max_new_tokens),
+                    margins: Vec::with_capacity(request.max_new_tokens),
+                    next,
+                    margin,
+                    target: request.max_new_tokens,
+                }
+            })
+            .collect();
+
+        loop {
+            // Commit the pending token of every sequence still below its target, mirroring
+            // the single-sequence `generate` loop: push first, then decode only if more
+            // tokens are needed.
+            for state in states.iter_mut() {
+                if state.tokens.len() < state.target {
+                    state.tokens.push(state.next);
+                    state.margins.push(state.margin);
+                }
+            }
+            let step: Vec<Option<u32>> = states
+                .iter()
+                .map(|s| (s.tokens.len() < s.target).then_some(s.next))
+                .collect();
+            if step.iter().all(Option::is_none) {
+                break;
+            }
+            let step_logits = self.model.decode_step_batch(&step, &mut cache, hook)?;
+            for (state, logits) in states.iter_mut().zip(step_logits) {
+                if let Some(logits) = logits {
+                    let (next, margin) = argmax_with_margin(&logits);
+                    state.next = next;
+                    state.margin = margin;
+                }
+            }
+        }
+        Ok(states
+            .into_iter()
+            .map(|s| GenerationOutput {
+                tokens: s.tokens,
+                margins: s.margins,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::NoopHook;
+
+    #[test]
+    fn batched_layer_cache_keeps_sequences_contiguous() {
+        let mut cache = BatchedLayerCache::new(1, 3);
+        let parts = RowPartition::from_lens(&[2, 1, 2]);
+        let keys = MatF32::from_fn(5, 4, |r, c| (r * 4 + c) as f32);
+        let values = keys.scale(10.0);
+        cache.append_batch(&keys, &values, &parts).unwrap();
+        assert_eq!(cache.seq_len(0), 2);
+        assert_eq!(cache.seq_len(1), 1);
+        assert_eq!(cache.seq_len(2), 2);
+        assert_eq!(cache.seq_keys(1).unwrap().row(0), keys.row(2));
+
+        // Second append with an empty group for the middle sequence.
+        let parts2 = RowPartition::from_lens(&[1, 0, 1]);
+        let keys2 = MatF32::from_fn(2, 4, |r, c| 100.0 + (r * 4 + c) as f32);
+        cache
+            .append_batch(&keys2, &keys2.scale(10.0), &parts2)
+            .unwrap();
+        assert_eq!(cache.seq_len(0), 3);
+        assert_eq!(cache.seq_len(1), 1);
+        assert_eq!(cache.seq_keys(0).unwrap().row(2), keys2.row(0));
+        assert_eq!(cache.seq_keys(2).unwrap().row(2), keys2.row(1));
+        assert_eq!(
+            cache.seq_values(2).unwrap().row(2),
+            keys2.scale(10.0).row(1)
+        );
+    }
+
+    #[test]
+    fn batched_cache_errors_name_the_layer() {
+        let mut cache = BatchedLayerCache::new(5, 2);
+        let parts = RowPartition::from_lens(&[1, 1]);
+        let err = cache
+            .append_batch(&MatF32::zeros(2, 4), &MatF32::zeros(3, 4), &parts)
+            .unwrap_err();
+        assert!(err.to_string().contains("layer 5"), "{err}");
+        let err = cache
+            .append_batch(
+                &MatF32::zeros(3, 4),
+                &MatF32::zeros(3, 4),
+                &RowPartition::from_lens(&[1, 1]),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("layer 5"), "{err}");
+        cache
+            .append_batch(&MatF32::zeros(2, 4), &MatF32::zeros(2, 4), &parts)
+            .unwrap();
+        let err = cache
+            .append_batch(&MatF32::zeros(2, 8), &MatF32::zeros(2, 8), &parts)
+            .unwrap_err();
+        assert!(err.to_string().contains("layer 5"), "{err}");
+    }
+
+    #[test]
+    fn batched_kv_cache_tracks_all_layers() {
+        let cache = BatchedKvCache::new(3, 2);
+        assert_eq!(cache.num_layers(), 3);
+        assert_eq!(cache.batch_size(), 2);
+        assert_eq!(cache.seq_len(0), 0);
+        assert_eq!(cache.layer(2).batch_size(), 2);
+    }
+
+    #[test]
+    fn scheduler_respects_per_request_budgets() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 11).unwrap();
+        let requests = vec![
+            BatchRequest::new(vec![1, 2, 3], 5),
+            BatchRequest::new(vec![4, 5], 2),
+            BatchRequest::new(vec![6], 0),
+        ];
+        let outputs = BatchScheduler::new(&model)
+            .run(&requests, &mut NoopHook)
+            .unwrap();
+        assert_eq!(outputs[0].tokens.len(), 5);
+        assert_eq!(outputs[1].tokens.len(), 2);
+        assert!(outputs[2].tokens.is_empty());
+    }
+
+    #[test]
+    fn scheduler_rejects_over_budget_requests() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 11).unwrap();
+        let max = model.config().max_seq_len;
+        let requests = vec![BatchRequest::new(vec![0; max], 1)];
+        assert!(BatchScheduler::new(&model)
+            .run(&requests, &mut NoopHook)
+            .is_err());
+    }
+}

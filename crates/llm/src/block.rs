@@ -14,6 +14,7 @@
 //! channel downstream.
 
 use crate::attention::MultiHeadAttention;
+use crate::batch::BatchedLayerCache;
 use crate::component::Stage;
 use crate::config::{Architecture, ModelConfig};
 use crate::hooks::GemmHook;
@@ -23,7 +24,7 @@ use crate::norm::{LayerNorm, RmsNorm};
 use crate::weights;
 use crate::Result;
 use realm_tensor::rng::SeededRng;
-use realm_tensor::{GemmEngine, MatF32};
+use realm_tensor::{GemmEngine, MatF32, RowPartition};
 
 /// Normalization layer variant used by a block.
 #[derive(Debug, Clone)]
@@ -114,6 +115,41 @@ impl TransformerBlock {
         let mlp_out = self
             .mlp
             .forward(&mlp_in, layer, stage, sequence, engine, hook)?;
+        x.add(&mlp_out).map_err(Into::into)
+    }
+
+    /// Runs the block over a batch-stacked `x` of shape `(sum_new_tokens, hidden)` whose
+    /// rows are grouped by `parts`.
+    ///
+    /// Normalization and residual additions are row-wise, so only the attention and MLP
+    /// sub-layers need batch awareness; the result is bit-exact with running
+    /// [`TransformerBlock::forward`] once per sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the attention and MLP sub-layers.
+    #[allow(clippy::too_many_arguments)] // mirrors the attention-forward plumbing: ctx + engine + hook
+    pub fn forward_batch(
+        &self,
+        x: &MatF32,
+        parts: &RowPartition,
+        layer: usize,
+        stage: Stage,
+        cache: &mut BatchedLayerCache,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+    ) -> Result<MatF32> {
+        let attn_in = self.norm1.forward(x);
+        let attn_out = self
+            .attention
+            .forward_batch(&attn_in, parts, layer, stage, cache, sequence, engine, hook)?;
+        let x = x.add(&attn_out)?;
+
+        let mlp_in = self.norm2.forward(&x);
+        let mlp_out = self
+            .mlp
+            .forward_batch(&mlp_in, parts, layer, stage, sequence, engine, hook)?;
         x.add(&mlp_out).map_err(Into::into)
     }
 }

@@ -15,8 +15,31 @@
 //! protection, matching the physical order of fault and detection.
 
 use crate::component::{Component, Stage};
-use realm_tensor::{ChecksummedGemm, MatI32, MatI8};
+use realm_tensor::{ChecksummedGemm, MatI32, MatI8, RowPartition};
 use serde::{Deserialize, Serialize};
+
+/// Which sequence(s) of a batch the accumulator rows of a GEMM belong to.
+///
+/// The batched forward path stacks every sequence's activations into one matrix for the
+/// shared projections (`Q`/`K`/`V`/`O` and the MLP components) while the attention-internal
+/// GEMMs (`QKᵀ`, `SV`) stay per-sequence (each sequence has its own cache length and causal
+/// mask). Hooks that attribute work to sequences — injection campaigns, ABFT protectors —
+/// read this tag to know which case they are looking at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GemmOrigin {
+    /// Every accumulator row belongs to the batch sequence with this index. The
+    /// single-sequence forward path always reports `Sequence(0)`.
+    Sequence(usize),
+    /// Accumulator rows are stacked across the whole batch; the row → sequence map is the
+    /// [`RowPartition`] most recently announced through [`GemmHook::on_batch_begin`].
+    BatchedRows,
+}
+
+impl Default for GemmOrigin {
+    fn default() -> Self {
+        GemmOrigin::Sequence(0)
+    }
+}
 
 /// Metadata describing a single GEMM invocation inside the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -29,6 +52,8 @@ pub struct GemmContext {
     pub stage: Stage,
     /// Monotonically increasing index of the GEMM within the current forward pass.
     pub sequence: usize,
+    /// Batch provenance of the accumulator rows (defaults to [`GemmOrigin::Sequence`] 0).
+    pub origin: GemmOrigin,
 }
 
 impl GemmContext {
@@ -39,7 +64,21 @@ impl GemmContext {
             layer,
             stage,
             sequence,
+            origin: GemmOrigin::default(),
         }
+    }
+
+    /// Tags the context as belonging entirely to batch sequence `seq` (per-sequence
+    /// attention GEMMs inside a batched forward).
+    pub fn for_sequence(mut self, seq: usize) -> Self {
+        self.origin = GemmOrigin::Sequence(seq);
+        self
+    }
+
+    /// Tags the context as a batch-stacked GEMM whose rows span every sequence.
+    pub fn batched(mut self) -> Self {
+        self.origin = GemmOrigin::BatchedRows;
+        self
     }
 }
 
@@ -81,6 +120,16 @@ pub trait GemmHook {
     /// observers and mutators (recorders, injectors) override it to `false`.
     fn wants_checksums(&self) -> bool {
         true
+    }
+
+    /// Announces the row partition of an upcoming batched forward pass.
+    ///
+    /// The model calls this once before each batched prefill and before every lockstep
+    /// decode step, handing hooks the map from stacked accumulator rows to batch sequence
+    /// indices. GEMMs tagged [`GemmOrigin::BatchedRows`] until the next announcement use
+    /// this partition. Hooks that do not care (the default) ignore it.
+    fn on_batch_begin(&mut self, partition: &RowPartition) {
+        let _ = partition;
     }
 }
 
@@ -130,6 +179,10 @@ impl<H: GemmHook + ?Sized> GemmHook for &mut H {
     fn wants_checksums(&self) -> bool {
         (**self).wants_checksums()
     }
+
+    fn on_batch_begin(&mut self, partition: &RowPartition) {
+        (**self).on_batch_begin(partition);
+    }
 }
 
 impl<H: GemmHook + ?Sized> GemmHook for Box<H> {
@@ -149,6 +202,10 @@ impl<H: GemmHook + ?Sized> GemmHook for Box<H> {
 
     fn wants_checksums(&self) -> bool {
         (**self).wants_checksums()
+    }
+
+    fn on_batch_begin(&mut self, partition: &RowPartition) {
+        (**self).on_batch_begin(partition);
     }
 }
 
@@ -218,6 +275,12 @@ impl GemmHook for HookChain<'_> {
 
     fn wants_checksums(&self) -> bool {
         self.hooks.iter().any(|h| h.wants_checksums())
+    }
+
+    fn on_batch_begin(&mut self, partition: &RowPartition) {
+        for hook in &mut self.hooks {
+            hook.on_batch_begin(partition);
+        }
     }
 }
 

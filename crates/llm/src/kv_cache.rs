@@ -9,16 +9,34 @@ use crate::{LlmError, Result};
 use realm_tensor::MatF32;
 
 /// Cached keys and values for a single Transformer layer.
+///
+/// The cache remembers which layer it belongs to so shape-mismatch errors name the layer —
+/// when a batched shape bug first bites at layer 3, "at layer 3" is the difference between a
+/// one-glance diagnosis and bisecting the whole stack.
 #[derive(Debug, Clone, Default)]
 pub struct LayerCache {
+    layer: usize,
     keys: Option<MatF32>,
     values: Option<MatF32>,
 }
 
 impl LayerCache {
-    /// Creates an empty per-layer cache.
+    /// Creates an empty per-layer cache (reporting layer index 0 in errors).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache that reports `layer` in its error messages.
+    pub fn for_layer(layer: usize) -> Self {
+        Self {
+            layer,
+            ..Self::default()
+        }
+    }
+
+    /// The layer index this cache reports in error messages.
+    pub fn layer(&self) -> usize {
+        self.layer
     }
 
     /// Number of cached token positions.
@@ -35,26 +53,30 @@ impl LayerCache {
     ///
     /// # Errors
     ///
-    /// Returns an error if `keys` and `values` have different shapes, or if their width does
-    /// not match previously cached entries.
+    /// Returns an error naming this cache's layer index if `keys` and `values` have
+    /// different shapes, or if their width does not match previously cached entries.
     pub fn append(&mut self, keys: &MatF32, values: &MatF32) -> Result<()> {
         if keys.shape() != values.shape() {
             return Err(LlmError::InvalidSequence {
                 detail: format!(
-                    "key shape {:?} and value shape {:?} differ",
+                    "KV cache at layer {}: key shape {:?} and value shape {:?} differ",
+                    self.layer,
                     keys.shape(),
                     values.shape()
                 ),
             });
         }
-        self.keys = Some(match self.keys.take() {
-            None => keys.clone(),
-            Some(existing) => existing.vstack(keys)?,
-        });
-        self.values = Some(match self.values.take() {
-            None => values.clone(),
-            Some(existing) => existing.vstack(values)?,
-        });
+        let layer = self.layer;
+        let stack = |existing: Option<MatF32>, new: &MatF32, what: &str| -> Result<MatF32> {
+            match existing {
+                None => Ok(new.clone()),
+                Some(existing) => existing.vstack(new).map_err(|e| LlmError::InvalidSequence {
+                    detail: format!("KV cache at layer {layer}: cannot append {what}: {e}"),
+                }),
+            }
+        };
+        self.keys = Some(stack(self.keys.take(), keys, "keys")?);
+        self.values = Some(stack(self.values.take(), values, "values")?);
         Ok(())
     }
 
@@ -83,7 +105,7 @@ impl KvCache {
     /// Creates an empty cache for a model with `num_layers` layers.
     pub fn new(num_layers: usize) -> Self {
         Self {
-            layers: (0..num_layers).map(|_| LayerCache::new()).collect(),
+            layers: (0..num_layers).map(LayerCache::for_layer).collect(),
         }
     }
 
@@ -161,6 +183,32 @@ mod tests {
         assert!(cache
             .append(&MatF32::zeros(1, 16), &MatF32::zeros(1, 16))
             .is_err());
+    }
+
+    #[test]
+    fn append_errors_name_the_layer() {
+        let mut cache = KvCache::new(4);
+        let err = cache
+            .layer_mut(3)
+            .append(&MatF32::zeros(2, 8), &MatF32::zeros(3, 8))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("layer 3"),
+            "shape mismatch should name the layer: {err}"
+        );
+        cache
+            .layer_mut(3)
+            .append(&MatF32::zeros(2, 8), &MatF32::zeros(2, 8))
+            .unwrap();
+        let err = cache
+            .layer_mut(3)
+            .append(&MatF32::zeros(1, 16), &MatF32::zeros(1, 16))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("layer 3"),
+            "width change should name the layer: {err}"
+        );
+        assert_eq!(cache.layer(3).layer(), 3);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod activation;
 pub mod attention;
+pub mod batch;
 pub mod block;
 pub mod component;
 pub mod config;
@@ -56,10 +57,11 @@ pub mod weights;
 
 mod error;
 
+pub use batch::{BatchRequest, BatchScheduler, BatchedKvCache};
 pub use component::{Component, Stage};
 pub use config::{Architecture, ModelConfig};
 pub use error::LlmError;
-pub use hooks::{GemmContext, GemmHook, NoopHook};
+pub use hooks::{GemmContext, GemmHook, GemmOrigin, NoopHook};
 pub use model::Model;
 
 /// Crate-wide result alias.

@@ -13,7 +13,7 @@ use crate::quantized::{OutputMode, QuantLinear};
 use crate::weights;
 use crate::Result;
 use realm_tensor::rng::SeededRng;
-use realm_tensor::{GemmEngine, MatF32};
+use realm_tensor::{GemmEngine, MatF32, RowPartition};
 
 /// OPT-style MLP: `FC2(ReLU(FC1(x)))`.
 #[derive(Debug, Clone)]
@@ -58,6 +58,33 @@ impl OptMlp {
         let ctx2 = GemmContext::new(Component::Fc2, layer, stage, *sequence);
         *sequence += 1;
         self.fc2.forward(&activated, engine, &ctx2, hook)
+    }
+
+    /// Runs the MLP over a batch-stacked `x` (rows grouped by `parts`): one shared GEMM per
+    /// component, per-group quantization, ReLU applied elementwise in between.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs.
+    #[allow(clippy::too_many_arguments)] // mirrors the block-forward plumbing: ctx + engine + hook
+    pub fn forward_batch(
+        &self,
+        x: &MatF32,
+        parts: &RowPartition,
+        layer: usize,
+        stage: Stage,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+    ) -> Result<MatF32> {
+        let ctx1 = GemmContext::new(Component::Fc1, layer, stage, *sequence).batched();
+        *sequence += 1;
+        let hidden = self.fc1.forward_batched(x, parts, engine, &ctx1, hook)?;
+        let activated = relu(&hidden);
+        let ctx2 = GemmContext::new(Component::Fc2, layer, stage, *sequence).batched();
+        *sequence += 1;
+        self.fc2
+            .forward_batched(&activated, parts, engine, &ctx2, hook)
     }
 }
 
@@ -113,6 +140,38 @@ impl LlamaMlp {
         *sequence += 1;
         self.down.forward(&gated, engine, &ctx_down, hook)
     }
+
+    /// Runs the gated MLP over a batch-stacked `x` (rows grouped by `parts`): one shared
+    /// GEMM per component, per-group quantization, SiLU gating elementwise in between.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs.
+    #[allow(clippy::too_many_arguments)] // mirrors the block-forward plumbing: ctx + engine + hook
+    pub fn forward_batch(
+        &self,
+        x: &MatF32,
+        parts: &RowPartition,
+        layer: usize,
+        stage: Stage,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+    ) -> Result<MatF32> {
+        let ctx_gate = GemmContext::new(Component::Gate, layer, stage, *sequence).batched();
+        *sequence += 1;
+        let gate_out = self
+            .gate
+            .forward_batched(x, parts, engine, &ctx_gate, hook)?;
+        let ctx_up = GemmContext::new(Component::Up, layer, stage, *sequence).batched();
+        *sequence += 1;
+        let up_out = self.up.forward_batched(x, parts, engine, &ctx_up, hook)?;
+        let gated = silu(&gate_out).hadamard(&up_out)?;
+        let ctx_down = GemmContext::new(Component::Down, layer, stage, *sequence).batched();
+        *sequence += 1;
+        self.down
+            .forward_batched(&gated, parts, engine, &ctx_down, hook)
+    }
 }
 
 /// Either MLP variant; the block picks one based on the model architecture.
@@ -150,6 +209,28 @@ impl Mlp {
         match self {
             Mlp::Opt(m) => m.forward(x, layer, stage, sequence, engine, hook),
             Mlp::Llama(m) => m.forward(x, layer, stage, sequence, engine, hook),
+        }
+    }
+
+    /// Runs the MLP over a batch-stacked `x` whose rows are grouped by `parts`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs.
+    #[allow(clippy::too_many_arguments)] // mirrors the block-forward plumbing: ctx + engine + hook
+    pub fn forward_batch(
+        &self,
+        x: &MatF32,
+        parts: &RowPartition,
+        layer: usize,
+        stage: Stage,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+    ) -> Result<MatF32> {
+        match self {
+            Mlp::Opt(m) => m.forward_batch(x, parts, layer, stage, sequence, engine, hook),
+            Mlp::Llama(m) => m.forward_batch(x, parts, layer, stage, sequence, engine, hook),
         }
     }
 }

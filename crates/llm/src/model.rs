@@ -10,6 +10,7 @@
 //! Both paths execute every quantized GEMM through the hook interface so that error
 //! injection and ABFT protection see exactly the same computation.
 
+use crate::batch::{BatchRequest, BatchScheduler, BatchedKvCache};
 use crate::block::{Norm, TransformerBlock};
 use crate::component::Stage;
 use crate::config::ModelConfig;
@@ -18,7 +19,7 @@ use crate::kv_cache::KvCache;
 use crate::weights::{self, Embedding, SyntheticLanguage};
 use crate::{LlmError, Result};
 use realm_tensor::rng;
-use realm_tensor::{gemm, GemmEngine, MatF32};
+use realm_tensor::{gemm, GemmEngine, MatF32, RowPartition};
 use std::sync::Arc;
 
 /// Default temperature applied to the synthetic model's logits.
@@ -122,6 +123,11 @@ impl Model {
         KvCache::new(self.config.num_layers)
     }
 
+    /// Creates an empty batched KV cache for `batch_size` sequences.
+    pub fn new_batched_cache(&self, batch_size: usize) -> BatchedKvCache {
+        BatchedKvCache::new(self.config.num_layers, batch_size)
+    }
+
     /// Embeds a token sequence into a `(tokens, hidden)` activation matrix.
     ///
     /// # Errors
@@ -160,6 +166,30 @@ impl Model {
         for (layer, block) in self.blocks.iter().enumerate() {
             x = block.forward(
                 &x,
+                layer,
+                stage,
+                cache.layer_mut(layer),
+                &mut sequence,
+                self.engine.as_ref(),
+                hook,
+            )?;
+        }
+        Ok(x)
+    }
+
+    fn run_blocks_batch(
+        &self,
+        mut x: MatF32,
+        parts: &RowPartition,
+        stage: Stage,
+        cache: &mut BatchedKvCache,
+        hook: &mut dyn GemmHook,
+    ) -> Result<MatF32> {
+        let mut sequence = 0usize;
+        for (layer, block) in self.blocks.iter().enumerate() {
+            x = block.forward_batch(
+                &x,
+                parts,
                 layer,
                 stage,
                 cache.layer_mut(layer),
@@ -228,6 +258,144 @@ impl Model {
         let hidden = self.run_blocks(x, Stage::Decode, cache, hook)?;
         let logits = self.logits_from_hidden(&hidden)?;
         Ok(logits.row(0).to_vec())
+    }
+
+    /// Runs one shared prefill over a ragged batch of prompts, returning per-sequence
+    /// logits and the populated batched KV cache.
+    ///
+    /// All prompts are stacked into one `(sum_tokens, hidden)` activation matrix, so every
+    /// shared component (`Q`/`K`/`V`/`O`, MLP) runs — and is checksummed/inspected — once
+    /// per layer for the whole batch instead of once per sequence. Per-sequence logits are
+    /// bit-identical to running [`Model::prefill`] on each prompt alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty batch, empty prompts, out-of-range tokens, or prompts
+    /// longer than the configured context.
+    pub fn prefill_batch(
+        &self,
+        prompts: &[Vec<u32>],
+        hook: &mut dyn GemmHook,
+    ) -> Result<(Vec<MatF32>, BatchedKvCache)> {
+        if prompts.is_empty() {
+            return Err(LlmError::InvalidSequence {
+                detail: "cannot prefill an empty batch".into(),
+            });
+        }
+        for (i, prompt) in prompts.iter().enumerate() {
+            if prompt.is_empty() {
+                return Err(LlmError::InvalidSequence {
+                    detail: format!("prompt {i} of the batch is empty"),
+                });
+            }
+            if prompt.len() > self.config.max_seq_len {
+                return Err(LlmError::InvalidSequence {
+                    detail: format!(
+                        "prompt {i} of {} tokens exceeds max_seq_len {}",
+                        prompt.len(),
+                        self.config.max_seq_len
+                    ),
+                });
+            }
+        }
+        let lens: Vec<usize> = prompts.iter().map(Vec::len).collect();
+        let parts = RowPartition::from_lens(&lens);
+        hook.on_batch_begin(&parts);
+        let stacked: Vec<u32> = prompts.iter().flatten().copied().collect();
+        let x = self.embed(&stacked)?;
+        let mut cache = self.new_batched_cache(prompts.len());
+        let hidden = self.run_blocks_batch(x, &parts, Stage::Prefill, &mut cache, hook)?;
+        let logits = self.logits_from_hidden(&hidden)?;
+        let per_seq = (0..parts.num_groups())
+            .map(|g| {
+                let range = parts.range(g);
+                logits
+                    .rows_slice(range.start, range.len())
+                    .map_err(Into::into)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok((per_seq, cache))
+    }
+
+    /// Runs one lockstep decode step for a batch: `tokens[i]` is the pending token of
+    /// sequence `i`, or `None` for sequences that have completed (they contribute no rows).
+    ///
+    /// Returns the next-token logits per sequence (`None` for inactive sequences). Logits
+    /// are bit-identical to running [`Model::decode_step`] per sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tokens` does not match the cache's batch size, a token is out
+    /// of range, or an active sequence would exceed the context window.
+    pub fn decode_step_batch(
+        &self,
+        tokens: &[Option<u32>],
+        cache: &mut BatchedKvCache,
+        hook: &mut dyn GemmHook,
+    ) -> Result<Vec<Option<Vec<f32>>>> {
+        if tokens.len() != cache.batch_size() {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "decode step has {} token slots but the cache serves {} sequences",
+                    tokens.len(),
+                    cache.batch_size()
+                ),
+            });
+        }
+        let active: Vec<u32> = tokens.iter().filter_map(|t| *t).collect();
+        if active.is_empty() {
+            return Ok(vec![None; tokens.len()]);
+        }
+        for (i, token) in tokens.iter().enumerate() {
+            if token.is_some() && cache.seq_len(i) >= self.config.max_seq_len {
+                return Err(LlmError::InvalidSequence {
+                    detail: format!(
+                        "sequence {i}: KV cache already holds {} tokens (max_seq_len {})",
+                        cache.seq_len(i),
+                        self.config.max_seq_len
+                    ),
+                });
+            }
+        }
+        let lens: Vec<usize> = tokens.iter().map(|t| usize::from(t.is_some())).collect();
+        let parts = RowPartition::from_lens(&lens);
+        hook.on_batch_begin(&parts);
+        let x = self.embed(&active)?;
+        let hidden = self.run_blocks_batch(x, &parts, Stage::Decode, cache, hook)?;
+        let logits = self.logits_from_hidden(&hidden)?;
+        let mut out = Vec::with_capacity(tokens.len());
+        let mut row = 0usize;
+        for token in tokens {
+            if token.is_some() {
+                out.push(Some(logits.row(row).to_vec()));
+                row += 1;
+            } else {
+                out.push(None);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Batched greedy generation: one shared prefill, then lockstep decode until every
+    /// sequence has produced `num_tokens` tokens.
+    ///
+    /// Token-identical to calling [`Model::generate`] once per prompt; for per-request
+    /// generation budgets use [`BatchScheduler`] directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Model::prefill_batch`] and [`Model::decode_step_batch`].
+    pub fn generate_batch(
+        &self,
+        prompts: &[Vec<u32>],
+        num_tokens: usize,
+        hook: &mut dyn GemmHook,
+    ) -> Result<Vec<GenerationOutput>> {
+        let requests: Vec<BatchRequest> = prompts
+            .iter()
+            .map(|p| BatchRequest::new(p.clone(), num_tokens))
+            .collect();
+        BatchScheduler::new(self).run(&requests, hook)
     }
 
     /// Greedy autoregressive generation: prefill the prompt, then generate `num_tokens`.

@@ -12,8 +12,8 @@
 //!   ±127, which is why very-high-bit errors saturate for these components (Q1.2).
 
 use crate::hooks::{GemmContext, GemmHook};
-use crate::Result;
-use realm_tensor::{quant, GemmEngine, MatF32, MatI8};
+use crate::{LlmError, Result};
+use realm_tensor::{quant, GemmEngine, MatF32, MatI8, QuantParams, RowPartition};
 use serde::{Deserialize, Serialize};
 
 /// How a quantized GEMM's INT32 accumulator is converted back for downstream computation.
@@ -93,6 +93,122 @@ impl QuantLinear {
         let combined = x_scale * self.weight_scale;
         Ok(convert_accumulator(&acc, combined, self.output_mode))
     }
+
+    /// Computes `x · W` for a batch-stacked activation matrix in **one** engine GEMM while
+    /// keeping every per-sequence number bit-identical to [`QuantLinear::forward`] on that
+    /// sequence alone.
+    ///
+    /// `x` holds the rows of every sequence in the batch, grouped by `parts`. Each row
+    /// group is quantized with its *own* symmetric scale (the scale a single-sequence
+    /// forward would have derived from exactly those rows), the stacked INT8 matrix runs
+    /// through a single (optionally fused-checksum) GEMM — this is where checksum and
+    /// detection cost amortise across the batch — and the INT32 accumulator is converted
+    /// back per group, including the per-group robust requantization scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.cols() != self.in_features()` or if `parts` does not cover
+    /// exactly `x.rows()` rows.
+    pub fn forward_batched(
+        &self,
+        x: &MatF32,
+        parts: &RowPartition,
+        engine: &dyn GemmEngine,
+        ctx: &GemmContext,
+        hook: &mut dyn GemmHook,
+    ) -> Result<MatF32> {
+        let (xq, scales) = quantize_symmetric_grouped(x, parts)?;
+        let acc = run_hooked_gemm(&xq, &self.weight_q, engine, ctx, hook)?;
+        let combined: Vec<f32> = scales.iter().map(|s| s * self.weight_scale).collect();
+        convert_accumulator_grouped(&acc, &combined, self.output_mode, parts)
+    }
+}
+
+/// Quantizes each row group of `x` with its own symmetric per-group scale.
+///
+/// Bit-identical to calling [`realm_tensor::quant::quantize_symmetric`] on each group's rows
+/// in isolation and stacking the results — the property that makes the batched forward path
+/// reproduce per-sequence numbers exactly. Empty groups get the neutral scale 1.0.
+///
+/// # Errors
+///
+/// Returns [`LlmError::InvalidSequence`] if `parts` does not cover exactly `x.rows()` rows.
+pub fn quantize_symmetric_grouped(x: &MatF32, parts: &RowPartition) -> Result<(MatI8, Vec<f32>)> {
+    if parts.total_rows() != x.rows() {
+        return Err(LlmError::InvalidSequence {
+            detail: format!(
+                "row partition covers {} rows but the stacked matrix has {}",
+                parts.total_rows(),
+                x.rows()
+            ),
+        });
+    }
+    let mut q = MatI8::zeros(x.rows(), x.cols());
+    let mut scales = vec![1.0f32; parts.num_groups()];
+    for (g, scale) in scales.iter_mut().enumerate() {
+        let range = parts.range(g);
+        if range.is_empty() {
+            continue;
+        }
+        let mut abs_max = 0.0f32;
+        for r in range.clone() {
+            for &v in x.row(r) {
+                abs_max = abs_max.max(v.abs());
+            }
+        }
+        let params = QuantParams::from_abs_max(abs_max);
+        *scale = params.scale;
+        for r in range {
+            for (qv, &v) in q.row_mut(r).iter_mut().zip(x.row(r)) {
+                *qv = params.quantize(v);
+            }
+        }
+    }
+    Ok((q, scales))
+}
+
+/// Converts a batch-stacked INT32 accumulator back to f32 group by group.
+///
+/// Each group is converted with its own combined scale (and, for
+/// [`OutputMode::RequantizedInt8`], its own robust percentile-calibrated output scale over
+/// only that group's accumulator rows), so the result is bit-identical to converting each
+/// sequence's accumulator in isolation.
+///
+/// # Errors
+///
+/// Returns [`LlmError::InvalidSequence`] if `parts` does not cover exactly `acc.rows()` rows
+/// or `combined_scales` has the wrong length.
+pub fn convert_accumulator_grouped(
+    acc: &realm_tensor::MatI32,
+    combined_scales: &[f32],
+    mode: OutputMode,
+    parts: &RowPartition,
+) -> Result<MatF32> {
+    if parts.total_rows() != acc.rows() || combined_scales.len() != parts.num_groups() {
+        return Err(LlmError::InvalidSequence {
+            detail: format!(
+                "row partition ({} rows, {} groups) inconsistent with accumulator ({} rows) \
+                 or scales ({})",
+                parts.total_rows(),
+                parts.num_groups(),
+                acc.rows(),
+                combined_scales.len()
+            ),
+        });
+    }
+    let mut out = MatF32::zeros(acc.rows(), acc.cols());
+    for (g, &combined) in combined_scales.iter().enumerate() {
+        let range = parts.range(g);
+        if range.is_empty() {
+            continue;
+        }
+        let sub = acc.rows_slice(range.start, range.len())?;
+        let converted = convert_accumulator(&sub, combined, mode);
+        for (i, r) in range.enumerate() {
+            out.row_mut(r).copy_from_slice(converted.row(i));
+        }
+    }
+    Ok(out)
 }
 
 /// Computes `a · b` for two floating-point activation matrices through the quantized datapath
@@ -303,6 +419,55 @@ mod tests {
         acc[(0, 0)] = 1 << 30;
         let corrupted_scale = robust_output_scale(&acc, 1.0);
         assert!((corrupted_scale - clean_scale).abs() / clean_scale < 0.05);
+    }
+
+    #[test]
+    fn grouped_quantization_matches_per_group_quantization() {
+        let x = MatF32::from_fn(7, 5, |r, c| (r as f32 - 3.0) * 0.7 + (c as f32) * 1.3);
+        let parts = RowPartition::from_lens(&[3, 0, 4]);
+        let (q, scales) = quantize_symmetric_grouped(&x, &parts).unwrap();
+        for (g, (start, len)) in [(0usize, (0usize, 3usize)), (2, (3, 4))] {
+            let sub = x.rows_slice(start, len).unwrap();
+            let (q_ref, scale_ref) = quant::quantize_symmetric(&sub);
+            assert_eq!(scales[g], scale_ref);
+            assert_eq!(q.rows_slice(start, len).unwrap(), q_ref);
+        }
+        assert_eq!(scales[1], 1.0, "empty group keeps the neutral scale");
+        assert!(quantize_symmetric_grouped(&x, &RowPartition::single(6)).is_err());
+    }
+
+    #[test]
+    fn batched_forward_is_bit_exact_with_per_group_forward() {
+        let w = MatF32::from_fn(6, 4, |r, c| ((r * 3 + c) % 7) as f32 * 0.2 - 0.5);
+        for mode in [OutputMode::Float, OutputMode::RequantizedInt8] {
+            let layer = QuantLinear::from_f32(&w, mode);
+            // Row groups with deliberately different magnitudes so per-tensor quantization
+            // of the stack would diverge from the per-group scales.
+            let x = MatF32::from_fn(5, 6, |r, c| {
+                let gain = if r < 2 { 10.0 } else { 0.3 };
+                gain * ((r * 6 + c) % 9) as f32 - gain
+            });
+            let parts = RowPartition::from_lens(&[2, 3]);
+            let batched = layer
+                .forward_batched(&x, &parts, &ReferenceEngine, &ctx(), &mut NoopHook)
+                .unwrap();
+            for (start, len) in [(0, 2), (2, 3)] {
+                let solo = layer
+                    .forward(
+                        &x.rows_slice(start, len).unwrap(),
+                        &ReferenceEngine,
+                        &ctx(),
+                        &mut NoopHook,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    batched.rows_slice(start, len).unwrap(),
+                    solo,
+                    "{mode:?} rows {start}..{}",
+                    start + len
+                );
+            }
+        }
     }
 
     #[test]

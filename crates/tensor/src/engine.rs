@@ -479,18 +479,56 @@ impl GemmEngine for BlockedEngine {
 /// join overhead would dominate the decode-stage GEMV-like shapes.
 pub const PARALLEL_MIN_MACS: usize = 1 << 18;
 
-/// The blocked kernel sharded over contiguous row chunks on scoped threads.
+/// Stealable chunks carved per worker: finer than one-chunk-per-worker so a worker that
+/// lands on cheap rows (zero-skip makes row cost data-dependent) claims more chunks instead
+/// of idling while a statically assigned contiguous band finishes elsewhere.
+pub const CHUNKS_PER_WORKER: usize = 4;
+
+/// The blocked kernel sharded over work-stealing row chunks on scoped threads.
+///
+/// The output rows are carved into [`CHUNKS_PER_WORKER`]× more contiguous chunks than there
+/// are workers, and workers claim chunks off a shared atomic counter until none remain. On
+/// uniform operands this costs nothing over static contiguous bands; on skewed operands
+/// (e.g. activation matrices whose top rows are dense and bottom rows mostly zero, where the
+/// kernels' zero-skip makes row cost wildly uneven) it keeps every core busy to the end.
 ///
 /// Rows of the output are independent, and the checksum reductions are exact integer sums,
-/// so sharding changes nothing: accumulators and checksums are bit-identical to
-/// [`ReferenceEngine`]. Each shard runs the fused blocked pass over its rows (partial `eᵀ·W`
-/// and `eᵀ·Y`); the partials are summed at join and the shared `(eᵀ·W)·X` reduction runs
-/// once over the `B` panels.
+/// so re-sharding changes nothing: accumulators and checksums are bit-identical to
+/// [`ReferenceEngine`] regardless of which worker claims which chunk. Each worker runs the
+/// fused blocked pass over its claimed rows (partial `eᵀ·Y`); the partials are summed at
+/// join and the shared `(eᵀ·W)·X` reduction is fused into whichever chunk starts at row 0 —
+/// it is row-independent and must run exactly once.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ParallelEngine {
     inner: BlockedEngine,
     /// Explicit worker count; `None` means one per available core.
     pub threads: Option<usize>,
+}
+
+/// One claimable unit of a sharded GEMM: a contiguous row range plus the matching band of
+/// the output allocation (a disjoint `split_at_mut` view, so workers write in place).
+type RowChunk<'a> = (usize, usize, &'a mut [i32]);
+
+/// Splits `out` into contiguous chunks of at most `chunk_rows` rows, each behind a `Mutex`
+/// slot so that whichever worker claims a chunk's index can take ownership of its band.
+/// Every slot is locked exactly once (uncontended) by the claiming worker.
+fn carve_chunks(
+    out: &mut MatI32,
+    chunk_rows: usize,
+) -> Vec<std::sync::Mutex<Option<RowChunk<'_>>>> {
+    let rows = out.rows();
+    let n = out.cols();
+    let mut chunks = Vec::with_capacity(rows.div_ceil(chunk_rows.max(1)));
+    let mut rest = out.as_mut_slice();
+    let mut start = 0;
+    while start < rows {
+        let end = (start + chunk_rows).min(rows);
+        let (band, tail) = rest.split_at_mut((end - start) * n);
+        chunks.push(std::sync::Mutex::new(Some((start, end, band))));
+        rest = tail;
+        start = end;
+    }
+    chunks
 }
 
 impl ParallelEngine {
@@ -514,34 +552,41 @@ impl ParallelEngine {
         hw.max(1).min(rows.max(1))
     }
 
-    /// Splits the output into one contiguous row band per worker and runs `shard` on each
-    /// band's `(row_start, row_end, band)` on a scoped thread. Bands are disjoint
-    /// `split_at_mut` views of the single output allocation, so shards write their results
-    /// in place — no per-shard scratch matrices and no copy at join.
-    fn shard_bands<T: Send>(
+    /// Work-stealing dispatch: carves `out` into fine-grained row chunks and spawns
+    /// `workers` scoped threads that repeatedly claim the next unclaimed chunk via an atomic
+    /// counter and run `shard` on it. Each worker's `T` accumulates across all the chunks it
+    /// claimed (built by `init`, folded by `shard`); the per-worker values are returned at
+    /// join for the caller to merge.
+    fn steal_chunks<T: Send>(
         &self,
         out: &mut MatI32,
         workers: usize,
-        shard: impl Fn(usize, usize, &mut [i32]) -> T + Sync,
+        init: impl Fn() -> T + Sync,
+        shard: impl Fn(&mut T, usize, usize, &mut [i32]) + Sync,
     ) -> Vec<T> {
         let rows = out.rows();
-        let n = out.cols();
-        let chunk = rows.div_ceil(workers);
-        let mut bands: Vec<(usize, usize, &mut [i32])> = Vec::with_capacity(workers);
-        let mut rest = out.as_mut_slice();
-        let mut start = 0;
-        while start < rows {
-            let end = (start + chunk).min(rows);
-            let (band, tail) = rest.split_at_mut((end - start) * n);
-            bands.push((start, end, band));
-            rest = tail;
-            start = end;
-        }
-        let shard = &shard;
+        let chunk_rows = rows.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+        let chunks = carve_chunks(out, chunk_rows);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (chunks, next, init, shard) = (&chunks, &next, &init, &shard);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = bands
-                .into_iter()
-                .map(|(s, e, band)| scope.spawn(move || shard(s, e, band)))
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut carry = init();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(slot) = chunks.get(i) else { break };
+                            let (s, e, band) = slot
+                                .lock()
+                                .expect("chunk slot poisoned")
+                                .take()
+                                .expect("each chunk index is claimed exactly once");
+                            shard(&mut carry, s, e, band);
+                        }
+                        carry
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -565,10 +610,15 @@ impl GemmEngine for ParallelEngine {
             return self.inner.gemm_i8(a, b);
         }
         let mut out = MatI32::zeros(m, n);
-        // Hand each worker a disjoint row band of the output; written in place.
-        self.shard_bands(&mut out, workers, |s, e, band| {
-            self.inner.run_rows(a, b, band, s, e, None);
-        });
+        // Workers steal disjoint row chunks of the output and write them in place.
+        self.steal_chunks(
+            &mut out,
+            workers,
+            || (),
+            |(), s, e, band| {
+                self.inner.run_rows(a, b, band, s, e, None);
+            },
+        );
         Ok(out)
     }
 
@@ -581,28 +631,36 @@ impl GemmEngine for ParallelEngine {
             return self.inner.gemm_i8_checksummed(a, b);
         }
         // The operand checksum needs every row, so it runs (cheaply) before the shards; the
-        // `(eᵀ·W)·X` reduction is row-independent and is carried by exactly one shard, fused
-        // into that shard's cache-hot panels.
+        // `(eᵀ·W)·X` reduction is row-independent and is fused into whichever claimed chunk
+        // starts at row 0 — exactly one chunk does, whoever steals it.
         let etw = operand_col_sums(a);
         let etw = &etw;
         let mut out = MatI32::zeros(m, n);
-        let shards = self.shard_bands(&mut out, workers, |s, e, band| {
-            let mut expected = if s == 0 { Some(vec![0i64; n]) } else { None };
-            let mut observed = vec![0i64; n];
-            self.inner.run_rows(
-                a,
-                b,
-                band,
-                s,
-                e,
-                Some(FusedChecksums {
-                    etw,
-                    expected: expected.as_deref_mut(),
-                    observed: &mut observed,
-                }),
-            );
-            (expected, observed)
-        });
+        let shards = self.steal_chunks(
+            &mut out,
+            workers,
+            || (None::<Vec<i64>>, vec![0i64; n]),
+            |(expected, observed), s, e, band| {
+                let expected_here = if s == 0 {
+                    *expected = Some(vec![0i64; n]);
+                    expected.as_deref_mut()
+                } else {
+                    None
+                };
+                self.inner.run_rows(
+                    a,
+                    b,
+                    band,
+                    s,
+                    e,
+                    Some(FusedChecksums {
+                        etw,
+                        expected: expected_here,
+                        observed,
+                    }),
+                );
+            },
+        );
         let mut expected = vec![0i64; n];
         let mut observed = vec![0i64; n];
         for (shard_expected, shard_observed) in shards {
@@ -793,6 +851,40 @@ mod tests {
                     engine.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn work_stealing_is_bit_exact_on_skewed_operands() {
+        // Top rows dense, bottom rows almost entirely zero: with zero-skip the per-row cost
+        // is wildly uneven, which is exactly the shape static contiguous bands idle on. The
+        // stolen chunks must still reproduce the oracle bit-for-bit, checksums included.
+        let mut r = rng::seeded(99);
+        let m = 192;
+        let k = 96;
+        let n = 64;
+        let a = MatI8::from_fn(m, k, |row, _| {
+            if row < m / 4 || r.gen_range(0..100) == 0 {
+                r.gen_range(-128i16..=127) as i8
+            } else {
+                0
+            }
+        });
+        let b = MatI8::from_fn(k, n, |_, _| r.gen_range(-128i16..=127) as i8);
+        let oracle = ReferenceEngine
+            .gemm_i8_checksummed_two_pass(&a, &b)
+            .unwrap();
+        for threads in [1, 2, 3, 7, 64] {
+            let engine = ParallelEngine::with_threads(threads);
+            assert_eq!(
+                engine.gemm_i8(&a, &b).unwrap(),
+                *oracle.acc(),
+                "{threads} threads"
+            );
+            let fused = engine.gemm_i8_checksummed(&a, &b).unwrap();
+            assert_eq!(fused.acc(), oracle.acc(), "{threads} threads");
+            assert_eq!(fused.expected(), oracle.expected(), "{threads} threads");
+            assert_eq!(fused.observed(), oracle.observed(), "{threads} threads");
         }
     }
 

@@ -14,6 +14,9 @@
 //!   including the fused-checksum variant that computes the ABFT column checksums inside the
 //!   GEMM pass. Every consumer in the workspace routes its quantized GEMMs through a
 //!   [`GemmEngine`] handle selected by [`EngineKind`].
+//! * [`partition`] — [`RowPartition`], the row-range → sequence map that batched inference
+//!   uses to stack many sequences into one GEMM while keeping quantization scales and ABFT
+//!   attribution per-sequence.
 //! * [`quant`] — symmetric quantization between `f32` and `i8`, including the re-quantization
 //!   of INT32 accumulator outputs back to INT8 that gives rise to the bit-position
 //!   saturation effect studied in the paper (Q1.2).
@@ -50,6 +53,7 @@
 pub mod engine;
 pub mod gemm;
 pub mod matrix;
+pub mod partition;
 pub mod quant;
 pub mod rng;
 pub mod stats;
@@ -61,6 +65,7 @@ pub use engine::{
 };
 pub use error::TensorError;
 pub use matrix::{MatF32, MatI32, MatI8, Matrix};
+pub use partition::RowPartition;
 pub use quant::QuantParams;
 
 /// Crate-wide result alias.

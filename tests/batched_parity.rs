@@ -1,0 +1,234 @@
+//! Differential tests proving the batched forward path bit-exact with N independent
+//! single-sequence forwards — across ragged lengths, both block architectures and every
+//! `GemmEngine` backend — plus per-sequence attribution of batched detections.
+//!
+//! Bit-exactness is what makes batching a pure amortisation: stacking sequences into one
+//! fused-checksum GEMM per component may never change a logit, only how often the detector
+//! has to look. The load-bearing mechanism is per-row-group quantization
+//! (`realm_llm::quantized::quantize_symmetric_grouped`): each sequence keeps the symmetric
+//! scale (and robust requantization percentile) it would have had alone.
+
+use realm::core::{PipelineConfig, ProtectedPipeline, SchemeProtector, SequenceAttribution};
+use realm::llm::batch::{BatchRequest, BatchScheduler};
+use realm::llm::{
+    config::ModelConfig, hooks::GemmContext, model::Model, GemmHook, GemmOrigin, NoopHook,
+};
+use realm::systolic::{Dataflow, ProtectionScheme, SystolicArray};
+use realm::tensor::{ChecksummedGemm, EngineKind, MatI32, MatI8, RowPartition};
+
+/// Ragged prompts exercising length-1 sequences, repeats and unequal lengths.
+fn ragged_prompts() -> Vec<Vec<u32>> {
+    vec![
+        vec![1, 2, 3, 4, 5],
+        vec![9, 8],
+        vec![3, 3, 3, 3, 3, 3, 3],
+        vec![0],
+        vec![7, 11, 2, 5],
+    ]
+}
+
+fn model_for(kind: EngineKind, mut config: ModelConfig) -> Model {
+    config.engine = kind;
+    Model::new(&config, 7).unwrap()
+}
+
+#[test]
+fn batched_generate_matches_sequential_on_every_backend() {
+    for kind in EngineKind::ALL {
+        for config in [ModelConfig::tiny_opt(), ModelConfig::tiny_llama()] {
+            let name = config.name.clone();
+            let model = model_for(kind, config);
+            let prompts = ragged_prompts();
+            let batched = model.generate_batch(&prompts, 6, &mut NoopHook).unwrap();
+            assert_eq!(batched.len(), prompts.len());
+            for (i, prompt) in prompts.iter().enumerate() {
+                let solo = model.generate(prompt, 6, &mut NoopHook).unwrap();
+                assert_eq!(
+                    batched[i].tokens, solo.tokens,
+                    "{name}/{kind}: sequence {i} tokens diverged"
+                );
+                assert_eq!(
+                    batched[i].margins, solo.margins,
+                    "{name}/{kind}: sequence {i} margins diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_prefill_logits_are_bit_exact_per_sequence() {
+    for kind in EngineKind::ALL {
+        let model = model_for(kind, ModelConfig::tiny_llama());
+        let prompts = ragged_prompts();
+        let (batched_logits, cache) = model.prefill_batch(&prompts, &mut NoopHook).unwrap();
+        for (i, prompt) in prompts.iter().enumerate() {
+            let (solo_logits, solo_cache) = model.prefill(prompt, &mut NoopHook).unwrap();
+            assert_eq!(
+                batched_logits[i], solo_logits,
+                "{kind}: prefill logits of sequence {i} diverged"
+            );
+            assert_eq!(cache.seq_len(i), solo_cache.seq_len());
+        }
+    }
+}
+
+#[test]
+fn batch_of_one_matches_the_single_sequence_path() {
+    let model = model_for(EngineKind::Parallel, ModelConfig::tiny_opt());
+    let prompt = vec![1u32, 5, 9, 3];
+    let solo = model.generate(&prompt, 8, &mut NoopHook).unwrap();
+    let batched = model
+        .generate_batch(std::slice::from_ref(&prompt), 8, &mut NoopHook)
+        .unwrap();
+    assert_eq!(batched.len(), 1);
+    assert_eq!(batched[0], solo);
+}
+
+#[test]
+fn empty_batch_and_empty_prompts_are_rejected() {
+    let model = model_for(EngineKind::Reference, ModelConfig::tiny_opt());
+    assert!(model.prefill_batch(&[], &mut NoopHook).is_err());
+    assert!(model.generate_batch(&[], 3, &mut NoopHook).is_err());
+    assert!(model
+        .prefill_batch(&[vec![1, 2], vec![]], &mut NoopHook)
+        .is_err());
+}
+
+#[test]
+fn scheduler_with_ragged_budgets_matches_per_sequence_generate() {
+    let model = model_for(EngineKind::Blocked, ModelConfig::tiny_llama());
+    let requests = vec![
+        BatchRequest::new(vec![1, 2, 3], 7),
+        BatchRequest::new(vec![4, 5, 6, 7, 8], 2),
+        BatchRequest::new(vec![9], 5),
+        BatchRequest::new(vec![2, 4], 0),
+    ];
+    let outputs = BatchScheduler::new(&model)
+        .run(&requests, &mut NoopHook)
+        .unwrap();
+    for (i, request) in requests.iter().enumerate() {
+        let solo = model
+            .generate(&request.prompt, request.max_new_tokens, &mut NoopHook)
+            .unwrap();
+        assert_eq!(outputs[i], solo, "request {i} diverged from solo generate");
+    }
+}
+
+/// A hook that corrupts one accumulator row of a chosen batch sequence in the first
+/// batch-stacked GEMM it sees — ground truth for attribution.
+struct CorruptOneSequence {
+    partition: Option<RowPartition>,
+    target_seq: usize,
+    done: bool,
+}
+
+impl CorruptOneSequence {
+    fn new(target_seq: usize) -> Self {
+        Self {
+            partition: None,
+            target_seq,
+            done: false,
+        }
+    }
+}
+
+impl GemmHook for CorruptOneSequence {
+    fn on_gemm(&mut self, _: &GemmContext, _: &MatI8, _: &MatI8, _: &mut MatI32) {}
+
+    fn on_gemm_checksummed(
+        &mut self,
+        ctx: &GemmContext,
+        _w: &MatI8,
+        _x: &MatI8,
+        result: &mut ChecksummedGemm,
+    ) {
+        if self.done || !matches!(ctx.origin, GemmOrigin::BatchedRows) {
+            return;
+        }
+        let range = self
+            .partition
+            .as_ref()
+            .expect("batched forwards announce their partition first")
+            .range(self.target_seq);
+        let row = range.start;
+        let acc = result.acc_mut();
+        acc[(row, 1)] = acc[(row, 1)].wrapping_add(1 << 21);
+        self.done = true;
+    }
+
+    fn wants_checksums(&self) -> bool {
+        false
+    }
+
+    fn on_batch_begin(&mut self, partition: &RowPartition) {
+        if self.partition.is_none() {
+            self.partition = Some(partition.clone());
+        }
+    }
+}
+
+#[test]
+fn batched_campaign_attributes_detections_to_the_correct_sequence() {
+    for kind in EngineKind::ALL {
+        let model = model_for(kind, ModelConfig::tiny_opt());
+        let prompts = ragged_prompts();
+        let (clean_logits, _) = model.prefill_batch(&prompts, &mut NoopHook).unwrap();
+
+        for target_seq in [0usize, 2, 4] {
+            let mut corruptor = CorruptOneSequence::new(target_seq);
+            let mut protector = SchemeProtector::with_default_regions(
+                ProtectionScheme::ClassicalAbft,
+                SystolicArray::small(Dataflow::WeightStationary),
+            );
+            let mut chain = realm::llm::hooks::HookChain::new()
+                .with(&mut corruptor)
+                .with(&mut protector);
+            let (logits, _) = model.prefill_batch(&prompts, &mut chain).unwrap();
+
+            let attribution = protector.sequence_attribution();
+            assert_eq!(
+                attribution.get(&target_seq),
+                Some(&SequenceAttribution {
+                    detections: 1,
+                    recoveries: 1
+                }),
+                "{kind}: detection should be charged to sequence {target_seq}: {attribution:?}"
+            );
+            assert_eq!(
+                attribution.len(),
+                1,
+                "{kind}: only the corrupted sequence is charged: {attribution:?}"
+            );
+            assert_eq!(
+                logits, clean_logits,
+                "{kind}: recovery restores the clean batched logits"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_pipeline_outcome_carries_dense_attribution() {
+    let model = model_for(EngineKind::Parallel, ModelConfig::tiny_opt());
+    let config = PipelineConfig {
+        array: SystolicArray::small(Dataflow::WeightStationary),
+        ..PipelineConfig::default()
+    };
+    let pipeline = ProtectedPipeline::new(&model, config);
+    let prompts = ragged_prompts();
+    let outcome = pipeline
+        .run_generation_batch(&prompts, 4, ProtectionScheme::ClassicalAbft, 0.60, 3)
+        .unwrap();
+    assert_eq!(outcome.per_sequence.len(), prompts.len());
+    assert!(outcome.errors_injected > 0);
+    let attributed: u64 = outcome.per_sequence.iter().map(|s| s.detections).sum();
+    assert!(
+        attributed >= outcome.recoveries,
+        "every recovery traces to at least one sequence ({attributed} attributed, {} recoveries)",
+        outcome.recoveries
+    );
+    // The protected faulty run still produces the clean tokens.
+    let clean = model.generate_batch(&prompts, 4, &mut NoopHook).unwrap();
+    assert_eq!(outcome.outputs, clean);
+}
