@@ -1,0 +1,150 @@
+//! Continuous batching vs lockstep drain: serving throughput at queue depth 16.
+//!
+//! This is the perf contract of the serving tentpole. Sixteen requests with ragged
+//! generation budgets are served through a 4-slot window two ways:
+//!
+//! * **lockstep drain** — four batches of four via `BatchScheduler::run`; a slot whose
+//!   sequence finished early sits empty until the whole chunk drains;
+//! * **continuous** — `BatchScheduler::run_with_slots` (and the full `ServeEngine` with its
+//!   queue and channels) releases a slot the moment its sequence completes and admits the
+//!   next request into it, so the number of lockstep decode forwards collapses.
+//!
+//! Both produce bit-identical tokens; only wall-clock changes. The measured tokens/s land
+//! in the criterion report and (via `report_serving_throughput`) in the committed
+//! `serving` section of `BENCH_gemm.json`; the ≥1.3× speedup is asserted here so a
+//! regression fails the build of this bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use realm_llm::batch::{BatchRequest, BatchScheduler};
+use realm_llm::{config::ModelConfig, model::Model, NoopHook};
+use realm_serve::{ServeConfig, ServeEngine, ServeRequest};
+use std::time::Instant;
+
+const QUEUE_DEPTH: usize = 16;
+const SLOTS: usize = 4;
+/// Ragged budgets: each 4-chunk contains one long request that pins its lockstep batch.
+const BUDGETS: [usize; 4] = [1, 1, 2, 24];
+
+fn requests() -> Vec<BatchRequest> {
+    (0..QUEUE_DEPTH)
+        .map(|i| {
+            let prompt: Vec<u32> = (0..3 + i % 5)
+                .map(|t| ((i * 7 + t * 3) % 60) as u32)
+                .collect();
+            BatchRequest::new(prompt, BUDGETS[i % BUDGETS.len()])
+        })
+        .collect()
+}
+
+fn total_tokens() -> usize {
+    requests().iter().map(|r| r.max_new_tokens).sum()
+}
+
+fn run_lockstep_drain(model: &Model, requests: &[BatchRequest]) -> usize {
+    let scheduler = BatchScheduler::new(model);
+    let mut tokens = 0;
+    for chunk in requests.chunks(SLOTS) {
+        for output in scheduler.run(chunk, &mut NoopHook).unwrap() {
+            tokens += output.tokens.len();
+        }
+    }
+    tokens
+}
+
+fn run_continuous(model: &Model, requests: &[BatchRequest]) -> usize {
+    BatchScheduler::new(model)
+        .run_with_slots(requests, SLOTS, &mut NoopHook)
+        .unwrap()
+        .iter()
+        .map(|o| o.tokens.len())
+        .sum()
+}
+
+fn run_serve_engine(model: &Model, requests: &[BatchRequest]) -> usize {
+    let mut engine = ServeEngine::new(model, ServeConfig::with_slots(SLOTS));
+    let receivers: Vec<_> = requests
+        .iter()
+        .map(|r| {
+            engine
+                .submit(ServeRequest::new(r.prompt.clone(), r.max_new_tokens))
+                .unwrap()
+                .1
+        })
+        .collect();
+    engine.run_until_idle().unwrap();
+    drop(receivers);
+    engine.stats().tokens_generated as usize
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let model = Model::new(&ModelConfig::tiny_opt(), 5).unwrap();
+    let requests = requests();
+    let expected = total_tokens();
+    let mut group = c.benchmark_group("serving_q16");
+    group.sample_size(15);
+    group.bench_function("lockstep_drain", |b| {
+        b.iter(|| {
+            let tokens = run_lockstep_drain(&model, &requests);
+            assert_eq!(tokens, expected);
+            tokens
+        });
+    });
+    group.bench_function("continuous", |b| {
+        b.iter(|| {
+            let tokens = run_continuous(&model, &requests);
+            assert_eq!(tokens, expected);
+            tokens
+        });
+    });
+    group.bench_function("serve_engine", |b| {
+        b.iter(|| {
+            let tokens = run_serve_engine(&model, &requests);
+            assert_eq!(tokens, expected);
+            tokens
+        });
+    });
+    group.finish();
+}
+
+fn report_serving_throughput(_c: &mut Criterion) {
+    // Not a timing benchmark: measures tokens/s for the committed `serving` section of
+    // BENCH_gemm.json and asserts the tentpole's >=1.3x contract.
+    let model = Model::new(&ModelConfig::tiny_opt(), 5).unwrap();
+    let requests = requests();
+    let tokens = total_tokens() as f64;
+    let reps = 5;
+
+    let time = |f: &dyn Fn() -> usize| {
+        // Warm up once, then take the best of `reps` to suppress scheduler noise.
+        f();
+        (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let lockstep = time(&|| run_lockstep_drain(&model, &requests));
+    let continuous = time(&|| run_continuous(&model, &requests));
+    let engine = time(&|| run_serve_engine(&model, &requests));
+
+    let lockstep_tps = tokens / lockstep;
+    let continuous_tps = tokens / continuous;
+    let engine_tps = tokens / engine;
+    println!(
+        "serving throughput at queue depth {QUEUE_DEPTH} (slots {SLOTS}): \
+         lockstep {lockstep_tps:.0} tok/s, continuous {continuous_tps:.0} tok/s \
+         ({:.2}x), serve engine {engine_tps:.0} tok/s ({:.2}x)",
+        continuous_tps / lockstep_tps,
+        engine_tps / lockstep_tps
+    );
+    assert!(
+        continuous_tps / lockstep_tps >= 1.3,
+        "continuous batching must deliver >=1.3x the lockstep-drain throughput \
+         ({continuous_tps:.0} vs {lockstep_tps:.0} tok/s)"
+    );
+}
+
+criterion_group!(benches, bench_serving, report_serving_throughput);
+criterion_main!(benches);

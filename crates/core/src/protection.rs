@@ -31,6 +31,73 @@ pub struct SequenceAttribution {
     pub recoveries: u64,
 }
 
+/// Per-request protection policy: which ABFT scheme a request's GEMMs should run under.
+///
+/// The serving layer attaches one policy to every request. Inside a shared batch the
+/// per-sequence attention GEMMs (`QKᵀ`, `SV`) are inspected under the owning request's own
+/// scheme, while the batch-stacked projections — whose rows belong to several requests at
+/// once — are inspected under the **strictest** scheme any active request asked for
+/// (*protection escalation*: a request that asked for less protection can only ever receive
+/// more, never less). See [`SchemeProtector::set_sequence_schemes`] for the wiring.
+///
+/// # Example
+///
+/// ```
+/// use realm_core::protection::ProtectionPolicy;
+/// use realm_systolic::ProtectionScheme;
+///
+/// let policy = ProtectionPolicy::default();
+/// assert_eq!(policy.scheme, ProtectionScheme::StatisticalAbft);
+/// assert_eq!(ProtectionPolicy::unprotected().scheme, ProtectionScheme::None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtectionPolicy {
+    /// The detection/recovery scheme applied to this request's GEMMs.
+    pub scheme: ProtectionScheme,
+}
+
+impl ProtectionPolicy {
+    /// A policy running `scheme`.
+    pub fn new(scheme: ProtectionScheme) -> Self {
+        Self { scheme }
+    }
+
+    /// No detection, no recovery: faults flow straight into the request's tokens.
+    pub fn unprotected() -> Self {
+        Self::new(ProtectionScheme::None)
+    }
+
+    /// Classical ABFT: full checksum comparison, recovery on any mismatch.
+    pub fn classical() -> Self {
+        Self::new(ProtectionScheme::ClassicalAbft)
+    }
+
+    /// The paper's statistical ABFT (the default).
+    pub fn statistical() -> Self {
+        Self::new(ProtectionScheme::StatisticalAbft)
+    }
+}
+
+impl Default for ProtectionPolicy {
+    fn default() -> Self {
+        Self::statistical()
+    }
+}
+
+/// Detection coverage rank used to escalate mixed-policy batches: the batch-stacked GEMMs
+/// run under the scheme with the highest rank among active requests.
+fn strictness(scheme: ProtectionScheme) -> u8 {
+    match scheme {
+        ProtectionScheme::None => 0,
+        ProtectionScheme::ApproxAbft => 1,
+        ProtectionScheme::StatisticalAbft => 2,
+        ProtectionScheme::ThunderVolt => 3,
+        ProtectionScheme::RazorFfs => 4,
+        ProtectionScheme::Dmr => 5,
+        ProtectionScheme::ClassicalAbft => 6,
+    }
+}
+
 /// Per-component critical regions used by the statistical scheme.
 ///
 /// Components without an explicit entry fall back to the paper's defaults: the sensitive
@@ -91,6 +158,8 @@ pub struct SchemeProtector {
     engine: Arc<dyn GemmEngine>,
     partition: Option<RowPartition>,
     per_sequence: BTreeMap<usize, SequenceAttribution>,
+    sequence_schemes: Option<Vec<ProtectionScheme>>,
+    batched_scheme: ProtectionScheme,
 }
 
 impl SchemeProtector {
@@ -128,6 +197,8 @@ impl SchemeProtector {
             engine,
             partition: None,
             per_sequence: BTreeMap::new(),
+            sequence_schemes: None,
+            batched_scheme: scheme,
         }
     }
 
@@ -158,7 +229,29 @@ impl SchemeProtector {
 
     /// Per-batch-sequence detection/recovery attribution, keyed by batch sequence index.
     ///
-    /// Single-sequence runs attribute everything to index 0.
+    /// Single-sequence runs attribute everything to index 0. Sequences whose rows never
+    /// deviated have no entry — a fault-free run returns an empty map.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use realm_core::SchemeProtector;
+    /// use realm_llm::{config::ModelConfig, model::Model};
+    /// use realm_systolic::{Dataflow, ProtectionScheme, SystolicArray};
+    ///
+    /// # fn main() -> Result<(), realm_llm::LlmError> {
+    /// let model = Model::new(&ModelConfig::tiny_opt(), 42)?;
+    /// let mut protector = SchemeProtector::with_default_regions(
+    ///     ProtectionScheme::ClassicalAbft,
+    ///     SystolicArray::small(Dataflow::WeightStationary),
+    /// );
+    /// let prompts = vec![vec![1, 2, 3], vec![4, 5]];
+    /// model.prefill_batch(&prompts, &mut protector)?;
+    /// // No injector in the chain: nothing deviates, nothing is charged.
+    /// assert!(protector.sequence_attribution().is_empty());
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn sequence_attribution(&self) -> &BTreeMap<usize, SequenceAttribution> {
         &self.per_sequence
     }
@@ -177,9 +270,54 @@ impl SchemeProtector {
         self.correct_on_recovery = correct;
     }
 
+    /// Installs per-batch-sequence protection schemes (one entry per batch slot).
+    ///
+    /// Once set, the list defines the whole batch's protection: a GEMM tagged
+    /// [`GemmOrigin::Sequence`]`(i)` — the per-sequence attention GEMMs of a batched
+    /// forward, or any solo forward — is inspected under `schemes[i]`, while batch-stacked
+    /// GEMMs ([`GemmOrigin::BatchedRows`]) are inspected under the **strictest** scheme in
+    /// the list, because their rows mix every active sequence and a recovery rewrites the
+    /// whole accumulator. Install one entry per batch sequence; a sequence beyond the list
+    /// (a caller bug) falls back to that same strictest-installed scheme, so an
+    /// under-length list can never grant a sequence *more* protection on its private GEMMs
+    /// than on the shared ones. An empty list behaves like the construction scheme;
+    /// [`SchemeProtector::clear_sequence_schemes`] restores it properly.
+    ///
+    /// This is how the serving layer honours a per-request
+    /// [`ProtectionPolicy`]: the slot → scheme list is refreshed whenever
+    /// continuous batching admits or retires a request.
+    pub fn set_sequence_schemes(&mut self, schemes: &[ProtectionScheme]) {
+        self.batched_scheme = schemes
+            .iter()
+            .copied()
+            .max_by_key(|&s| strictness(s))
+            .unwrap_or(self.scheme);
+        self.sequence_schemes = Some(schemes.to_vec());
+    }
+
+    /// Removes per-sequence schemes; every GEMM reverts to the construction scheme.
+    pub fn clear_sequence_schemes(&mut self) {
+        self.sequence_schemes = None;
+        self.batched_scheme = self.scheme;
+    }
+
+    /// The scheme that applies to `ctx`, honouring per-sequence policies when installed.
+    fn effective_scheme(&self, ctx: &GemmContext) -> ProtectionScheme {
+        let Some(schemes) = &self.sequence_schemes else {
+            return self.scheme;
+        };
+        match ctx.origin {
+            // Out-of-range sequences (an under-length list) fall back to the strictest
+            // installed scheme, keeping private and shared GEMMs consistent — see
+            // `set_sequence_schemes`.
+            GemmOrigin::Sequence(seq) => schemes.get(seq).copied().unwrap_or(self.batched_scheme),
+            GemmOrigin::BatchedRows => self.batched_scheme,
+        }
+    }
+
     /// The detector the active scheme applies to `ctx`'s component, if any.
     fn detector_for(&self, ctx: &GemmContext) -> Option<&dyn AbftDetector> {
-        match self.scheme {
+        match self.effective_scheme(ctx) {
             ProtectionScheme::None => None,
             // DMR, Razor and ThunderVolt detect at the circuit level; their detection
             // coverage for additive datapath errors is equivalent to a full checksum
@@ -198,12 +336,33 @@ impl SchemeProtector {
         }
     }
 
+    /// The recovery policy applying to a GEMM inspected under `scheme`.
+    ///
+    /// Without per-sequence schemes this is the protector-wide policy (which
+    /// [`SchemeProtector::set_policy`] can override); with per-sequence schemes installed
+    /// the policy follows the effective scheme, so e.g. a classical-ABFT request recomputes
+    /// on recovery even when the protector was constructed unprotected.
+    fn policy_for(&self, scheme: ProtectionScheme) -> RecoveryPolicy {
+        if self.sequence_schemes.is_some() {
+            RecoveryPolicy::default_for_scheme(scheme)
+        } else {
+            self.policy
+        }
+    }
+
     /// Charges one inspection to the stats and reports whether recovery should rewrite the
     /// accumulator.
-    fn record(&mut self, detection: &Detection, m: usize, k: usize, n: usize) -> bool {
+    fn record(
+        &mut self,
+        detection: &Detection,
+        policy: &RecoveryPolicy,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> bool {
         let schedule = self.array.schedule_gemm(m, k, n);
         self.stats.record(
-            &self.policy,
+            policy,
             detection.errors_detected,
             detection.trigger_recovery,
             schedule.macs,
@@ -212,7 +371,7 @@ impl SchemeProtector {
         );
         detection.trigger_recovery
             && self.correct_on_recovery
-            && !matches!(self.policy, RecoveryPolicy::None)
+            && !matches!(policy, RecoveryPolicy::None)
     }
 
     /// Resolves which batch sequences a flagged GEMM's deviation traces back to.
@@ -266,6 +425,7 @@ impl GemmHook for SchemeProtector {
         let Some(detector) = self.detector_for(ctx) else {
             return;
         };
+        let policy = self.policy_for(self.effective_scheme(ctx));
         let detection = detector.inspect(w, x, acc);
         // Attribution must read the accumulator before recovery rewrites it.
         let affected = if detection.errors_detected {
@@ -273,7 +433,7 @@ impl GemmHook for SchemeProtector {
         } else {
             Vec::new()
         };
-        let recover = self.record(&detection, w.rows(), w.cols(), x.cols());
+        let recover = self.record(&detection, &policy, w.rows(), w.cols(), x.cols());
         self.attribute(&affected, recover);
         if recover {
             // Operands are fault-free (ECC-protected memory), so re-executing the GEMM at a
@@ -295,6 +455,7 @@ impl GemmHook for SchemeProtector {
         let Some(detector) = self.detector_for(ctx) else {
             return;
         };
+        let policy = self.policy_for(self.effective_scheme(ctx));
         // The fused pass already paid for the operand-side checksum; only the observed side
         // is (lazily) refreshed if an upstream injector mutated the accumulator. This is the
         // hot path of every protected pipeline run.
@@ -306,7 +467,7 @@ impl GemmHook for SchemeProtector {
         } else {
             Vec::new()
         };
-        let recover = self.record(&detection, w.rows(), w.cols(), x.cols());
+        let recover = self.record(&detection, &policy, w.rows(), w.cols(), x.cols());
         self.attribute(&affected, recover);
         if recover {
             let recovered = self
@@ -319,8 +480,15 @@ impl GemmHook for SchemeProtector {
 
     fn wants_checksums(&self) -> bool {
         // `ProtectionScheme::None` never inspects anything, so those runs can skip the
-        // fused checksum reductions at the GEMM level entirely.
-        !matches!(self.scheme, ProtectionScheme::None)
+        // fused checksum reductions at the GEMM level entirely. Installed per-sequence
+        // schemes define the batch's protection intent: an all-unprotected batch skips the
+        // reductions even when the construction scheme would inspect. (A sequence beyond
+        // the installed list still falls back to the construction scheme — its detector
+        // then pays the two-pass inspection path instead of reading fused checksums.)
+        match &self.sequence_schemes {
+            Some(schemes) => schemes.iter().any(|s| !matches!(s, ProtectionScheme::None)),
+            None => !matches!(self.scheme, ProtectionScheme::None),
+        }
     }
 
     fn on_batch_begin(&mut self, partition: &RowPartition) {
@@ -505,6 +673,103 @@ mod tests {
         assert!(attribution.get(&0).unwrap().detections > 0);
         protector.reset_stats();
         assert!(protector.sequence_attribution().is_empty());
+    }
+
+    #[test]
+    fn protection_policy_defaults_and_constructors() {
+        assert_eq!(
+            ProtectionPolicy::default().scheme,
+            ProtectionScheme::StatisticalAbft
+        );
+        assert_eq!(
+            ProtectionPolicy::classical().scheme,
+            ProtectionScheme::ClassicalAbft
+        );
+        assert_eq!(
+            ProtectionPolicy::new(ProtectionScheme::ApproxAbft).scheme,
+            ProtectionScheme::ApproxAbft
+        );
+        assert!(strictness(ProtectionScheme::ClassicalAbft) > strictness(ProtectionScheme::None));
+    }
+
+    #[test]
+    fn sequence_schemes_enable_protection_on_an_unprotected_base() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 2).unwrap();
+        let (clean_logits, _) = model.prefill(&[1, 2, 3, 4], &mut NoopHook).unwrap();
+
+        // Base scheme None would inspect nothing; a per-sequence classical policy for the
+        // solo sequence (index 0) restores full protection.
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.2), 9);
+        let mut protector = SchemeProtector::with_default_regions(ProtectionScheme::None, array());
+        protector.set_sequence_schemes(&[ProtectionScheme::ClassicalAbft]);
+        assert!(protector.wants_checksums());
+        let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
+        let (protected_logits, _) = model.prefill(&[1, 2, 3, 4], &mut chain).unwrap();
+        assert_eq!(protected_logits, clean_logits);
+        assert!(protector.stats().recoveries_triggered > 0);
+
+        // Clearing the schemes reverts to the (unprotected) construction scheme.
+        protector.clear_sequence_schemes();
+        assert!(!protector.wants_checksums());
+    }
+
+    #[test]
+    fn mixed_policy_batch_escalates_to_the_strictest_scheme() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 2).unwrap();
+        let prompts: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        let (clean_logits, _) = model.prefill_batch(&prompts, &mut NoopHook).unwrap();
+
+        // Sequence 0 asked for no protection, sequence 1 for classical ABFT: the
+        // batch-stacked GEMMs carry both sequences' rows, so they are inspected (and
+        // repaired) under the strictest request's scheme.
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.05), 13);
+        let mut protector = SchemeProtector::with_default_regions(ProtectionScheme::None, array());
+        protector.set_sequence_schemes(&[ProtectionScheme::None, ProtectionScheme::ClassicalAbft]);
+        let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
+        let (protected_logits, _) = model.prefill_batch(&prompts, &mut chain).unwrap();
+        assert!(protector.stats().gemms_inspected > 0);
+        // The protected request comes out bit-clean: its private attention GEMMs run under
+        // its own classical scheme and the shared projections are escalated to it. The
+        // unprotected request's private GEMMs stay uninspected — escalation protects the
+        // shared rows, it does not upgrade what a request runs alone.
+        assert_eq!(
+            protected_logits[1], clean_logits[1],
+            "escalated classical ABFT repairs the protected request"
+        );
+
+        // All-None policies skip inspection entirely and leave the faults in place.
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.05), 13);
+        let mut unprotected =
+            SchemeProtector::with_default_regions(ProtectionScheme::None, array());
+        unprotected.set_sequence_schemes(&[ProtectionScheme::None, ProtectionScheme::None]);
+        assert!(!unprotected.wants_checksums());
+        let mut chain = HookChain::new().with(&mut injector).with(&mut unprotected);
+        let (faulty_logits, _) = model.prefill_batch(&prompts, &mut chain).unwrap();
+        assert_eq!(unprotected.stats().gemms_inspected, 0);
+        assert_ne!(faulty_logits, clean_logits);
+
+        // The installed schemes define the batch's intent: all-unprotected skips the fused
+        // checksum reductions even when the construction scheme would inspect.
+        let mut statistical_base =
+            SchemeProtector::with_default_regions(ProtectionScheme::StatisticalAbft, array());
+        statistical_base.set_sequence_schemes(&[ProtectionScheme::None, ProtectionScheme::None]);
+        assert!(!statistical_base.wants_checksums());
+
+        // An under-length list (caller bug) stays self-consistent: the out-of-range
+        // sequence falls back to the strictest *installed* scheme, not the construction
+        // scheme, so with an all-None list nothing anywhere is inspected.
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.05), 13);
+        let mut short_list =
+            SchemeProtector::with_default_regions(ProtectionScheme::ClassicalAbft, array());
+        short_list.set_sequence_schemes(&[ProtectionScheme::None]);
+        assert!(!short_list.wants_checksums());
+        let mut chain = HookChain::new().with(&mut injector).with(&mut short_list);
+        model.prefill_batch(&prompts, &mut chain).unwrap();
+        assert_eq!(
+            short_list.stats().gemms_inspected,
+            0,
+            "no sequence of an all-None list is inspected, in range or not"
+        );
     }
 
     #[test]

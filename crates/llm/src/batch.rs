@@ -16,6 +16,7 @@
 //! [`crate::Model::generate`] once per sequence — the contract `tests/batched_parity.rs`
 //! enforces on every GEMM backend.
 
+use crate::kv_cache::KvCache;
 use crate::model::{argmax_with_margin, GenerationOutput, Model};
 use crate::{GemmHook, LlmError, Result};
 use realm_tensor::{MatF32, RowPartition};
@@ -146,6 +147,117 @@ impl BatchedLayerCache {
         Ok(())
     }
 
+    /// Frees sequence `seq`'s slot: its cached rows are dropped and its length reset to
+    /// zero, so a new sequence can be loaded into the slot with
+    /// [`BatchedLayerCache::load_slot`]. Releasing an already-empty slot is a no-op.
+    ///
+    /// This is the layer-level mechanism behind continuous batching: a completed sequence
+    /// returns its rows immediately instead of holding the slot until the whole batch
+    /// drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn release_slot(&mut self, seq: usize) {
+        let len = self.lens[seq];
+        if len == 0 {
+            return;
+        }
+        let offset = self.offset_of(seq);
+        // Drain the slot's rows in place: only the tail rows shift, and the allocation is
+        // reused — this runs on every request retirement in the serving hot loop.
+        let drain = |storage: Option<MatF32>| -> Option<MatF32> {
+            let storage = storage.expect("non-zero slot implies storage");
+            let width = storage.cols();
+            let remaining = storage.rows() - len;
+            if remaining == 0 {
+                return None;
+            }
+            let mut data = storage.into_vec();
+            data.drain(offset * width..(offset + len) * width);
+            Some(MatF32::from_vec(remaining, width, data).expect("retained rows are rectangular"))
+        };
+        self.keys = drain(self.keys.take());
+        self.values = drain(self.values.take());
+        self.lens[seq] = 0;
+    }
+
+    /// Loads a freshly prefilled sequence into the empty slot `seq`, splicing `keys` and
+    /// `values` (shape `(prompt_len, hidden)`) into the shared storage at the slot's offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming this cache's layer index if the slot is still occupied, the
+    /// shapes of `keys`/`values` disagree, they are empty, or their width does not match the
+    /// shared storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn load_slot(&mut self, seq: usize, keys: &MatF32, values: &MatF32) -> Result<()> {
+        if self.lens[seq] != 0 {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "batched KV cache at layer {}: slot {seq} still holds {} rows; release it \
+                     before loading a new sequence",
+                    self.layer, self.lens[seq]
+                ),
+            });
+        }
+        if keys.shape() != values.shape() {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "batched KV cache at layer {}: key shape {:?} and value shape {:?} differ",
+                    self.layer,
+                    keys.shape(),
+                    values.shape()
+                ),
+            });
+        }
+        if keys.rows() == 0 {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "batched KV cache at layer {}: cannot load an empty sequence into slot {seq}",
+                    self.layer
+                ),
+            });
+        }
+        if let Some(existing) = &self.keys {
+            if existing.cols() != keys.cols() {
+                return Err(LlmError::InvalidSequence {
+                    detail: format!(
+                        "batched KV cache at layer {}: slot {seq} width {} does not match the \
+                         shared storage width {}",
+                        self.layer,
+                        keys.cols(),
+                        existing.cols()
+                    ),
+                });
+            }
+        }
+        let offset = self.offset_of(seq);
+        // Splice the new rows in place at the slot's offset (storage is row-major, so the
+        // new matrix's backing slice is exactly its rows in order): only the tail shifts,
+        // matching `release_slot` — this runs on every admission in the serving hot loop.
+        let splice = |storage: Option<MatF32>, new: &MatF32| -> MatF32 {
+            let width = new.cols();
+            match storage {
+                None => new.clone(),
+                Some(storage) => {
+                    let rows = storage.rows() + new.rows();
+                    let mut data = storage.into_vec();
+                    let at = offset * width;
+                    data.splice(at..at, new.as_slice().iter().copied());
+                    MatF32::from_vec(rows, width, data).expect("spliced rows are rectangular")
+                }
+            }
+        };
+        self.keys = Some(splice(self.keys.take(), keys));
+        self.values = Some(splice(self.values.take(), values));
+        self.lens[seq] = keys.rows();
+        Ok(())
+    }
+
     /// All cached keys of sequence `seq`, shape `(seq_len(seq), hidden)`.
     ///
     /// # Errors
@@ -178,6 +290,31 @@ impl BatchedLayerCache {
 }
 
 /// Batched KV cache covering every layer of the model.
+///
+/// Each of the `batch_size` *slots* holds one sequence's keys/values across all layers.
+/// Slots are reusable: [`BatchedKvCache::release_slot`] frees a completed sequence's rows
+/// and [`BatchedKvCache::admit`] splices a freshly prefilled sequence into the vacancy —
+/// the mechanism the continuous-batching serving layer (`realm-serve`) is built on.
+///
+/// # Example
+///
+/// ```
+/// use realm_llm::{config::ModelConfig, model::Model, NoopHook};
+///
+/// # fn main() -> Result<(), realm_llm::LlmError> {
+/// let model = Model::new(&ModelConfig::tiny_opt(), 42)?;
+/// let prompts = vec![vec![1, 2, 3], vec![4, 5]];
+/// let (_, mut cache) = model.prefill_batch(&prompts, &mut NoopHook)?;
+///
+/// // Sequence 0 completes: recycle its slot for a new request.
+/// cache.release_slot(0);
+/// assert!(cache.is_slot_free(0));
+/// let (_, solo) = model.prefill(&[7, 8, 9, 10], &mut NoopHook)?;
+/// cache.admit(0, &solo)?;
+/// assert_eq!(cache.seq_len(0), 4);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct BatchedKvCache {
     layers: Vec<BatchedLayerCache>,
@@ -226,6 +363,78 @@ impl BatchedKvCache {
     /// Panics if `layer` is out of range.
     pub fn layer_mut(&mut self, layer: usize) -> &mut BatchedLayerCache {
         &mut self.layers[layer]
+    }
+
+    /// Returns `true` if slot `seq` holds no cached rows and can accept a new sequence.
+    pub fn is_slot_free(&self, seq: usize) -> bool {
+        self.seq_len(seq) == 0
+    }
+
+    /// Frees slot `seq` across every layer so a new sequence can be admitted into it.
+    ///
+    /// Releasing an already-free slot is a no-op. This is the primitive continuous batching
+    /// is built on: completed sequences return their KV rows between lockstep decode steps
+    /// instead of holding the slot until the whole batch drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn release_slot(&mut self, seq: usize) {
+        for layer in &mut self.layers {
+            layer.release_slot(seq);
+        }
+    }
+
+    /// Admits a freshly prefilled sequence into the free slot `seq`, copying the per-layer
+    /// keys and values of `solo` (a cache populated by [`crate::Model::prefill`]) into the
+    /// shared storage.
+    ///
+    /// The copied rows are bit-identical to what a shared [`crate::Model::prefill_batch`]
+    /// would have produced for the same prompt, so decode steps after admission produce the
+    /// same tokens a solo [`crate::Model::generate`] run would — the slot-reuse parity
+    /// contract of `tests/serve_continuous.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the layer counts disagree, `solo` is empty, or the slot is still
+    /// occupied at any layer. On error the cache is left unchanged (a partial admission is
+    /// rolled back), so a failed admit never leaves the slot inconsistent across layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn admit(&mut self, seq: usize, solo: &KvCache) -> Result<()> {
+        if solo.num_layers() != self.layers.len() {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "cannot admit a {}-layer sequence cache into a {}-layer batched cache",
+                    solo.num_layers(),
+                    self.layers.len()
+                ),
+            });
+        }
+        let rollback = |layers: &mut [BatchedLayerCache], upto: usize| {
+            for layer in &mut layers[..upto] {
+                layer.release_slot(seq);
+            }
+        };
+        for layer_idx in 0..self.layers.len() {
+            let solo_layer = solo.layer(layer_idx);
+            let (Some(keys), Some(values)) = (solo_layer.keys(), solo_layer.values()) else {
+                rollback(&mut self.layers, layer_idx);
+                return Err(LlmError::InvalidSequence {
+                    detail: format!(
+                        "cannot admit an unprefilled sequence: layer {layer_idx} of the solo \
+                         cache is empty"
+                    ),
+                });
+            };
+            if let Err(e) = self.layers[layer_idx].load_slot(seq, keys, values) {
+                rollback(&mut self.layers, layer_idx);
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -285,18 +494,8 @@ impl<'m> BatchScheduler<'m> {
         Self { model }
     }
 
-    /// Runs every request to completion and returns one [`GenerationOutput`] per request,
-    /// in request order.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error for an empty request list, empty prompts, out-of-range tokens, or
-    /// any request whose prompt plus generation budget exceeds the model's context window.
-    pub fn run(
-        &self,
-        requests: &[BatchRequest],
-        hook: &mut dyn GemmHook,
-    ) -> Result<Vec<GenerationOutput>> {
+    /// Rejects any request whose prompt plus generation budget exceeds the context window.
+    fn validate_requests(&self, requests: &[BatchRequest]) -> Result<()> {
         let max_seq_len = self.model.config().max_seq_len;
         for (i, request) in requests.iter().enumerate() {
             if request.prompt.len() + request.max_new_tokens > max_seq_len {
@@ -310,6 +509,22 @@ impl<'m> BatchScheduler<'m> {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Runs every request to completion and returns one [`GenerationOutput`] per request,
+    /// in request order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty request list, empty prompts, out-of-range tokens, or
+    /// any request whose prompt plus generation budget exceeds the model's context window.
+    pub fn run(
+        &self,
+        requests: &[BatchRequest],
+        hook: &mut dyn GemmHook,
+    ) -> Result<Vec<GenerationOutput>> {
+        self.validate_requests(requests)?;
         let prompts: Vec<Vec<u32>> = requests.iter().map(|r| r.prompt.clone()).collect();
         let (logits, mut cache) = self.model.prefill_batch(&prompts, hook)?;
 
@@ -367,6 +582,170 @@ impl<'m> BatchScheduler<'m> {
                 tokens: s.tokens,
                 margins: s.margins,
             })
+            .collect())
+    }
+
+    /// Runs every request through a **continuous-batching** window of at most `slots`
+    /// concurrent sequences and returns one [`GenerationOutput`] per request, in request
+    /// order.
+    ///
+    /// Unlike [`BatchScheduler::run`] — which keeps every completed sequence's batch slot
+    /// empty until the whole batch drains — this loop releases a slot the moment its
+    /// sequence reaches its generation budget ([`BatchedKvCache::release_slot`]) and admits
+    /// the next queued request into it ([`BatchedKvCache::admit`]) between decode steps, so
+    /// the batch stays full under sustained load. Admission order is FIFO.
+    ///
+    /// The first `slots` requests share one batched prefill; later admissions are prefilled
+    /// solo and their KV rows copied into the freed slot. Either way every request's tokens
+    /// are bit-identical to a solo [`Model::generate`] run — continuous batching changes
+    /// throughput, never output.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use realm_llm::batch::{BatchRequest, BatchScheduler};
+    /// use realm_llm::{config::ModelConfig, model::Model, NoopHook};
+    ///
+    /// # fn main() -> Result<(), realm_llm::LlmError> {
+    /// let model = Model::new(&ModelConfig::tiny_opt(), 42)?;
+    /// let requests = vec![
+    ///     BatchRequest::new(vec![1, 5, 9], 2),
+    ///     BatchRequest::new(vec![2, 7], 6),
+    ///     BatchRequest::new(vec![3], 4),
+    /// ];
+    /// // A 2-slot window: request 2 is admitted as soon as a slot frees up.
+    /// let outputs = BatchScheduler::new(&model).run_with_slots(&requests, 2, &mut NoopHook)?;
+    /// assert_eq!(outputs[2].tokens.len(), 4);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Hooks and attribution
+    ///
+    /// Every forward — the shared initial prefill, each solo admission prefill and every
+    /// lockstep decode step — runs through the one `hook`. A solo admission prefill is an
+    /// ordinary single-sequence forward: its GEMMs are tagged
+    /// [`GemmOrigin::Sequence`](crate::GemmOrigin)`(0)` and announce no partition, so a
+    /// protector attributes them to index 0 regardless of which request is being admitted
+    /// (and applies an index-0 per-sequence scheme, if one is installed). Callers that
+    /// need per-request protection policies or per-request attribution across admissions
+    /// should use `realm-serve`'s `ServeEngine`, which prefills each admission under its
+    /// own protector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `slots == 0`, an empty request list, empty prompts,
+    /// out-of-range tokens, or any request whose prompt plus generation budget exceeds the
+    /// model's context window.
+    pub fn run_with_slots(
+        &self,
+        requests: &[BatchRequest],
+        slots: usize,
+        hook: &mut dyn GemmHook,
+    ) -> Result<Vec<GenerationOutput>> {
+        if slots == 0 {
+            return Err(LlmError::InvalidSequence {
+                detail: "continuous batching needs at least one slot".into(),
+            });
+        }
+        if requests.len() <= slots {
+            // The window covers everything; the lockstep path is already optimal.
+            return self.run(requests, hook);
+        }
+        self.validate_requests(requests)?;
+
+        struct SlotState {
+            request: usize,
+            last: u32,
+            tokens: Vec<u32>,
+            margins: Vec<f32>,
+            target: usize,
+        }
+        /// Builds a slot's state from its prefill logits, committing the first token
+        /// immediately (mirroring the solo `generate` loop) unless the budget is zero.
+        fn new_state(request: usize, target: usize, last_logits: &[f32]) -> SlotState {
+            let (next, margin) = argmax_with_margin(last_logits);
+            let mut state = SlotState {
+                request,
+                last: next,
+                tokens: Vec::with_capacity(target),
+                margins: Vec::with_capacity(target),
+                target,
+            };
+            if target > 0 {
+                state.tokens.push(next);
+                state.margins.push(margin);
+            }
+            state
+        }
+        let mut outputs: Vec<Option<GenerationOutput>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut active: Vec<Option<SlotState>> = (0..slots).map(|_| None).collect();
+        let mut next_request = slots;
+
+        // Shared prefill for the initial window; the first token of each sequence is
+        // committed immediately, mirroring the solo `generate` loop.
+        let prompts: Vec<Vec<u32>> = requests[..slots].iter().map(|r| r.prompt.clone()).collect();
+        let (logits, mut cache) = self.model.prefill_batch(&prompts, hook)?;
+        for (slot, (l, request)) in logits.iter().zip(&requests[..slots]).enumerate() {
+            active[slot] = Some(new_state(slot, request.max_new_tokens, l.row(l.rows() - 1)));
+        }
+
+        loop {
+            // Retire completed sequences and refill their slots from the queue. A freshly
+            // admitted request may itself complete at admission (budget 0 or 1), so keep
+            // admitting until the slot genuinely holds an unfinished sequence. The body
+            // mutates `active[slot]`, the shared cache and the queue cursor together, so an
+            // index loop is clearer than fighting iter_mut borrows.
+            #[allow(clippy::needless_range_loop)]
+            for slot in 0..slots {
+                loop {
+                    if let Some(state) = &active[slot] {
+                        if state.tokens.len() < state.target {
+                            break;
+                        }
+                        let state = active[slot].take().expect("checked above");
+                        outputs[state.request] = Some(GenerationOutput {
+                            tokens: state.tokens,
+                            margins: state.margins,
+                        });
+                        cache.release_slot(slot);
+                    }
+                    if next_request >= requests.len() {
+                        break;
+                    }
+                    let request = &requests[next_request];
+                    let (logits, solo_cache) = self.model.prefill(&request.prompt, hook)?;
+                    cache.admit(slot, &solo_cache)?;
+                    active[slot] = Some(new_state(
+                        next_request,
+                        request.max_new_tokens,
+                        logits.row(logits.rows() - 1),
+                    ));
+                    next_request += 1;
+                }
+            }
+
+            let step: Vec<Option<u32>> = active
+                .iter()
+                .map(|s| s.as_ref().map(|state| state.last))
+                .collect();
+            if step.iter().all(Option::is_none) {
+                break;
+            }
+            let step_logits = self.model.decode_step_batch(&step, &mut cache, hook)?;
+            for (state, logits) in active.iter_mut().zip(step_logits) {
+                if let (Some(state), Some(logits)) = (state, logits) {
+                    let (next, margin) = argmax_with_margin(&logits);
+                    state.last = next;
+                    state.tokens.push(next);
+                    state.margins.push(margin);
+                }
+            }
+        }
+        Ok(outputs
+            .into_iter()
+            .map(|o| o.expect("every request was retired through its slot"))
             .collect())
     }
 }
@@ -437,6 +816,123 @@ mod tests {
         assert_eq!(cache.batch_size(), 2);
         assert_eq!(cache.seq_len(0), 0);
         assert_eq!(cache.layer(2).batch_size(), 2);
+    }
+
+    #[test]
+    fn release_slot_frees_rows_and_load_slot_reuses_them() {
+        let mut cache = BatchedLayerCache::new(0, 3);
+        let parts = RowPartition::from_lens(&[2, 1, 2]);
+        let keys = MatF32::from_fn(5, 4, |r, c| (r * 4 + c) as f32);
+        cache.append_batch(&keys, &keys.scale(2.0), &parts).unwrap();
+
+        cache.release_slot(1);
+        assert_eq!(cache.seq_len(1), 0);
+        assert_eq!(cache.total_rows(), 4);
+        // Neighbouring sequences keep their rows.
+        assert_eq!(cache.seq_keys(0).unwrap().row(1), keys.row(1));
+        assert_eq!(cache.seq_keys(2).unwrap().row(0), keys.row(3));
+
+        // Loading an occupied slot fails; loading the freed slot splices at its offset.
+        let fresh = MatF32::from_fn(3, 4, |r, c| 100.0 + (r * 4 + c) as f32);
+        assert!(cache.load_slot(0, &fresh, &fresh).is_err());
+        cache.load_slot(1, &fresh, &fresh.scale(2.0)).unwrap();
+        assert_eq!(cache.seq_len(1), 3);
+        assert_eq!(cache.seq_keys(1).unwrap().row(2), fresh.row(2));
+        assert_eq!(cache.seq_keys(2).unwrap().row(1), keys.row(4));
+        assert_eq!(cache.seq_values(1).unwrap().row(0), fresh.scale(2.0).row(0));
+
+        // Width mismatches and empty sequences are rejected.
+        cache.release_slot(1);
+        assert!(cache
+            .load_slot(1, &MatF32::zeros(2, 8), &MatF32::zeros(2, 8))
+            .is_err());
+        assert!(cache
+            .load_slot(1, &MatF32::zeros(0, 4), &MatF32::zeros(0, 4))
+            .is_err());
+        // Releasing everything empties the storage; re-loading works from scratch.
+        cache.release_slot(0);
+        cache.release_slot(2);
+        assert_eq!(cache.total_rows(), 0);
+        cache.load_slot(2, &fresh, &fresh).unwrap();
+        assert_eq!(cache.seq_len(2), 3);
+    }
+
+    #[test]
+    fn admit_copies_a_solo_cache_into_a_free_slot() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 11).unwrap();
+        let prompts = vec![vec![1u32, 2, 3], vec![4, 5]];
+        let (_, mut batched) = model.prefill_batch(&prompts, &mut NoopHook).unwrap();
+        let (_, solo) = model.prefill(&[6, 7, 8, 9], &mut NoopHook).unwrap();
+
+        // Occupied slots reject admission until released.
+        assert!(batched.admit(0, &solo).is_err());
+        assert!(!batched.is_slot_free(0));
+        batched.release_slot(0);
+        assert!(batched.is_slot_free(0));
+        batched.admit(0, &solo).unwrap();
+        assert_eq!(batched.seq_len(0), 4);
+
+        // The admitted rows are bit-identical to what a batched prefill would have cached.
+        let (_, reference) = model
+            .prefill_batch(&[vec![6, 7, 8, 9], vec![4, 5]], &mut NoopHook)
+            .unwrap();
+        for layer in 0..batched.num_layers() {
+            assert_eq!(
+                batched.layer(layer).seq_keys(0).unwrap(),
+                reference.layer(layer).seq_keys(0).unwrap(),
+                "layer {layer} keys diverge from a shared prefill"
+            );
+        }
+
+        // Admitting an unprefilled cache or a layer-count mismatch is rejected.
+        batched.release_slot(0);
+        assert!(batched.admit(0, &model.new_cache()).is_err());
+        assert!(batched.admit(0, &KvCache::new(1)).is_err());
+
+        // A partially populated solo cache fails *atomically*: earlier layers are rolled
+        // back, so the slot stays free and a subsequent valid admission succeeds.
+        let hidden = model.config().hidden_size;
+        let mut partial = model.new_cache();
+        partial
+            .layer_mut(0)
+            .append(&MatF32::zeros(2, hidden), &MatF32::zeros(2, hidden))
+            .unwrap();
+        assert!(batched.admit(0, &partial).is_err());
+        for layer in 0..batched.num_layers() {
+            assert_eq!(
+                batched.layer(layer).seq_len(0),
+                0,
+                "failed admit must not leave rows behind at layer {layer}"
+            );
+        }
+        batched.admit(0, &solo).unwrap();
+        assert_eq!(batched.seq_len(0), 4);
+    }
+
+    #[test]
+    fn run_with_slots_matches_lockstep_outputs() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 11).unwrap();
+        let requests = vec![
+            BatchRequest::new(vec![1, 2, 3], 5),
+            BatchRequest::new(vec![4, 5], 1),
+            BatchRequest::new(vec![6], 3),
+            BatchRequest::new(vec![7, 8, 9, 10], 0),
+            BatchRequest::new(vec![2, 4], 4),
+        ];
+        let scheduler = BatchScheduler::new(&model);
+        let lockstep = scheduler.run(&requests, &mut NoopHook).unwrap();
+        for slots in [1, 2, 3, 5] {
+            let continuous = scheduler
+                .run_with_slots(&requests, slots, &mut NoopHook)
+                .unwrap();
+            assert_eq!(
+                continuous, lockstep,
+                "{slots}-slot continuous run diverged from lockstep"
+            );
+        }
+        assert!(scheduler
+            .run_with_slots(&requests, 0, &mut NoopHook)
+            .is_err());
     }
 
     #[test]

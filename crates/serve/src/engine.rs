@@ -1,0 +1,619 @@
+//! The continuous-batching engine loop.
+//!
+//! [`ServeEngine`] owns a [`BatchedKvCache`] with a fixed number of *slots* and drives
+//! lockstep decode over whatever sequences currently occupy them. Between decode steps —
+//! never in the middle of one — completed sequences release their slot
+//! ([`BatchedKvCache::release_slot`]) and queued requests are admitted into the freed rows
+//! ([`BatchedKvCache::admit`]), so the batch stays full under sustained load instead of
+//! draining in lockstep. Admissions are prefilled solo under the request's own
+//! [`ProtectionPolicy`] and their KV rows copied into the slot; decode runs under one
+//! shared [`SchemeProtector`] whose per-slot schemes are refreshed on every admission and
+//! retirement, so each request keeps the protection it asked for (batch-stacked GEMMs
+//! escalate to the strictest active policy).
+//!
+//! Everything is bit-exact with solo inference: a request admitted mid-flight produces
+//! exactly the tokens [`Model::generate`] would have produced for it alone — continuous
+//! batching changes throughput and detection amortisation, never output.
+
+use crate::queue::{QueuedRequest, RequestQueue};
+use crate::request::{RequestId, RequestSummary, ServeError, ServeRequest, TokenEvent};
+use realm_core::protection::{ProtectionPolicy, SchemeProtector, SequenceAttribution};
+use realm_llm::batch::BatchedKvCache;
+use realm_llm::hooks::HookChain;
+use realm_llm::model::argmax_with_margin;
+use realm_llm::{GemmHook, Model};
+use realm_systolic::{Dataflow, ProtectionScheme, SystolicArray};
+use std::sync::mpsc::{channel, Receiver};
+use std::time::Instant;
+
+/// Configuration of a [`ServeEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Number of concurrent batch slots (the maximum decode batch width).
+    pub slots: usize,
+    /// Systolic array used to account detection/recovery cost in the protector's stats.
+    pub array: SystolicArray,
+    /// Fallback protection scheme for anything not covered by a per-request policy.
+    pub base_scheme: ProtectionScheme,
+    /// Queue-aging interval: a waiting request gains one priority level per this many
+    /// engine steps, so low-priority requests cannot starve behind a sustained
+    /// high-priority stream. `0` disables aging (strict priority).
+    pub aging_steps: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            slots: 4,
+            array: SystolicArray::small(Dataflow::WeightStationary),
+            base_scheme: ProtectionScheme::StatisticalAbft,
+            aging_steps: 32,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config with `slots` concurrent slots and defaults for everything else.
+    pub fn with_slots(slots: usize) -> Self {
+        Self {
+            slots,
+            ..Self::default()
+        }
+    }
+}
+
+/// Operator-facing snapshot of the engine's state, returned by [`ServeEngine::stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStats {
+    /// Requests waiting for a slot.
+    pub queue_depth: usize,
+    /// Slots currently decoding a sequence.
+    pub active_slots: usize,
+    /// Total batch slots.
+    pub total_slots: usize,
+    /// Lockstep decode steps executed so far.
+    pub steps: u64,
+    /// Tokens committed across all requests.
+    pub tokens_generated: u64,
+    /// Requests accepted by [`ServeEngine::submit`].
+    pub requests_submitted: u64,
+    /// Requests admitted into a slot (prefilled).
+    pub requests_admitted: u64,
+    /// Requests that ran to completion and delivered their summary.
+    pub requests_completed: u64,
+    /// Requests abandoned because their receiver was dropped mid-stream.
+    pub requests_cancelled: u64,
+    /// ABFT detections charged to requests (completed and in-flight).
+    pub detections: u64,
+    /// ABFT recoveries charged to requests (completed and in-flight).
+    pub recoveries: u64,
+    /// Wall-clock seconds since the engine was created.
+    pub elapsed_seconds: f64,
+    /// Committed tokens per wall-clock second since engine creation.
+    pub tokens_per_second: f64,
+}
+
+impl EngineStats {
+    /// Fraction of slots currently occupied (0.0 when the engine has no slots).
+    pub fn slot_occupancy(&self) -> f64 {
+        if self.total_slots == 0 {
+            0.0
+        } else {
+            self.active_slots as f64 / self.total_slots as f64
+        }
+    }
+
+    /// Mean detections charged per admitted request (0.0 before the first admission).
+    ///
+    /// In-flight requests count in both the numerator and the denominator, matching the
+    /// [`EngineStats::detections`] field this divides.
+    pub fn detections_per_request(&self) -> f64 {
+        if self.requests_admitted == 0 {
+            0.0
+        } else {
+            self.detections as f64 / self.requests_admitted as f64
+        }
+    }
+}
+
+/// A sequence currently occupying a batch slot.
+#[derive(Debug)]
+struct ActiveSeq {
+    id: RequestId,
+    sender: std::sync::mpsc::Sender<TokenEvent>,
+    /// Last committed token — the input of the next decode step.
+    last: u32,
+    tokens: Vec<u32>,
+    margins: Vec<f32>,
+    target: usize,
+    policy: ProtectionPolicy,
+    prompt_len: usize,
+    enqueue_step: u64,
+    admit_step: u64,
+    /// Attribution charged by the request's private prefill protector.
+    prefill_attr: SequenceAttribution,
+    /// The shared decode protector's attribution for this slot at admission time; the
+    /// request is charged the delta (slots are reused across requests).
+    baseline: SequenceAttribution,
+}
+
+/// The continuous-batching serving engine.
+///
+/// See the [crate-level documentation](crate) for a worked end-to-end example. The engine
+/// is synchronous and deterministic: [`ServeEngine::submit`] enqueues, [`ServeEngine::step`]
+/// advances one admission + lockstep-decode round, and [`ServeEngine::run_until_idle`]
+/// pumps until queue and slots are empty. Token streams are delivered through the
+/// [`std::sync::mpsc::Receiver`] returned at submission, so a driving thread can hand
+/// receivers to per-client consumers. The engine itself is `Send` — it can be moved into a
+/// dedicated serving thread and fed between steps.
+pub struct ServeEngine<'m> {
+    model: &'m Model,
+    config: ServeConfig,
+    queue: RequestQueue,
+    slots: Vec<Option<ActiveSeq>>,
+    cache: BatchedKvCache,
+    protector: SchemeProtector,
+    fault_hook: Option<Box<dyn GemmHook + Send>>,
+    started: Instant,
+    steps: u64,
+    tokens_generated: u64,
+    submitted: u64,
+    admitted: u64,
+    completed: u64,
+    cancelled: u64,
+    completed_detections: u64,
+    completed_recoveries: u64,
+}
+
+impl<'m> ServeEngine<'m> {
+    /// Creates an engine with `config.slots` batch slots over `model` (slot count is
+    /// clamped to at least 1).
+    pub fn new(model: &'m Model, config: ServeConfig) -> Self {
+        let slots = config.slots.max(1);
+        Self {
+            model,
+            config,
+            queue: RequestQueue::new(config.aging_steps),
+            slots: (0..slots).map(|_| None).collect(),
+            cache: model.new_batched_cache(slots),
+            protector: SchemeProtector::with_default_regions(config.base_scheme, config.array),
+            fault_hook: None,
+            started: Instant::now(),
+            steps: 0,
+            tokens_generated: 0,
+            submitted: 0,
+            admitted: 0,
+            completed: 0,
+            cancelled: 0,
+            completed_detections: 0,
+            completed_recoveries: 0,
+        }
+    }
+
+    /// Installs a fault hook (typically a `realm-inject` `ErrorInjector`) that runs ahead
+    /// of the protector on every GEMM — the serving equivalent of operating the array at a
+    /// scaled voltage.
+    pub fn with_fault_hook(mut self, hook: Box<dyn GemmHook + Send>) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
+
+    /// The model this engine serves.
+    pub fn model(&self) -> &Model {
+        self.model
+    }
+
+    /// Validates `request` and enqueues it, returning the assigned id and the channel the
+    /// request's [`TokenEvent`]s will stream over.
+    ///
+    /// Dropping the receiver cancels the request: the engine notices the closed channel at
+    /// the next commit and frees the slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] for an empty prompt, an out-of-vocabulary
+    /// token, or a prompt plus budget exceeding the model's context window.
+    pub fn submit(
+        &mut self,
+        request: ServeRequest,
+    ) -> Result<(RequestId, Receiver<TokenEvent>), ServeError> {
+        if request.prompt.is_empty() {
+            return Err(ServeError::InvalidRequest {
+                detail: "prompt must not be empty".into(),
+            });
+        }
+        let vocab = self.model.config().vocab_size;
+        if let Some(&bad) = request.prompt.iter().find(|&&t| t as usize >= vocab) {
+            return Err(ServeError::InvalidRequest {
+                detail: format!("prompt token {bad} is outside the vocabulary ({vocab})"),
+            });
+        }
+        let max_seq_len = self.model.config().max_seq_len;
+        if request.prompt.len() + request.max_new_tokens > max_seq_len {
+            return Err(ServeError::InvalidRequest {
+                detail: format!(
+                    "prompt ({}) plus generation budget ({}) exceeds max_seq_len {max_seq_len}",
+                    request.prompt.len(),
+                    request.max_new_tokens
+                ),
+            });
+        }
+        let (sender, receiver) = channel();
+        self.submitted += 1;
+        let id = self.submitted;
+        self.queue
+            .push(QueuedRequest::new(id, request, sender, self.steps));
+        Ok((id, receiver))
+    }
+
+    /// Advances the engine by one round: admits queued requests into free slots, then runs
+    /// one lockstep decode step across the occupied slots, committing one token per active
+    /// sequence. Returns `true` while work remains (occupied slots or queued requests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-inference errors; validation at [`ServeEngine::submit`] makes
+    /// these unreachable for accepted requests in normal operation.
+    pub fn step(&mut self) -> Result<bool, ServeError> {
+        // Admission: fill every free slot from the queue. A freshly admitted request with a
+        // budget of 0 or 1 completes at admission and releases the slot again, so keep
+        // draining until slots are genuinely busy or the queue is empty.
+        while let Some(slot) = self.slots.iter().position(Option::is_none) {
+            let Some(queued) = self.queue.pop(self.steps) else {
+                break;
+            };
+            self.admit(slot, queued)?;
+        }
+
+        let step_tokens: Vec<Option<u32>> = self
+            .slots
+            .iter()
+            .map(|s| s.as_ref().map(|a| a.last))
+            .collect();
+        if step_tokens.iter().all(Option::is_none) {
+            return Ok(!self.queue.is_empty());
+        }
+
+        let step_logits = {
+            let Self {
+                model,
+                cache,
+                protector,
+                fault_hook,
+                ..
+            } = self;
+            let mut chain = HookChain::new();
+            if let Some(hook) = fault_hook {
+                chain.push(hook.as_mut());
+            }
+            chain.push(protector);
+            model.decode_step_batch(&step_tokens, cache, &mut chain)?
+        };
+        self.steps += 1;
+        for (slot, logits) in step_logits.into_iter().enumerate() {
+            let Some(logits) = logits else { continue };
+            let (next, margin) = argmax_with_margin(&logits);
+            let active = self.slots[slot]
+                .as_mut()
+                .expect("decode produced logits for an occupied slot");
+            active.last = next;
+            let finished = Self::commit(active, next, margin);
+            self.tokens_generated += 1;
+            if finished {
+                self.finalize(slot);
+            }
+        }
+        Ok(self.has_work())
+    }
+
+    /// Pumps [`ServeEngine::step`] until no queued or active request remains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ServeEngine::step`] error.
+    pub fn run_until_idle(&mut self) -> Result<(), ServeError> {
+        while self.step()? {}
+        Ok(())
+    }
+
+    /// Returns `true` while any request is queued or occupying a slot.
+    pub fn has_work(&self) -> bool {
+        !self.queue.is_empty() || self.slots.iter().any(Option::is_some)
+    }
+
+    /// A snapshot of queue depth, slot occupancy, throughput and reliability counters.
+    pub fn stats(&self) -> EngineStats {
+        let mut detections = self.completed_detections;
+        let mut recoveries = self.completed_recoveries;
+        for (slot, active) in self.slots.iter().enumerate() {
+            let Some(active) = active else { continue };
+            let attr = self.slot_attribution(slot, active);
+            detections += attr.detections;
+            recoveries += attr.recoveries;
+        }
+        let elapsed_seconds = self.started.elapsed().as_secs_f64();
+        EngineStats {
+            queue_depth: self.queue.len(),
+            active_slots: self.slots.iter().filter(|s| s.is_some()).count(),
+            total_slots: self.slots.len(),
+            steps: self.steps,
+            tokens_generated: self.tokens_generated,
+            requests_submitted: self.submitted,
+            requests_admitted: self.admitted,
+            requests_completed: self.completed,
+            requests_cancelled: self.cancelled,
+            detections,
+            recoveries,
+            elapsed_seconds,
+            tokens_per_second: if elapsed_seconds > 0.0 {
+                self.tokens_generated as f64 / elapsed_seconds
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Prefills `queued` solo under its own policy, copies its KV rows into `slot`, and
+    /// commits its first token. Budget-0/1 requests complete (and free the slot) here.
+    fn admit(&mut self, slot: usize, queued: QueuedRequest) -> Result<(), ServeError> {
+        let mut prefill_protector =
+            SchemeProtector::with_default_regions(queued.policy.scheme, self.config.array);
+        let (logits, solo_cache) = {
+            let Self {
+                model, fault_hook, ..
+            } = self;
+            let mut chain = HookChain::new();
+            if let Some(hook) = fault_hook {
+                chain.push(hook.as_mut());
+            }
+            chain.push(&mut prefill_protector);
+            model.prefill(&queued.prompt, &mut chain)?
+        };
+        self.cache.admit(slot, &solo_cache)?;
+        self.admitted += 1;
+        // Solo forwards attribute everything to sequence index 0.
+        let prefill_attr = prefill_protector
+            .sequence_attribution()
+            .get(&0)
+            .copied()
+            .unwrap_or_default();
+        let baseline = self
+            .protector
+            .sequence_attribution()
+            .get(&slot)
+            .copied()
+            .unwrap_or_default();
+        let (first, margin) = argmax_with_margin(logits.row(logits.rows() - 1));
+        self.slots[slot] = Some(ActiveSeq {
+            id: queued.id,
+            sender: queued.sender,
+            last: first,
+            tokens: Vec::with_capacity(queued.max_new_tokens),
+            margins: Vec::with_capacity(queued.max_new_tokens),
+            target: queued.max_new_tokens,
+            policy: queued.policy,
+            prompt_len: queued.prompt.len(),
+            enqueue_step: queued.enqueue_step,
+            admit_step: self.steps,
+            prefill_attr,
+            baseline,
+        });
+        self.refresh_schemes();
+        if queued.max_new_tokens == 0 {
+            self.finalize(slot);
+            return Ok(());
+        }
+        let active = self.slots[slot].as_mut().expect("just installed");
+        let finished = Self::commit(active, first, margin);
+        self.tokens_generated += 1;
+        if finished {
+            self.finalize(slot);
+        }
+        Ok(())
+    }
+
+    /// Records a committed token and streams it; returns `true` if the request finished
+    /// (budget reached) or was cancelled (receiver dropped).
+    fn commit(active: &mut ActiveSeq, token: u32, margin: f32) -> bool {
+        active.tokens.push(token);
+        active.margins.push(margin);
+        let delivered = active
+            .sender
+            .send(TokenEvent::Token {
+                id: active.id,
+                index: active.tokens.len() - 1,
+                token,
+                margin,
+            })
+            .is_ok();
+        !delivered || active.tokens.len() >= active.target
+    }
+
+    /// Total attribution charged to the request in `slot`: its private prefill plus the
+    /// shared decode protector's delta since admission.
+    fn slot_attribution(&self, slot: usize, active: &ActiveSeq) -> SequenceAttribution {
+        let current = self
+            .protector
+            .sequence_attribution()
+            .get(&slot)
+            .copied()
+            .unwrap_or_default();
+        SequenceAttribution {
+            detections: active.prefill_attr.detections
+                + current
+                    .detections
+                    .saturating_sub(active.baseline.detections),
+            recoveries: active.prefill_attr.recoveries
+                + current
+                    .recoveries
+                    .saturating_sub(active.baseline.recoveries),
+        }
+    }
+
+    /// Retires the request in `slot`: releases the KV rows, delivers the summary and
+    /// refreshes the per-slot protection schemes.
+    fn finalize(&mut self, slot: usize) {
+        let active = self.slots[slot]
+            .take()
+            .expect("finalizing an occupied slot");
+        self.cache.release_slot(slot);
+        let attribution = self.slot_attribution(slot, &active);
+        self.completed_detections += attribution.detections;
+        self.completed_recoveries += attribution.recoveries;
+        let summary = RequestSummary {
+            id: active.id,
+            prompt_len: active.prompt_len,
+            queued_steps: active.admit_step.saturating_sub(active.enqueue_step),
+            service_steps: self.steps.saturating_sub(active.admit_step),
+            attribution,
+            policy: active.policy,
+            tokens: active.tokens,
+            margins: active.margins,
+        };
+        if active.sender.send(TokenEvent::Done(summary)).is_ok() {
+            self.completed += 1;
+        } else {
+            self.cancelled += 1;
+        }
+        self.refresh_schemes();
+    }
+
+    /// Re-announces the slot → scheme map to the shared decode protector (free slots count
+    /// as unprotected and never weaken an occupied slot's scheme).
+    fn refresh_schemes(&mut self) {
+        let schemes: Vec<ProtectionScheme> = self
+            .slots
+            .iter()
+            .map(|s| {
+                s.as_ref()
+                    .map_or(ProtectionScheme::None, |a| a.policy.scheme)
+            })
+            .collect();
+        self.protector.set_sequence_schemes(&schemes);
+    }
+}
+
+impl std::fmt::Debug for ServeEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("model", &self.model.config().name)
+            .field("slots", &self.slots.len())
+            .field("queue_depth", &self.queue.len())
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_llm::config::ModelConfig;
+
+    fn engine(model: &Model, slots: usize) -> ServeEngine<'_> {
+        ServeEngine::new(model, ServeConfig::with_slots(slots))
+    }
+
+    fn collect_done(rx: &Receiver<TokenEvent>) -> Option<RequestSummary> {
+        let mut done = None;
+        while let Ok(event) = rx.try_recv() {
+            if let TokenEvent::Done(summary) = event {
+                done = Some(summary);
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn submit_validates_requests() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 3).unwrap();
+        let mut engine = engine(&model, 2);
+        assert!(engine.submit(ServeRequest::new(vec![], 4)).is_err());
+        assert!(engine.submit(ServeRequest::new(vec![100_000], 4)).is_err());
+        let max = model.config().max_seq_len;
+        assert!(engine.submit(ServeRequest::new(vec![1; max], 1)).is_err());
+        assert!(engine.submit(ServeRequest::new(vec![1, 2], 4)).is_ok());
+        assert_eq!(engine.stats().queue_depth, 1);
+    }
+
+    #[test]
+    fn engine_streams_tokens_and_summary() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 3).unwrap();
+        let mut engine = engine(&model, 2);
+        let (id, rx) = engine.submit(ServeRequest::new(vec![1, 5, 9], 4)).unwrap();
+        engine.run_until_idle().unwrap();
+        let mut streamed = Vec::new();
+        let mut summary = None;
+        while let Ok(event) = rx.try_recv() {
+            match event {
+                TokenEvent::Token { token, .. } => streamed.push(token),
+                TokenEvent::Done(s) => summary = Some(s),
+            }
+        }
+        let summary = summary.expect("request completes");
+        assert_eq!(summary.id, id);
+        assert_eq!(summary.tokens, streamed);
+        assert_eq!(summary.tokens.len(), 4);
+        assert_eq!(summary.prompt_len, 3);
+        let solo = model
+            .generate(&[1, 5, 9], 4, &mut realm_llm::NoopHook)
+            .unwrap();
+        assert_eq!(summary.tokens, solo.tokens);
+        assert_eq!(summary.margins, solo.margins);
+        let stats = engine.stats();
+        assert_eq!(stats.requests_completed, 1);
+        assert_eq!(stats.tokens_generated, 4);
+        assert_eq!(stats.active_slots, 0);
+    }
+
+    #[test]
+    fn zero_and_one_token_budgets_complete_at_admission() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 3).unwrap();
+        let mut engine = engine(&model, 1);
+        let (_, rx0) = engine.submit(ServeRequest::new(vec![1, 2], 0)).unwrap();
+        let (_, rx1) = engine.submit(ServeRequest::new(vec![3, 4], 1)).unwrap();
+        let (_, rx2) = engine.submit(ServeRequest::new(vec![5], 2)).unwrap();
+        engine.run_until_idle().unwrap();
+        assert!(collect_done(&rx0).unwrap().tokens.is_empty());
+        assert_eq!(collect_done(&rx1).unwrap().tokens.len(), 1);
+        assert_eq!(collect_done(&rx2).unwrap().tokens.len(), 2);
+        assert_eq!(engine.stats().requests_completed, 3);
+    }
+
+    #[test]
+    fn dropped_receiver_cancels_the_request() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 3).unwrap();
+        let mut engine = engine(&model, 1);
+        let (_, rx) = engine.submit(ServeRequest::new(vec![1, 2], 8)).unwrap();
+        drop(rx);
+        let (_, rx2) = engine.submit(ServeRequest::new(vec![3], 2)).unwrap();
+        engine.run_until_idle().unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.requests_cancelled, 1);
+        assert_eq!(stats.requests_completed, 1);
+        assert_eq!(collect_done(&rx2).unwrap().tokens.len(), 2);
+    }
+
+    #[test]
+    fn stats_report_occupancy_and_throughput() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 3).unwrap();
+        let mut engine = engine(&model, 2);
+        let mut receivers = Vec::new();
+        for i in 0..4 {
+            let (_, rx) = engine.submit(ServeRequest::new(vec![1 + i, 2], 6)).unwrap();
+            receivers.push(rx); // keep the channels open until idle
+        }
+        engine.step().unwrap();
+        let mid = engine.stats();
+        assert_eq!(mid.total_slots, 2);
+        assert_eq!(mid.active_slots, 2);
+        assert_eq!(mid.queue_depth, 2);
+        assert!(mid.slot_occupancy() > 0.99);
+        engine.run_until_idle().unwrap();
+        let done = engine.stats();
+        assert_eq!(done.requests_completed, 4);
+        assert_eq!(done.tokens_generated, 24);
+        assert!(done.tokens_per_second > 0.0);
+        assert_eq!(done.detections, 0, "fault-free serving detects nothing");
+        assert_eq!(done.detections_per_request(), 0.0);
+    }
+}

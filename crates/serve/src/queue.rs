@@ -1,0 +1,146 @@
+//! The admission queue: priority scheduling with aging so nothing starves.
+//!
+//! Admission order is decided by an *effective priority*: the request's static priority
+//! plus one bump for every [`aging_steps`](crate::ServeConfig::aging_steps) engine steps it
+//! has waited. Under a sustained stream of high-priority arrivals a low-priority request's
+//! effective priority keeps climbing until it wins a slot — the property the saturation
+//! test in `tests/serve_continuous.rs` pins down. Ties are broken by arrival order (FIFO).
+
+use crate::request::{RequestId, ServeRequest, TokenEvent};
+use realm_core::protection::ProtectionPolicy;
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+
+/// A submitted request waiting for a batch slot.
+#[derive(Debug)]
+pub(crate) struct QueuedRequest {
+    /// Engine-assigned id.
+    pub id: RequestId,
+    /// Prompt tokens (validated at submission).
+    pub prompt: Vec<u32>,
+    /// Generation budget.
+    pub max_new_tokens: usize,
+    /// Static scheduling priority.
+    pub priority: u8,
+    /// Per-request protection policy.
+    pub policy: ProtectionPolicy,
+    /// Response channel.
+    pub sender: Sender<TokenEvent>,
+    /// Engine step at which the request was submitted.
+    pub enqueue_step: u64,
+}
+
+impl QueuedRequest {
+    pub(crate) fn new(
+        id: RequestId,
+        request: ServeRequest,
+        sender: Sender<TokenEvent>,
+        enqueue_step: u64,
+    ) -> Self {
+        Self {
+            id,
+            prompt: request.prompt,
+            max_new_tokens: request.max_new_tokens,
+            priority: request.priority,
+            policy: request.policy,
+            sender,
+            enqueue_step,
+        }
+    }
+}
+
+/// Priority queue with aging. Pops are O(queue depth) — the scan re-evaluates every
+/// entry's age-adjusted priority at the current step, which a heap keyed on a static
+/// priority could not do.
+#[derive(Debug, Default)]
+pub(crate) struct RequestQueue {
+    entries: VecDeque<QueuedRequest>,
+    /// Steps of waiting per priority bump; 0 disables aging.
+    aging_steps: u64,
+}
+
+impl RequestQueue {
+    pub(crate) fn new(aging_steps: u64) -> Self {
+        Self {
+            entries: VecDeque::new(),
+            aging_steps,
+        }
+    }
+
+    pub(crate) fn push(&mut self, request: QueuedRequest) {
+        self.entries.push_back(request);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Effective priority of an entry at `step`: static priority plus earned age bumps.
+    fn effective(&self, entry: &QueuedRequest, step: u64) -> u64 {
+        let waited = step.saturating_sub(entry.enqueue_step);
+        // aging_steps == 0 disables aging (checked_div yields None).
+        let bumps = waited.checked_div(self.aging_steps).unwrap_or(0);
+        u64::from(entry.priority) + bumps
+    }
+
+    /// Removes and returns the request with the highest effective priority at `step`
+    /// (arrival order breaks ties — ids are assigned in submission order), or `None` if
+    /// the queue is empty.
+    pub(crate) fn pop(&mut self, step: u64) -> Option<QueuedRequest> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (self.effective(e, step), std::cmp::Reverse(e.id)))?
+            .0;
+        self.entries.remove(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn queued(id: RequestId, priority: u8, enqueue_step: u64) -> QueuedRequest {
+        let (tx, _rx) = channel();
+        QueuedRequest::new(
+            id,
+            ServeRequest::new(vec![1], 1).with_priority(priority),
+            tx,
+            enqueue_step,
+        )
+    }
+
+    #[test]
+    fn pop_prefers_priority_then_fifo() {
+        let mut q = RequestQueue::new(0);
+        q.push(queued(1, 0, 0));
+        q.push(queued(2, 5, 0));
+        q.push(queued(3, 5, 0));
+        assert_eq!(q.pop(0).unwrap().id, 2, "highest priority wins");
+        assert_eq!(q.pop(0).unwrap().id, 3, "FIFO within a priority");
+        assert_eq!(q.pop(0).unwrap().id, 1);
+        assert!(q.pop(0).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn aging_lifts_long_waiting_requests() {
+        let mut q = RequestQueue::new(4);
+        q.push(queued(1, 0, 0)); // low priority, enqueued at step 0
+        q.push(queued(2, 2, 10)); // higher priority, fresh arrival
+                                  // At step 10 the old request earned 10/4 = 2 bumps: effective 2 vs 2, FIFO wins.
+        assert_eq!(q.pop(10).unwrap().id, 1);
+        assert_eq!(q.len(), 1);
+        // With aging disabled the fresh high-priority request would have won.
+        let mut q = RequestQueue::new(0);
+        q.push(queued(1, 0, 0));
+        q.push(queued(2, 2, 10));
+        assert_eq!(q.pop(10).unwrap().id, 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Serving requests, streamed token events and the serving error type.
+//!
+//! A [`ServeRequest`] is what a client hands to the engine: a prompt, a generation budget,
+//! a scheduling priority and a per-request [`ProtectionPolicy`]. The engine answers over an
+//! [`std::sync::mpsc`] channel with a stream of [`TokenEvent`]s: one
+//! [`TokenEvent::Token`] per generated token as soon as it is committed, then one
+//! [`TokenEvent::Done`] carrying the [`RequestSummary`] — the full output plus the
+//! detection/recovery attribution the ABFT protector charged to this request.
+
+use realm_core::protection::{ProtectionPolicy, SequenceAttribution};
+use realm_llm::LlmError;
+
+/// Identifier the engine assigns to every submitted request.
+pub type RequestId = u64;
+
+/// One generation request submitted to the serving engine.
+///
+/// # Example
+///
+/// ```
+/// use realm_core::protection::ProtectionPolicy;
+/// use realm_serve::ServeRequest;
+///
+/// let request = ServeRequest::new(vec![1, 5, 9], 8)
+///     .with_priority(3)
+///     .with_policy(ProtectionPolicy::classical());
+/// assert_eq!(request.max_new_tokens, 8);
+/// assert_eq!(request.priority, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeRequest {
+    /// Prompt tokens (must be non-empty and within the model's vocabulary).
+    pub prompt: Vec<u32>,
+    /// Number of tokens to generate.
+    pub max_new_tokens: usize,
+    /// Scheduling priority: higher values are admitted first. Requests of equal effective
+    /// priority are served in arrival order, and queue aging (see
+    /// [`ServeConfig::aging_steps`](crate::ServeConfig::aging_steps)) lifts long-waiting
+    /// requests so low priorities cannot starve.
+    pub priority: u8,
+    /// The ABFT protection scheme this request's GEMMs run under.
+    pub policy: ProtectionPolicy,
+}
+
+impl ServeRequest {
+    /// Creates a request with priority 0 and the default (statistical-ABFT) policy.
+    pub fn new(prompt: Vec<u32>, max_new_tokens: usize) -> Self {
+        Self {
+            prompt,
+            max_new_tokens,
+            priority: 0,
+            policy: ProtectionPolicy::default(),
+        }
+    }
+
+    /// Sets the scheduling priority (higher is served first).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the per-request protection policy.
+    pub fn with_policy(mut self, policy: ProtectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Final accounting of one served request, delivered with [`TokenEvent::Done`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSummary {
+    /// The engine-assigned request id.
+    pub id: RequestId,
+    /// Every generated token, in order (identical to the streamed [`TokenEvent::Token`]s).
+    pub tokens: Vec<u32>,
+    /// Greedy-decode logit margin (top1 − top2) at each step.
+    pub margins: Vec<f32>,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Engine steps the request waited in the queue before admission.
+    pub queued_steps: u64,
+    /// Engine steps between admission and completion.
+    pub service_steps: u64,
+    /// ABFT detections and recoveries charged to this request — prefill and decode
+    /// combined — via the per-row-group checksum re-reduction
+    /// ([`realm_core::SchemeProtector::sequence_attribution`]).
+    pub attribution: SequenceAttribution,
+    /// The protection policy the request ran under.
+    pub policy: ProtectionPolicy,
+}
+
+/// One event on a request's response stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenEvent {
+    /// A token was committed for this request.
+    Token {
+        /// The request this token belongs to.
+        id: RequestId,
+        /// Zero-based position of the token in the generated output.
+        index: usize,
+        /// The committed token.
+        token: u32,
+        /// Greedy-decode logit margin (top1 − top2) at this step.
+        margin: f32,
+    },
+    /// The request completed; no further events follow on this channel.
+    Done(RequestSummary),
+}
+
+/// Errors produced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A request failed validation at submission (empty prompt, out-of-vocabulary token,
+    /// context overflow).
+    InvalidRequest {
+        /// Explanation of the rejection.
+        detail: String,
+    },
+    /// An underlying model-inference error surfaced while the engine was stepping.
+    Llm(LlmError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidRequest { detail } => write!(f, "invalid request: {detail}"),
+            ServeError::Llm(e) => write!(f, "serving engine inference failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Llm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LlmError> for ServeError {
+    fn from(e: LlmError) -> Self {
+        ServeError::Llm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_priority_and_policy() {
+        let r = ServeRequest::new(vec![1, 2], 4);
+        assert_eq!(r.priority, 0);
+        assert_eq!(r.policy, ProtectionPolicy::statistical());
+        let r = r
+            .with_priority(9)
+            .with_policy(ProtectionPolicy::unprotected());
+        assert_eq!(r.priority, 9);
+        assert_eq!(r.policy, ProtectionPolicy::unprotected());
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        let e = ServeError::InvalidRequest {
+            detail: "empty prompt".into(),
+        };
+        assert!(e.to_string().contains("empty prompt"));
+        let wrapped: ServeError = LlmError::InvalidSequence { detail: "x".into() }.into();
+        assert!(wrapped.to_string().contains("inference failed"));
+        assert!(std::error::Error::source(&wrapped).is_some());
+    }
+}

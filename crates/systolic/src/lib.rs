@@ -9,7 +9,7 @@
 //! 14 nm PDK. RTL synthesis is not available in this environment, so this crate provides an
 //! analytical model with consistent relative unit costs:
 //!
-//! * [`array`] — array geometry, GEMM tiling and cycle counts for WS/OS dataflows;
+//! * [`mod@array`] — array geometry, GEMM tiling and cycle counts for WS/OS dataflows;
 //! * [`protection`] — the protection schemes compared in the evaluation (none, DMR, Razor,
 //!   ThunderVolt, classical ABFT, ApproxABFT, statistical ABFT) and the extra hardware each
 //!   one adds;

@@ -1,0 +1,139 @@
+//! Serving demo: continuous batching under staggered arrivals with per-request
+//! reliability telemetry.
+//!
+//! A 4-slot [`ServeEngine`] serves a burst of requests that arrive over time (not all at
+//! once), mixing priorities, generation budgets and protection policies, while a bit-flip
+//! injector emulates a low-voltage datapath. The demo prints the engine's operator
+//! snapshot ([`EngineStats`]) as the queue drains, then a per-request table: wait time,
+//! service time, and the ABFT detections/recoveries attributed to each request.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+
+use realm::core::ProtectionPolicy;
+use realm::inject::{error_model::FixedBitModel, injector::ErrorInjector};
+use realm::llm::{config::ModelConfig, model::Model};
+use realm::serve::{ServeConfig, ServeEngine, ServeRequest, TokenEvent};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = Model::new(&ModelConfig::tiny_opt(), 2025)?;
+    let config = ServeConfig {
+        slots: 4,
+        aging_steps: 8,
+        ..ServeConfig::default()
+    };
+    println!(
+        "serving {} on {} slots (queue aging: 1 priority level per {} steps)\n",
+        model.config().name,
+        config.slots,
+        config.aging_steps
+    );
+
+    // A faulty datapath: transient bit-30 flips on ~0.5% of GEMMs. Protected requests
+    // detect and repair these; the unprotected request takes its chances.
+    let injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.005), 7);
+    let mut engine = ServeEngine::new(&model, config).with_fault_hook(Box::new(injector));
+
+    // The arrival schedule: (arrival step, priority, budget, policy). More requests than
+    // slots, arriving in waves, so admissions happen mid-flight into recycled slots.
+    let policies: [(&str, ProtectionPolicy); 3] = [
+        ("statistical", ProtectionPolicy::statistical()),
+        ("classical", ProtectionPolicy::classical()),
+        ("unprotected", ProtectionPolicy::unprotected()),
+    ];
+    let schedule: Vec<(u64, u8, usize, usize)> = vec![
+        // step, priority, budget, policy index
+        (0, 0, 8, 0),
+        (0, 0, 3, 1),
+        (0, 0, 12, 0),
+        (1, 2, 5, 1),
+        (2, 0, 2, 2),
+        (3, 5, 6, 0),
+        (4, 0, 9, 1),
+        (5, 1, 4, 0),
+        (6, 0, 7, 2),
+        (7, 3, 5, 0),
+    ];
+
+    let mut pending = schedule.into_iter().enumerate().collect::<Vec<_>>();
+    let mut receivers = Vec::new();
+    let mut step = 0u64;
+    while engine.has_work() || !pending.is_empty() {
+        // Submit everything scheduled to arrive at or before this step.
+        pending.retain(|(i, (arrival, priority, budget, policy))| {
+            if *arrival > step {
+                return true;
+            }
+            let prompt: Vec<u32> = (0..3 + (*i as u32 % 4))
+                .map(|t| (t * 5 + *i as u32) % 60)
+                .collect();
+            let request = ServeRequest::new(prompt, *budget)
+                .with_priority(*priority)
+                .with_policy(policies[*policy].1);
+            let (id, rx) = engine.submit(request).expect("schedule is valid");
+            receivers.push((id, *budget, policies[*policy].0, rx));
+            false
+        });
+        engine.step()?;
+        step += 1;
+        if step.is_multiple_of(5) || !engine.has_work() {
+            let s = engine.stats();
+            println!(
+                "step {:>3}: queue {:>2}  slots {}/{}  tokens {:>3}  completed {:>2}/{:<2}  \
+                 detections {:>2}",
+                s.steps,
+                s.queue_depth,
+                s.active_slots,
+                s.total_slots,
+                s.tokens_generated,
+                s.requests_completed,
+                s.requests_submitted,
+                s.detections
+            );
+        }
+    }
+
+    let stats = engine.stats();
+    println!(
+        "\nfinal: {} tokens over {} lockstep steps ({:.0} tokens/s wall-clock), \
+         {} admissions into {} slots",
+        stats.tokens_generated,
+        stats.steps,
+        stats.tokens_per_second,
+        stats.requests_admitted,
+        stats.total_slots
+    );
+    println!(
+        "reliability: {} detections, {} recoveries ({:.2} detections/request)\n",
+        stats.detections,
+        stats.recoveries,
+        stats.detections_per_request()
+    );
+
+    println!(
+        "{:<4} {:<13} {:>6} {:>8} {:>8} {:>11} {:>11}",
+        "id", "policy", "tokens", "queued", "service", "detections", "recoveries"
+    );
+    for (id, budget, policy_name, rx) in &receivers {
+        let events: Vec<TokenEvent> = rx.try_iter().collect();
+        let Some(TokenEvent::Done(summary)) = events.last() else {
+            panic!("request {id} did not complete");
+        };
+        assert_eq!(summary.tokens.len(), *budget, "budget honoured");
+        println!(
+            "{:<4} {:<13} {:>6} {:>8} {:>8} {:>11} {:>11}",
+            id,
+            policy_name,
+            summary.tokens.len(),
+            summary.queued_steps,
+            summary.service_steps,
+            summary.attribution.detections,
+            summary.attribution.recoveries
+        );
+    }
+    println!("\nall requests served; every budget met.");
+    Ok(())
+}

@@ -16,6 +16,7 @@
 //! | [`abft`] | `realm-abft` | classical, Approx and statistical ABFT detectors + recovery |
 //! | [`eval`] | `realm-eval` | synthetic perplexity / accuracy / ROUGE tasks |
 //! | [`core`] | `realm-core` | characterization, critical-region fitting, protected pipelines, sweeps |
+//! | [`serve`] | `realm-serve` | continuous-batching serving: request queue, engine loop, token streams |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@ pub use realm_core as core;
 pub use realm_eval as eval;
 pub use realm_inject as inject;
 pub use realm_llm as llm;
+pub use realm_serve as serve;
 pub use realm_systolic as systolic;
 pub use realm_tensor as tensor;
 
