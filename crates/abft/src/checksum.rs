@@ -92,6 +92,34 @@ pub fn group_column_deviations(
     acc: &MatI32,
     parts: &RowPartition,
 ) -> Vec<Vec<i64>> {
+    let mut etw = Vec::new();
+    let mut flat = Vec::new();
+    group_column_deviations_into(w, x, acc, parts, &mut etw, &mut flat);
+    let n = x.cols();
+    (0..parts.num_groups())
+        .map(|g| flat[g * n..(g + 1) * n].to_vec())
+        .collect()
+}
+
+/// [`group_column_deviations`] into caller-provided flat buffers.
+///
+/// `etw_scratch` receives the per-group operand checksums (`groups × w.cols()`, row-major)
+/// and `deviations` the per-group deviation vectors (`groups × x.cols()`, row-major); both
+/// are cleared and resized in place, so a protector that owns the two buffers pays no
+/// allocation on the detection path. Group `g`'s deviations are
+/// `deviations[g * n..(g + 1) * n]`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`group_column_deviations`].
+pub fn group_column_deviations_into(
+    w: &MatI8,
+    x: &MatI8,
+    acc: &MatI32,
+    parts: &RowPartition,
+    etw_scratch: &mut Vec<i64>,
+    deviations: &mut Vec<i64>,
+) {
     assert_eq!(w.cols(), x.rows(), "checksum shapes disagree with the GEMM");
     assert_eq!(acc.rows(), w.rows(), "accumulator rows disagree with W");
     assert_eq!(acc.cols(), x.cols(), "accumulator columns disagree with X");
@@ -101,39 +129,52 @@ pub fn group_column_deviations(
         "row partition disagrees with the accumulator"
     );
     let groups = parts.num_groups();
+    let k = w.cols();
     let n = x.cols();
-    // Per-group operand checksums eᵍᵀ·W: one pass over w.
-    let mut etw = vec![vec![0i64; w.cols()]; groups];
-    for (g, etw_g) in etw.iter_mut().enumerate() {
-        for r in parts.range(g) {
-            for (s, &v) in etw_g.iter_mut().zip(w.row(r)) {
-                *s += v as i64;
+    etw_scratch.clear();
+    deviations.clear();
+    if groups == 0 || n == 0 {
+        // Degenerate shapes carry no checksum information (and `chunks_exact` rejects a
+        // zero chunk size); leave both buffers empty.
+        return;
+    }
+    deviations.resize(groups * n, 0);
+    if k > 0 {
+        // Per-group operand checksums eᵍᵀ·W: one pass over w.
+        etw_scratch.resize(groups * k, 0);
+        for g in 0..groups {
+            let etw_g = &mut etw_scratch[g * k..(g + 1) * k];
+            for r in parts.range(g) {
+                for (s, &v) in etw_g.iter_mut().zip(w.row(r)) {
+                    *s += v as i64;
+                }
             }
         }
-    }
-    // Per-group expected checksums (eᵍᵀ·W)·X: one fused pass over x for all groups.
-    let mut deviations = vec![vec![0i64; n]; groups];
-    for (p, x_row) in (0..x.rows()).map(|p| (p, x.row(p))) {
-        for (etw_g, dev_g) in etw.iter().zip(deviations.iter_mut()) {
-            let weight = etw_g[p];
-            if weight == 0 {
-                continue;
-            }
-            for (d, &v) in dev_g.iter_mut().zip(x_row) {
-                *d -= weight * v as i64;
+        // Per-group expected checksums (eᵍᵀ·W)·X: one fused pass over x for all groups.
+        for (p, x_row) in (0..x.rows()).map(|p| (p, x.row(p))) {
+            for (etw_g, dev_g) in etw_scratch
+                .chunks_exact(k)
+                .zip(deviations.chunks_exact_mut(n))
+            {
+                let weight = etw_g[p];
+                if weight == 0 {
+                    continue;
+                }
+                for (d, &v) in dev_g.iter_mut().zip(x_row) {
+                    *d -= weight * v as i64;
+                }
             }
         }
     }
     // Per-group observed checksums eᵍᵀ·Y: one pass over acc, folded straight into the
     // deviations (observed − expected).
-    for (g, dev_g) in deviations.iter_mut().enumerate() {
+    for (g, dev_g) in deviations.chunks_exact_mut(n).enumerate() {
         for r in parts.range(g) {
             for (d, &v) in dev_g.iter_mut().zip(acc.row(r)) {
                 *d += v as i64;
             }
         }
     }
-    deviations
 }
 
 /// Indices of the groups of `parts` whose rows carry a non-zero checksum deviation.
@@ -146,12 +187,40 @@ pub fn group_column_deviations(
 ///
 /// Panics under the same conditions as [`group_column_deviations`].
 pub fn deviating_groups(w: &MatI8, x: &MatI8, acc: &MatI32, parts: &RowPartition) -> Vec<usize> {
-    group_column_deviations(w, x, acc, parts)
-        .iter()
-        .enumerate()
-        .filter(|(_, dev)| dev.iter().any(|&d| d != 0))
-        .map(|(g, _)| g)
-        .collect()
+    let mut etw = Vec::new();
+    let mut dev = Vec::new();
+    let mut out = Vec::new();
+    deviating_groups_into(w, x, acc, parts, &mut etw, &mut dev, &mut out);
+    out
+}
+
+/// [`deviating_groups`] into caller-provided buffers (`etw_scratch` and `dev_scratch` as in
+/// [`group_column_deviations_into`]; `out` receives the deviating group indices).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`group_column_deviations`].
+#[allow(clippy::too_many_arguments)] // the three scratch buffers are the point of this entry
+pub fn deviating_groups_into(
+    w: &MatI8,
+    x: &MatI8,
+    acc: &MatI32,
+    parts: &RowPartition,
+    etw_scratch: &mut Vec<i64>,
+    dev_scratch: &mut Vec<i64>,
+    out: &mut Vec<usize>,
+) {
+    group_column_deviations_into(w, x, acc, parts, etw_scratch, dev_scratch);
+    out.clear();
+    let n = x.cols();
+    if n == 0 {
+        return;
+    }
+    for (g, dev_g) in dev_scratch.chunks_exact(n).enumerate() {
+        if dev_g.iter().any(|&d| d != 0) {
+            out.push(g);
+        }
+    }
 }
 
 /// Row-side checksums `W·(X·e)` vs `Y·e`, used by two-sided classical ABFT to localise the

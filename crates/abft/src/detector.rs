@@ -78,6 +78,23 @@ pub trait AbftDetector: Send + Sync {
         self.evaluate(&result.column_deviations())
     }
 
+    /// [`AbftDetector::inspect_checksummed`] with a caller-provided deviation buffer.
+    ///
+    /// The deviations are materialised into `scratch`
+    /// ([`ChecksummedGemm::column_deviations_into`]) instead of a fresh `Vec`, so a
+    /// protector that owns the buffer inspects every GEMM of the decode hot loop without
+    /// touching the allocator. The verdict is identical to
+    /// [`AbftDetector::inspect_checksummed`]: both funnel the same deviation vector into
+    /// [`AbftDetector::evaluate`].
+    fn inspect_checksummed_into(
+        &self,
+        result: &ChecksummedGemm,
+        scratch: &mut Vec<i64>,
+    ) -> Detection {
+        result.column_deviations_into(scratch);
+        self.evaluate(scratch)
+    }
+
     /// Short human-readable name used in reports.
     fn name(&self) -> &'static str;
 }
@@ -93,6 +110,14 @@ impl<D: AbftDetector + ?Sized> AbftDetector for &D {
 
     fn inspect_checksummed(&self, result: &ChecksummedGemm) -> Detection {
         (**self).inspect_checksummed(result)
+    }
+
+    fn inspect_checksummed_into(
+        &self,
+        result: &ChecksummedGemm,
+        scratch: &mut Vec<i64>,
+    ) -> Detection {
+        (**self).inspect_checksummed_into(result, scratch)
     }
 
     fn name(&self) -> &'static str {
@@ -111,6 +136,14 @@ impl<D: AbftDetector + ?Sized> AbftDetector for Box<D> {
 
     fn inspect_checksummed(&self, result: &ChecksummedGemm) -> Detection {
         (**self).inspect_checksummed(result)
+    }
+
+    fn inspect_checksummed_into(
+        &self,
+        result: &ChecksummedGemm,
+        scratch: &mut Vec<i64>,
+    ) -> Detection {
+        (**self).inspect_checksummed_into(result, scratch)
     }
 
     fn name(&self) -> &'static str {

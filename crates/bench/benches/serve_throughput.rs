@@ -144,6 +144,14 @@ fn report_serving_throughput(_c: &mut Criterion) {
         "continuous batching must deliver >=1.3x the lockstep-drain throughput \
          ({continuous_tps:.0} vs {lockstep_tps:.0} tok/s)"
     );
+    // Batched admission prefill + the long-lived workspace closed most of the engine's
+    // admission overhead: it used to trail the raw continuous scheduler by ~7%, now it
+    // must stay within 7% (measured ~2%).
+    assert!(
+        engine_tps / continuous_tps >= 0.93,
+        "the serve engine must stay within 7% of the raw continuous scheduler \
+         ({engine_tps:.0} vs {continuous_tps:.0} tok/s)"
+    );
 }
 
 criterion_group!(benches, bench_serving, report_serving_throughput);

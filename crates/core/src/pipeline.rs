@@ -158,6 +158,11 @@ impl BatchedGenerationOutcome {
 }
 
 /// A reusable protected-inference pipeline bound to one model.
+///
+/// Every run owns a single scratch [`realm_tensor::Workspace`] for its whole generation
+/// loop (threaded through `Model::generate` / `BatchScheduler::run` internally), and the
+/// [`SchemeProtector`] reuses its detection buffers across inspections — so an injection
+/// campaign of thousands of trials no longer churns the allocator once its pools are warm.
 pub struct ProtectedPipeline<'m> {
     model: &'m Model,
     config: PipelineConfig,

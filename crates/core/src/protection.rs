@@ -145,6 +145,19 @@ impl RegionAssignment {
     }
 }
 
+/// Reusable buffers for the protector's per-inspection work: the deviation vector every
+/// detector evaluates, the per-group re-reduction buffers of batched attribution, and the
+/// affected-sequence list. Owned by the protector so the detection path of the decode hot
+/// loop never touches the allocator (the buffers are `std::mem::take`n around the borrow
+/// of the detector, which costs nothing — `Vec::default` does not allocate).
+#[derive(Debug, Default)]
+struct DetectionScratch {
+    deviations: Vec<i64>,
+    group_etw: Vec<i64>,
+    group_dev: Vec<i64>,
+    affected: Vec<usize>,
+}
+
 /// A protection scheme attached to the model's GEMM stream.
 pub struct SchemeProtector {
     scheme: ProtectionScheme,
@@ -160,6 +173,7 @@ pub struct SchemeProtector {
     per_sequence: BTreeMap<usize, SequenceAttribution>,
     sequence_schemes: Option<Vec<ProtectionScheme>>,
     batched_scheme: ProtectionScheme,
+    scratch: DetectionScratch,
 }
 
 impl SchemeProtector {
@@ -199,6 +213,7 @@ impl SchemeProtector {
             per_sequence: BTreeMap::new(),
             sequence_schemes: None,
             batched_scheme: scheme,
+            scratch: DetectionScratch::default(),
         }
     }
 
@@ -374,26 +389,38 @@ impl SchemeProtector {
             && !matches!(policy, RecoveryPolicy::None)
     }
 
-    /// Resolves which batch sequences a flagged GEMM's deviation traces back to.
+    /// Resolves which batch sequences a flagged GEMM's deviation traces back to, into
+    /// `scratch.affected`.
     ///
     /// GEMMs owned wholly by one sequence attribute directly; batch-stacked GEMMs
-    /// re-reduce the checksums per row group (one extra pass, paid only on detections).
-    fn affected_sequences(
+    /// re-reduce the checksums per row group into the scratch's borrowed group buffers
+    /// (one extra pass, paid only on detections).
+    fn affected_sequences_into(
         &self,
         ctx: &GemmContext,
         w: &MatI8,
         x: &MatI8,
         acc: &MatI32,
-    ) -> Vec<usize> {
+        scratch: &mut DetectionScratch,
+    ) {
+        scratch.affected.clear();
         match ctx.origin {
-            GemmOrigin::Sequence(seq) => vec![seq],
+            GemmOrigin::Sequence(seq) => scratch.affected.push(seq),
             GemmOrigin::BatchedRows => match &self.partition {
                 // `w` is the stacked activation operand of `Y = W·X`, so its rows — and the
                 // accumulator's — are partitioned by sequence.
                 Some(parts) if parts.total_rows() == acc.rows() => {
-                    checksum::deviating_groups(w, x, acc, parts)
+                    checksum::deviating_groups_into(
+                        w,
+                        x,
+                        acc,
+                        parts,
+                        &mut scratch.group_etw,
+                        &mut scratch.group_dev,
+                        &mut scratch.affected,
+                    );
                 }
-                _ => Vec::new(),
+                _ => {}
             },
         }
     }
@@ -422,27 +449,30 @@ impl std::fmt::Debug for SchemeProtector {
 
 impl GemmHook for SchemeProtector {
     fn on_gemm(&mut self, ctx: &GemmContext, w: &MatI8, x: &MatI8, acc: &mut MatI32) {
+        let policy = self.policy_for(self.effective_scheme(ctx));
+        let mut scratch = std::mem::take(&mut self.scratch);
         let Some(detector) = self.detector_for(ctx) else {
+            self.scratch = scratch;
             return;
         };
-        let policy = self.policy_for(self.effective_scheme(ctx));
         let detection = detector.inspect(w, x, acc);
         // Attribution must read the accumulator before recovery rewrites it.
-        let affected = if detection.errors_detected {
-            self.affected_sequences(ctx, w, x, acc)
+        if detection.errors_detected {
+            self.affected_sequences_into(ctx, w, x, acc, &mut scratch);
         } else {
-            Vec::new()
-        };
+            scratch.affected.clear();
+        }
         let recover = self.record(&detection, &policy, w.rows(), w.cols(), x.cols());
-        self.attribute(&affected, recover);
+        self.attribute(&scratch.affected, recover);
         if recover {
             // Operands are fault-free (ECC-protected memory), so re-executing the GEMM at a
-            // safe voltage reproduces the exact result.
-            *acc = self
-                .engine
-                .gemm_i8(w, x)
+            // safe voltage reproduces the exact result — written back into the accumulator's
+            // own storage.
+            self.engine
+                .gemm_i8_into(w, x, acc)
                 .expect("operand shapes were already validated");
         }
+        self.scratch = scratch;
     }
 
     fn on_gemm_checksummed(
@@ -452,30 +482,35 @@ impl GemmHook for SchemeProtector {
         x: &MatI8,
         result: &mut ChecksummedGemm,
     ) {
+        let policy = self.policy_for(self.effective_scheme(ctx));
+        // The scratch is taken around the detector borrow (a couple of pointer moves, no
+        // allocation), so every inspection of the decode hot loop reuses the same buffers.
+        let mut scratch = std::mem::take(&mut self.scratch);
         let Some(detector) = self.detector_for(ctx) else {
+            self.scratch = scratch;
             return;
         };
-        let policy = self.policy_for(self.effective_scheme(ctx));
         // The fused pass already paid for the operand-side checksum; only the observed side
         // is (lazily) refreshed if an upstream injector mutated the accumulator. This is the
         // hot path of every protected pipeline run.
-        let detection = detector.inspect_checksummed(result);
+        let detection = detector.inspect_checksummed_into(result, &mut scratch.deviations);
         // Attribution must read the accumulator before recovery rewrites it; the per-group
         // re-reduction runs only on flagged GEMMs, so the fault-free fast path stays fast.
-        let affected = if detection.errors_detected {
-            self.affected_sequences(ctx, w, x, result.acc())
+        if detection.errors_detected {
+            self.affected_sequences_into(ctx, w, x, result.acc(), &mut scratch);
         } else {
-            Vec::new()
-        };
-        let recover = self.record(&detection, &policy, w.rows(), w.cols(), x.cols());
-        self.attribute(&affected, recover);
-        if recover {
-            let recovered = self
-                .engine
-                .gemm_i8_checksummed(w, x)
-                .expect("operand shapes were already validated");
-            *result = recovered;
+            scratch.affected.clear();
         }
+        let recover = self.record(&detection, &policy, w.rows(), w.cols(), x.cols());
+        self.attribute(&scratch.affected, recover);
+        if recover {
+            // Recompute into the existing accumulator/checksum buffers instead of swapping
+            // in a fresh allocation (recoveries rewrite the whole bundle anyway).
+            self.engine
+                .gemm_i8_checksummed_into(w, x, result, &mut scratch.group_etw)
+                .expect("operand shapes were already validated");
+        }
+        self.scratch = scratch;
     }
 
     fn wants_checksums(&self) -> bool {

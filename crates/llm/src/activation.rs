@@ -7,9 +7,20 @@ pub fn relu(x: &MatF32) -> MatF32 {
     x.map(|v| v.max(0.0))
 }
 
+/// [`relu`] applied in place (bit-identical; the workspace-threaded MLP path rectifies the
+/// pooled hidden activations without a fresh allocation).
+pub fn relu_in_place(x: &mut MatF32) {
+    x.apply(|v| v.max(0.0));
+}
+
 /// Sigmoid-weighted linear unit `x * sigmoid(x)`, applied elementwise (LLaMA-style MLP).
 pub fn silu(x: &MatF32) -> MatF32 {
     x.map(|v| v * sigmoid(v))
+}
+
+/// [`silu`] applied in place (bit-identical).
+pub fn silu_in_place(x: &mut MatF32) {
+    x.apply(|v| v * sigmoid(v));
 }
 
 /// Logistic sigmoid.
@@ -22,25 +33,31 @@ pub fn sigmoid(v: f32) -> f32 {
 /// Softmax bounds every output to `(0, 1)` and makes each row sum to 1; this is why the paper
 /// finds that errors in the `QKᵀ` component stay confined (Sec. IV-A3).
 pub fn softmax_rows(x: &MatF32) -> MatF32 {
-    let mut out = MatF32::zeros(x.rows(), x.cols());
+    let mut out = x.clone();
+    softmax_rows_in_place(&mut out);
+    out
+}
+
+/// [`softmax_rows`] applied in place.
+///
+/// Bit-identical to the allocating path: each element becomes `exp(v − max) * inv`, with
+/// the exponentials staged in the row itself instead of a per-row scratch vector — the
+/// attention-score path of the allocation-free decode loop.
+pub fn softmax_rows_in_place(x: &mut MatF32) {
     for r in 0..x.rows() {
-        let row = x.row(r);
+        let row = x.row_mut(r);
         let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         let mut sum = 0.0f32;
-        let exps: Vec<f32> = row
-            .iter()
-            .map(|&v| {
-                let e = (v - max).exp();
-                sum += e;
-                e
-            })
-            .collect();
+        for v in row.iter_mut() {
+            let e = (*v - max).exp();
+            sum += e;
+            *v = e;
+        }
         let inv = if sum > 0.0 { 1.0 / sum } else { 0.0 };
-        for (c, e) in exps.into_iter().enumerate() {
-            out.row_mut(r)[c] = e * inv;
+        for v in row.iter_mut() {
+            *v *= inv;
         }
     }
-    out
 }
 
 /// Applies a causal mask in place: positions `col > row + offset` receive `-inf` before softmax.

@@ -7,17 +7,17 @@
 //! normalization, which is why the paper finds it to be the most sensitive attention
 //! component.
 
-use crate::activation::{apply_causal_mask, softmax_rows};
+use crate::activation::{apply_causal_mask, softmax_rows_in_place};
 use crate::batch::BatchedLayerCache;
 use crate::component::{Component, Stage};
 use crate::config::ModelConfig;
 use crate::hooks::{GemmContext, GemmHook};
 use crate::kv_cache::LayerCache;
-use crate::quantized::{quant_matmul, OutputMode, QuantLinear};
+use crate::quantized::{quant_matmul_ws, OutputMode, QuantLinear};
 use crate::weights;
 use crate::Result;
 use realm_tensor::rng::SeededRng;
-use realm_tensor::{GemmEngine, MatF32, RowPartition};
+use realm_tensor::{GemmEngine, MatF32, RowPartition, Workspace};
 
 /// Multi-head self-attention for a single Transformer layer.
 #[derive(Debug, Clone)]
@@ -77,6 +77,29 @@ impl MultiHeadAttention {
         engine: &dyn GemmEngine,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
+        let mut ws = Workspace::new();
+        self.forward_ws(x, layer, stage, cache, sequence, engine, hook, &mut ws)
+    }
+
+    /// [`MultiHeadAttention::forward`] drawing every intermediate — projections, per-head
+    /// slices, transposed keys, scores, probabilities and the context matrix — from `ws`.
+    /// The returned matrix is workspace-pooled; output is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs and cache operations.
+    #[allow(clippy::too_many_arguments)] // mirrors the block-forward plumbing: ctx + engine + hook
+    pub fn forward_ws(
+        &self,
+        x: &MatF32,
+        layer: usize,
+        stage: Stage,
+        cache: &mut LayerCache,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<MatF32> {
         let offset = cache.len();
         let ctx = |component: Component, sequence: &mut usize| {
             let c = GemmContext::new(component, layer, stage, *sequence);
@@ -86,58 +109,98 @@ impl MultiHeadAttention {
 
         let q = self
             .wq
-            .forward(x, engine, &ctx(Component::Q, sequence), hook)?;
+            .forward_ws(x, engine, &ctx(Component::Q, sequence), hook, ws)?;
         let k = self
             .wk
-            .forward(x, engine, &ctx(Component::K, sequence), hook)?;
+            .forward_ws(x, engine, &ctx(Component::K, sequence), hook, ws)?;
         let v = self
             .wv
-            .forward(x, engine, &ctx(Component::V, sequence), hook)?;
+            .forward_ws(x, engine, &ctx(Component::V, sequence), hook, ws)?;
 
-        cache.append(&k, &v)?;
-        let keys = cache.keys().expect("cache populated by append");
-        let values = cache.values().expect("cache populated by append");
+        let appended = cache.append(&k, &v);
+        ws.recycle_mat_f32(k);
+        ws.recycle_mat_f32(v);
+        if let Err(e) = appended {
+            ws.recycle_mat_f32(q);
+            return Err(e);
+        }
 
         let new_tokens = x.rows();
         let hidden = self.num_heads * self.head_dim;
-        let mut context = MatF32::zeros(new_tokens, hidden);
+        let mut context = ws.take_mat_f32(new_tokens, hidden);
         let scale = 1.0 / (self.head_dim as f32).sqrt();
 
+        let cached = cache.len();
         for h in 0..self.num_heads {
             let start = h * self.head_dim;
-            let q_h = cols_slice(&q, start, self.head_dim);
-            let k_h = cols_slice(keys, start, self.head_dim);
-            let v_h = cols_slice(values, start, self.head_dim);
+            let mut q_h = ws.take_mat_f32(new_tokens, self.head_dim);
+            cols_slice_into(&q, start, self.head_dim, &mut q_h);
+            let keys = cache.keys().expect("cache populated by append");
+            let values = cache.values().expect("cache populated by append");
+            // The transposed key block is written directly from the cache columns — the
+            // same values `cols_slice(..).transposed()` would produce, without the
+            // intermediate.
+            let mut k_h_t = ws.take_mat_f32(self.head_dim, cached);
+            cols_slice_transposed_into(keys, start, self.head_dim, &mut k_h_t);
+            let mut v_h = ws.take_mat_f32(cached, self.head_dim);
+            cols_slice_into(values, start, self.head_dim, &mut v_h);
 
-            let mut scores = quant_matmul(
+            let scores = quant_matmul_ws(
                 &q_h,
-                &k_h.transposed(),
+                &k_h_t,
                 engine,
                 &ctx(Component::QkT, sequence),
                 hook,
                 OutputMode::Float,
-            )?;
+                ws,
+            );
+            ws.recycle_mat_f32(k_h_t);
+            let mut scores = match scores {
+                Ok(scores) => scores,
+                Err(e) => {
+                    ws.recycle_mat_f32(q_h);
+                    ws.recycle_mat_f32(v_h);
+                    ws.recycle_mat_f32(context);
+                    ws.recycle_mat_f32(q);
+                    return Err(e);
+                }
+            };
+            ws.recycle_mat_f32(q_h);
             scores.apply(|s| s * scale);
             apply_causal_mask(&mut scores, offset);
-            let probs = softmax_rows(&scores);
+            softmax_rows_in_place(&mut scores);
 
-            let ctx_h = quant_matmul(
-                &probs,
+            let ctx_h = quant_matmul_ws(
+                &scores,
                 &v_h,
                 engine,
                 &ctx(Component::Sv, sequence),
                 hook,
                 OutputMode::Float,
-            )?;
-            for r in 0..new_tokens {
-                for c in 0..self.head_dim {
-                    context[(r, start + c)] = ctx_h[(r, c)];
+                ws,
+            );
+            ws.recycle_mat_f32(scores);
+            ws.recycle_mat_f32(v_h);
+            let ctx_h = match ctx_h {
+                Ok(ctx_h) => ctx_h,
+                Err(e) => {
+                    ws.recycle_mat_f32(context);
+                    ws.recycle_mat_f32(q);
+                    return Err(e);
                 }
+            };
+            for r in 0..new_tokens {
+                context.row_mut(r)[start..start + self.head_dim].copy_from_slice(ctx_h.row(r));
             }
+            ws.recycle_mat_f32(ctx_h);
         }
+        ws.recycle_mat_f32(q);
 
-        self.wo
-            .forward(&context, engine, &ctx(Component::O, sequence), hook)
+        let out = self
+            .wo
+            .forward_ws(&context, engine, &ctx(Component::O, sequence), hook, ws);
+        ws.recycle_mat_f32(context);
+        out
     }
 
     /// Runs attention over a batch-stacked `x` (shape `(sum_new_tokens, hidden)`, rows
@@ -164,92 +227,268 @@ impl MultiHeadAttention {
         engine: &dyn GemmEngine,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
-        // Cache lengths before the append are each sequence's causal-mask offset.
-        let prior: Vec<usize> = (0..parts.num_groups()).map(|g| cache.seq_len(g)).collect();
+        let mut ws = Workspace::new();
+        self.forward_batch_ws(
+            x, parts, layer, stage, cache, sequence, engine, hook, &mut ws,
+        )
+    }
+
+    /// [`MultiHeadAttention::forward_batch`] drawing every intermediate — including each
+    /// sequence's cached key/value views — from `ws`. The returned matrix is
+    /// workspace-pooled; output is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs and cache operations.
+    #[allow(clippy::too_many_arguments)] // mirrors the block-forward plumbing: ctx + engine + hook
+    pub fn forward_batch_ws(
+        &self,
+        x: &MatF32,
+        parts: &RowPartition,
+        layer: usize,
+        stage: Stage,
+        cache: &mut BatchedLayerCache,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<MatF32> {
         let shared_ctx = |component: Component, sequence: &mut usize| {
             let c = GemmContext::new(component, layer, stage, *sequence).batched();
             *sequence += 1;
             c
         };
 
-        let q =
-            self.wq
-                .forward_batched(x, parts, engine, &shared_ctx(Component::Q, sequence), hook)?;
-        let k =
-            self.wk
-                .forward_batched(x, parts, engine, &shared_ctx(Component::K, sequence), hook)?;
-        let v =
-            self.wv
-                .forward_batched(x, parts, engine, &shared_ctx(Component::V, sequence), hook)?;
-
-        cache.append_batch(&k, &v, parts)?;
-
-        let hidden = self.num_heads * self.head_dim;
-        let mut context = MatF32::zeros(x.rows(), hidden);
-        let scale = 1.0 / (self.head_dim as f32).sqrt();
-
-        for (g, &mask_offset) in prior.iter().enumerate() {
-            let range = parts.range(g);
-            if range.is_empty() {
-                continue;
+        let q = self.wq.forward_batched_ws(
+            x,
+            parts,
+            engine,
+            &shared_ctx(Component::Q, sequence),
+            hook,
+            ws,
+        )?;
+        let k = self.wk.forward_batched_ws(
+            x,
+            parts,
+            engine,
+            &shared_ctx(Component::K, sequence),
+            hook,
+            ws,
+        );
+        let k = match k {
+            Ok(k) => k,
+            Err(e) => {
+                ws.recycle_mat_f32(q);
+                return Err(e);
             }
-            let new_tokens = range.len();
-            let q_g = q.rows_slice(range.start, new_tokens)?;
-            let keys_g = cache.seq_keys(g)?;
-            let values_g = cache.seq_values(g)?;
-            let seq_ctx = |component: Component, sequence: &mut usize| {
-                let c = GemmContext::new(component, layer, stage, *sequence).for_sequence(g);
-                *sequence += 1;
-                c
-            };
-
-            for h in 0..self.num_heads {
-                let start = h * self.head_dim;
-                let q_h = cols_slice(&q_g, start, self.head_dim);
-                let k_h = cols_slice(&keys_g, start, self.head_dim);
-                let v_h = cols_slice(&values_g, start, self.head_dim);
-
-                let mut scores = quant_matmul(
-                    &q_h,
-                    &k_h.transposed(),
-                    engine,
-                    &seq_ctx(Component::QkT, sequence),
-                    hook,
-                    OutputMode::Float,
-                )?;
-                scores.apply(|s| s * scale);
-                apply_causal_mask(&mut scores, mask_offset);
-                let probs = softmax_rows(&scores);
-
-                let ctx_h = quant_matmul(
-                    &probs,
-                    &v_h,
-                    engine,
-                    &seq_ctx(Component::Sv, sequence),
-                    hook,
-                    OutputMode::Float,
-                )?;
-                for r in 0..new_tokens {
-                    for c in 0..self.head_dim {
-                        context[(range.start + r, start + c)] = ctx_h[(r, c)];
-                    }
-                }
+        };
+        let v = self.wv.forward_batched_ws(
+            x,
+            parts,
+            engine,
+            &shared_ctx(Component::V, sequence),
+            hook,
+            ws,
+        );
+        let v = match v {
+            Ok(v) => v,
+            Err(e) => {
+                ws.recycle_mat_f32(q);
+                ws.recycle_mat_f32(k);
+                return Err(e);
             }
-        }
+        };
 
-        self.wo.forward_batched(
+        // Cache lengths before the append are each sequence's causal-mask offset.
+        let result = self.attend_batch_ws(
+            x, parts, layer, stage, cache, sequence, engine, hook, ws, &q, &k, &v,
+        );
+        ws.recycle_mat_f32(q);
+        ws.recycle_mat_f32(k);
+        ws.recycle_mat_f32(v);
+        let context = result?;
+        let out = self.wo.forward_batched_ws(
             &context,
             parts,
             engine,
             &shared_ctx(Component::O, sequence),
             hook,
-        )
+            ws,
+        );
+        ws.recycle_mat_f32(context);
+        out
+    }
+
+    /// The per-sequence half of the batched attention pass: appends the new keys/values,
+    /// then runs the score/context GEMMs per sequence and per head (each sequence has its
+    /// own cache length and causal mask), assembling the workspace-pooled context matrix.
+    #[allow(clippy::too_many_arguments)] // internal splice of the batched forward
+    fn attend_batch_ws(
+        &self,
+        x: &MatF32,
+        parts: &RowPartition,
+        layer: usize,
+        stage: Stage,
+        cache: &mut BatchedLayerCache,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+        q: &MatF32,
+        k: &MatF32,
+        v: &MatF32,
+    ) -> Result<MatF32> {
+        // Cache lengths before the append are each sequence's causal-mask offset; the
+        // buffer is pooled (as i64, the workspace's integer-scratch type) so the serving
+        // loop does not re-allocate it every layer of every step.
+        let mut prior = ws.take_vec_i64(parts.num_groups());
+        for (g, p) in prior.iter_mut().enumerate() {
+            *p = cache.seq_len(g) as i64;
+        }
+        if let Err(e) = cache.append_batch(k, v, parts) {
+            ws.recycle_vec_i64(prior);
+            return Err(e);
+        }
+
+        let hidden = self.num_heads * self.head_dim;
+        let mut context = ws.take_mat_f32(x.rows(), hidden);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+
+        // Checkouts sized for the longest sequence of the batch: the per-group
+        // `*_into` refills below then always stay within capacity.
+        let max_len = (0..parts.num_groups())
+            .map(|g| cache.seq_len(g))
+            .max()
+            .unwrap_or(0);
+        let max_new = (0..parts.num_groups())
+            .map(|g| parts.len(g))
+            .max()
+            .unwrap_or(0);
+        let mut keys_g = ws.take_mat_f32(max_len, hidden);
+        let mut values_g = ws.take_mat_f32(max_len, hidden);
+        let mut q_h = ws.take_mat_f32(max_new, self.head_dim);
+        let mut k_h_t = ws.take_mat_f32(self.head_dim, max_len);
+        let mut v_h = ws.take_mat_f32(max_len, self.head_dim);
+        let ran = (|| -> Result<()> {
+            for (g, &mask_offset) in prior.iter().enumerate() {
+                let mask_offset = mask_offset as usize;
+                let range = parts.range(g);
+                if range.is_empty() {
+                    continue;
+                }
+                let new_tokens = range.len();
+                cache.seq_keys_into(g, &mut keys_g)?;
+                cache.seq_values_into(g, &mut values_g)?;
+                let seq_ctx = |component: Component, sequence: &mut usize| {
+                    let c = GemmContext::new(component, layer, stage, *sequence).for_sequence(g);
+                    *sequence += 1;
+                    c
+                };
+
+                for h in 0..self.num_heads {
+                    let start = h * self.head_dim;
+                    rows_cols_slice_into(
+                        q,
+                        range.start,
+                        new_tokens,
+                        start,
+                        self.head_dim,
+                        &mut q_h,
+                    );
+                    cols_slice_transposed_into(&keys_g, start, self.head_dim, &mut k_h_t);
+                    cols_slice_into(&values_g, start, self.head_dim, &mut v_h);
+
+                    let mut scores = quant_matmul_ws(
+                        &q_h,
+                        &k_h_t,
+                        engine,
+                        &seq_ctx(Component::QkT, sequence),
+                        hook,
+                        OutputMode::Float,
+                        ws,
+                    )?;
+                    scores.apply(|s| s * scale);
+                    apply_causal_mask(&mut scores, mask_offset);
+                    softmax_rows_in_place(&mut scores);
+
+                    let ctx_h = quant_matmul_ws(
+                        &scores,
+                        &v_h,
+                        engine,
+                        &seq_ctx(Component::Sv, sequence),
+                        hook,
+                        OutputMode::Float,
+                        ws,
+                    );
+                    ws.recycle_mat_f32(scores);
+                    let ctx_h = ctx_h?;
+                    for r in 0..new_tokens {
+                        context.row_mut(range.start + r)[start..start + self.head_dim]
+                            .copy_from_slice(ctx_h.row(r));
+                    }
+                    ws.recycle_mat_f32(ctx_h);
+                }
+            }
+            Ok(())
+        })();
+        ws.recycle_vec_i64(prior);
+        ws.recycle_mat_f32(keys_g);
+        ws.recycle_mat_f32(values_g);
+        ws.recycle_mat_f32(q_h);
+        ws.recycle_mat_f32(k_h_t);
+        ws.recycle_mat_f32(v_h);
+        match ran {
+            Ok(()) => Ok(context),
+            Err(e) => {
+                ws.recycle_mat_f32(context);
+                Err(e)
+            }
+        }
     }
 }
 
-/// Extracts a contiguous block of columns as a new matrix.
+/// Extracts a contiguous block of columns as a new matrix (the allocating oracle the
+/// `_into` slice helpers are tested against).
+#[cfg(test)]
 pub(crate) fn cols_slice(m: &MatF32, start: usize, count: usize) -> MatF32 {
     MatF32::from_fn(m.rows(), count, |r, c| m[(r, start + c)])
+}
+
+/// [`cols_slice`] into caller-provided storage (reshaped in place, identical values).
+fn cols_slice_into(m: &MatF32, start: usize, count: usize, out: &mut MatF32) {
+    out.resize_overwrite(m.rows(), count);
+    for r in 0..m.rows() {
+        out.row_mut(r)
+            .copy_from_slice(&m.row(r)[start..start + count]);
+    }
+}
+
+/// A row range of [`cols_slice`] into caller-provided storage (identical values to
+/// `rows_slice(row_start, rows)` followed by `cols_slice(start, count)`).
+fn rows_cols_slice_into(
+    m: &MatF32,
+    row_start: usize,
+    rows: usize,
+    start: usize,
+    count: usize,
+    out: &mut MatF32,
+) {
+    out.resize_overwrite(rows, count);
+    for r in 0..rows {
+        out.row_mut(r)
+            .copy_from_slice(&m.row(row_start + r)[start..start + count]);
+    }
+}
+
+/// The transpose of [`cols_slice`] into caller-provided storage: identical values to
+/// `cols_slice(m, start, count).transposed()`, written without the intermediate.
+fn cols_slice_transposed_into(m: &MatF32, start: usize, count: usize, out: &mut MatF32) {
+    out.resize_overwrite(count, m.rows());
+    for r in 0..m.rows() {
+        for c in 0..count {
+            out[(c, r)] = m[(r, start + c)];
+        }
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 use crate::kv_cache::KvCache;
 use crate::model::{argmax_with_margin, GenerationOutput, Model};
 use crate::{GemmHook, LlmError, Result};
-use realm_tensor::{MatF32, RowPartition};
+use realm_tensor::{MatF32, RowPartition, Workspace};
 
 /// Shared per-layer KV storage for a whole batch.
 ///
@@ -276,6 +276,26 @@ impl BatchedLayerCache {
         self.seq_rows(&self.values, seq, "values")
     }
 
+    /// [`BatchedLayerCache::seq_keys`] into caller-provided storage (reshaped in place) —
+    /// the batched decode loop reuses one workspace buffer per layer instead of copying
+    /// every sequence's keys into a fresh matrix each step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sequence has no cached rows yet.
+    pub fn seq_keys_into(&self, seq: usize, out: &mut MatF32) -> Result<()> {
+        self.seq_rows_into(&self.keys, seq, "keys", out)
+    }
+
+    /// [`BatchedLayerCache::seq_values`] into caller-provided storage (reshaped in place).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sequence has no cached rows yet.
+    pub fn seq_values_into(&self, seq: usize, out: &mut MatF32) -> Result<()> {
+        self.seq_rows_into(&self.values, seq, "values", out)
+    }
+
     fn seq_rows(&self, storage: &Option<MatF32>, seq: usize, what: &str) -> Result<MatF32> {
         let Some(storage) = storage else {
             return Err(LlmError::InvalidSequence {
@@ -286,6 +306,41 @@ impl BatchedLayerCache {
             });
         };
         Ok(storage.rows_slice(self.offset_of(seq), self.lens[seq])?)
+    }
+
+    fn seq_rows_into(
+        &self,
+        storage: &Option<MatF32>,
+        seq: usize,
+        what: &str,
+        out: &mut MatF32,
+    ) -> Result<()> {
+        let Some(storage) = storage else {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "batched KV cache at layer {}: no cached {what} for sequence {seq}",
+                    self.layer
+                ),
+            });
+        };
+        let offset = self.offset_of(seq);
+        let len = self.lens[seq];
+        if offset + len > storage.rows() {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "batched KV cache at layer {}: sequence {seq} rows {offset}..{} exceed the \
+                     shared storage ({} rows)",
+                    self.layer,
+                    offset + len,
+                    storage.rows()
+                ),
+            });
+        }
+        out.resize_overwrite(len, storage.cols());
+        for (i, r) in (offset..offset + len).enumerate() {
+            out.row_mut(i).copy_from_slice(storage.row(r));
+        }
+        Ok(())
     }
 }
 
@@ -436,6 +491,59 @@ impl BatchedKvCache {
         }
         Ok(())
     }
+
+    /// Admits sequence `source_seq` of another batched cache into the free slot `seq`,
+    /// copying its per-layer keys and values into the shared storage.
+    ///
+    /// This is the batched-admission counterpart of [`BatchedKvCache::admit`]: when the
+    /// serving engine prefills several queued requests in **one**
+    /// [`crate::Model::prefill_batch`] call, each prefilled sequence's rows are spliced
+    /// from the prefill cache into its destination slot. The copied rows are bit-identical
+    /// to what a solo prefill would have cached (the `prefill_batch` parity contract), so
+    /// decode after a batched admission matches solo generation exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the layer counts disagree, the source sequence is empty, or the
+    /// slot is still occupied at any layer. On error the cache is left unchanged (partial
+    /// admissions are rolled back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` or `source_seq` is out of range.
+    pub fn admit_from(
+        &mut self,
+        seq: usize,
+        source: &BatchedKvCache,
+        source_seq: usize,
+    ) -> Result<()> {
+        if source.num_layers() != self.layers.len() {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "cannot admit from a {}-layer batched cache into a {}-layer batched cache",
+                    source.num_layers(),
+                    self.layers.len()
+                ),
+            });
+        }
+        let rollback = |layers: &mut [BatchedLayerCache], upto: usize| {
+            for layer in &mut layers[..upto] {
+                layer.release_slot(seq);
+            }
+        };
+        for layer_idx in 0..self.layers.len() {
+            let source_layer = source.layer(layer_idx);
+            let spliced = source_layer
+                .seq_keys(source_seq)
+                .and_then(|keys| Ok((keys, source_layer.seq_values(source_seq)?)))
+                .and_then(|(keys, values)| self.layers[layer_idx].load_slot(seq, &keys, &values));
+            if let Err(e) = spliced {
+                rollback(&mut self.layers, layer_idx);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// One generation request handed to the [`BatchScheduler`].
@@ -525,8 +633,11 @@ impl<'m> BatchScheduler<'m> {
         hook: &mut dyn GemmHook,
     ) -> Result<Vec<GenerationOutput>> {
         self.validate_requests(requests)?;
+        // One workspace for the whole run: the shared prefill warms the pools, every
+        // lockstep decode step after that reuses them.
+        let mut ws = Workspace::new();
         let prompts: Vec<Vec<u32>> = requests.iter().map(|r| r.prompt.clone()).collect();
-        let (logits, mut cache) = self.model.prefill_batch(&prompts, hook)?;
+        let (logits, mut cache) = self.model.prefill_batch_ws(&prompts, hook, &mut ws)?;
 
         struct SeqState {
             tokens: Vec<u32>,
@@ -567,14 +678,18 @@ impl<'m> BatchScheduler<'m> {
             if step.iter().all(Option::is_none) {
                 break;
             }
-            let step_logits = self.model.decode_step_batch(&step, &mut cache, hook)?;
+            let step_logits = self
+                .model
+                .decode_step_batch_ws(&step, &mut cache, hook, &mut ws)?;
             for (state, logits) in states.iter_mut().zip(step_logits) {
                 if let Some(logits) = logits {
                     let (next, margin) = argmax_with_margin(&logits);
+                    ws.recycle_vec_f32(logits);
                     state.next = next;
                     state.margin = margin;
                 }
             }
+            ws.reset();
         }
         Ok(states
             .into_iter()
@@ -684,9 +799,11 @@ impl<'m> BatchScheduler<'m> {
         let mut next_request = slots;
 
         // Shared prefill for the initial window; the first token of each sequence is
-        // committed immediately, mirroring the solo `generate` loop.
+        // committed immediately, mirroring the solo `generate` loop. One workspace serves
+        // the whole continuous run: initial prefill, admission prefills, decode steps.
+        let mut ws = Workspace::new();
         let prompts: Vec<Vec<u32>> = requests[..slots].iter().map(|r| r.prompt.clone()).collect();
-        let (logits, mut cache) = self.model.prefill_batch(&prompts, hook)?;
+        let (logits, mut cache) = self.model.prefill_batch_ws(&prompts, hook, &mut ws)?;
         for (slot, (l, request)) in logits.iter().zip(&requests[..slots]).enumerate() {
             active[slot] = Some(new_state(slot, request.max_new_tokens, l.row(l.rows() - 1)));
         }
@@ -715,13 +832,22 @@ impl<'m> BatchScheduler<'m> {
                         break;
                     }
                     let request = &requests[next_request];
-                    let (logits, solo_cache) = self.model.prefill(&request.prompt, hook)?;
+                    // Admission caches are copied into the slot and dropped: skip the
+                    // full-context-window reservation `new_cache` makes for decode caches.
+                    let mut solo_cache = KvCache::new(self.model.config().num_layers);
+                    let logits = self.model.prefill_ws_into(
+                        &request.prompt,
+                        hook,
+                        &mut ws,
+                        &mut solo_cache,
+                    )?;
                     cache.admit(slot, &solo_cache)?;
                     active[slot] = Some(new_state(
                         next_request,
                         request.max_new_tokens,
                         logits.row(logits.rows() - 1),
                     ));
+                    ws.recycle_mat_f32(logits);
                     next_request += 1;
                 }
             }
@@ -733,15 +859,19 @@ impl<'m> BatchScheduler<'m> {
             if step.iter().all(Option::is_none) {
                 break;
             }
-            let step_logits = self.model.decode_step_batch(&step, &mut cache, hook)?;
+            let step_logits = self
+                .model
+                .decode_step_batch_ws(&step, &mut cache, hook, &mut ws)?;
             for (state, logits) in active.iter_mut().zip(step_logits) {
                 if let (Some(state), Some(logits)) = (state, logits) {
                     let (next, margin) = argmax_with_margin(&logits);
+                    ws.recycle_vec_f32(logits);
                     state.last = next;
                     state.tokens.push(next);
                     state.margins.push(margin);
                 }
             }
+            ws.reset();
         }
         Ok(outputs
             .into_iter()

@@ -24,7 +24,7 @@ use crate::norm::{LayerNorm, RmsNorm};
 use crate::weights;
 use crate::Result;
 use realm_tensor::rng::SeededRng;
-use realm_tensor::{GemmEngine, MatF32, RowPartition};
+use realm_tensor::{GemmEngine, MatF32, RowPartition, Workspace};
 
 /// Normalization layer variant used by a block.
 #[derive(Debug, Clone)]
@@ -52,6 +52,14 @@ impl Norm {
         match self {
             Norm::Layer(n) => n.forward(x),
             Norm::Rms(n) => n.forward(x),
+        }
+    }
+
+    /// [`Norm::forward`] into caller-provided storage (reshaped in place, bit-identical).
+    pub fn forward_into(&self, x: &MatF32, out: &mut MatF32) {
+        match self {
+            Norm::Layer(n) => n.forward_into(x, out),
+            Norm::Rms(n) => n.forward_into(x, out),
         }
     }
 
@@ -105,17 +113,70 @@ impl TransformerBlock {
         engine: &dyn GemmEngine,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
-        let attn_in = self.norm1.forward(x);
-        let attn_out = self
-            .attention
-            .forward(&attn_in, layer, stage, cache, sequence, engine, hook)?;
-        let x = x.add(&attn_out)?;
+        let mut ws = Workspace::new();
+        self.forward_ws(
+            x.clone(),
+            layer,
+            stage,
+            cache,
+            sequence,
+            engine,
+            hook,
+            &mut ws,
+        )
+    }
 
-        let mlp_in = self.norm2.forward(&x);
-        let mlp_out = self
-            .mlp
-            .forward(&mlp_in, layer, stage, sequence, engine, hook)?;
-        x.add(&mlp_out).map_err(Into::into)
+    /// [`TransformerBlock::forward`] operating on an owned (typically workspace-pooled)
+    /// residual stream: the attention and MLP outputs are added onto `x` in place, every
+    /// intermediate comes from `ws`, and `x` is returned as the block output. Bit-identical
+    /// to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the attention and MLP sub-layers.
+    #[allow(clippy::too_many_arguments)] // mirrors the attention-forward plumbing: ctx + engine + hook
+    pub fn forward_ws(
+        &self,
+        mut x: MatF32,
+        layer: usize,
+        stage: Stage,
+        cache: &mut LayerCache,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<MatF32> {
+        let mut run = |x: &mut MatF32, ws: &mut Workspace, sequence: &mut usize| -> Result<()> {
+            let mut attn_in = ws.take_mat_f32(x.rows(), x.cols());
+            self.norm1.forward_into(x, &mut attn_in);
+            let attn_out = self
+                .attention
+                .forward_ws(&attn_in, layer, stage, cache, sequence, engine, hook, ws);
+            ws.recycle_mat_f32(attn_in);
+            let attn_out = attn_out?;
+            let added = x.add_assign(&attn_out);
+            ws.recycle_mat_f32(attn_out);
+            added?;
+
+            let mut mlp_in = ws.take_mat_f32(x.rows(), x.cols());
+            self.norm2.forward_into(x, &mut mlp_in);
+            let mlp_out = self
+                .mlp
+                .forward_ws(&mlp_in, layer, stage, sequence, engine, hook, ws);
+            ws.recycle_mat_f32(mlp_in);
+            let mlp_out = mlp_out?;
+            let added = x.add_assign(&mlp_out);
+            ws.recycle_mat_f32(mlp_out);
+            added?;
+            Ok(())
+        };
+        match run(&mut x, ws, sequence) {
+            Ok(()) => Ok(x),
+            Err(e) => {
+                ws.recycle_mat_f32(x);
+                Err(e)
+            }
+        }
     }
 
     /// Runs the block over a batch-stacked `x` of shape `(sum_new_tokens, hidden)` whose
@@ -140,17 +201,71 @@ impl TransformerBlock {
         engine: &dyn GemmEngine,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
-        let attn_in = self.norm1.forward(x);
-        let attn_out = self
-            .attention
-            .forward_batch(&attn_in, parts, layer, stage, cache, sequence, engine, hook)?;
-        let x = x.add(&attn_out)?;
+        let mut ws = Workspace::new();
+        self.forward_batch_ws(
+            x.clone(),
+            parts,
+            layer,
+            stage,
+            cache,
+            sequence,
+            engine,
+            hook,
+            &mut ws,
+        )
+    }
 
-        let mlp_in = self.norm2.forward(&x);
-        let mlp_out = self
-            .mlp
-            .forward_batch(&mlp_in, parts, layer, stage, sequence, engine, hook)?;
-        x.add(&mlp_out).map_err(Into::into)
+    /// [`TransformerBlock::forward_batch`] operating on an owned (typically
+    /// workspace-pooled) residual stream with every intermediate drawn from `ws`.
+    /// Bit-identical to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the attention and MLP sub-layers.
+    #[allow(clippy::too_many_arguments)] // mirrors the attention-forward plumbing: ctx + engine + hook
+    pub fn forward_batch_ws(
+        &self,
+        mut x: MatF32,
+        parts: &RowPartition,
+        layer: usize,
+        stage: Stage,
+        cache: &mut BatchedLayerCache,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<MatF32> {
+        let mut run = |x: &mut MatF32, ws: &mut Workspace, sequence: &mut usize| -> Result<()> {
+            let mut attn_in = ws.take_mat_f32(x.rows(), x.cols());
+            self.norm1.forward_into(x, &mut attn_in);
+            let attn_out = self.attention.forward_batch_ws(
+                &attn_in, parts, layer, stage, cache, sequence, engine, hook, ws,
+            );
+            ws.recycle_mat_f32(attn_in);
+            let attn_out = attn_out?;
+            let added = x.add_assign(&attn_out);
+            ws.recycle_mat_f32(attn_out);
+            added?;
+
+            let mut mlp_in = ws.take_mat_f32(x.rows(), x.cols());
+            self.norm2.forward_into(x, &mut mlp_in);
+            let mlp_out = self
+                .mlp
+                .forward_batch_ws(&mlp_in, parts, layer, stage, sequence, engine, hook, ws);
+            ws.recycle_mat_f32(mlp_in);
+            let mlp_out = mlp_out?;
+            let added = x.add_assign(&mlp_out);
+            ws.recycle_mat_f32(mlp_out);
+            added?;
+            Ok(())
+        };
+        match run(&mut x, ws, sequence) {
+            Ok(()) => Ok(x),
+            Err(e) => {
+                ws.recycle_mat_f32(x);
+                Err(e)
+            }
+        }
     }
 }
 

@@ -18,6 +18,9 @@ pub struct LayerCache {
     layer: usize,
     keys: Option<MatF32>,
     values: Option<MatF32>,
+    /// Rows reserved up front at the first append so that steady-state decode appends
+    /// (one row per token) never re-allocate; 0 means no reservation.
+    capacity_rows: usize,
 }
 
 impl LayerCache {
@@ -30,6 +33,17 @@ impl LayerCache {
     pub fn for_layer(layer: usize) -> Self {
         Self {
             layer,
+            ..Self::default()
+        }
+    }
+
+    /// Creates an empty cache that reserves storage for `capacity_rows` token positions at
+    /// its first append — the allocation-free decode loop's way of keeping per-token cache
+    /// growth off the allocator.
+    pub fn with_capacity(layer: usize, capacity_rows: usize) -> Self {
+        Self {
+            layer,
+            capacity_rows,
             ..Self::default()
         }
     }
@@ -67,16 +81,28 @@ impl LayerCache {
             });
         }
         let layer = self.layer;
-        let stack = |existing: Option<MatF32>, new: &MatF32, what: &str| -> Result<MatF32> {
+        let capacity_rows = self.capacity_rows;
+        // Rows are appended in place: the first append reserves `capacity_rows` rows, so
+        // the one-row-per-token growth of the decode loop stays off the allocator.
+        let stack = |existing: &mut Option<MatF32>, new: &MatF32, what: &str| -> Result<()> {
             match existing {
-                None => Ok(new.clone()),
-                Some(existing) => existing.vstack(new).map_err(|e| LlmError::InvalidSequence {
-                    detail: format!("KV cache at layer {layer}: cannot append {what}: {e}"),
-                }),
+                None => {
+                    let mut fresh = new.clone();
+                    fresh.reserve_rows(capacity_rows);
+                    *existing = Some(fresh);
+                    Ok(())
+                }
+                Some(existing) => {
+                    existing
+                        .extend_rows(new)
+                        .map_err(|e| LlmError::InvalidSequence {
+                            detail: format!("KV cache at layer {layer}: cannot append {what}: {e}"),
+                        })
+                }
             }
         };
-        self.keys = Some(stack(self.keys.take(), keys, "keys")?);
-        self.values = Some(stack(self.values.take(), values, "values")?);
+        stack(&mut self.keys, keys, "keys")?;
+        stack(&mut self.values, values, "values")?;
         Ok(())
     }
 
@@ -106,6 +132,17 @@ impl KvCache {
     pub fn new(num_layers: usize) -> Self {
         Self {
             layers: (0..num_layers).map(LayerCache::for_layer).collect(),
+        }
+    }
+
+    /// Creates an empty cache whose layers reserve storage for `capacity_rows` token
+    /// positions at their first append (see [`LayerCache::with_capacity`]). The model
+    /// passes its context window here so steady-state decode never re-allocates the cache.
+    pub fn with_capacity(num_layers: usize, capacity_rows: usize) -> Self {
+        Self {
+            layers: (0..num_layers)
+                .map(|layer| LayerCache::with_capacity(layer, capacity_rows))
+                .collect(),
         }
     }
 

@@ -5,7 +5,7 @@
 //! residual stream (and therefore the next normalization), which makes them the sensitive
 //! MLP components in the paper's characterization.
 
-use crate::activation::{relu, silu};
+use crate::activation::{relu_in_place, silu_in_place};
 use crate::component::{Component, Stage};
 use crate::config::ModelConfig;
 use crate::hooks::{GemmContext, GemmHook};
@@ -13,7 +13,7 @@ use crate::quantized::{OutputMode, QuantLinear};
 use crate::weights;
 use crate::Result;
 use realm_tensor::rng::SeededRng;
-use realm_tensor::{GemmEngine, MatF32, RowPartition};
+use realm_tensor::{GemmEngine, MatF32, RowPartition, Workspace};
 
 /// OPT-style MLP: `FC2(ReLU(FC1(x)))`.
 #[derive(Debug, Clone)]
@@ -51,13 +51,37 @@ impl OptMlp {
         engine: &dyn GemmEngine,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
+        let mut ws = Workspace::new();
+        self.forward_ws(x, layer, stage, sequence, engine, hook, &mut ws)
+    }
+
+    /// [`OptMlp::forward`] drawing every intermediate from `ws`: the hidden activations
+    /// are rectified in place and recycled after the second projection. The returned
+    /// matrix is workspace-pooled; output is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs.
+    #[allow(clippy::too_many_arguments)] // mirrors the block-forward plumbing: ctx + engine + hook
+    pub fn forward_ws(
+        &self,
+        x: &MatF32,
+        layer: usize,
+        stage: Stage,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<MatF32> {
         let ctx1 = GemmContext::new(Component::Fc1, layer, stage, *sequence);
         *sequence += 1;
-        let hidden = self.fc1.forward(x, engine, &ctx1, hook)?;
-        let activated = relu(&hidden);
+        let mut hidden = self.fc1.forward_ws(x, engine, &ctx1, hook, ws)?;
+        relu_in_place(&mut hidden);
         let ctx2 = GemmContext::new(Component::Fc2, layer, stage, *sequence);
         *sequence += 1;
-        self.fc2.forward(&activated, engine, &ctx2, hook)
+        let out = self.fc2.forward_ws(&hidden, engine, &ctx2, hook, ws);
+        ws.recycle_mat_f32(hidden);
+        out
     }
 
     /// Runs the MLP over a batch-stacked `x` (rows grouped by `parts`): one shared GEMM per
@@ -77,14 +101,41 @@ impl OptMlp {
         engine: &dyn GemmEngine,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
+        let mut ws = Workspace::new();
+        self.forward_batch_ws(x, parts, layer, stage, sequence, engine, hook, &mut ws)
+    }
+
+    /// [`OptMlp::forward_batch`] drawing every intermediate from `ws` (workspace-pooled
+    /// result, bit-identical output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs.
+    #[allow(clippy::too_many_arguments)] // mirrors the block-forward plumbing: ctx + engine + hook
+    pub fn forward_batch_ws(
+        &self,
+        x: &MatF32,
+        parts: &RowPartition,
+        layer: usize,
+        stage: Stage,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<MatF32> {
         let ctx1 = GemmContext::new(Component::Fc1, layer, stage, *sequence).batched();
         *sequence += 1;
-        let hidden = self.fc1.forward_batched(x, parts, engine, &ctx1, hook)?;
-        let activated = relu(&hidden);
+        let mut hidden = self
+            .fc1
+            .forward_batched_ws(x, parts, engine, &ctx1, hook, ws)?;
+        relu_in_place(&mut hidden);
         let ctx2 = GemmContext::new(Component::Fc2, layer, stage, *sequence).batched();
         *sequence += 1;
-        self.fc2
-            .forward_batched(&activated, parts, engine, &ctx2, hook)
+        let out = self
+            .fc2
+            .forward_batched_ws(&hidden, parts, engine, &ctx2, hook, ws);
+        ws.recycle_mat_f32(hidden);
+        out
     }
 }
 
@@ -129,16 +180,52 @@ impl LlamaMlp {
         engine: &dyn GemmEngine,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
+        let mut ws = Workspace::new();
+        self.forward_ws(x, layer, stage, sequence, engine, hook, &mut ws)
+    }
+
+    /// [`LlamaMlp::forward`] drawing every intermediate from `ws`: the gate activations
+    /// are SiLU'd and multiplied by the up projection in place. The returned matrix is
+    /// workspace-pooled; output is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs.
+    #[allow(clippy::too_many_arguments)] // mirrors the block-forward plumbing: ctx + engine + hook
+    pub fn forward_ws(
+        &self,
+        x: &MatF32,
+        layer: usize,
+        stage: Stage,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<MatF32> {
         let ctx_gate = GemmContext::new(Component::Gate, layer, stage, *sequence);
         *sequence += 1;
-        let gate_out = self.gate.forward(x, engine, &ctx_gate, hook)?;
+        let mut gate_out = self.gate.forward_ws(x, engine, &ctx_gate, hook, ws)?;
         let ctx_up = GemmContext::new(Component::Up, layer, stage, *sequence);
         *sequence += 1;
-        let up_out = self.up.forward(x, engine, &ctx_up, hook)?;
-        let gated = silu(&gate_out).hadamard(&up_out)?;
+        let up_out = match self.up.forward_ws(x, engine, &ctx_up, hook, ws) {
+            Ok(up_out) => up_out,
+            Err(e) => {
+                ws.recycle_mat_f32(gate_out);
+                return Err(e);
+            }
+        };
+        silu_in_place(&mut gate_out);
+        let gated = gate_out.hadamard_assign(&up_out);
+        ws.recycle_mat_f32(up_out);
+        if let Err(e) = gated {
+            ws.recycle_mat_f32(gate_out);
+            return Err(e.into());
+        }
         let ctx_down = GemmContext::new(Component::Down, layer, stage, *sequence);
         *sequence += 1;
-        self.down.forward(&gated, engine, &ctx_down, hook)
+        let out = self.down.forward_ws(&gate_out, engine, &ctx_down, hook, ws);
+        ws.recycle_mat_f32(gate_out);
+        out
     }
 
     /// Runs the gated MLP over a batch-stacked `x` (rows grouped by `parts`): one shared
@@ -158,19 +245,59 @@ impl LlamaMlp {
         engine: &dyn GemmEngine,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
+        let mut ws = Workspace::new();
+        self.forward_batch_ws(x, parts, layer, stage, sequence, engine, hook, &mut ws)
+    }
+
+    /// [`LlamaMlp::forward_batch`] drawing every intermediate from `ws` (workspace-pooled
+    /// result, bit-identical output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs.
+    #[allow(clippy::too_many_arguments)] // mirrors the block-forward plumbing: ctx + engine + hook
+    pub fn forward_batch_ws(
+        &self,
+        x: &MatF32,
+        parts: &RowPartition,
+        layer: usize,
+        stage: Stage,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<MatF32> {
         let ctx_gate = GemmContext::new(Component::Gate, layer, stage, *sequence).batched();
         *sequence += 1;
-        let gate_out = self
+        let mut gate_out = self
             .gate
-            .forward_batched(x, parts, engine, &ctx_gate, hook)?;
+            .forward_batched_ws(x, parts, engine, &ctx_gate, hook, ws)?;
         let ctx_up = GemmContext::new(Component::Up, layer, stage, *sequence).batched();
         *sequence += 1;
-        let up_out = self.up.forward_batched(x, parts, engine, &ctx_up, hook)?;
-        let gated = silu(&gate_out).hadamard(&up_out)?;
+        let up_out = match self
+            .up
+            .forward_batched_ws(x, parts, engine, &ctx_up, hook, ws)
+        {
+            Ok(up_out) => up_out,
+            Err(e) => {
+                ws.recycle_mat_f32(gate_out);
+                return Err(e);
+            }
+        };
+        silu_in_place(&mut gate_out);
+        let gated = gate_out.hadamard_assign(&up_out);
+        ws.recycle_mat_f32(up_out);
+        if let Err(e) = gated {
+            ws.recycle_mat_f32(gate_out);
+            return Err(e.into());
+        }
         let ctx_down = GemmContext::new(Component::Down, layer, stage, *sequence).batched();
         *sequence += 1;
-        self.down
-            .forward_batched(&gated, parts, engine, &ctx_down, hook)
+        let out = self
+            .down
+            .forward_batched_ws(&gate_out, parts, engine, &ctx_down, hook, ws);
+        ws.recycle_mat_f32(gate_out);
+        out
     }
 }
 
@@ -212,6 +339,29 @@ impl Mlp {
         }
     }
 
+    /// [`Mlp::forward`] drawing every intermediate from `ws` (workspace-pooled result,
+    /// bit-identical output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs.
+    #[allow(clippy::too_many_arguments)] // mirrors the block-forward plumbing: ctx + engine + hook
+    pub fn forward_ws(
+        &self,
+        x: &MatF32,
+        layer: usize,
+        stage: Stage,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<MatF32> {
+        match self {
+            Mlp::Opt(m) => m.forward_ws(x, layer, stage, sequence, engine, hook, ws),
+            Mlp::Llama(m) => m.forward_ws(x, layer, stage, sequence, engine, hook, ws),
+        }
+    }
+
     /// Runs the MLP over a batch-stacked `x` whose rows are grouped by `parts`.
     ///
     /// # Errors
@@ -231,6 +381,30 @@ impl Mlp {
         match self {
             Mlp::Opt(m) => m.forward_batch(x, parts, layer, stage, sequence, engine, hook),
             Mlp::Llama(m) => m.forward_batch(x, parts, layer, stage, sequence, engine, hook),
+        }
+    }
+
+    /// [`Mlp::forward_batch`] drawing every intermediate from `ws` (workspace-pooled
+    /// result, bit-identical output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying GEMMs.
+    #[allow(clippy::too_many_arguments)] // mirrors the block-forward plumbing: ctx + engine + hook
+    pub fn forward_batch_ws(
+        &self,
+        x: &MatF32,
+        parts: &RowPartition,
+        layer: usize,
+        stage: Stage,
+        sequence: &mut usize,
+        engine: &dyn GemmEngine,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<MatF32> {
+        match self {
+            Mlp::Opt(m) => m.forward_batch_ws(x, parts, layer, stage, sequence, engine, hook, ws),
+            Mlp::Llama(m) => m.forward_batch_ws(x, parts, layer, stage, sequence, engine, hook, ws),
         }
     }
 }

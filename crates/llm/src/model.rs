@@ -19,7 +19,7 @@ use crate::kv_cache::KvCache;
 use crate::weights::{self, Embedding, SyntheticLanguage};
 use crate::{LlmError, Result};
 use realm_tensor::rng;
-use realm_tensor::{gemm, GemmEngine, MatF32, RowPartition};
+use realm_tensor::{gemm, GemmEngine, MatF32, RowPartition, Workspace};
 use std::sync::Arc;
 
 /// Default temperature applied to the synthetic model's logits.
@@ -118,9 +118,10 @@ impl Model {
         self.logit_temperature = temperature.max(1e-3);
     }
 
-    /// Creates an empty KV cache sized for this model.
+    /// Creates an empty KV cache sized for this model, with per-layer storage reserved for
+    /// the full context window so steady-state decode appends never re-allocate.
     pub fn new_cache(&self) -> KvCache {
-        KvCache::new(self.config.num_layers)
+        KvCache::with_capacity(self.config.num_layers, self.config.max_seq_len)
     }
 
     /// Creates an empty batched KV cache for `batch_size` sequences.
@@ -155,40 +156,71 @@ impl Model {
         ))
     }
 
-    fn run_blocks(
+    /// [`Model::embed`] into caller-provided (typically workspace-pooled) storage,
+    /// reshaped in place with identical values.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::embed`].
+    pub fn embed_into(&self, tokens: &[u32], out: &mut MatF32) -> Result<()> {
+        if tokens.is_empty() {
+            return Err(LlmError::InvalidSequence {
+                detail: "cannot embed an empty token sequence".into(),
+            });
+        }
+        for &t in tokens {
+            if t as usize >= self.config.vocab_size {
+                return Err(LlmError::TokenOutOfRange {
+                    token: t,
+                    vocab: self.config.vocab_size,
+                });
+            }
+        }
+        out.resize_overwrite(tokens.len(), self.config.hidden_size);
+        for (r, &t) in tokens.iter().enumerate() {
+            out.row_mut(r)
+                .copy_from_slice(self.embedding.table.row(t as usize));
+        }
+        Ok(())
+    }
+
+    fn run_blocks_ws(
         &self,
         mut x: MatF32,
         stage: Stage,
         cache: &mut KvCache,
         hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
     ) -> Result<MatF32> {
         let mut sequence = 0usize;
         for (layer, block) in self.blocks.iter().enumerate() {
-            x = block.forward(
-                &x,
+            x = block.forward_ws(
+                x,
                 layer,
                 stage,
                 cache.layer_mut(layer),
                 &mut sequence,
                 self.engine.as_ref(),
                 hook,
+                ws,
             )?;
         }
         Ok(x)
     }
 
-    fn run_blocks_batch(
+    fn run_blocks_batch_ws(
         &self,
         mut x: MatF32,
         parts: &RowPartition,
         stage: Stage,
         cache: &mut BatchedKvCache,
         hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
     ) -> Result<MatF32> {
         let mut sequence = 0usize;
         for (layer, block) in self.blocks.iter().enumerate() {
-            x = block.forward_batch(
-                &x,
+            x = block.forward_batch_ws(
+                x,
                 parts,
                 layer,
                 stage,
@@ -196,15 +228,27 @@ impl Model {
                 &mut sequence,
                 self.engine.as_ref(),
                 hook,
+                ws,
             )?;
         }
         Ok(x)
     }
 
-    fn logits_from_hidden(&self, hidden: &MatF32) -> Result<MatF32> {
-        let normed = self.final_norm.forward(hidden);
-        let logits = gemm::gemm_f32(&normed, &self.lm_head)?;
-        Ok(logits.scale(1.0 / self.logit_temperature))
+    /// Final norm, LM head and temperature scaling over an owned (workspace-pooled) hidden
+    /// state; `hidden` is recycled and the returned logits matrix is workspace-pooled.
+    fn logits_from_hidden_ws(&self, hidden: MatF32, ws: &mut Workspace) -> Result<MatF32> {
+        let mut normed = ws.take_mat_f32(hidden.rows(), hidden.cols());
+        self.final_norm.forward_into(&hidden, &mut normed);
+        ws.recycle_mat_f32(hidden);
+        let mut logits = ws.take_mat_f32(normed.rows(), self.lm_head.cols());
+        let ran = gemm::gemm_f32_into(&normed, &self.lm_head, &mut logits);
+        ws.recycle_mat_f32(normed);
+        if let Err(e) = ran {
+            ws.recycle_mat_f32(logits);
+            return Err(e.into());
+        }
+        logits.scale_in_place(1.0 / self.logit_temperature);
+        Ok(logits)
     }
 
     /// Runs the prefill stage over a prompt, returning per-position logits and the KV cache.
@@ -217,6 +261,47 @@ impl Model {
     /// Returns an error for empty prompts, out-of-range tokens, prompts longer than the
     /// configured context, or internal shape mismatches.
     pub fn prefill(&self, prompt: &[u32], hook: &mut dyn GemmHook) -> Result<(MatF32, KvCache)> {
+        let mut ws = Workspace::new();
+        self.prefill_ws(prompt, hook, &mut ws)
+    }
+
+    /// [`Model::prefill`] drawing every intermediate from `ws`. The returned logits matrix
+    /// is workspace-pooled (recycle it once consumed); output is bit-identical to
+    /// [`Model::prefill`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::prefill`].
+    pub fn prefill_ws(
+        &self,
+        prompt: &[u32],
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<(MatF32, KvCache)> {
+        let mut cache = self.new_cache();
+        let logits = self.prefill_ws_into(prompt, hook, ws, &mut cache)?;
+        Ok((logits, cache))
+    }
+
+    /// [`Model::prefill_ws`] into a caller-provided empty cache.
+    ///
+    /// [`Model::new_cache`] reserves the full context window per layer — right for a
+    /// cache that will live through a decode loop, wasteful for the serving layer's
+    /// admission prefills whose cache is copied into a batch slot and dropped. Those
+    /// paths pass an unreserved `KvCache::new(num_layers)` here and pay exactly the
+    /// prompt-sized storage.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::prefill`], plus an error if `cache` has the wrong
+    /// layer count or already holds rows.
+    pub fn prefill_ws_into(
+        &self,
+        prompt: &[u32],
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+        cache: &mut KvCache,
+    ) -> Result<MatF32> {
         if prompt.len() > self.config.max_seq_len {
             return Err(LlmError::InvalidSequence {
                 detail: format!(
@@ -226,11 +311,23 @@ impl Model {
                 ),
             });
         }
-        let x = self.embed(prompt)?;
-        let mut cache = self.new_cache();
-        let hidden = self.run_blocks(x, Stage::Prefill, &mut cache, hook)?;
-        let logits = self.logits_from_hidden(&hidden)?;
-        Ok((logits, cache))
+        if cache.num_layers() != self.config.num_layers || cache.seq_len() != 0 {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "prefill needs an empty {}-layer cache (got {} layers, {} cached tokens)",
+                    self.config.num_layers,
+                    cache.num_layers(),
+                    cache.seq_len()
+                ),
+            });
+        }
+        let mut x = ws.take_mat_f32(prompt.len(), self.config.hidden_size);
+        if let Err(e) = self.embed_into(prompt, &mut x) {
+            ws.recycle_mat_f32(x);
+            return Err(e);
+        }
+        let hidden = self.run_blocks_ws(x, Stage::Prefill, cache, hook, ws)?;
+        self.logits_from_hidden_ws(hidden, ws)
     }
 
     /// Runs one decode step for `token`, updating the KV cache, and returns the logits for
@@ -245,6 +342,27 @@ impl Model {
         cache: &mut KvCache,
         hook: &mut dyn GemmHook,
     ) -> Result<Vec<f32>> {
+        let mut ws = Workspace::new();
+        self.decode_step_ws(token, cache, hook, &mut ws)
+    }
+
+    /// [`Model::decode_step`] drawing every intermediate from `ws` — with a long-lived
+    /// workspace this is the allocation-free decode hot loop (`tests/zero_alloc.rs` proves
+    /// zero heap allocations per step after warmup on the reference backend). The returned
+    /// logits vector is workspace-pooled; recycle it with
+    /// [`Workspace::recycle_vec_f32`] once consumed. Output is bit-identical to
+    /// [`Model::decode_step`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::decode_step`].
+    pub fn decode_step_ws(
+        &self,
+        token: u32,
+        cache: &mut KvCache,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<Vec<f32>> {
         if cache.seq_len() >= self.config.max_seq_len {
             return Err(LlmError::InvalidSequence {
                 detail: format!(
@@ -254,10 +372,17 @@ impl Model {
                 ),
             });
         }
-        let x = self.embed(&[token])?;
-        let hidden = self.run_blocks(x, Stage::Decode, cache, hook)?;
-        let logits = self.logits_from_hidden(&hidden)?;
-        Ok(logits.row(0).to_vec())
+        let mut x = ws.take_mat_f32(1, self.config.hidden_size);
+        if let Err(e) = self.embed_into(&[token], &mut x) {
+            ws.recycle_mat_f32(x);
+            return Err(e);
+        }
+        let hidden = self.run_blocks_ws(x, Stage::Decode, cache, hook, ws)?;
+        let logits = self.logits_from_hidden_ws(hidden, ws)?;
+        let mut row = ws.take_vec_f32(logits.cols());
+        row.copy_from_slice(logits.row(0));
+        ws.recycle_mat_f32(logits);
+        Ok(row)
     }
 
     /// Runs one shared prefill over a ragged batch of prompts, returning per-sequence
@@ -276,6 +401,23 @@ impl Model {
         &self,
         prompts: &[Vec<u32>],
         hook: &mut dyn GemmHook,
+    ) -> Result<(Vec<MatF32>, BatchedKvCache)> {
+        let mut ws = Workspace::new();
+        self.prefill_batch_ws(prompts, hook, &mut ws)
+    }
+
+    /// [`Model::prefill_batch`] drawing every intermediate from `ws`. The per-sequence
+    /// logits matrices are ordinary owned values (one fresh slice per sequence — admission
+    /// is not the per-token hot path); output is bit-identical to [`Model::prefill_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::prefill_batch`].
+    pub fn prefill_batch_ws(
+        &self,
+        prompts: &[Vec<u32>],
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
     ) -> Result<(Vec<MatF32>, BatchedKvCache)> {
         if prompts.is_empty() {
             return Err(LlmError::InvalidSequence {
@@ -302,10 +444,14 @@ impl Model {
         let parts = RowPartition::from_lens(&lens);
         hook.on_batch_begin(&parts);
         let stacked: Vec<u32> = prompts.iter().flatten().copied().collect();
-        let x = self.embed(&stacked)?;
+        let mut x = ws.take_mat_f32(stacked.len(), self.config.hidden_size);
+        if let Err(e) = self.embed_into(&stacked, &mut x) {
+            ws.recycle_mat_f32(x);
+            return Err(e);
+        }
         let mut cache = self.new_batched_cache(prompts.len());
-        let hidden = self.run_blocks_batch(x, &parts, Stage::Prefill, &mut cache, hook)?;
-        let logits = self.logits_from_hidden(&hidden)?;
+        let hidden = self.run_blocks_batch_ws(x, &parts, Stage::Prefill, &mut cache, hook, ws)?;
+        let logits = self.logits_from_hidden_ws(hidden, ws)?;
         let per_seq = (0..parts.num_groups())
             .map(|g| {
                 let range = parts.range(g);
@@ -313,8 +459,9 @@ impl Model {
                     .rows_slice(range.start, range.len())
                     .map_err(Into::into)
             })
-            .collect::<Result<Vec<_>>>()?;
-        Ok((per_seq, cache))
+            .collect::<Result<Vec<_>>>();
+        ws.recycle_mat_f32(logits);
+        Ok((per_seq?, cache))
     }
 
     /// Runs one lockstep decode step for a batch: `tokens[i]` is the pending token of
@@ -332,6 +479,26 @@ impl Model {
         tokens: &[Option<u32>],
         cache: &mut BatchedKvCache,
         hook: &mut dyn GemmHook,
+    ) -> Result<Vec<Option<Vec<f32>>>> {
+        let mut ws = Workspace::new();
+        self.decode_step_batch_ws(tokens, cache, hook, &mut ws)
+    }
+
+    /// [`Model::decode_step_batch`] drawing every activation intermediate from `ws` — the
+    /// per-token step of the continuous-batching serving loop. Each returned per-sequence
+    /// logits vector is workspace-pooled; recycle them with
+    /// [`Workspace::recycle_vec_f32`] once consumed. Output is bit-identical to
+    /// [`Model::decode_step_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::decode_step_batch`].
+    pub fn decode_step_batch_ws(
+        &self,
+        tokens: &[Option<u32>],
+        cache: &mut BatchedKvCache,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
     ) -> Result<Vec<Option<Vec<f32>>>> {
         if tokens.len() != cache.batch_size() {
             return Err(LlmError::InvalidSequence {
@@ -360,19 +527,26 @@ impl Model {
         let lens: Vec<usize> = tokens.iter().map(|t| usize::from(t.is_some())).collect();
         let parts = RowPartition::from_lens(&lens);
         hook.on_batch_begin(&parts);
-        let x = self.embed(&active)?;
-        let hidden = self.run_blocks_batch(x, &parts, Stage::Decode, cache, hook)?;
-        let logits = self.logits_from_hidden(&hidden)?;
+        let mut x = ws.take_mat_f32(active.len(), self.config.hidden_size);
+        if let Err(e) = self.embed_into(&active, &mut x) {
+            ws.recycle_mat_f32(x);
+            return Err(e);
+        }
+        let hidden = self.run_blocks_batch_ws(x, &parts, Stage::Decode, cache, hook, ws)?;
+        let logits = self.logits_from_hidden_ws(hidden, ws)?;
         let mut out = Vec::with_capacity(tokens.len());
         let mut row = 0usize;
         for token in tokens {
             if token.is_some() {
-                out.push(Some(logits.row(row).to_vec()));
+                let mut seq_logits = ws.take_vec_f32(logits.cols());
+                seq_logits.copy_from_slice(logits.row(row));
+                out.push(Some(seq_logits));
                 row += 1;
             } else {
                 out.push(None);
             }
         }
+        ws.recycle_mat_f32(logits);
         Ok(out)
     }
 
@@ -419,9 +593,12 @@ impl Model {
                 ),
             });
         }
-        let (logits, mut cache) = self.prefill(prompt, hook)?;
-        let last = logits.row(logits.rows() - 1);
-        let (mut next, mut margin) = argmax_with_margin(last);
+        // One workspace for the whole generation: the prefill warms the pools and every
+        // decode step after that reuses them.
+        let mut ws = Workspace::new();
+        let (logits, mut cache) = self.prefill_ws(prompt, hook, &mut ws)?;
+        let (mut next, mut margin) = argmax_with_margin(logits.row(logits.rows() - 1));
+        ws.recycle_mat_f32(logits);
         let mut tokens = Vec::with_capacity(num_tokens);
         let mut margins = Vec::with_capacity(num_tokens);
         for _ in 0..num_tokens {
@@ -430,8 +607,10 @@ impl Model {
             if tokens.len() == num_tokens {
                 break;
             }
-            let step_logits = self.decode_step(next, &mut cache, hook)?;
+            let step_logits = self.decode_step_ws(next, &mut cache, hook, &mut ws)?;
             let (n, m) = argmax_with_margin(&step_logits);
+            ws.recycle_vec_f32(step_logits);
+            ws.reset();
             next = n;
             margin = m;
         }

@@ -59,8 +59,20 @@ impl LayerNorm {
     ///
     /// Panics if `x.cols() != self.dim()`.
     pub fn forward(&self, x: &MatF32) -> MatF32 {
+        let mut out = MatF32::zeros(0, 0);
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// [`LayerNorm::forward`] into caller-provided storage (reshaped in place,
+    /// bit-identical output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.dim()`.
+    pub fn forward_into(&self, x: &MatF32, out: &mut MatF32) {
         assert_eq!(x.cols(), self.dim(), "LayerNorm dimension mismatch");
-        let mut out = MatF32::zeros(x.rows(), x.cols());
+        out.resize_overwrite(x.rows(), x.cols());
         for r in 0..x.rows() {
             let row = x.row(r);
             let (mean, var) = mean_variance(row);
@@ -69,7 +81,6 @@ impl LayerNorm {
                 out.row_mut(r)[c] = (v - mean) * inv * self.gamma[c] + self.beta[c];
             }
         }
-        out
     }
 
     /// Returns the per-row `(mean, std)` statistics the normalization would use.
@@ -120,8 +131,20 @@ impl RmsNorm {
     ///
     /// Panics if `x.cols() != self.dim()`.
     pub fn forward(&self, x: &MatF32) -> MatF32 {
+        let mut out = MatF32::zeros(0, 0);
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// [`RmsNorm::forward`] into caller-provided storage (reshaped in place, bit-identical
+    /// output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.dim()`.
+    pub fn forward_into(&self, x: &MatF32, out: &mut MatF32) {
         assert_eq!(x.cols(), self.dim(), "RMSNorm dimension mismatch");
-        let mut out = MatF32::zeros(x.rows(), x.cols());
+        out.resize_overwrite(x.rows(), x.cols());
         for r in 0..x.rows() {
             let row = x.row(r);
             let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
@@ -130,7 +153,6 @@ impl RmsNorm {
                 out.row_mut(r)[c] = v * inv * self.gamma[c];
             }
         }
-        out
     }
 
     /// Returns the per-row RMS values the normalization would use.

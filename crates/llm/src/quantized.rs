@@ -13,7 +13,9 @@
 
 use crate::hooks::{GemmContext, GemmHook};
 use crate::{LlmError, Result};
-use realm_tensor::{quant, GemmEngine, MatF32, MatI8, QuantParams, RowPartition};
+use realm_tensor::{
+    quant, ChecksummedGemm, GemmEngine, MatF32, MatI8, QuantParams, RowPartition, Workspace,
+};
 use serde::{Deserialize, Serialize};
 
 /// How a quantized GEMM's INT32 accumulator is converted back for downstream computation.
@@ -88,10 +90,38 @@ impl QuantLinear {
         ctx: &GemmContext,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
-        let (xq, x_scale) = quant::quantize_symmetric(x);
-        let acc = run_hooked_gemm(&xq, &self.weight_q, engine, ctx, hook)?;
+        let mut ws = Workspace::new();
+        self.forward_ws(x, engine, ctx, hook, &mut ws)
+    }
+
+    /// [`QuantLinear::forward`] with every intermediate — the quantized activations, the
+    /// INT32 accumulator, the fused checksums and the requantization scratch — checked out
+    /// of `ws` instead of allocated per call. The returned matrix is workspace-pooled;
+    /// recycle it once consumed. Output is bit-identical to [`QuantLinear::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.cols() != self.in_features()`.
+    pub fn forward_ws(
+        &self,
+        x: &MatF32,
+        engine: &dyn GemmEngine,
+        ctx: &GemmContext,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<MatF32> {
+        let mut xq = ws.take_mat_i8(x.rows(), x.cols());
+        let x_scale = quant::quantize_symmetric_into(x, &mut xq);
+        let acc = run_hooked_gemm_ws(&xq, &self.weight_q, engine, ctx, hook, ws);
+        ws.recycle_mat_i8(xq);
+        let acc = acc?;
         let combined = x_scale * self.weight_scale;
-        Ok(convert_accumulator(&acc, combined, self.output_mode))
+        let mut out = ws.take_mat_f32(acc.rows(), acc.cols());
+        let mut mags = ws.take_vec_f32(mags_len(&acc, self.output_mode));
+        convert_accumulator_into(&acc, combined, self.output_mode, &mut out, &mut mags);
+        ws.recycle_vec_f32(mags);
+        ws.recycle_mat_i32(acc);
+        Ok(out)
     }
 
     /// Computes `x · W` for a batch-stacked activation matrix in **one** engine GEMM while
@@ -117,10 +147,68 @@ impl QuantLinear {
         ctx: &GemmContext,
         hook: &mut dyn GemmHook,
     ) -> Result<MatF32> {
-        let (xq, scales) = quantize_symmetric_grouped(x, parts)?;
-        let acc = run_hooked_gemm(&xq, &self.weight_q, engine, ctx, hook)?;
-        let combined: Vec<f32> = scales.iter().map(|s| s * self.weight_scale).collect();
-        convert_accumulator_grouped(&acc, &combined, self.output_mode, parts)
+        let mut ws = Workspace::new();
+        self.forward_batched_ws(x, parts, engine, ctx, hook, &mut ws)
+    }
+
+    /// [`QuantLinear::forward_batched`] drawing every intermediate — including the
+    /// per-row-group quantization scales and grouped requantization scratch — from `ws`.
+    /// The returned matrix is workspace-pooled; output is bit-identical to
+    /// [`QuantLinear::forward_batched`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.cols() != self.in_features()` or if `parts` does not cover
+    /// exactly `x.rows()` rows.
+    pub fn forward_batched_ws(
+        &self,
+        x: &MatF32,
+        parts: &RowPartition,
+        engine: &dyn GemmEngine,
+        ctx: &GemmContext,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<MatF32> {
+        let mut xq = ws.take_mat_i8(x.rows(), x.cols());
+        let mut scales = ws.take_vec_f32(parts.num_groups());
+        if let Err(e) = quantize_symmetric_grouped_into(x, parts, &mut xq, &mut scales) {
+            ws.recycle_mat_i8(xq);
+            ws.recycle_vec_f32(scales);
+            return Err(e);
+        }
+        let acc = run_hooked_gemm_ws(&xq, &self.weight_q, engine, ctx, hook, ws);
+        ws.recycle_mat_i8(xq);
+        let acc = match acc {
+            Ok(acc) => acc,
+            Err(e) => {
+                ws.recycle_vec_f32(scales);
+                return Err(e);
+            }
+        };
+        // Reuse the scale buffer in place for the combined (activation × weight) scales.
+        for s in scales.iter_mut() {
+            *s *= self.weight_scale;
+        }
+        let mut out = ws.take_mat_f32(acc.rows(), acc.cols());
+        let mut mags = ws.take_vec_f32(mags_len(&acc, self.output_mode));
+        let converted = convert_accumulator_grouped_into(
+            &acc,
+            &scales,
+            self.output_mode,
+            parts,
+            &mut out,
+            &mut mags,
+        );
+        ws.recycle_vec_f32(mags);
+        ws.recycle_vec_f32(scales);
+        ws.recycle_mat_i32(acc);
+        match converted {
+            Ok(()) => Ok(out),
+            Err(e) => {
+                ws.recycle_mat_f32(out);
+                Err(e)
+            }
+        }
     }
 }
 
@@ -134,6 +222,24 @@ impl QuantLinear {
 ///
 /// Returns [`LlmError::InvalidSequence`] if `parts` does not cover exactly `x.rows()` rows.
 pub fn quantize_symmetric_grouped(x: &MatF32, parts: &RowPartition) -> Result<(MatI8, Vec<f32>)> {
+    let mut q = MatI8::zeros(0, 0);
+    let mut scales = Vec::new();
+    quantize_symmetric_grouped_into(x, parts, &mut q, &mut scales)?;
+    Ok((q, scales))
+}
+
+/// [`quantize_symmetric_grouped`] into caller-provided storage (`q` and `scales` are
+/// reshaped in place; output is bit-identical to the allocating path).
+///
+/// # Errors
+///
+/// Returns [`LlmError::InvalidSequence`] if `parts` does not cover exactly `x.rows()` rows.
+pub fn quantize_symmetric_grouped_into(
+    x: &MatF32,
+    parts: &RowPartition,
+    q: &mut MatI8,
+    scales: &mut Vec<f32>,
+) -> Result<()> {
     if parts.total_rows() != x.rows() {
         return Err(LlmError::InvalidSequence {
             detail: format!(
@@ -143,8 +249,9 @@ pub fn quantize_symmetric_grouped(x: &MatF32, parts: &RowPartition) -> Result<(M
             ),
         });
     }
-    let mut q = MatI8::zeros(x.rows(), x.cols());
-    let mut scales = vec![1.0f32; parts.num_groups()];
+    q.resize_reset(x.rows(), x.cols());
+    scales.clear();
+    scales.resize(parts.num_groups(), 1.0);
     for (g, scale) in scales.iter_mut().enumerate() {
         let range = parts.range(g);
         if range.is_empty() {
@@ -164,7 +271,7 @@ pub fn quantize_symmetric_grouped(x: &MatF32, parts: &RowPartition) -> Result<(M
             }
         }
     }
-    Ok((q, scales))
+    Ok(())
 }
 
 /// Converts a batch-stacked INT32 accumulator back to f32 group by group.
@@ -184,6 +291,32 @@ pub fn convert_accumulator_grouped(
     mode: OutputMode,
     parts: &RowPartition,
 ) -> Result<MatF32> {
+    let mut out = MatF32::zeros(0, 0);
+    let mut mags = Vec::new();
+    convert_accumulator_grouped_into(acc, combined_scales, mode, parts, &mut out, &mut mags)?;
+    Ok(out)
+}
+
+/// [`convert_accumulator_grouped`] into caller-provided storage.
+///
+/// Each group's rows are converted directly into the matching rows of `out` (no
+/// sub-matrix materialisation); `mags_scratch` holds the per-group robust-requantization
+/// magnitudes, reused across groups. Output is bit-identical to the allocating path: the
+/// per-group robust scale is derived from exactly the same magnitudes in the same
+/// row-major order.
+///
+/// # Errors
+///
+/// Returns [`LlmError::InvalidSequence`] under the same conditions as
+/// [`convert_accumulator_grouped`].
+pub fn convert_accumulator_grouped_into(
+    acc: &realm_tensor::MatI32,
+    combined_scales: &[f32],
+    mode: OutputMode,
+    parts: &RowPartition,
+    out: &mut MatF32,
+    mags_scratch: &mut Vec<f32>,
+) -> Result<()> {
     if parts.total_rows() != acc.rows() || combined_scales.len() != parts.num_groups() {
         return Err(LlmError::InvalidSequence {
             detail: format!(
@@ -196,19 +329,55 @@ pub fn convert_accumulator_grouped(
             ),
         });
     }
-    let mut out = MatF32::zeros(acc.rows(), acc.cols());
+    out.resize_reset(acc.rows(), acc.cols());
     for (g, &combined) in combined_scales.iter().enumerate() {
         let range = parts.range(g);
         if range.is_empty() {
             continue;
         }
-        let sub = acc.rows_slice(range.start, range.len())?;
-        let converted = convert_accumulator(&sub, combined, mode);
-        for (i, r) in range.enumerate() {
-            out.row_mut(r).copy_from_slice(converted.row(i));
+        convert_rows_into(acc, range, combined, mode, out, mags_scratch);
+    }
+    Ok(())
+}
+
+/// Converts the accumulator rows `range` into the same rows of `out` under `mode`.
+///
+/// The elementwise arithmetic matches [`convert_accumulator`] exactly: the requantized
+/// path rounds/clamps to the INT8 code and multiplies back by the output scale, fused into
+/// one pass instead of materialising the intermediate INT8 matrix.
+fn convert_rows_into(
+    acc: &realm_tensor::MatI32,
+    range: std::ops::Range<usize>,
+    combined_scale: f32,
+    mode: OutputMode,
+    out: &mut MatF32,
+    mags_scratch: &mut Vec<f32>,
+) {
+    match mode {
+        OutputMode::Float => {
+            for r in range {
+                for (o, &v) in out.row_mut(r).iter_mut().zip(acc.row(r)) {
+                    *o = v as f32 * combined_scale;
+                }
+            }
+        }
+        OutputMode::RequantizedInt8 => {
+            let out_scale =
+                robust_output_scale_rows(acc, range.clone(), combined_scale, mags_scratch);
+            let out_scale = if out_scale > 0.0 && out_scale.is_finite() {
+                out_scale
+            } else {
+                1.0
+            };
+            for r in range {
+                for (o, &v) in out.row_mut(r).iter_mut().zip(acc.row(r)) {
+                    let real = v as f32 * combined_scale;
+                    let q = (real / out_scale).round().clamp(-127.0, 127.0) as i8;
+                    *o = q as f32 * out_scale;
+                }
+            }
         }
     }
-    Ok(out)
 }
 
 /// Computes `a · b` for two floating-point activation matrices through the quantized datapath
@@ -227,31 +396,95 @@ pub fn quant_matmul(
     hook: &mut dyn GemmHook,
     output_mode: OutputMode,
 ) -> Result<MatF32> {
-    let (aq, a_scale) = quant::quantize_symmetric(a);
-    let (bq, b_scale) = quant::quantize_symmetric(b);
-    let acc = run_hooked_gemm(&aq, &bq, engine, ctx, hook)?;
-    Ok(convert_accumulator(&acc, a_scale * b_scale, output_mode))
+    let mut ws = Workspace::new();
+    quant_matmul_ws(a, b, engine, ctx, hook, output_mode, &mut ws)
+}
+
+/// [`quant_matmul`] drawing every intermediate from `ws`; the returned matrix is
+/// workspace-pooled and the output is bit-identical to [`quant_matmul`].
+///
+/// # Errors
+///
+/// Returns an error if `a.cols() != b.rows()`.
+#[allow(clippy::too_many_arguments)] // mirrors quant_matmul plus the workspace handle
+pub fn quant_matmul_ws(
+    a: &MatF32,
+    b: &MatF32,
+    engine: &dyn GemmEngine,
+    ctx: &GemmContext,
+    hook: &mut dyn GemmHook,
+    output_mode: OutputMode,
+    ws: &mut Workspace,
+) -> Result<MatF32> {
+    let mut aq = ws.take_mat_i8(a.rows(), a.cols());
+    let a_scale = quant::quantize_symmetric_into(a, &mut aq);
+    let mut bq = ws.take_mat_i8(b.rows(), b.cols());
+    let b_scale = quant::quantize_symmetric_into(b, &mut bq);
+    let acc = run_hooked_gemm_ws(&aq, &bq, engine, ctx, hook, ws);
+    ws.recycle_mat_i8(aq);
+    ws.recycle_mat_i8(bq);
+    let acc = acc?;
+    let mut out = ws.take_mat_f32(acc.rows(), acc.cols());
+    let mut mags = ws.take_vec_f32(mags_len(&acc, output_mode));
+    convert_accumulator_into(&acc, a_scale * b_scale, output_mode, &mut out, &mut mags);
+    ws.recycle_vec_f32(mags);
+    ws.recycle_mat_i32(acc);
+    Ok(out)
 }
 
 /// Executes one quantized GEMM through the engine and hook, picking the fused-checksum pass
 /// only when a hook in the chain will consume the checksums ([`GemmHook::wants_checksums`]).
 /// Fault-free baselines, unprotected runs and injection-only campaigns therefore skip the
 /// checksum reductions entirely.
-fn run_hooked_gemm(
+///
+/// The accumulator, the checksum vectors of the fused pass and the operand-checksum
+/// scratch all come from `ws`; the returned accumulator is workspace-pooled. This is the
+/// innermost allocation-free step of the decode hot loop.
+fn run_hooked_gemm_ws(
     wq: &MatI8,
     xq: &MatI8,
     engine: &dyn GemmEngine,
     ctx: &GemmContext,
     hook: &mut dyn GemmHook,
+    ws: &mut Workspace,
 ) -> Result<realm_tensor::MatI32> {
     if hook.wants_checksums() {
-        let mut result = engine.gemm_i8_checksummed(wq, xq)?;
+        let acc = ws.take_mat_i32(wq.rows(), xq.cols());
+        let expected = ws.take_vec_i64(xq.cols());
+        let observed = ws.take_vec_i64(xq.cols());
+        let mut result = ChecksummedGemm::from_parts(acc, expected, observed);
+        let mut etw = ws.take_vec_i64(wq.cols());
+        let ran = engine.gemm_i8_checksummed_into(wq, xq, &mut result, &mut etw);
+        ws.recycle_vec_i64(etw);
+        if let Err(e) = ran {
+            let (acc, expected, observed) = result.into_parts();
+            ws.recycle_mat_i32(acc);
+            ws.recycle_vec_i64(expected);
+            ws.recycle_vec_i64(observed);
+            return Err(e.into());
+        }
         hook.on_gemm_checksummed(ctx, wq, xq, &mut result);
-        Ok(result.into_acc())
+        let (acc, expected, observed) = result.into_parts();
+        ws.recycle_vec_i64(expected);
+        ws.recycle_vec_i64(observed);
+        Ok(acc)
     } else {
-        let mut acc = engine.gemm_i8(wq, xq)?;
+        let mut acc = ws.take_mat_i32(wq.rows(), xq.cols());
+        if let Err(e) = engine.gemm_i8_into(wq, xq, &mut acc) {
+            ws.recycle_mat_i32(acc);
+            return Err(e.into());
+        }
         hook.on_gemm(ctx, wq, xq, &mut acc);
         Ok(acc)
+    }
+}
+
+/// The requantization-magnitude scratch a conversion of `acc` needs: one slot per element
+/// for [`OutputMode::RequantizedInt8`], nothing for [`OutputMode::Float`].
+fn mags_len(acc: &realm_tensor::MatI32, mode: OutputMode) -> usize {
+    match mode {
+        OutputMode::Float => 0,
+        OutputMode::RequantizedInt8 => acc.len(),
     }
 }
 
@@ -267,31 +500,62 @@ pub fn convert_accumulator(
     combined_scale: f32,
     mode: OutputMode,
 ) -> MatF32 {
-    match mode {
-        OutputMode::Float => quant::dequantize_accumulator(acc, combined_scale),
-        OutputMode::RequantizedInt8 => {
-            let out_scale = robust_output_scale(acc, combined_scale);
-            let q = quant::requantize_accumulator(acc, combined_scale, out_scale);
-            quant::dequantize(&q, out_scale)
-        }
-    }
+    let mut out = MatF32::zeros(0, 0);
+    let mut mags = Vec::new();
+    convert_accumulator_into(acc, combined_scale, mode, &mut out, &mut mags);
+    out
 }
 
-/// Derives an INT8 output scale from the 99th percentile of accumulator magnitudes.
+/// [`convert_accumulator`] into caller-provided storage.
+///
+/// `out` is reshaped in place; `mags_scratch` holds the robust-requantization magnitudes
+/// (unused for [`OutputMode::Float`]). Bit-identical to the allocating path — the
+/// requantized mode fuses the INT8 round/clamp and the dequantize multiply into one pass
+/// over the same values.
+pub fn convert_accumulator_into(
+    acc: &realm_tensor::MatI32,
+    combined_scale: f32,
+    mode: OutputMode,
+    out: &mut MatF32,
+    mags_scratch: &mut Vec<f32>,
+) {
+    out.resize_reset(acc.rows(), acc.cols());
+    convert_rows_into(acc, 0..acc.rows(), combined_scale, mode, out, mags_scratch);
+}
+
+/// Derives an INT8 output scale from the 99th percentile of accumulator magnitudes (the
+/// allocating oracle [`robust_output_scale_rows`] is tested against).
+#[cfg(test)]
 fn robust_output_scale(acc: &realm_tensor::MatI32, combined_scale: f32) -> f32 {
-    if acc.is_empty() {
+    robust_output_scale_rows(acc, 0..acc.rows(), combined_scale, &mut Vec::new())
+}
+
+/// [`robust_output_scale`] over the accumulator rows `range`, staging the magnitudes in
+/// `mags_scratch` (the grouped requantization path calls this once per row group, reusing
+/// one buffer).
+fn robust_output_scale_rows(
+    acc: &realm_tensor::MatI32,
+    range: std::ops::Range<usize>,
+    combined_scale: f32,
+    mags_scratch: &mut Vec<f32>,
+) -> f32 {
+    mags_scratch.clear();
+    for r in range {
+        mags_scratch.extend(
+            acc.row(r)
+                .iter()
+                .map(|&v| (v as f32 * combined_scale).abs()),
+        );
+    }
+    if mags_scratch.is_empty() {
         return 1.0;
     }
-    let mut mags: Vec<f32> = acc
-        .iter()
-        .map(|&v| (v as f32 * combined_scale).abs())
-        .collect();
     // Index of the 99th percentile over the *existing* elements (never the absolute maximum
     // for tensors with more than a handful of entries), so a lone corrupted element cannot
     // inflate the calibration scale.
-    let idx = (((mags.len() - 1) as f32) * 0.99).floor() as usize;
-    mags.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("finite magnitudes"));
-    let p99 = mags[idx];
+    let idx = (((mags_scratch.len() - 1) as f32) * 0.99).floor() as usize;
+    mags_scratch.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("finite magnitudes"));
+    let p99 = mags_scratch[idx];
     if p99 > 0.0 && p99.is_finite() {
         p99 / 127.0
     } else {

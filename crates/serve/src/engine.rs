@@ -23,8 +23,13 @@ use realm_llm::hooks::HookChain;
 use realm_llm::model::argmax_with_margin;
 use realm_llm::{GemmHook, Model};
 use realm_systolic::{Dataflow, ProtectionScheme, SystolicArray};
+use realm_tensor::Workspace;
 use std::sync::mpsc::{channel, Receiver};
 use std::time::Instant;
+
+/// Decode-latency samples retained for the percentile stats; the buffer is halved once it
+/// reaches twice this size, so a long-running engine keeps a bounded, recent window.
+const LATENCY_WINDOW: usize = 4096;
 
 /// Configuration of a [`ServeEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -91,6 +96,16 @@ pub struct EngineStats {
     pub elapsed_seconds: f64,
     /// Committed tokens per wall-clock second since engine creation.
     pub tokens_per_second: f64,
+    /// Median per-step decode latency in microseconds over the recent window
+    /// (0.0 before the first decode step).
+    pub decode_p50_us: f64,
+    /// 99th-percentile per-step decode latency in microseconds over the recent window
+    /// (0.0 before the first decode step).
+    pub decode_p99_us: f64,
+    /// High-water mark of the engine's long-lived scratch workspace in bytes — the
+    /// steady-state memory footprint of the allocation-free decode loop. Stabilises after
+    /// warmup; growth here indicates a scratch leak.
+    pub workspace_high_water_bytes: usize,
 }
 
 impl EngineStats {
@@ -154,6 +169,13 @@ pub struct ServeEngine<'m> {
     cache: BatchedKvCache,
     protector: SchemeProtector,
     fault_hook: Option<Box<dyn GemmHook + Send>>,
+    /// Long-lived scratch arena shared by every admission prefill and decode step: after
+    /// the first few steps warm its pools, the steady-state loop stops allocating.
+    ws: Workspace,
+    /// Reused per-step buffer of pending tokens (one slot per batch slot).
+    step_tokens: Vec<Option<u32>>,
+    /// Recent per-step decode latencies in microseconds (bounded window).
+    decode_us: Vec<u64>,
     started: Instant,
     steps: u64,
     tokens_generated: u64,
@@ -178,6 +200,9 @@ impl<'m> ServeEngine<'m> {
             cache: model.new_batched_cache(slots),
             protector: SchemeProtector::with_default_regions(config.base_scheme, config.array),
             fault_hook: None,
+            ws: Workspace::new(),
+            step_tokens: Vec::new(),
+            decode_us: Vec::new(),
             started: Instant::now(),
             steps: 0,
             tokens_generated: 0,
@@ -255,31 +280,49 @@ impl<'m> ServeEngine<'m> {
     /// Propagates model-inference errors; validation at [`ServeEngine::submit`] makes
     /// these unreachable for accepted requests in normal operation.
     pub fn step(&mut self) -> Result<bool, ServeError> {
-        // Admission: fill every free slot from the queue. A freshly admitted request with a
-        // budget of 0 or 1 completes at admission and releases the slot again, so keep
-        // draining until slots are genuinely busy or the queue is empty.
-        while let Some(slot) = self.slots.iter().position(Option::is_none) {
-            let Some(queued) = self.queue.pop(self.steps) else {
-                break;
-            };
-            self.admit(slot, queued)?;
+        // Admission: fill every free slot from the queue. When two or more slots free up
+        // in the same decode gap the queued heads are prefilled together in ONE
+        // `prefill_batch` call (batched admission prefill); a freshly admitted request
+        // with a budget of 0 or 1 completes at admission and releases the slot again, so
+        // keep draining until slots are genuinely busy or the queue is empty.
+        loop {
+            let mut admits: Vec<(usize, QueuedRequest)> = Vec::new();
+            for slot in 0..self.slots.len() {
+                if self.slots[slot].is_none() {
+                    let Some(queued) = self.queue.pop(self.steps) else {
+                        break;
+                    };
+                    admits.push((slot, queued));
+                }
+            }
+            match admits.len() {
+                0 => break,
+                1 => {
+                    let (slot, queued) = admits.pop().expect("one admission");
+                    self.admit(slot, queued)?;
+                }
+                _ => self.admit_batch(admits)?,
+            }
         }
 
-        let step_tokens: Vec<Option<u32>> = self
-            .slots
-            .iter()
-            .map(|s| s.as_ref().map(|a| a.last))
-            .collect();
+        let Self {
+            slots, step_tokens, ..
+        } = self;
+        step_tokens.clear();
+        step_tokens.extend(slots.iter().map(|s| s.as_ref().map(|a| a.last)));
         if step_tokens.iter().all(Option::is_none) {
             return Ok(!self.queue.is_empty());
         }
 
+        let decode_started = Instant::now();
         let step_logits = {
             let Self {
                 model,
                 cache,
                 protector,
                 fault_hook,
+                ws,
+                step_tokens,
                 ..
             } = self;
             let mut chain = HookChain::new();
@@ -287,12 +330,14 @@ impl<'m> ServeEngine<'m> {
                 chain.push(hook.as_mut());
             }
             chain.push(protector);
-            model.decode_step_batch(&step_tokens, cache, &mut chain)?
+            model.decode_step_batch_ws(step_tokens, cache, &mut chain, ws)?
         };
+        self.note_decode_latency(decode_started);
         self.steps += 1;
         for (slot, logits) in step_logits.into_iter().enumerate() {
             let Some(logits) = logits else { continue };
             let (next, margin) = argmax_with_margin(&logits);
+            self.ws.recycle_vec_f32(logits);
             let active = self.slots[slot]
                 .as_mut()
                 .expect("decode produced logits for an occupied slot");
@@ -303,7 +348,16 @@ impl<'m> ServeEngine<'m> {
                 self.finalize(slot);
             }
         }
+        self.ws.reset();
         Ok(self.has_work())
+    }
+
+    /// Records one decode step's wall-clock latency in the bounded sample window.
+    fn note_decode_latency(&mut self, started: Instant) {
+        if self.decode_us.len() >= 2 * LATENCY_WINDOW {
+            self.decode_us.drain(..LATENCY_WINDOW);
+        }
+        self.decode_us.push(started.elapsed().as_micros() as u64);
     }
 
     /// Pumps [`ServeEngine::step`] until no queued or active request remains.
@@ -332,6 +386,8 @@ impl<'m> ServeEngine<'m> {
             recoveries += attr.recoveries;
         }
         let elapsed_seconds = self.started.elapsed().as_secs_f64();
+        let mut sorted_us = self.decode_us.clone();
+        sorted_us.sort_unstable();
         EngineStats {
             queue_depth: self.queue.len(),
             active_slots: self.slots.iter().filter(|s| s.is_some()).count(),
@@ -350,6 +406,9 @@ impl<'m> ServeEngine<'m> {
             } else {
                 0.0
             },
+            decode_p50_us: percentile_us(&sorted_us, 0.50),
+            decode_p99_us: percentile_us(&sorted_us, 0.99),
+            workspace_high_water_bytes: self.ws.high_water_mark_bytes(),
         }
     }
 
@@ -358,18 +417,28 @@ impl<'m> ServeEngine<'m> {
     fn admit(&mut self, slot: usize, queued: QueuedRequest) -> Result<(), ServeError> {
         let mut prefill_protector =
             SchemeProtector::with_default_regions(queued.policy.scheme, self.config.array);
-        let (logits, solo_cache) = {
+        // The solo cache only exists to be copied into the batch slot and dropped, so it
+        // is deliberately unreserved (`prefill_ws_into`): no full-context-window
+        // allocation per admission.
+        let mut solo_cache = realm_llm::kv_cache::KvCache::new(self.model.config().num_layers);
+        let logits = {
             let Self {
-                model, fault_hook, ..
+                model,
+                fault_hook,
+                ws,
+                ..
             } = self;
             let mut chain = HookChain::new();
             if let Some(hook) = fault_hook {
                 chain.push(hook.as_mut());
             }
             chain.push(&mut prefill_protector);
-            model.prefill(&queued.prompt, &mut chain)?
+            model.prefill_ws_into(&queued.prompt, &mut chain, ws, &mut solo_cache)?
         };
-        self.cache.admit(slot, &solo_cache)?;
+        let admitted = self.cache.admit(slot, &solo_cache);
+        let (first, margin) = argmax_with_margin(logits.row(logits.rows() - 1));
+        self.ws.recycle_mat_f32(logits);
+        admitted?;
         self.admitted += 1;
         // Solo forwards attribute everything to sequence index 0.
         let prefill_attr = prefill_protector
@@ -377,13 +446,68 @@ impl<'m> ServeEngine<'m> {
             .get(&0)
             .copied()
             .unwrap_or_default();
+        self.install(slot, queued, first, margin, prefill_attr);
+        Ok(())
+    }
+
+    /// Prefills several queued requests together in **one** shared `prefill_batch` call
+    /// and admits each into its destination slot.
+    ///
+    /// The shared prefill runs under one protector whose per-sequence schemes are the
+    /// admitted requests' own policies: each request's private attention GEMMs are
+    /// inspected under its own scheme, while the batch-stacked projections escalate to the
+    /// strictest admitted policy (the same escalation decode applies). Detections are
+    /// attributed back per sequence, so every request is charged exactly what its rows
+    /// caused. Tokens and KV rows are bit-identical to solo admission — `prefill_batch`'s
+    /// parity contract — this only removes the per-request prefill overhead that made the
+    /// engine trail the raw continuous scheduler.
+    fn admit_batch(&mut self, admits: Vec<(usize, QueuedRequest)>) -> Result<(), ServeError> {
+        let prompts: Vec<Vec<u32>> = admits.iter().map(|(_, q)| q.prompt.clone()).collect();
+        let schemes: Vec<ProtectionScheme> = admits.iter().map(|(_, q)| q.policy.scheme).collect();
+        let mut prefill_protector =
+            SchemeProtector::with_default_regions(self.config.base_scheme, self.config.array);
+        prefill_protector.set_sequence_schemes(&schemes);
+        let (per_seq_logits, prefill_cache) = {
+            let Self {
+                model,
+                fault_hook,
+                ws,
+                ..
+            } = self;
+            let mut chain = HookChain::new();
+            if let Some(hook) = fault_hook {
+                chain.push(hook.as_mut());
+            }
+            chain.push(&mut prefill_protector);
+            model.prefill_batch_ws(&prompts, &mut chain, ws)?
+        };
+        let attribution = prefill_protector.sequence_attribution();
+        for (g, ((slot, queued), logits)) in admits.into_iter().zip(&per_seq_logits).enumerate() {
+            self.cache.admit_from(slot, &prefill_cache, g)?;
+            self.admitted += 1;
+            let prefill_attr = attribution.get(&g).copied().unwrap_or_default();
+            let (first, margin) = argmax_with_margin(logits.row(logits.rows() - 1));
+            self.install(slot, queued, first, margin, prefill_attr);
+        }
+        Ok(())
+    }
+
+    /// Installs an admitted request into `slot` and commits its first token. Budget-0/1
+    /// requests complete (and free the slot) here.
+    fn install(
+        &mut self,
+        slot: usize,
+        queued: QueuedRequest,
+        first: u32,
+        margin: f32,
+        prefill_attr: SequenceAttribution,
+    ) {
         let baseline = self
             .protector
             .sequence_attribution()
             .get(&slot)
             .copied()
             .unwrap_or_default();
-        let (first, margin) = argmax_with_margin(logits.row(logits.rows() - 1));
         self.slots[slot] = Some(ActiveSeq {
             id: queued.id,
             sender: queued.sender,
@@ -401,7 +525,7 @@ impl<'m> ServeEngine<'m> {
         self.refresh_schemes();
         if queued.max_new_tokens == 0 {
             self.finalize(slot);
-            return Ok(());
+            return;
         }
         let active = self.slots[slot].as_mut().expect("just installed");
         let finished = Self::commit(active, first, margin);
@@ -409,7 +533,6 @@ impl<'m> ServeEngine<'m> {
         if finished {
             self.finalize(slot);
         }
-        Ok(())
     }
 
     /// Records a committed token and streams it; returns `true` if the request finished
@@ -491,6 +614,15 @@ impl<'m> ServeEngine<'m> {
             .collect();
         self.protector.set_sequence_schemes(&schemes);
     }
+}
+
+/// Nearest-rank percentile of an ascending-sorted microsecond sample (0.0 when empty).
+fn percentile_us(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64
 }
 
 impl std::fmt::Debug for ServeEngine<'_> {

@@ -96,9 +96,28 @@ impl ChecksummedGemm {
         self.observed_fresh = true;
     }
 
+    /// An empty bundle whose buffers are filled in by
+    /// [`GemmEngine::gemm_i8_checksummed_into`]; the reusable-destination counterpart of
+    /// [`ChecksummedGemm::from_parts`].
+    pub fn empty() -> Self {
+        Self {
+            acc: MatI32::zeros(0, 0),
+            expected: Vec::new(),
+            observed: Vec::new(),
+            observed_fresh: true,
+        }
+    }
+
     /// Consumes the bundle, returning the accumulator.
     pub fn into_acc(self) -> MatI32 {
         self.acc
+    }
+
+    /// Consumes the bundle, returning `(accumulator, expected, observed)` so callers can
+    /// recycle the checksum buffers into a [`crate::Workspace`] after the accumulator moves
+    /// on through the conversion path.
+    pub fn into_parts(self) -> (MatI32, Vec<i64>, Vec<i64>) {
+        (self.acc, self.expected, self.observed)
     }
 
     /// The operand-side checksum `(eᵀ·W)·X`, one entry per output column.
@@ -119,11 +138,26 @@ impl ChecksummedGemm {
     ///
     /// Zero everywhere for a fault-free, unmutated GEMM.
     pub fn column_deviations(&self) -> Vec<i64> {
-        let mut dev = self.observed();
-        for (d, e) in dev.iter_mut().zip(&self.expected) {
+        let mut dev = Vec::new();
+        self.column_deviations_into(&mut dev);
+        dev
+    }
+
+    /// [`ChecksummedGemm::column_deviations`] into a caller-provided buffer.
+    ///
+    /// This is the per-inspection hot path of every protected run: with a detector-owned
+    /// scratch buffer the fault-free fast case (fresh observed checksum) is a copy plus a
+    /// subtraction and never touches the allocator.
+    pub fn column_deviations_into(&self, out: &mut Vec<i64>) {
+        if self.observed_fresh {
+            out.clear();
+            out.extend_from_slice(&self.observed);
+        } else {
+            observed_col_sums_into(&self.acc, out);
+        }
+        for (d, e) in out.iter_mut().zip(&self.expected) {
             *d -= e;
         }
-        dev
     }
 
     /// Matrix-sum deviation (the sum of all column deviations).
@@ -137,13 +171,20 @@ impl ChecksummedGemm {
 /// Shared with `realm-abft`'s two-pass `checksum` functions so the checksum definition
 /// lives in exactly one place.
 pub fn observed_col_sums(acc: &MatI32) -> Vec<i64> {
-    let mut sums = vec![0i64; acc.cols()];
+    let mut sums = Vec::new();
+    observed_col_sums_into(acc, &mut sums);
+    sums
+}
+
+/// [`observed_col_sums`] into a caller-provided buffer (cleared and resized in place).
+pub fn observed_col_sums_into(acc: &MatI32, sums: &mut Vec<i64>) {
+    sums.clear();
+    sums.resize(acc.cols(), 0);
     for r in 0..acc.rows() {
         for (s, &v) in sums.iter_mut().zip(acc.row(r)) {
             *s += v as i64;
         }
     }
-    sums
 }
 
 /// Column sums of an INT8 matrix in `i64` (the operand checksum `eᵀ·W`).
@@ -151,13 +192,20 @@ pub fn observed_col_sums(acc: &MatI32) -> Vec<i64> {
 /// Shared with `realm-abft`'s two-pass `checksum` functions so the checksum definition
 /// lives in exactly one place.
 pub fn operand_col_sums(a: &MatI8) -> Vec<i64> {
-    let mut sums = vec![0i64; a.cols()];
+    let mut sums = Vec::new();
+    operand_col_sums_into(a, &mut sums);
+    sums
+}
+
+/// [`operand_col_sums`] into a caller-provided buffer (cleared and resized in place).
+pub fn operand_col_sums_into(a: &MatI8, sums: &mut Vec<i64>) {
+    sums.clear();
+    sums.resize(a.cols(), 0);
     for r in 0..a.rows() {
         for (s, &v) in sums.iter_mut().zip(a.row(r)) {
             *s += v as i64;
         }
     }
-    sums
 }
 
 /// Weighted row combination `expected += Σ_p etw[p] · b[p, :]`, i.e. `(eᵀ·W)·X`.
@@ -224,6 +272,47 @@ pub trait GemmEngine: std::fmt::Debug + Send + Sync {
     /// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()`.
     fn gemm_i8(&self, a: &MatI8, b: &MatI8) -> Result<MatI32>;
 
+    /// [`GemmEngine::gemm_i8`] writing into caller-provided storage.
+    ///
+    /// `out` is reshaped in place, reusing its backing allocation when the capacity
+    /// suffices — with a [`crate::Workspace`]-pooled accumulator the steady-state decode
+    /// loop never touches the allocator. The default implementation falls back to the
+    /// allocating path (so exotic backends keep working unchanged); the built-in backends
+    /// override it with true in-place kernels. Results are always bit-identical to
+    /// [`GemmEngine::gemm_i8`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()`.
+    fn gemm_i8_into(&self, a: &MatI8, b: &MatI8, out: &mut MatI32) -> Result<()> {
+        *out = self.gemm_i8(a, b)?;
+        Ok(())
+    }
+
+    /// [`GemmEngine::gemm_i8_checksummed`] writing into a caller-provided
+    /// [`ChecksummedGemm`] (accumulator and both checksum vectors are reshaped in place).
+    ///
+    /// `etw_scratch` receives the operand checksum `eᵀ·W` (length `a.cols()`); callers on
+    /// the hot path hand in a workspace-pooled buffer so the whole fused pass is
+    /// allocation-free. The default implementation falls back to the allocating path;
+    /// built-in backends override it. Results are bit-identical to
+    /// [`GemmEngine::gemm_i8_checksummed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()`.
+    fn gemm_i8_checksummed_into(
+        &self,
+        a: &MatI8,
+        b: &MatI8,
+        dest: &mut ChecksummedGemm,
+        etw_scratch: &mut Vec<i64>,
+    ) -> Result<()> {
+        let _ = &etw_scratch;
+        *dest = self.gemm_i8_checksummed(a, b)?;
+        Ok(())
+    }
+
     /// Multiplies and returns the result bundled with its ABFT column checksums.
     ///
     /// The default implementation runs the plain GEMM followed by separate checksum passes
@@ -276,6 +365,30 @@ impl GemmEngine for ReferenceEngine {
 
     fn gemm_i8(&self, a: &MatI8, b: &MatI8) -> Result<MatI32> {
         gemm::gemm_i8(a, b)
+    }
+
+    fn gemm_i8_into(&self, a: &MatI8, b: &MatI8, out: &mut MatI32) -> Result<()> {
+        gemm::gemm_i8_into(a, b, out)
+    }
+
+    fn gemm_i8_checksummed_into(
+        &self,
+        a: &MatI8,
+        b: &MatI8,
+        dest: &mut ChecksummedGemm,
+        etw_scratch: &mut Vec<i64>,
+    ) -> Result<()> {
+        // The reference backend computes the checksums in separate (oracle) passes, all
+        // into caller-provided storage: this is the backend the zero-allocation decode
+        // test pins down.
+        gemm::gemm_i8_into(a, b, &mut dest.acc)?;
+        operand_col_sums_into(a, etw_scratch);
+        dest.expected.clear();
+        dest.expected.resize(b.cols(), 0);
+        accumulate_expected(etw_scratch, b, &mut dest.expected);
+        observed_col_sums_into(&dest.acc, &mut dest.observed);
+        dest.observed_fresh = true;
+        Ok(())
     }
 }
 
@@ -451,27 +564,51 @@ impl GemmEngine for BlockedEngine {
         Ok(out)
     }
 
+    fn gemm_i8_into(&self, a: &MatI8, b: &MatI8, out: &mut MatI32) -> Result<()> {
+        check_compatible("BlockedEngine::gemm_i8", a, b)?;
+        out.resize_reset(a.rows(), b.cols());
+        self.run_rows(a, b, out.as_mut_slice(), 0, a.rows(), None);
+        Ok(())
+    }
+
     fn gemm_i8_checksummed(&self, a: &MatI8, b: &MatI8) -> Result<ChecksummedGemm> {
+        let mut dest = ChecksummedGemm::empty();
+        let mut etw = Vec::new();
+        self.gemm_i8_checksummed_into(a, b, &mut dest, &mut etw)?;
+        Ok(dest)
+    }
+
+    fn gemm_i8_checksummed_into(
+        &self,
+        a: &MatI8,
+        b: &MatI8,
+        dest: &mut ChecksummedGemm,
+        etw_scratch: &mut Vec<i64>,
+    ) -> Result<()> {
         check_compatible("BlockedEngine::gemm_i8_checksummed", a, b)?;
         // `eᵀ·W` first (one streaming pass over the small operand); the `(eᵀ·W)·X` and
         // `eᵀ·Y` reductions then ride inside the tiled GEMM pass itself.
-        let etw = operand_col_sums(a);
-        let mut out = MatI32::zeros(a.rows(), b.cols());
-        let mut expected = vec![0i64; b.cols()];
-        let mut observed = vec![0i64; b.cols()];
+        operand_col_sums_into(a, etw_scratch);
+        dest.acc.resize_reset(a.rows(), b.cols());
+        dest.expected.clear();
+        dest.expected.resize(b.cols(), 0);
+        dest.observed.clear();
+        dest.observed.resize(b.cols(), 0);
+        dest.observed_fresh = true;
+        let (acc, expected, observed) = (&mut dest.acc, &mut dest.expected, &mut dest.observed);
         self.run_rows(
             a,
             b,
-            out.as_mut_slice(),
+            acc.as_mut_slice(),
             0,
             a.rows(),
             Some(FusedChecksums {
-                etw: &etw,
-                expected: Some(&mut expected),
-                observed: &mut observed,
+                etw: etw_scratch,
+                expected: Some(expected),
+                observed,
             }),
         );
-        Ok(ChecksummedGemm::from_parts(out, expected, observed))
+        Ok(())
     }
 }
 
@@ -602,42 +739,64 @@ impl GemmEngine for ParallelEngine {
     }
 
     fn gemm_i8(&self, a: &MatI8, b: &MatI8) -> Result<MatI32> {
+        let mut out = MatI32::zeros(0, 0);
+        self.gemm_i8_into(a, b, &mut out)?;
+        Ok(out)
+    }
+
+    fn gemm_i8_into(&self, a: &MatI8, b: &MatI8, out: &mut MatI32) -> Result<()> {
         check_compatible("ParallelEngine::gemm_i8", a, b)?;
         let (m, k) = a.shape();
         let n = b.cols();
         let workers = self.worker_count(m);
         if workers <= 1 || m * k * n < PARALLEL_MIN_MACS {
-            return self.inner.gemm_i8(a, b);
+            return self.inner.gemm_i8_into(a, b, out);
         }
-        let mut out = MatI32::zeros(m, n);
+        out.resize_reset(m, n);
         // Workers steal disjoint row chunks of the output and write them in place.
         self.steal_chunks(
-            &mut out,
+            out,
             workers,
             || (),
             |(), s, e, band| {
                 self.inner.run_rows(a, b, band, s, e, None);
             },
         );
-        Ok(out)
+        Ok(())
     }
 
     fn gemm_i8_checksummed(&self, a: &MatI8, b: &MatI8) -> Result<ChecksummedGemm> {
+        let mut dest = ChecksummedGemm::empty();
+        let mut etw = Vec::new();
+        self.gemm_i8_checksummed_into(a, b, &mut dest, &mut etw)?;
+        Ok(dest)
+    }
+
+    fn gemm_i8_checksummed_into(
+        &self,
+        a: &MatI8,
+        b: &MatI8,
+        dest: &mut ChecksummedGemm,
+        etw_scratch: &mut Vec<i64>,
+    ) -> Result<()> {
         check_compatible("ParallelEngine::gemm_i8_checksummed", a, b)?;
         let (m, k) = a.shape();
         let n = b.cols();
         let workers = self.worker_count(m);
         if workers <= 1 || m * k * n < PARALLEL_MIN_MACS {
-            return self.inner.gemm_i8_checksummed(a, b);
+            return self.inner.gemm_i8_checksummed_into(a, b, dest, etw_scratch);
         }
         // The operand checksum needs every row, so it runs (cheaply) before the shards; the
         // `(eᵀ·W)·X` reduction is row-independent and is fused into whichever claimed chunk
-        // starts at row 0 — exactly one chunk does, whoever steals it.
-        let etw = operand_col_sums(a);
-        let etw = &etw;
-        let mut out = MatI32::zeros(m, n);
+        // starts at row 0 — exactly one chunk does, whoever steals it. Per-worker partials
+        // still allocate inside the scoped threads — caller-provided scratch cannot cross
+        // the spawn — but this path only runs for GEMMs big enough to shard, never the
+        // GEMV-like decode shapes the allocation-free loop cares about.
+        operand_col_sums_into(a, etw_scratch);
+        let etw: &[i64] = etw_scratch;
+        dest.acc.resize_reset(m, n);
         let shards = self.steal_chunks(
-            &mut out,
+            &mut dest.acc,
             workers,
             || (None::<Vec<i64>>, vec![0i64; n]),
             |(expected, observed), s, e, band| {
@@ -661,17 +820,20 @@ impl GemmEngine for ParallelEngine {
                 );
             },
         );
-        let mut expected = vec![0i64; n];
-        let mut observed = vec![0i64; n];
+        dest.expected.clear();
+        dest.expected.resize(n, 0);
+        dest.observed.clear();
+        dest.observed.resize(n, 0);
+        dest.observed_fresh = true;
         for (shard_expected, shard_observed) in shards {
             if let Some(shard_expected) = shard_expected {
-                expected = shard_expected;
+                dest.expected.copy_from_slice(&shard_expected);
             }
-            for (acc, v) in observed.iter_mut().zip(shard_observed) {
+            for (acc, v) in dest.observed.iter_mut().zip(shard_observed) {
                 *acc += v;
             }
         }
-        Ok(ChecksummedGemm::from_parts(out, expected, observed))
+        Ok(())
     }
 }
 

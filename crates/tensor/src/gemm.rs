@@ -35,10 +35,25 @@ fn check_compatible(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) 
 /// # Ok::<(), realm_tensor::TensorError>(())
 /// ```
 pub fn gemm_i8(a: &MatI8, b: &MatI8) -> Result<MatI32> {
+    let mut out = MatI32::zeros(0, 0);
+    gemm_i8_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`gemm_i8`] writing into caller-provided storage.
+///
+/// `out` is reshaped to `(a.rows(), b.cols())` in place, reusing its backing allocation
+/// whenever the capacity suffices — with a workspace-pooled accumulator the multiply runs
+/// without touching the allocator. Results are bit-identical to [`gemm_i8`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()`.
+pub fn gemm_i8_into(a: &MatI8, b: &MatI8, out: &mut MatI32) -> Result<()> {
     check_compatible("gemm_i8", a.shape(), b.shape())?;
     let (m, k) = a.shape();
     let n = b.cols();
-    let mut out = MatI32::zeros(m, n);
+    out.resize_reset(m, n);
     // Transpose-free inner loop ordering (i, p, j) keeps the access to `b` row-contiguous.
     for i in 0..m {
         let a_row = a.row(i);
@@ -54,7 +69,7 @@ pub fn gemm_i8(a: &MatI8, b: &MatI8) -> Result<MatI32> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Multiplies two f32 matrices.
@@ -63,10 +78,23 @@ pub fn gemm_i8(a: &MatI8, b: &MatI8) -> Result<MatI32> {
 ///
 /// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()`.
 pub fn gemm_f32(a: &MatF32, b: &MatF32) -> Result<MatF32> {
+    let mut out = MatF32::zeros(0, 0);
+    gemm_f32_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`gemm_f32`] writing into caller-provided storage (reshaped in place, reusing its
+/// backing allocation). Bit-identical to [`gemm_f32`]; used by the allocation-free logits
+/// path of the decode hot loop.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()`.
+pub fn gemm_f32_into(a: &MatF32, b: &MatF32, out: &mut MatF32) -> Result<()> {
     check_compatible("gemm_f32", a.shape(), b.shape())?;
     let (m, k) = a.shape();
     let n = b.cols();
-    let mut out = MatF32::zeros(m, n);
+    out.resize_reset(m, n);
     for i in 0..m {
         let a_row = a.row(i);
         let out_row = out.row_mut(i);
@@ -80,7 +108,7 @@ pub fn gemm_f32(a: &MatF32, b: &MatF32) -> Result<MatF32> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Multiplies an INT8 matrix by an INT8 vector (GEMV), producing INT32 accumulators.

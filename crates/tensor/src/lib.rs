@@ -24,6 +24,9 @@
 //!   the normalization-skew study (Fig. 5) and by synthetic-weight generation.
 //! * [`rng`] — deterministic random-number helpers so every experiment in the workspace is
 //!   reproducible from a seed.
+//! * [`workspace`] — [`Workspace`], the typed scratch arena behind the allocation-free
+//!   decode hot loop: quantized operands, accumulators, checksum vectors and activation
+//!   scratch are checked out of reusable pools instead of allocated per GEMM.
 //!
 //! # Example
 //!
@@ -57,6 +60,7 @@ pub mod partition;
 pub mod quant;
 pub mod rng;
 pub mod stats;
+pub mod workspace;
 
 mod error;
 
@@ -67,6 +71,7 @@ pub use error::TensorError;
 pub use matrix::{MatF32, MatI32, MatI8, Matrix};
 pub use partition::RowPartition;
 pub use quant::QuantParams;
+pub use workspace::Workspace;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TensorError>;

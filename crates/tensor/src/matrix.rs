@@ -50,6 +50,53 @@ impl<T: Copy + Default> Matrix<T> {
             data: vec![T::default(); rows * cols],
         }
     }
+
+    /// Reshapes the matrix to `rows × cols` leaving element values unspecified (old
+    /// contents or `T::default()` for any grown tail), reusing the backing allocation
+    /// whenever its capacity suffices.
+    ///
+    /// For `_into` consumers that overwrite **every** element (quantization, slicing,
+    /// normalization, embedding): skips the full zero-fill [`Matrix::resize_reset`] pays,
+    /// which matters once per checkout in the per-token hot loop. Never use it for a
+    /// destination built up incrementally (a GEMM accumulator needs `resize_reset`).
+    pub fn resize_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        let len = rows * cols;
+        if len <= self.data.len() {
+            self.data.truncate(len);
+            return;
+        }
+        if len > self.data.capacity() && self.data.capacity() > 0 {
+            self.data.reserve_exact(len.next_power_of_two());
+        }
+        self.data.resize(len, T::default());
+    }
+
+    /// Reshapes the matrix to `rows × cols` with every element reset to `T::default()`,
+    /// reusing the backing allocation whenever its capacity suffices.
+    ///
+    /// This is the in-place counterpart of [`Matrix::zeros`] used by the `_into` GEMM
+    /// paths: a workspace-pooled matrix passes through here once per checkout and never
+    /// touches the allocator as long as the pooled capacity covers the new shape.
+    pub fn resize_reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        let len = rows * cols;
+        if len > self.data.capacity() {
+            if self.data.capacity() > 0 {
+                // Power-of-two growth keeps a monotonically growing *reused* destination
+                // (attention scores lengthen every decode step) to O(log n)
+                // re-allocations total.
+                self.data.reserve_exact(len.next_power_of_two());
+            } else {
+                // A fresh matrix (the one-shot allocating wrappers) stays exact.
+                self.data.reserve_exact(len);
+            }
+        }
+        self.data.resize(len, T::default());
+    }
 }
 
 impl<T: Copy> Matrix<T> {
@@ -243,6 +290,40 @@ impl<T: Copy> Matrix<T> {
         })
     }
 
+    /// Appends `other`'s rows onto the end of `self` in place.
+    ///
+    /// The growth path of the KV cache: with capacity reserved up front, appending one
+    /// decoded token's keys/values never re-allocates. An empty `self` (0×0) adopts
+    /// `other`'s width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the column counts differ.
+    pub fn extend_rows(&mut self, other: &Self) -> Result<()> {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = other.cols;
+        }
+        if self.cols != other.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "Matrix::extend_rows",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
+        Ok(())
+    }
+
+    /// Reserves backing capacity for at least `rows` total rows of the current width
+    /// (no-op when the width is still unknown).
+    pub fn reserve_rows(&mut self, rows: usize) {
+        let want = rows * self.cols;
+        if want > self.data.capacity() {
+            self.data.reserve_exact(want - self.data.len());
+        }
+    }
+
     /// Vertically stacks `self` on top of `other`.
     ///
     /// # Errors
@@ -368,9 +449,58 @@ impl MatF32 {
         })
     }
 
+    /// Elementwise (Hadamard) product in place: `self[i] *= other[i]` (bit-identical to
+    /// [`MatF32::hadamard`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn hadamard_assign(&mut self, other: &Self) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "MatF32::hadamard_assign",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+        Ok(())
+    }
+
+    /// Elementwise addition in place: `self[i] += other[i]`.
+    ///
+    /// Bit-identical to [`MatF32::add`] (same per-element `a + b`), without the fresh
+    /// allocation — the residual-stream update of the workspace-threaded forward path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &Self) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "MatF32::add_assign",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
     /// Multiplies every element by a scalar.
     pub fn scale(&self, factor: f32) -> Self {
         self.map(|v| v * factor)
+    }
+
+    /// Multiplies every element by a scalar in place (bit-identical to [`MatF32::scale`]).
+    pub fn scale_in_place(&mut self, factor: f32) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
     }
 
     /// Maximum absolute value over all elements (0.0 for an empty matrix).

@@ -70,6 +70,20 @@ pub fn quantize_symmetric(x: &MatF32) -> (MatI8, f32) {
     (q, params.scale)
 }
 
+/// [`quantize_symmetric`] writing into caller-provided storage.
+///
+/// `q` is reshaped in place (reusing its backing allocation when the capacity suffices)
+/// and every element is overwritten; the returned scale is bit-identical to the allocating
+/// path. This is the per-GEMM activation quantization of the allocation-free decode loop.
+pub fn quantize_symmetric_into(x: &MatF32, q: &mut MatI8) -> f32 {
+    let params = QuantParams::from_abs_max(x.abs_max());
+    q.resize_overwrite(x.rows(), x.cols());
+    for (qv, &v) in q.iter_mut().zip(x.iter()) {
+        *qv = params.quantize(v);
+    }
+    params.scale
+}
+
 /// De-quantizes an INT8 matrix given its scale.
 pub fn dequantize(q: &MatI8, scale: f32) -> MatF32 {
     q.map(|v| v as f32 * scale)

@@ -107,10 +107,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.total_slots
     );
     println!(
-        "reliability: {} detections, {} recoveries ({:.2} detections/request)\n",
+        "reliability: {} detections, {} recoveries ({:.2} detections/request)",
         stats.detections,
         stats.recoveries,
         stats.detections_per_request()
+    );
+    println!(
+        "latency: decode p50 {:.0} us / p99 {:.0} us per lockstep step; \
+         scratch workspace high-water {:.1} KiB (steady-state, allocation-free)\n",
+        stats.decode_p50_us,
+        stats.decode_p99_us,
+        stats.workspace_high_water_bytes as f64 / 1024.0
     );
 
     println!(

@@ -1,0 +1,121 @@
+//! Proof that the workspace-planned decode hot loop is allocation-free after warmup.
+//!
+//! A counting global allocator wraps the system allocator; after a prefill plus enough
+//! decode steps to warm every workspace pool past the window's power-of-two capacity
+//! ceilings, a measured window of further decode steps must perform **zero** heap
+//! allocations — unprotected and under an always-on statistical-ABFT protector alike (the
+//! fault-free detection path reuses the protector's scratch buffers).
+//!
+//! The test pins the `Reference` backend: its `_into` kernels are the oracle every other
+//! backend is differentially tested against, and it spawns no worker threads whose stacks
+//! would muddy the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use realm::core::SchemeProtector;
+use realm::llm::model::argmax_with_margin;
+use realm::llm::{config::ModelConfig, model::Model, GemmHook, NoopHook};
+use realm::systolic::{Dataflow, ProtectionScheme, SystolicArray};
+use realm::tensor::{EngineKind, Workspace};
+
+/// Counts every allocation and reallocation routed through the global allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// A reference-backend model with a context window large enough that the measured decode
+/// window never crosses a workspace capacity ceiling mid-measurement.
+fn reference_model() -> Model {
+    let mut config = ModelConfig::tiny_opt();
+    config.engine = EngineKind::Reference;
+    config.max_seq_len = 256;
+    Model::new(&config, 42).unwrap()
+}
+
+/// Runs `steps` greedy decode steps through one long-lived workspace and returns the
+/// number of heap allocations the steps performed.
+fn count_decode_allocations(
+    model: &Model,
+    hook: &mut dyn GemmHook,
+    warmup: usize,
+    steps: usize,
+) -> u64 {
+    let mut ws = Workspace::new();
+    let (logits, mut cache) = model.prefill_ws(&[1, 2, 3, 4], hook, &mut ws).unwrap();
+    let (mut next, _) = argmax_with_margin(logits.row(logits.rows() - 1));
+    ws.recycle_mat_f32(logits);
+    let mut decode = |next: &mut u32, cache: &mut _, ws: &mut Workspace| {
+        let step_logits = model.decode_step_ws(*next, cache, hook, ws).unwrap();
+        let (n, _) = argmax_with_margin(&step_logits);
+        ws.recycle_vec_f32(step_logits);
+        ws.reset();
+        *next = n;
+    };
+    // Warmup: grows every pool to (power-of-two rounded) steady-state capacity. The
+    // window below stays under the next ceiling, so any allocation inside it is a bug.
+    for _ in 0..warmup {
+        decode(&mut next, &mut cache, &mut ws);
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..steps {
+        decode(&mut next, &mut cache, &mut ws);
+    }
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn decode_steps_after_warmup_allocate_nothing() {
+    let model = reference_model();
+    let sanity = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(sanity > 0, "the counting allocator is installed");
+    // Warmup to KV length 4 + 64 = 68: every length-dependent scratch buffer has crossed
+    // the 64-element ceiling and sits at a power-of-two capacity ≥ its demand through the
+    // whole 40-step window (length ≤ 108 < 128).
+    let allocations = count_decode_allocations(&model, &mut NoopHook, 64, 40);
+    assert_eq!(
+        allocations, 0,
+        "steady-state decode must perform zero heap allocations per step"
+    );
+}
+
+#[test]
+fn protected_decode_steps_after_warmup_allocate_nothing() {
+    // Always-on detection must stay cheap enough to leave on: the fault-free statistical
+    // ABFT inspection path (fused checksums + protector-owned scratch) is also
+    // allocation-free after warmup.
+    let model = reference_model();
+    let mut protector = SchemeProtector::with_default_regions(
+        ProtectionScheme::StatisticalAbft,
+        SystolicArray::small(Dataflow::WeightStationary),
+    );
+    let allocations = count_decode_allocations(&model, &mut protector, 64, 40);
+    assert_eq!(
+        allocations, 0,
+        "fault-free protected decode must perform zero heap allocations per step"
+    );
+}
