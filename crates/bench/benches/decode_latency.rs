@@ -94,6 +94,32 @@ fn bench_decode(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_decode_backends(c: &mut Criterion) {
+    // The same reused-workspace decode loop across GEMM backends: where the SIMD
+    // microkernel lands on GEMV-like decode shapes (the per-GEMM fixed costs shrink its
+    // relative win versus the 256³ headline, which is exactly why it is measured here).
+    let mut group = c.benchmark_group("decode_backends");
+    group.sample_size(15);
+    for kind in [
+        EngineKind::Reference,
+        EngineKind::Blocked,
+        EngineKind::Simd,
+        EngineKind::SimdParallel,
+    ] {
+        let mut config = ModelConfig::tiny_opt();
+        config.engine = kind;
+        config.max_seq_len = 128;
+        let model = Model::new(&config, 7).unwrap();
+        for batch in [1usize, 8] {
+            let mut ws = Workspace::new();
+            group.bench_function(format!("{}/b{batch}", kind.label()), |b| {
+                b.iter(|| run_decode(&model, batch, &mut ws));
+            });
+        }
+    }
+    group.finish();
+}
+
 fn report_decode_latency(_c: &mut Criterion) {
     // Not a timing benchmark: measures tokens/s for the committed `decode_latency`
     // section of BENCH_gemm.json and asserts the tentpole's >=1.10x contract at batch 1.
@@ -144,5 +170,10 @@ fn report_decode_latency(_c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_decode, report_decode_latency);
+criterion_group!(
+    benches,
+    bench_decode,
+    bench_decode_backends,
+    report_decode_latency
+);
 criterion_main!(benches);

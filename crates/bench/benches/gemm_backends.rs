@@ -1,17 +1,20 @@
-//! Backend comparison for the quantized GEMM hot path: Reference vs Blocked vs Parallel,
-//! and fused-checksum vs separate-pass checksums on each backend.
+//! Backend comparison for the quantized GEMM hot path: Reference vs Blocked vs Parallel vs
+//! the SIMD microkernel, and fused-checksum vs separate-pass checksums on each backend.
 //!
-//! This is the perf contract of the `GemmEngine` tentpole: `Parallel` must beat `Reference`
-//! on the paper-scale 256×256×256 INT8 GEMM, and the fused checksum pass must beat running
-//! the GEMM plus the old two-pass checksum functions. Run with
-//! `REALM_BENCH_JSON=BENCH_gemm.json cargo bench --bench gemm_backends` to refresh the
+//! This is the perf contract of the `GemmEngine` backends: `Parallel` must beat `Reference`
+//! and `Simd` must beat `Blocked` by ≥1.8× (asserted by `report_simd_speedup` whenever the
+//! AVX2 microkernel is dispatched) on the paper-scale 256×256×256 INT8 GEMM, and the fused
+//! checksum pass must beat running the GEMM plus the old two-pass checksum functions. Run
+//! with `REALM_BENCH_JSON=BENCH_gemm.json cargo bench --bench gemm_backends` to refresh the
 //! committed baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::Rng;
 use realm_abft::checksum;
 use realm_tensor::engine::EngineKind;
+use realm_tensor::simd::simd_dispatch_label;
 use realm_tensor::{rng, MatI8};
+use std::time::Instant;
 
 fn random_i8(seed: u64, rows: usize, cols: usize) -> MatI8 {
     let mut r = rng::seeded(seed);
@@ -72,7 +75,12 @@ fn bench_fused_decode_shape(c: &mut Criterion) {
     // matrix while the fused pass reads panels the multiply just touched.
     let a = random_i8(5, 4, 2048);
     let b = random_i8(6, 2048, 2048);
-    for kind in [EngineKind::Blocked, EngineKind::Parallel] {
+    for kind in [
+        EngineKind::Blocked,
+        EngineKind::Parallel,
+        EngineKind::Simd,
+        EngineKind::SimdParallel,
+    ] {
         let engine = kind.build();
         group.bench_function(format!("{}_fused", kind.label()), |bencher| {
             bencher.iter(|| engine.gemm_i8_checksummed(&a, &b).unwrap());
@@ -110,11 +118,56 @@ fn bench_detector_consumption(c: &mut Criterion) {
     group.finish();
 }
 
+fn report_simd_speedup(_c: &mut Criterion) {
+    // Not a timing benchmark: measures the SIMD microkernel against the blocked kernel at
+    // the paper-scale 256³ GEMM and asserts the tentpole's >=1.8x contract whenever the
+    // AVX2 path is dispatched. On hosts where the portable fallback runs, the measurement
+    // still prints (so regressions stay visible) but the assert is skipped — the contract
+    // is about the microkernel, not the autovectorizer's mood.
+    let n = 256usize;
+    let a = random_i8(9, n, n);
+    let b = random_i8(10, n, n);
+    let blocked = EngineKind::Blocked.build();
+    let simd = EngineKind::Simd.build();
+    let accelerated = realm_tensor::simd::simd_accelerated();
+    let best_of = |engine: &std::sync::Arc<dyn realm_tensor::GemmEngine>| {
+        for _ in 0..3 {
+            engine.gemm_i8(&a, &b).unwrap();
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..15 {
+            let start = Instant::now();
+            std::hint::black_box(engine.gemm_i8(&a, &b).unwrap());
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let blocked_s = best_of(&blocked);
+    let simd_s = best_of(&simd);
+    let speedup = blocked_s / simd_s;
+    println!(
+        "simd dispatch: {} — gemm_i8 256³: blocked {:.3} ms, simd {:.3} ms, {speedup:.2}x",
+        simd_dispatch_label(),
+        blocked_s * 1e3,
+        simd_s * 1e3,
+    );
+    if accelerated {
+        assert!(
+            speedup >= 1.8,
+            "AVX2 microkernel must deliver >=1.8x over the blocked kernel at 256³ \
+             (got {speedup:.2}x)"
+        );
+    } else {
+        println!("(>=1.8x assertion skipped: AVX2 path not dispatched on this run)");
+    }
+}
+
 criterion_group!(
     benches,
     bench_backends,
     bench_fused_vs_two_pass,
     bench_fused_decode_shape,
-    bench_detector_consumption
+    bench_detector_consumption,
+    report_simd_speedup
 );
 criterion_main!(benches);

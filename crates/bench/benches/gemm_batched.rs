@@ -14,9 +14,19 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use realm_core::SchemeProtector;
 use realm_llm::{config::ModelConfig, model::Model, NoopHook};
 use realm_systolic::{Dataflow, ProtectionScheme, SystolicArray};
+use realm_tensor::EngineKind;
 
 const BATCH: usize = 8;
 const PROMPT_LEN: usize = 16;
+
+/// Pinned to the blocked-parallel kernel: this bench contracts the batching layer's
+/// amortisation (inspections per token, prefill stacking), which must stay comparable
+/// across kernel changes rather than re-measure whatever the default GEMM backend is.
+fn scheduling_config() -> ModelConfig {
+    let mut config = ModelConfig::tiny_opt();
+    config.engine = EngineKind::Parallel;
+    config
+}
 
 fn prompts() -> Vec<Vec<u32>> {
     (0..BATCH)
@@ -36,7 +46,7 @@ fn protector() -> SchemeProtector {
 }
 
 fn bench_protected_prefill(c: &mut Criterion) {
-    let model = Model::new(&ModelConfig::tiny_opt(), 5).unwrap();
+    let model = Model::new(&scheduling_config(), 5).unwrap();
     let prompts = prompts();
     let mut group = c.benchmark_group("protected_prefill_b8");
     group.sample_size(15);
@@ -61,7 +71,7 @@ fn bench_protected_prefill(c: &mut Criterion) {
 
 fn bench_unprotected_prefill(c: &mut Criterion) {
     // Batching pays even without a protector: fewer, larger GEMMs per forward.
-    let model = Model::new(&ModelConfig::tiny_opt(), 5).unwrap();
+    let model = Model::new(&scheduling_config(), 5).unwrap();
     let prompts = prompts();
     let mut group = c.benchmark_group("unprotected_prefill_b8");
     group.sample_size(15);
@@ -81,7 +91,7 @@ fn bench_unprotected_prefill(c: &mut Criterion) {
 fn report_inspection_amortisation(_c: &mut Criterion) {
     // Not a timing benchmark: counts detector inspections per token for the committed
     // `batched_inference` baseline in BENCH_gemm.json.
-    let model = Model::new(&ModelConfig::tiny_opt(), 5).unwrap();
+    let model = Model::new(&scheduling_config(), 5).unwrap();
     let prompts = prompts();
     let tokens = (BATCH * PROMPT_LEN) as f64;
 

@@ -43,8 +43,9 @@ pub struct PipelineConfig {
     /// high bits); 16 matches the high-bit model used in the characterization.
     pub min_error_bit: u8,
     /// GEMM execution backend for the protector's recovery recomputation. All backends are
-    /// bit-exact, so this only changes how fast the sweeps run; it defaults to the parallel
-    /// backend like the models themselves.
+    /// bit-exact, so this only changes how fast the sweeps run; it defaults to
+    /// [`EngineKind::auto`] (the SIMD parallel backend on AVX2 hosts) like the models
+    /// themselves.
     pub engine: EngineKind,
     /// Number of sequences batched trials run together (see
     /// [`ProtectedPipeline::run_batched`]). `1` reproduces the sequential behaviour; larger
@@ -60,7 +61,7 @@ impl Default for PipelineConfig {
             energy: EnergyModel::default_14nm(),
             protected_component: None,
             min_error_bit: 16,
-            engine: EngineKind::Parallel,
+            engine: EngineKind::auto(),
             batch_size: 1,
         }
     }

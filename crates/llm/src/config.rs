@@ -53,7 +53,8 @@ pub struct ModelConfig {
     /// Magnitude gain of outlier channels relative to the bulk.
     pub outlier_gain: f32,
     /// GEMM execution backend the model's quantized datapath runs on. All backends are
-    /// bit-exact (see `realm_tensor::engine`), so this only changes wall-clock speed.
+    /// bit-exact (see `realm_tensor::engine`), so this only changes wall-clock speed; the
+    /// presets default to [`EngineKind::auto`] (the SIMD parallel backend on AVX2 hosts).
     pub engine: EngineKind,
 }
 
@@ -131,7 +132,7 @@ impl ModelConfig {
             max_seq_len: 64,
             outlier_fraction: 0.03,
             outlier_gain: 24.0,
-            engine: EngineKind::Parallel,
+            engine: EngineKind::auto(),
         }
     }
 
@@ -148,7 +149,7 @@ impl ModelConfig {
             max_seq_len: 64,
             outlier_fraction: 0.03,
             outlier_gain: 24.0,
-            engine: EngineKind::Parallel,
+            engine: EngineKind::auto(),
         }
     }
 
@@ -165,7 +166,7 @@ impl ModelConfig {
             max_seq_len: 64,
             outlier_fraction: 0.03,
             outlier_gain: 24.0,
-            engine: EngineKind::Parallel,
+            engine: EngineKind::auto(),
         }
     }
 
@@ -182,7 +183,7 @@ impl ModelConfig {
             max_seq_len: 32,
             outlier_fraction: 0.05,
             outlier_gain: 16.0,
-            engine: EngineKind::Parallel,
+            engine: EngineKind::auto(),
         }
     }
 
@@ -199,7 +200,7 @@ impl ModelConfig {
             max_seq_len: 32,
             outlier_fraction: 0.05,
             outlier_gain: 16.0,
-            engine: EngineKind::Parallel,
+            engine: EngineKind::auto(),
         }
     }
 

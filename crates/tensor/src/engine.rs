@@ -10,9 +10,12 @@
 //!   stay resident in L1/L2, with the inner loop written over slices so the compiler can
 //!   vectorise the i8→i32 widening multiply-accumulate;
 //! * [`ParallelEngine`] — the blocked kernel sharded over contiguous row chunks, one thread
-//!   per available core (scoped threads; small GEMMs fall through to the blocked kernel).
+//!   per available core (scoped threads; small GEMMs fall through to the blocked kernel);
+//! * [`crate::simd::SimdEngine`] / [`crate::simd::SimdParallelEngine`] — the AVX2
+//!   microkernel (runtime-detected, portable fallback) and its work-stealing sharded
+//!   composition, the default on hosts that support it (see [`EngineKind::auto`]).
 //!
-//! All three produce **bit-identical** accumulators: INT32/i64 additions are associative and
+//! All backends produce **bit-identical** accumulators: INT32/i64 additions are associative and
 //! commutative, so re-tiling and re-sharding the reduction cannot change a single bit (the
 //! operand domain keeps every accumulator far from `i32` overflow, see
 //! `gemm_i8_handles_saturating_range_without_overflow`).
@@ -164,6 +167,27 @@ impl ChecksummedGemm {
     pub fn msd(&self) -> i64 {
         self.column_deviations().iter().sum()
     }
+
+    /// Reshapes the bundle for an `m × n` fused pass into reused storage: accumulator
+    /// zeroed in place, both checksum vectors zeroed to `cols`, observed marked fresh.
+    ///
+    /// Every fused `gemm_i8_checksummed_into` kernel goes through here so the
+    /// four-field consistency invariant lives in exactly one place.
+    pub(crate) fn prepare(&mut self, rows: usize, cols: usize) {
+        self.acc.resize_reset(rows, cols);
+        self.expected.clear();
+        self.expected.resize(cols, 0);
+        self.observed.clear();
+        self.observed.resize(cols, 0);
+        self.observed_fresh = true;
+    }
+
+    /// Mutable views of the accumulator and checksum buffers for a fused kernel pass.
+    /// Unlike [`ChecksummedGemm::acc_mut`] this does **not** mark the observed checksum
+    /// stale: the fused pass establishes it together with the accumulator.
+    pub(crate) fn fused_parts_mut(&mut self) -> (&mut MatI32, &mut [i64], &mut [i64]) {
+        (&mut self.acc, &mut self.expected, &mut self.observed)
+    }
 }
 
 /// Column sums of an INT32 matrix in `i64` (the observed checksum `eᵀ·Y`).
@@ -224,10 +248,30 @@ pub fn accumulate_expected(etw: &[i64], b: &MatI8, expected: &mut [i64]) {
 /// `observed` receives `eᵀ·Y` folded in as each output panel is finalised. In a row-sharded
 /// run only one shard carries `expected` (the reduction is row-independent and must run
 /// exactly once), while every shard accumulates its rows' share of `observed`.
-struct FusedChecksums<'a> {
-    etw: &'a [i64],
-    expected: Option<&'a mut [i64]>,
-    observed: &'a mut [i64],
+pub(crate) struct FusedChecksums<'a> {
+    pub(crate) etw: &'a [i64],
+    pub(crate) expected: Option<&'a mut [i64]>,
+    pub(crate) observed: &'a mut [i64],
+}
+
+/// A GEMM kernel expressed as a pass over a contiguous band of output rows with
+/// optionally fused checksums — the unit the shared single-thread and work-stealing
+/// orchestration ([`checksummed_into_single`], [`sharded_gemm_i8_into`],
+/// [`sharded_checksummed_into`]) composes over, so the subtle dispatch and
+/// sharded-checksum-merge logic exists once no matter how many kernels plug in.
+pub(crate) trait RowKernel: Sync {
+    /// Accumulates `a[row_start..row_end] × b` into `out_band` — the matching rows of the
+    /// output, band-local and contiguous (`(row_end - row_start) × b.cols()`) — folding
+    /// the checksum reductions into the pass when `fused` is present.
+    fn run_rows(
+        &self,
+        a: &MatI8,
+        b: &MatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        fused: Option<FusedChecksums<'_>>,
+    );
 }
 
 /// One panel's share of the `(eᵀ·W)·X` reduction, over the cache-hot `B` panel
@@ -237,7 +281,7 @@ struct FusedChecksums<'a> {
 /// out-of-line so the checksum arithmetic cannot perturb register allocation in the
 /// multiply kernel itself.
 #[inline(never)]
-fn accumulate_expected_panel(
+pub(crate) fn accumulate_expected_panel(
     b: &MatI8,
     etw: &[i64],
     expected: &mut [i64],
@@ -343,7 +387,7 @@ pub trait GemmEngine: std::fmt::Debug + Send + Sync {
     }
 }
 
-fn check_compatible(op: &'static str, a: &MatI8, b: &MatI8) -> Result<()> {
+pub(crate) fn check_compatible(op: &'static str, a: &MatI8, b: &MatI8) -> Result<()> {
     if a.cols() != b.rows() {
         return Err(TensorError::ShapeMismatch {
             op,
@@ -585,30 +629,28 @@ impl GemmEngine for BlockedEngine {
         dest: &mut ChecksummedGemm,
         etw_scratch: &mut Vec<i64>,
     ) -> Result<()> {
-        check_compatible("BlockedEngine::gemm_i8_checksummed", a, b)?;
-        // `eᵀ·W` first (one streaming pass over the small operand); the `(eᵀ·W)·X` and
-        // `eᵀ·Y` reductions then ride inside the tiled GEMM pass itself.
-        operand_col_sums_into(a, etw_scratch);
-        dest.acc.resize_reset(a.rows(), b.cols());
-        dest.expected.clear();
-        dest.expected.resize(b.cols(), 0);
-        dest.observed.clear();
-        dest.observed.resize(b.cols(), 0);
-        dest.observed_fresh = true;
-        let (acc, expected, observed) = (&mut dest.acc, &mut dest.expected, &mut dest.observed);
-        self.run_rows(
+        checksummed_into_single(
+            self,
+            "BlockedEngine::gemm_i8_checksummed",
             a,
             b,
-            acc.as_mut_slice(),
-            0,
-            a.rows(),
-            Some(FusedChecksums {
-                etw: etw_scratch,
-                expected: Some(expected),
-                observed,
-            }),
-        );
-        Ok(())
+            dest,
+            etw_scratch,
+        )
+    }
+}
+
+impl RowKernel for BlockedEngine {
+    fn run_rows(
+        &self,
+        a: &MatI8,
+        b: &MatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        fused: Option<FusedChecksums<'_>>,
+    ) {
+        BlockedEngine::run_rows(self, a, b, out_band, row_start, row_end, fused)
     }
 }
 
@@ -668,6 +710,64 @@ fn carve_chunks(
     chunks
 }
 
+/// Effective worker count for a row-sharded GEMM: `threads` if pinned, else one per
+/// available core, clamped to the row count. Shared by [`ParallelEngine`] and
+/// [`crate::simd::SimdParallelEngine`].
+pub(crate) fn worker_count(threads: Option<usize>, rows: usize) -> usize {
+    // `available_parallelism` re-reads cgroup limits from the filesystem on every call on
+    // Linux — tens of microseconds, i.e. longer than an entire decode-shape GEMM. The
+    // process's CPU budget does not change mid-run, so resolve it once.
+    static AVAILABLE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let hw = threads.unwrap_or_else(|| {
+        *AVAILABLE.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    });
+    hw.max(1).min(rows.max(1))
+}
+
+/// Work-stealing dispatch: carves `out` into fine-grained row chunks and spawns `workers`
+/// scoped threads that repeatedly claim the next unclaimed chunk via an atomic counter and
+/// run `shard` on it. Each worker's `T` accumulates across all the chunks it claimed
+/// (built by `init`, folded by `shard`); the per-worker values are returned at join for
+/// the caller to merge. The scheduling layer is kernel-agnostic — [`ParallelEngine`] runs
+/// the blocked kernel inside the chunks, [`crate::simd::SimdParallelEngine`] the SIMD
+/// microkernel.
+pub(crate) fn steal_row_chunks<T: Send>(
+    out: &mut MatI32,
+    workers: usize,
+    init: impl Fn() -> T + Sync,
+    shard: impl Fn(&mut T, usize, usize, &mut [i32]) + Sync,
+) -> Vec<T> {
+    let rows = out.rows();
+    let chunk_rows = rows.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let chunks = carve_chunks(out, chunk_rows);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (chunks, next, init, shard) = (&chunks, &next, &init, &shard);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut carry = init();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(slot) = chunks.get(i) else { break };
+                        let (s, e, band) = slot
+                            .lock()
+                            .expect("chunk slot poisoned")
+                            .take()
+                            .expect("each chunk index is claimed exactly once");
+                        shard(&mut carry, s, e, band);
+                    }
+                    carry
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("GEMM shard panicked"))
+            .collect()
+    })
+}
+
 impl ParallelEngine {
     /// A parallel engine over the default blocked kernel, one worker per core.
     pub fn new() -> Self {
@@ -681,56 +781,141 @@ impl ParallelEngine {
             threads: Some(threads.max(1)),
         }
     }
+}
 
-    fn worker_count(&self, rows: usize) -> usize {
-        let hw = self
-            .threads
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-        hw.max(1).min(rows.max(1))
-    }
+/// Single-thread fused-checksum GEMM into caller storage: the shared body of every
+/// non-sharded `gemm_i8_checksummed_into` (`eᵀ·W` first in one streaming pass over the
+/// small operand, then the `(eᵀ·W)·X` and `eᵀ·Y` reductions ride the kernel pass itself).
+pub(crate) fn checksummed_into_single<K: RowKernel>(
+    kernel: &K,
+    op: &'static str,
+    a: &MatI8,
+    b: &MatI8,
+    dest: &mut ChecksummedGemm,
+    etw_scratch: &mut Vec<i64>,
+) -> Result<()> {
+    check_compatible(op, a, b)?;
+    operand_col_sums_into(a, etw_scratch);
+    dest.prepare(a.rows(), b.cols());
+    let (acc, expected, observed) = dest.fused_parts_mut();
+    kernel.run_rows(
+        a,
+        b,
+        acc.as_mut_slice(),
+        0,
+        a.rows(),
+        Some(FusedChecksums {
+            etw: etw_scratch,
+            expected: Some(expected),
+            observed,
+        }),
+    );
+    Ok(())
+}
 
-    /// Work-stealing dispatch: carves `out` into fine-grained row chunks and spawns
-    /// `workers` scoped threads that repeatedly claim the next unclaimed chunk via an atomic
-    /// counter and run `shard` on it. Each worker's `T` accumulates across all the chunks it
-    /// claimed (built by `init`, folded by `shard`); the per-worker values are returned at
-    /// join for the caller to merge.
-    fn steal_chunks<T: Send>(
-        &self,
-        out: &mut MatI32,
-        workers: usize,
-        init: impl Fn() -> T + Sync,
-        shard: impl Fn(&mut T, usize, usize, &mut [i32]) + Sync,
-    ) -> Vec<T> {
-        let rows = out.rows();
-        let chunk_rows = rows.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
-        let chunks = carve_chunks(out, chunk_rows);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let (chunks, next, init, shard) = (&chunks, &next, &init, &shard);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(move || {
-                        let mut carry = init();
-                        loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            let Some(slot) = chunks.get(i) else { break };
-                            let (s, e, band) = slot
-                                .lock()
-                                .expect("chunk slot poisoned")
-                                .take()
-                                .expect("each chunk index is claimed exactly once");
-                            shard(&mut carry, s, e, band);
-                        }
-                        carry
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("GEMM shard panicked"))
-                .collect()
-        })
+/// Work-stealing sharded GEMM over any [`RowKernel`]: the shared orchestration of
+/// [`ParallelEngine`] and [`crate::simd::SimdParallelEngine`]. GEMMs below
+/// [`PARALLEL_MIN_MACS`] run the kernel inline without touching thread metadata —
+/// decode-shape GEMMs never pay dispatch cost.
+pub(crate) fn sharded_gemm_i8_into<K: RowKernel>(
+    kernel: &K,
+    threads: Option<usize>,
+    op: &'static str,
+    a: &MatI8,
+    b: &MatI8,
+    out: &mut MatI32,
+) -> Result<()> {
+    check_compatible(op, a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    out.resize_reset(m, n);
+    if m * k * n < PARALLEL_MIN_MACS {
+        kernel.run_rows(a, b, out.as_mut_slice(), 0, m, None);
+        return Ok(());
     }
+    let workers = worker_count(threads, m);
+    if workers <= 1 {
+        kernel.run_rows(a, b, out.as_mut_slice(), 0, m, None);
+        return Ok(());
+    }
+    // Workers steal disjoint row chunks of the output and write them in place.
+    steal_row_chunks(
+        out,
+        workers,
+        || (),
+        |(), s, e, band| {
+            kernel.run_rows(a, b, band, s, e, None);
+        },
+    );
+    Ok(())
+}
+
+/// Work-stealing sharded fused-checksum GEMM over any [`RowKernel`].
+///
+/// The operand checksum needs every row, so it runs (cheaply) before the shards; the
+/// `(eᵀ·W)·X` reduction is row-independent and is fused into whichever claimed chunk
+/// starts at row 0 — exactly one chunk does, whoever steals it. Every shard accumulates
+/// its rows' share of `eᵀ·Y`; the partials are summed at join. Per-worker partials still
+/// allocate inside the scoped threads — caller-provided scratch cannot cross the spawn —
+/// but this path only runs for GEMMs big enough to shard, never the GEMV-like decode
+/// shapes the allocation-free loop cares about.
+pub(crate) fn sharded_checksummed_into<K: RowKernel>(
+    kernel: &K,
+    threads: Option<usize>,
+    op: &'static str,
+    a: &MatI8,
+    b: &MatI8,
+    dest: &mut ChecksummedGemm,
+    etw_scratch: &mut Vec<i64>,
+) -> Result<()> {
+    check_compatible(op, a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if m * k * n < PARALLEL_MIN_MACS {
+        return checksummed_into_single(kernel, op, a, b, dest, etw_scratch);
+    }
+    let workers = worker_count(threads, m);
+    if workers <= 1 {
+        return checksummed_into_single(kernel, op, a, b, dest, etw_scratch);
+    }
+    operand_col_sums_into(a, etw_scratch);
+    let etw: &[i64] = etw_scratch;
+    dest.prepare(m, n);
+    let (acc, expected, observed) = dest.fused_parts_mut();
+    let shards = steal_row_chunks(
+        acc,
+        workers,
+        || (None::<Vec<i64>>, vec![0i64; n]),
+        |(shard_expected, shard_observed), s, e, band| {
+            let expected_here = if s == 0 {
+                *shard_expected = Some(vec![0i64; n]);
+                shard_expected.as_deref_mut()
+            } else {
+                None
+            };
+            kernel.run_rows(
+                a,
+                b,
+                band,
+                s,
+                e,
+                Some(FusedChecksums {
+                    etw,
+                    expected: expected_here,
+                    observed: shard_observed,
+                }),
+            );
+        },
+    );
+    for (shard_expected, shard_observed) in shards {
+        if let Some(shard_expected) = shard_expected {
+            expected.copy_from_slice(&shard_expected);
+        }
+        for (acc, v) in observed.iter_mut().zip(shard_observed) {
+            *acc += v;
+        }
+    }
+    Ok(())
 }
 
 impl GemmEngine for ParallelEngine {
@@ -745,24 +930,14 @@ impl GemmEngine for ParallelEngine {
     }
 
     fn gemm_i8_into(&self, a: &MatI8, b: &MatI8, out: &mut MatI32) -> Result<()> {
-        check_compatible("ParallelEngine::gemm_i8", a, b)?;
-        let (m, k) = a.shape();
-        let n = b.cols();
-        let workers = self.worker_count(m);
-        if workers <= 1 || m * k * n < PARALLEL_MIN_MACS {
-            return self.inner.gemm_i8_into(a, b, out);
-        }
-        out.resize_reset(m, n);
-        // Workers steal disjoint row chunks of the output and write them in place.
-        self.steal_chunks(
+        sharded_gemm_i8_into(
+            &self.inner,
+            self.threads,
+            "ParallelEngine::gemm_i8",
+            a,
+            b,
             out,
-            workers,
-            || (),
-            |(), s, e, band| {
-                self.inner.run_rows(a, b, band, s, e, None);
-            },
-        );
-        Ok(())
+        )
     }
 
     fn gemm_i8_checksummed(&self, a: &MatI8, b: &MatI8) -> Result<ChecksummedGemm> {
@@ -779,85 +954,63 @@ impl GemmEngine for ParallelEngine {
         dest: &mut ChecksummedGemm,
         etw_scratch: &mut Vec<i64>,
     ) -> Result<()> {
-        check_compatible("ParallelEngine::gemm_i8_checksummed", a, b)?;
-        let (m, k) = a.shape();
-        let n = b.cols();
-        let workers = self.worker_count(m);
-        if workers <= 1 || m * k * n < PARALLEL_MIN_MACS {
-            return self.inner.gemm_i8_checksummed_into(a, b, dest, etw_scratch);
-        }
-        // The operand checksum needs every row, so it runs (cheaply) before the shards; the
-        // `(eᵀ·W)·X` reduction is row-independent and is fused into whichever claimed chunk
-        // starts at row 0 — exactly one chunk does, whoever steals it. Per-worker partials
-        // still allocate inside the scoped threads — caller-provided scratch cannot cross
-        // the spawn — but this path only runs for GEMMs big enough to shard, never the
-        // GEMV-like decode shapes the allocation-free loop cares about.
-        operand_col_sums_into(a, etw_scratch);
-        let etw: &[i64] = etw_scratch;
-        dest.acc.resize_reset(m, n);
-        let shards = self.steal_chunks(
-            &mut dest.acc,
-            workers,
-            || (None::<Vec<i64>>, vec![0i64; n]),
-            |(expected, observed), s, e, band| {
-                let expected_here = if s == 0 {
-                    *expected = Some(vec![0i64; n]);
-                    expected.as_deref_mut()
-                } else {
-                    None
-                };
-                self.inner.run_rows(
-                    a,
-                    b,
-                    band,
-                    s,
-                    e,
-                    Some(FusedChecksums {
-                        etw,
-                        expected: expected_here,
-                        observed,
-                    }),
-                );
-            },
-        );
-        dest.expected.clear();
-        dest.expected.resize(n, 0);
-        dest.observed.clear();
-        dest.observed.resize(n, 0);
-        dest.observed_fresh = true;
-        for (shard_expected, shard_observed) in shards {
-            if let Some(shard_expected) = shard_expected {
-                dest.expected.copy_from_slice(&shard_expected);
-            }
-            for (acc, v) in dest.observed.iter_mut().zip(shard_observed) {
-                *acc += v;
-            }
-        }
-        Ok(())
+        sharded_checksummed_into(
+            &self.inner,
+            self.threads,
+            "ParallelEngine::gemm_i8_checksummed",
+            a,
+            b,
+            dest,
+            etw_scratch,
+        )
     }
 }
 
 /// Selector for a GEMM backend, carried by model and pipeline configurations.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
+///
+/// `Default` resolves to [`EngineKind::auto`]: the SIMD microkernel sharded over
+/// work-stealing chunks when the host CPU supports it, the blocked parallel kernel
+/// otherwise — so configurations that never mention an engine automatically ride the
+/// fastest bit-exact backend available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum EngineKind {
     /// The scalar oracle loop.
     Reference,
     /// The cache-tiled single-thread kernel.
     Blocked,
-    /// The row-sharded parallel kernel (the workspace default).
-    #[default]
+    /// The blocked kernel sharded over work-stealing row chunks.
     Parallel,
+    /// The SIMD microkernel (AVX2 with runtime detection, portable fallback otherwise).
+    Simd,
+    /// The SIMD microkernel sharded over work-stealing row chunks (the workspace default
+    /// on hosts with AVX2, see [`EngineKind::auto`]).
+    SimdParallel,
 }
 
 impl EngineKind {
     /// All selectable backends, in oracle → fastest order.
-    pub const ALL: [EngineKind; 3] = [
+    pub const ALL: [EngineKind; 5] = [
         EngineKind::Reference,
         EngineKind::Blocked,
         EngineKind::Parallel,
+        EngineKind::Simd,
+        EngineKind::SimdParallel,
     ];
+
+    /// Accepted names for [`EngineKind::from_str`], quoted in its error message.
+    pub const NAMES: &'static str = "reference (alias: ref), blocked, parallel, simd, \
+                                     simd_parallel (alias: simd-parallel)";
+
+    /// The best backend the host supports: [`EngineKind::SimdParallel`] when the AVX2
+    /// microkernel will be dispatched (see [`crate::simd::simd_accelerated`]), otherwise
+    /// [`EngineKind::Parallel`]. This is what every default configuration resolves to.
+    pub fn auto() -> EngineKind {
+        if crate::simd::simd_accelerated() {
+            EngineKind::SimdParallel
+        } else {
+            EngineKind::Parallel
+        }
+    }
 
     /// Instantiates the backend with its default parameters.
     pub fn build(self) -> Arc<dyn GemmEngine> {
@@ -865,6 +1018,8 @@ impl EngineKind {
             EngineKind::Reference => Arc::new(ReferenceEngine),
             EngineKind::Blocked => Arc::new(BlockedEngine::new()),
             EngineKind::Parallel => Arc::new(ParallelEngine::new()),
+            EngineKind::Simd => Arc::new(crate::simd::SimdEngine::new()),
+            EngineKind::SimdParallel => Arc::new(crate::simd::SimdParallelEngine::new()),
         }
     }
 
@@ -874,7 +1029,15 @@ impl EngineKind {
             EngineKind::Reference => "reference",
             EngineKind::Blocked => "blocked",
             EngineKind::Parallel => "parallel",
+            EngineKind::Simd => "simd",
+            EngineKind::SimdParallel => "simd_parallel",
         }
+    }
+}
+
+impl Default for EngineKind {
+    fn default() -> Self {
+        Self::auto()
     }
 }
 
@@ -892,21 +1055,24 @@ impl FromStr for EngineKind {
             "reference" | "ref" => Ok(EngineKind::Reference),
             "blocked" => Ok(EngineKind::Blocked),
             "parallel" => Ok(EngineKind::Parallel),
+            "simd" => Ok(EngineKind::Simd),
+            "simd_parallel" | "simd-parallel" => Ok(EngineKind::SimdParallel),
             other => Err(TensorError::InvalidDimension {
                 op: "EngineKind::from_str",
                 detail: format!(
-                    "unknown GEMM backend '{other}' (expected reference|blocked|parallel)"
+                    "unknown GEMM backend '{other}' (expected one of: {})",
+                    EngineKind::NAMES
                 ),
             }),
         }
     }
 }
 
-/// The process-wide default engine (the [`EngineKind::Parallel`] backend), shared so that
-/// hot paths do not rebuild thread metadata per call.
+/// The process-wide default engine — [`EngineKind::auto`], i.e. the SIMD parallel backend
+/// on AVX2 hosts — shared so that hot paths do not rebuild thread metadata per call.
 pub fn default_engine() -> Arc<dyn GemmEngine> {
     static DEFAULT: std::sync::OnceLock<Arc<dyn GemmEngine>> = std::sync::OnceLock::new();
-    DEFAULT.get_or_init(|| EngineKind::Parallel.build()).clone()
+    DEFAULT.get_or_init(|| EngineKind::auto().build()).clone()
 }
 
 #[cfg(test)]
@@ -929,6 +1095,10 @@ mod tests {
             Arc::new(BlockedEngine::with_tiles(3, 5)),
             Arc::new(ParallelEngine::new()),
             Arc::new(ParallelEngine::with_threads(3)),
+            Arc::new(crate::simd::SimdEngine::new()),
+            Arc::new(crate::simd::SimdEngine::portable()),
+            Arc::new(crate::simd::SimdParallelEngine::new()),
+            Arc::new(crate::simd::SimdParallelEngine::with_threads(3)),
         ]
     }
 
@@ -1057,8 +1227,24 @@ mod tests {
             assert_eq!(kind.build().name(), kind.label());
         }
         assert_eq!("ref".parse::<EngineKind>().unwrap(), EngineKind::Reference);
-        assert!("simd".parse::<EngineKind>().is_err());
-        assert_eq!(EngineKind::default(), EngineKind::Parallel);
-        assert_eq!(default_engine().name(), "parallel");
+        assert_eq!("simd".parse::<EngineKind>().unwrap(), EngineKind::Simd);
+        assert_eq!(
+            "simd-parallel".parse::<EngineKind>().unwrap(),
+            EngineKind::SimdParallel
+        );
+        let err = "systolic".parse::<EngineKind>().unwrap_err().to_string();
+        for name in ["reference", "blocked", "parallel", "simd", "simd_parallel"] {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+        // The default is host-dependent: the SIMD parallel backend when the AVX2
+        // microkernel dispatches, the blocked parallel backend otherwise.
+        assert_eq!(EngineKind::default(), EngineKind::auto());
+        let expected = if crate::simd::simd_accelerated() {
+            EngineKind::SimdParallel
+        } else {
+            EngineKind::Parallel
+        };
+        assert_eq!(EngineKind::auto(), expected);
+        assert_eq!(default_engine().name(), EngineKind::auto().label());
     }
 }

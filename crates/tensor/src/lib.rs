@@ -14,6 +14,9 @@
 //!   including the fused-checksum variant that computes the ABFT column checksums inside the
 //!   GEMM pass. Every consumer in the workspace routes its quantized GEMMs through a
 //!   [`GemmEngine`] handle selected by [`EngineKind`].
+//! * [`simd`] — the AVX2 i8 microkernel backend ([`SimdEngine`], [`SimdParallelEngine`])
+//!   behind runtime feature detection with a portable fallback; the process-wide default on
+//!   hosts that support it ([`EngineKind::auto`]).
 //! * [`partition`] — [`RowPartition`], the row-range → sequence map that batched inference
 //!   uses to stack many sequences into one GEMM while keeping quantization scales and ABFT
 //!   attribution per-sequence.
@@ -59,6 +62,7 @@ pub mod matrix;
 pub mod partition;
 pub mod quant;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 pub mod workspace;
 
@@ -71,6 +75,7 @@ pub use error::TensorError;
 pub use matrix::{MatF32, MatI32, MatI8, Matrix};
 pub use partition::RowPartition;
 pub use quant::QuantParams;
+pub use simd::{SimdEngine, SimdParallelEngine};
 pub use workspace::Workspace;
 
 /// Crate-wide result alias.

@@ -1,0 +1,763 @@
+//! SIMD i8 GEMM microkernel backend with fused ABFT checksums and runtime dispatch.
+//!
+//! [`SimdEngine`] is the fastest single-thread backend in the workspace: an x86-64 AVX2
+//! microkernel built on `core::arch` intrinsics, selected at **runtime** via
+//! `is_x86_feature_detected!` so one binary runs everywhere — hosts without AVX2 (or runs
+//! with the `REALM_FORCE_SCALAR=1` override) fall back to a portable unrolled-chunk kernel
+//! with the identical loop structure. [`SimdParallelEngine`] shards the same microkernel
+//! over [`crate::engine::ParallelEngine`]'s work-stealing row chunks, so batched prefill
+//! and serving-scale GEMMs get the SIMD win on every core.
+//!
+//! # The microkernel
+//!
+//! The register tile is **4 rows × 16 columns**, accumulated in eight `i32×8` vector
+//! registers across the full depth `k`. The depth dimension advances two rows of `B` at a
+//! time (a *dot-product pair*):
+//!
+//! 1. 16 `i8` of `B[p]` and `B[p+1]` are widened to `i16` (`vpmovsxbw`) and interleaved
+//!    (`vpunpcklwd`/`vpunpckhwd`) into column pairs `(B[p][j], B[p+1][j])`;
+//! 2. the matching activation pair `(A[i][p], A[i][p+1])` is broadcast as a packed `i16`
+//!    pair;
+//! 3. `vpmaddwd` multiplies the `i16` pairs and adds each pair in `i32`:
+//!    `A[i][p]·B[p][j] + A[i][p+1]·B[p+1][j]` — **exact** for every `i8` input, since each
+//!    product is at most `128² = 16384` and the pair sum at most `2¹⁵`, far inside `i32`.
+//!
+//! An odd depth tail pairs the final `B` row with a zero vector, so `k` need not be a
+//! multiple of the SIMD width; column tails (`n mod 16`) run through the portable kernel,
+//! which is bit-identical (integer accumulation is order-invariant).
+//!
+//! ## Why `vpmaddwd` and not the `vpmaddubsw` offset trick
+//!
+//! The classic i8 dot-product idiom multiplies **unsigned×signed** bytes with `vpmaddubsw`
+//! after offsetting one operand by +128 and correcting afterwards. That idiom is *not*
+//! exact over the full i8 range: `vpmaddubsw` saturates its `i16` pair sum, and with an
+//! offset operand at 255 against weights at `i8::MIN` the true pair sum (−65280) is far
+//! below `i16::MIN`, so saturation fires and the +128 correction cannot restore the lost
+//! bits. Statistical ABFT admits no tolerance on the INT32 accumulator, so this backend
+//! widens to `i16` first and pays one extra shuffle per `B` pair — bit-exact for
+//! `i8::MIN` (and everything else) by construction, which `tests/backend_parity.rs` and
+//! the adversarial suite in `tests/properties.rs` pin down.
+//!
+//! # Fused checksums, in-register
+//!
+//! The observed ABFT checksum `eᵀ·Y` is reduced **from the same registers that produced
+//! `Y`**: as each row's final 16-column tile leaves its accumulator registers, its `i32`
+//! lanes are widened (`vpmovsxdq`) and added onto four `i64×4` column-sum registers that
+//! persist across the whole row loop of the column block — no second pass over the output.
+//! The operand-side checksum `(eᵀ·W)·X` cannot ride the accumulator registers (its `i64`
+//! weights exceed what AVX2 can multiply lane-wise), so it runs as a single row-major
+//! streaming pass over `B` — the layout the scalar i64 multiply-add vectorizes and
+//! prefetches best at, measurably faster than stripe-local walks on tall decode-shape
+//! weights.
+
+use crate::engine::{
+    accumulate_expected_panel, check_compatible, checksummed_into_single, sharded_checksummed_into,
+    sharded_gemm_i8_into, ChecksummedGemm, FusedChecksums, GemmEngine, RowKernel,
+};
+use crate::{MatI32, MatI8, Result};
+
+/// Width (output columns) of the SIMD register tile.
+pub const SIMD_TILE_COLS: usize = 16;
+/// Height (output rows) of the SIMD register tile.
+pub const SIMD_TILE_ROWS: usize = 4;
+
+/// Environment variable that forces the portable fallback kernel even when the CPU
+/// supports the AVX2 microkernel. Any non-empty value other than `0` counts as set; CI
+/// uses it to keep both dispatch paths green on AVX2 runners.
+pub const FORCE_SCALAR_ENV: &str = "REALM_FORCE_SCALAR";
+
+fn force_scalar() -> bool {
+    std::env::var_os(FORCE_SCALAR_ENV).is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+/// Returns `true` when the accelerated microkernel will be dispatched: the host CPU
+/// reports AVX2 and [`FORCE_SCALAR_ENV`] is not set.
+pub fn simd_accelerated() -> bool {
+    !force_scalar() && avx2_available()
+}
+
+/// Human-readable description of what the runtime dispatch selected, for benchmark and
+/// example output (bench numbers are uninterpretable without knowing which path ran).
+pub fn simd_dispatch_label() -> &'static str {
+    if force_scalar() {
+        "portable (REALM_FORCE_SCALAR set)"
+    } else if avx2_available() {
+        "avx2"
+    } else {
+        "portable (no AVX2 on this host)"
+    }
+}
+
+/// The SIMD microkernel backend: AVX2 when the CPU supports it, portable otherwise.
+///
+/// Dispatch is decided once at construction ([`SimdEngine::new`]) and carried by the
+/// engine value, so the per-GEMM hot path never re-reads the environment or CPUID.
+/// Both paths are bit-identical to [`crate::engine::ReferenceEngine`] on accumulators and
+/// fused checksums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdEngine {
+    accelerated: bool,
+}
+
+impl SimdEngine {
+    /// A SIMD engine using the best kernel the host supports (runtime detection).
+    pub fn new() -> Self {
+        Self {
+            accelerated: simd_accelerated(),
+        }
+    }
+
+    /// A SIMD engine pinned to the portable fallback kernel, regardless of host support.
+    ///
+    /// Used by the differential tests so the fallback path is exercised even on AVX2
+    /// hosts; equivalent to constructing under [`FORCE_SCALAR_ENV`].
+    pub fn portable() -> Self {
+        Self { accelerated: false }
+    }
+
+    /// Whether this engine dispatches the AVX2 microkernel (`false` = portable fallback).
+    pub fn is_accelerated(&self) -> bool {
+        self.accelerated
+    }
+
+    /// Microkernel pass over a contiguous row range `[row_start, row_end)` of `a`,
+    /// accumulating into `out_band` (the matching band of the output, see
+    /// [`crate::engine::BlockedEngine::run_rows`] for the band contract). When `fused` is
+    /// present the checksum reductions ride the pass: `eᵀ·Y` from the accumulator
+    /// registers as each tile is finalised, `(eᵀ·W)·X` from the cache-hot `B` stripes.
+    pub(crate) fn run_rows(
+        &self,
+        a: &MatI8,
+        b: &MatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        fused: Option<FusedChecksums<'_>>,
+    ) {
+        let mut fused = fused;
+        #[cfg(target_arch = "x86_64")]
+        if self.accelerated {
+            // SAFETY: `accelerated` is only set when AVX2 was detected at construction.
+            unsafe { avx2::run_rows(a, b, out_band, row_start, row_end, &mut fused) };
+            return;
+        }
+        portable::run_cols(a, b, out_band, row_start, row_end, 0, b.cols(), &mut fused);
+    }
+}
+
+impl Default for SimdEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GemmEngine for SimdEngine {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn gemm_i8(&self, a: &MatI8, b: &MatI8) -> Result<MatI32> {
+        let mut out = MatI32::zeros(0, 0);
+        self.gemm_i8_into(a, b, &mut out)?;
+        Ok(out)
+    }
+
+    fn gemm_i8_into(&self, a: &MatI8, b: &MatI8, out: &mut MatI32) -> Result<()> {
+        check_compatible("SimdEngine::gemm_i8", a, b)?;
+        out.resize_reset(a.rows(), b.cols());
+        self.run_rows(a, b, out.as_mut_slice(), 0, a.rows(), None);
+        Ok(())
+    }
+
+    fn gemm_i8_checksummed(&self, a: &MatI8, b: &MatI8) -> Result<ChecksummedGemm> {
+        let mut dest = ChecksummedGemm::empty();
+        let mut etw = Vec::new();
+        self.gemm_i8_checksummed_into(a, b, &mut dest, &mut etw)?;
+        Ok(dest)
+    }
+
+    fn gemm_i8_checksummed_into(
+        &self,
+        a: &MatI8,
+        b: &MatI8,
+        dest: &mut ChecksummedGemm,
+        etw_scratch: &mut Vec<i64>,
+    ) -> Result<()> {
+        checksummed_into_single(
+            self,
+            "SimdEngine::gemm_i8_checksummed",
+            a,
+            b,
+            dest,
+            etw_scratch,
+        )
+    }
+}
+
+impl RowKernel for SimdEngine {
+    fn run_rows(
+        &self,
+        a: &MatI8,
+        b: &MatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        fused: Option<FusedChecksums<'_>>,
+    ) {
+        SimdEngine::run_rows(self, a, b, out_band, row_start, row_end, fused)
+    }
+}
+
+/// The SIMD microkernel sharded over work-stealing row chunks — the composition of
+/// [`SimdEngine`] with [`crate::engine::ParallelEngine`]'s scheduling, and the
+/// process-wide default on AVX2 hosts (see [`crate::engine::EngineKind::auto`]).
+///
+/// Small GEMMs (below [`crate::engine::PARALLEL_MIN_MACS`]) run the microkernel inline on the calling
+/// thread, so GEMV-like decode shapes stay on the allocation-free single-thread path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdParallelEngine {
+    inner: SimdEngine,
+    /// Explicit worker count; `None` means one per available core.
+    pub threads: Option<usize>,
+}
+
+impl SimdParallelEngine {
+    /// A parallel SIMD engine with runtime kernel detection, one worker per core.
+    pub fn new() -> Self {
+        Self {
+            inner: SimdEngine::new(),
+            threads: None,
+        }
+    }
+
+    /// A parallel SIMD engine with an explicit worker count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            inner: SimdEngine::new(),
+            threads: Some(threads.max(1)),
+        }
+    }
+
+    /// A parallel engine pinned to the portable fallback kernel (for differential tests).
+    pub fn portable() -> Self {
+        Self {
+            inner: SimdEngine::portable(),
+            threads: None,
+        }
+    }
+
+    /// Whether the sharded microkernel is the AVX2 path (`false` = portable fallback).
+    pub fn is_accelerated(&self) -> bool {
+        self.inner.is_accelerated()
+    }
+}
+
+impl Default for SimdParallelEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GemmEngine for SimdParallelEngine {
+    fn name(&self) -> &'static str {
+        "simd_parallel"
+    }
+
+    fn gemm_i8(&self, a: &MatI8, b: &MatI8) -> Result<MatI32> {
+        let mut out = MatI32::zeros(0, 0);
+        self.gemm_i8_into(a, b, &mut out)?;
+        Ok(out)
+    }
+
+    fn gemm_i8_into(&self, a: &MatI8, b: &MatI8, out: &mut MatI32) -> Result<()> {
+        sharded_gemm_i8_into(
+            &self.inner,
+            self.threads,
+            "SimdParallelEngine::gemm_i8",
+            a,
+            b,
+            out,
+        )
+    }
+
+    fn gemm_i8_checksummed(&self, a: &MatI8, b: &MatI8) -> Result<ChecksummedGemm> {
+        let mut dest = ChecksummedGemm::empty();
+        let mut etw = Vec::new();
+        self.gemm_i8_checksummed_into(a, b, &mut dest, &mut etw)?;
+        Ok(dest)
+    }
+
+    fn gemm_i8_checksummed_into(
+        &self,
+        a: &MatI8,
+        b: &MatI8,
+        dest: &mut ChecksummedGemm,
+        etw_scratch: &mut Vec<i64>,
+    ) -> Result<()> {
+        sharded_checksummed_into(
+            &self.inner,
+            self.threads,
+            "SimdParallelEngine::gemm_i8_checksummed",
+            a,
+            b,
+            dest,
+            etw_scratch,
+        )
+    }
+}
+
+/// Portable unrolled-chunk fallback: the same 16-column blocks and depth-pair structure as
+/// the AVX2 microkernel, in scalar `i32` arithmetic over a stack tile — no heap scratch,
+/// so the zero-allocation decode contract holds on every host. The compiler's
+/// autovectorizer gets clean slice-to-slice loops; even fully scalar the results are
+/// bit-identical (exact integer accumulation is order-invariant).
+mod portable {
+    use super::{accumulate_expected_panel, FusedChecksums, MatI8, SIMD_TILE_COLS};
+
+    /// Column-chunked kernel over rows `[row_start, row_end)` and columns
+    /// `[col_start, col_end)`; also serves as the column-tail handler of the AVX2 path.
+    #[allow(clippy::too_many_arguments)] // mirrors the band contract of `run_rows` kernels
+    pub(super) fn run_cols(
+        a: &MatI8,
+        b: &MatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        col_start: usize,
+        col_end: usize,
+        fused: &mut Option<FusedChecksums<'_>>,
+    ) {
+        let k = a.cols();
+        let n = b.cols();
+        // Operand-side checksum over the whole column range in one row-major pass (see the
+        // AVX2 kernel for why stripe-local walks are cache-hostile here).
+        if let Some(FusedChecksums {
+            etw,
+            expected: Some(expected),
+            ..
+        }) = fused
+        {
+            accumulate_expected_panel(b, etw, expected, (0, k), (col_start, col_end));
+        }
+        let mut jc = col_start;
+        while jc < col_end {
+            let jc_end = (jc + SIMD_TILE_COLS).min(col_end);
+            let width = jc_end - jc;
+            for i in row_start..row_end {
+                let a_row = a.row(i);
+                let mut tile = [0i32; SIMD_TILE_COLS];
+                let tile = &mut tile[..width];
+                let mut p = 0;
+                // Depth pairs, mirroring the `vpmaddwd` pairing of the AVX2 kernel.
+                while p + 2 <= k {
+                    let a0 = a_row[p] as i32;
+                    let a1 = a_row[p + 1] as i32;
+                    if (a0 | a1) != 0 {
+                        let b0 = &b.row(p)[jc..jc_end];
+                        let b1 = &b.row(p + 1)[jc..jc_end];
+                        for ((t, &v0), &v1) in tile.iter_mut().zip(b0).zip(b1) {
+                            *t += a0 * v0 as i32 + a1 * v1 as i32;
+                        }
+                    }
+                    p += 2;
+                }
+                // Odd depth tail (the AVX2 kernel pairs it with a zero vector).
+                if p < k {
+                    let a0 = a_row[p] as i32;
+                    if a0 != 0 {
+                        for (t, &v0) in tile.iter_mut().zip(&b.row(p)[jc..jc_end]) {
+                            *t += a0 * v0 as i32;
+                        }
+                    }
+                }
+                let band_row = (i - row_start) * n;
+                let out_seg = &mut out_band[band_row + jc..band_row + jc_end];
+                for (o, &t) in out_seg.iter_mut().zip(tile.iter()) {
+                    *o += t;
+                }
+                // Output-side checksum from the freshly finalised tile values.
+                if let Some(FusedChecksums { observed, .. }) = fused {
+                    for (s, &v) in observed[jc..jc_end].iter_mut().zip(out_seg.iter()) {
+                        *s += v as i64;
+                    }
+                }
+            }
+            jc = jc_end;
+        }
+    }
+}
+
+/// The AVX2 microkernel. Every function carries `#[target_feature(enable = "avx2")]` and
+/// is only reachable through [`SimdEngine::run_rows`]'s detection-guarded dispatch.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{
+        accumulate_expected_panel, portable, FusedChecksums, MatI8, SIMD_TILE_COLS, SIMD_TILE_ROWS,
+    };
+    use std::arch::x86_64::*;
+
+    /// SIMD-width microkernel over full 16-column blocks; the `n mod 16` column tail and
+    /// its checksum shares run through the bit-identical portable kernel.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn run_rows(
+        a: &MatI8,
+        b: &MatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        fused: &mut Option<FusedChecksums<'_>>,
+    ) {
+        let k = a.cols();
+        let n = b.cols();
+        let n_simd = n - n % SIMD_TILE_COLS;
+        // Operand-side checksum `(eᵀ·W)·X` over the SIMD-width columns, as one row-major
+        // streaming pass over `B`. Unlike the output side this reduction cannot ride the
+        // accumulator registers (AVX2 has no 64-bit lane multiply and `eᵀ·W` weights
+        // exceed i32), and walking it in 16-column stripes re-streams `B` with a
+        // cache-hostile access pattern — full contiguous rows are what the i64
+        // multiply-add vectorizes and prefetches best at.
+        if let Some(FusedChecksums {
+            etw,
+            expected: Some(expected),
+            ..
+        }) = fused
+        {
+            accumulate_expected_panel(b, etw, expected, (0, k), (0, n_simd));
+        }
+        let mut jc = 0;
+        while jc < n_simd {
+            let observed = fused
+                .as_mut()
+                .map(|f| &mut f.observed[jc..jc + SIMD_TILE_COLS]);
+            col_block(a, b, out_band, row_start, row_end, jc, observed);
+            jc += SIMD_TILE_COLS;
+        }
+        if n_simd < n {
+            portable::run_cols(a, b, out_band, row_start, row_end, n_simd, n, fused);
+        }
+    }
+
+    /// One 16-column block over all rows of the band. The observed-checksum column sums
+    /// live in four `i64×4` registers across the entire row loop and are added onto
+    /// `observed` exactly once at the end — the output-side checksum never re-reads `Y`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 and `jc + 16 <= b.cols()`.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)] // mirrors the band contract of `run_rows` kernels
+    unsafe fn col_block(
+        a: &MatI8,
+        b: &MatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        jc: usize,
+        observed: Option<&mut [i64]>,
+    ) {
+        let mut obs = [_mm256_setzero_si256(); 4];
+        let track = observed.is_some();
+        let mut i = row_start;
+        while i + SIMD_TILE_ROWS <= row_end {
+            if track {
+                tile::<SIMD_TILE_ROWS, true>(a, b, out_band, row_start, i, jc, &mut obs);
+            } else {
+                tile::<SIMD_TILE_ROWS, false>(a, b, out_band, row_start, i, jc, &mut obs);
+            }
+            i += SIMD_TILE_ROWS;
+        }
+        macro_rules! row_tail {
+            ($r:literal) => {
+                if track {
+                    tile::<$r, true>(a, b, out_band, row_start, i, jc, &mut obs)
+                } else {
+                    tile::<$r, false>(a, b, out_band, row_start, i, jc, &mut obs)
+                }
+            };
+        }
+        match row_end - i {
+            1 => row_tail!(1),
+            2 => row_tail!(2),
+            3 => row_tail!(3),
+            _ => {}
+        }
+        if let Some(observed) = observed {
+            let mut lanes = [0i64; SIMD_TILE_COLS];
+            for (q, &vec) in obs.iter().enumerate() {
+                _mm256_storeu_si256(lanes.as_mut_ptr().add(4 * q) as *mut __m256i, vec);
+            }
+            for (s, &v) in observed.iter_mut().zip(&lanes) {
+                *s += v;
+            }
+        }
+    }
+
+    /// An `R × 16` register tile accumulated over the full depth in eight (at `R = 4`)
+    /// `i32×8` registers, two depth steps per `vpmaddwd`. When `FUSED`, each row's final
+    /// tile is widened lane-wise (`vpmovsxdq`) into the block's observed-checksum
+    /// registers before the accumulators are retired — the "reduce from the same
+    /// registers" half of the fused-checksum contract.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2, `i + R <= a.rows()` and `jc + 16 <= b.cols()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn tile<const R: usize, const FUSED: bool>(
+        a: &MatI8,
+        b: &MatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        i: usize,
+        jc: usize,
+        obs: &mut [__m256i; 4],
+    ) {
+        let k = a.cols();
+        let n = b.cols();
+        let zero = _mm256_setzero_si256();
+        let mut acc_lo = [zero; R];
+        let mut acc_hi = [zero; R];
+        let a_rows: [&[i8]; R] = std::array::from_fn(|r| a.row(i + r));
+        let mut p = 0;
+        while p + 2 <= k {
+            // Widen two B rows to i16 and interleave into (B[p][j], B[p+1][j]) pairs.
+            // The unpacks stay within 128-bit lanes, so the accumulator lanes carry the
+            // columns in the fixed order {0-3, 8-11} / {4-7, 12-15}; one cross-lane
+            // permute at retirement restores linear order.
+            let b0 = load_extend(b.row(p).as_ptr().add(jc));
+            let b1 = load_extend(b.row(p + 1).as_ptr().add(jc));
+            let pairs_lo = _mm256_unpacklo_epi16(b0, b1);
+            let pairs_hi = _mm256_unpackhi_epi16(b0, b1);
+            for r in 0..R {
+                let w = pair_weights(a_rows[r][p], a_rows[r][p + 1]);
+                acc_lo[r] = _mm256_add_epi32(acc_lo[r], _mm256_madd_epi16(pairs_lo, w));
+                acc_hi[r] = _mm256_add_epi32(acc_hi[r], _mm256_madd_epi16(pairs_hi, w));
+            }
+            p += 2;
+        }
+        if p < k {
+            // Odd depth tail: pair the last B row with zeros so the same madd runs.
+            let b0 = load_extend(b.row(p).as_ptr().add(jc));
+            let pairs_lo = _mm256_unpacklo_epi16(b0, zero);
+            let pairs_hi = _mm256_unpackhi_epi16(b0, zero);
+            for r in 0..R {
+                let w = pair_weights(a_rows[r][p], 0);
+                acc_lo[r] = _mm256_add_epi32(acc_lo[r], _mm256_madd_epi16(pairs_lo, w));
+                acc_hi[r] = _mm256_add_epi32(acc_hi[r], _mm256_madd_epi16(pairs_hi, w));
+            }
+        }
+        for r in 0..R {
+            // Restore linear column order: acc_lo = {0-3 | 8-11}, acc_hi = {4-7 | 12-15}.
+            let res0 = _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x20);
+            let res1 = _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x31);
+            let band_row = (i + r - row_start) * n;
+            let out_ptr = out_band.as_mut_ptr().add(band_row + jc);
+            let final0 = _mm256_add_epi32(_mm256_loadu_si256(out_ptr as *const __m256i), res0);
+            let final1 =
+                _mm256_add_epi32(_mm256_loadu_si256(out_ptr.add(8) as *const __m256i), res1);
+            _mm256_storeu_si256(out_ptr as *mut __m256i, final0);
+            _mm256_storeu_si256(out_ptr.add(8) as *mut __m256i, final1);
+            if FUSED {
+                // eᵀ·Y share of this row, straight from the retiring registers.
+                obs[0] = _mm256_add_epi64(
+                    obs[0],
+                    _mm256_cvtepi32_epi64(_mm256_castsi256_si128(final0)),
+                );
+                obs[1] = _mm256_add_epi64(
+                    obs[1],
+                    _mm256_cvtepi32_epi64(_mm256_extracti128_si256(final0, 1)),
+                );
+                obs[2] = _mm256_add_epi64(
+                    obs[2],
+                    _mm256_cvtepi32_epi64(_mm256_castsi256_si128(final1)),
+                );
+                obs[3] = _mm256_add_epi64(
+                    obs[3],
+                    _mm256_cvtepi32_epi64(_mm256_extracti128_si256(final1, 1)),
+                );
+            }
+        }
+    }
+
+    /// 16 `i8` loaded and sign-extended to 16 `i16` lanes.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 and that `ptr..ptr+16` is in bounds.
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_extend(ptr: *const i8) -> __m256i {
+        _mm256_cvtepi8_epi16(_mm_loadu_si128(ptr as *const __m128i))
+    }
+
+    /// The activation pair `(a0, a1)` broadcast as packed `i16` pairs: one `vpmaddwd`
+    /// against an interleaved B-pair register yields `a0·B[p][j] + a1·B[p+1][j]` per lane.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn pair_weights(a0: i8, a1: i8) -> __m256i {
+        let packed = ((a1 as i16 as u16 as u32) << 16) | (a0 as i16 as u16 as u32);
+        _mm256_set1_epi32(packed as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ReferenceEngine;
+    use crate::rng;
+    use rand::Rng;
+
+    fn random_pair(seed: u64, m: usize, k: usize, n: usize) -> (MatI8, MatI8) {
+        let mut r = rng::seeded(seed);
+        let a = MatI8::from_fn(m, k, |_, _| r.gen_range(-128i16..=127) as i8);
+        let b = MatI8::from_fn(k, n, |_, _| r.gen_range(-128i16..=127) as i8);
+        (a, b)
+    }
+
+    fn simd_engines() -> Vec<Box<dyn GemmEngine>> {
+        vec![
+            Box::new(SimdEngine::new()),
+            Box::new(SimdEngine::portable()),
+            Box::new(SimdParallelEngine::new()),
+            Box::new(SimdParallelEngine::portable()),
+            Box::new(SimdParallelEngine::with_threads(3)),
+        ]
+    }
+
+    #[test]
+    fn simd_matches_reference_across_ragged_shapes() {
+        // Shapes chosen to hit every dispatch edge: depth tails (odd k), column tails
+        // (n mod 16), row tails (m mod 4), degenerate vectors, and a parallel-size GEMM.
+        for (seed, (m, k, n)) in [
+            (1, (1, 1, 1)),
+            (2, (4, 2, 16)),
+            (3, (5, 3, 17)),
+            (4, (7, 65, 31)),
+            (5, (3, 16, 48)),
+            (6, (1, 301, 1)),
+            (7, (130, 64, 96)),
+        ]
+        .into_iter()
+        {
+            let (a, b) = random_pair(seed, m, k, n);
+            let oracle = ReferenceEngine
+                .gemm_i8_checksummed_two_pass(&a, &b)
+                .unwrap();
+            for engine in simd_engines() {
+                let fused = engine.gemm_i8_checksummed(&a, &b).unwrap();
+                assert_eq!(fused.acc(), oracle.acc(), "{} {m}x{k}x{n}", engine.name());
+                assert_eq!(
+                    fused.expected(),
+                    oracle.expected(),
+                    "{} {m}x{k}x{n}",
+                    engine.name()
+                );
+                assert_eq!(
+                    fused.observed(),
+                    oracle.observed(),
+                    "{} {m}x{k}x{n}",
+                    engine.name()
+                );
+                assert_eq!(
+                    engine.gemm_i8(&a, &b).unwrap(),
+                    *oracle.acc(),
+                    "{} plain {m}x{k}x{n}",
+                    engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_is_exact_at_the_int8_rails() {
+        // The i8::MIN × i8::MIN corner is exactly where the pmaddubsw offset trick
+        // saturates; the widening kernel must stay exact there.
+        for &(m, k, n) in &[(4, 64, 32), (3, 33, 17), (1, 127, 16)] {
+            for fill in [(-128i8, -128i8), (127, 127), (-128, 127), (127, -128)] {
+                let a = MatI8::filled(m, k, fill.0);
+                let b = MatI8::filled(k, n, fill.1);
+                let oracle = ReferenceEngine
+                    .gemm_i8_checksummed_two_pass(&a, &b)
+                    .unwrap();
+                for engine in simd_engines() {
+                    let fused = engine.gemm_i8_checksummed(&a, &b).unwrap();
+                    assert_eq!(fused.acc(), oracle.acc(), "{} {fill:?}", engine.name());
+                    assert_eq!(fused.expected(), oracle.expected(), "{}", engine.name());
+                    assert_eq!(fused.observed(), oracle.observed(), "{}", engine.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn into_paths_accumulate_nothing_stale_from_reused_destinations() {
+        let (a1, b1) = random_pair(40, 9, 20, 33);
+        let (a2, b2) = random_pair(41, 3, 7, 5);
+        for engine in simd_engines() {
+            let mut out = MatI32::zeros(0, 0);
+            let mut dest = ChecksummedGemm::empty();
+            let mut etw = Vec::new();
+            // Large shape first, then a smaller one into the same buffers: any stale
+            // carry-over (missed reset) shows up immediately.
+            engine.gemm_i8_into(&a1, &b1, &mut out).unwrap();
+            engine.gemm_i8_into(&a2, &b2, &mut out).unwrap();
+            assert_eq!(
+                out,
+                ReferenceEngine.gemm_i8(&a2, &b2).unwrap(),
+                "{}",
+                engine.name()
+            );
+            engine
+                .gemm_i8_checksummed_into(&a1, &b1, &mut dest, &mut etw)
+                .unwrap();
+            engine
+                .gemm_i8_checksummed_into(&a2, &b2, &mut dest, &mut etw)
+                .unwrap();
+            let oracle = ReferenceEngine
+                .gemm_i8_checksummed_two_pass(&a2, &b2)
+                .unwrap();
+            assert_eq!(dest.acc(), oracle.acc(), "{}", engine.name());
+            assert_eq!(dest.expected(), oracle.expected(), "{}", engine.name());
+            assert_eq!(dest.observed(), oracle.observed(), "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = MatI8::zeros(2, 3);
+        let b = MatI8::zeros(4, 2);
+        for engine in simd_engines() {
+            assert!(engine.gemm_i8(&a, &b).is_err(), "{}", engine.name());
+            assert!(
+                engine.gemm_i8_checksummed(&a, &b).is_err(),
+                "{}",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_label_is_consistent_with_detection() {
+        // Can't mutate the environment safely in-process; just pin the invariants.
+        let engine = SimdEngine::new();
+        assert_eq!(engine.is_accelerated(), simd_accelerated());
+        assert!(!SimdEngine::portable().is_accelerated());
+        assert!(!SimdParallelEngine::portable().is_accelerated());
+        assert!(!simd_dispatch_label().is_empty());
+    }
+}

@@ -21,6 +21,13 @@ use realm::llm::{config::ModelConfig, model::Model, Component, Stage};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = Model::new(&ModelConfig::opt_1_3b_proxy(), 7)?;
+    // Injection trials re-run GEMMs constantly; name the backend the default dispatch
+    // picked so the campaign wall-clock is interpretable.
+    println!(
+        "gemm backend: {} (simd dispatch: {})\n",
+        model.engine().name(),
+        realm::tensor::simd::simd_dispatch_label()
+    );
     let task = WikitextTask::quick(model.language(), 7);
     let config = StudyConfig {
         trials: 6,

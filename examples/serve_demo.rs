@@ -26,10 +26,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..ServeConfig::default()
     };
     println!(
-        "serving {} on {} slots (queue aging: 1 priority level per {} steps)\n",
+        "serving {} on {} slots (queue aging: 1 priority level per {} steps)",
         model.config().name,
         config.slots,
         config.aging_steps
+    );
+    // Name the GEMM backend the default dispatch picked: throughput numbers from this
+    // demo are uninterpretable without knowing which kernel actually ran.
+    println!(
+        "gemm backend: {} (simd dispatch: {})\n",
+        model.engine().name(),
+        realm::tensor::simd::simd_dispatch_label()
     );
 
     // A faulty datapath: transient bit-30 flips on ~0.5% of GEMMs. Protected requests

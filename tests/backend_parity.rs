@@ -13,7 +13,7 @@ use realm::llm::{config::ModelConfig, model::Model, NoopHook};
 use realm::tensor::engine::{
     BlockedEngine, EngineKind, GemmEngine, ParallelEngine, ReferenceEngine,
 };
-use realm::tensor::{rng, MatI8};
+use realm::tensor::{rng, MatI8, SimdEngine, SimdParallelEngine};
 use std::sync::Arc;
 
 fn all_engines() -> Vec<Arc<dyn GemmEngine>> {
@@ -24,6 +24,12 @@ fn all_engines() -> Vec<Arc<dyn GemmEngine>> {
         Arc::new(BlockedEngine::with_tiles(7, 13)),
         Arc::new(ParallelEngine::new()),
         Arc::new(ParallelEngine::with_threads(5)),
+        // Host-detected SIMD dispatch plus the pinned portable fallback, so both kernel
+        // paths are differentially tested on every machine.
+        Arc::new(SimdEngine::new()),
+        Arc::new(SimdEngine::portable()),
+        Arc::new(SimdParallelEngine::new()),
+        Arc::new(SimdParallelEngine::with_threads(5)),
     ]
 }
 
@@ -35,8 +41,9 @@ fn random_operands(seed: u64, m: usize, k: usize, n: usize) -> (MatI8, MatI8) {
 }
 
 /// Ragged and degenerate shapes: single rows/columns/depth, sizes that are not multiples of
-/// any tile dimension, and shapes crossing the parallel-dispatch threshold.
-const SHAPES: [(usize, usize, usize); 10] = [
+/// any tile dimension (including the SIMD kernel's depth-pair width and 16-column tile),
+/// and shapes crossing the parallel-dispatch threshold.
+const SHAPES: [(usize, usize, usize); 12] = [
     (1, 1, 1),
     (1, 37, 1),
     (9, 1, 11),
@@ -47,6 +54,8 @@ const SHAPES: [(usize, usize, usize); 10] = [
     (65, 129, 257),
     (128, 67, 255),
     (96, 512, 96),
+    (5, 3, 16),
+    (4, 16, 48),
 ];
 
 #[test]

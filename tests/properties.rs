@@ -10,8 +10,9 @@ use realm::abft::detector::AbftDetector;
 use realm::abft::{checksum, ApproxAbft, ClassicalAbft, CriticalRegion, StatisticalAbft};
 use realm::inject::{error_model::ErrorModel, error_model::MagFreqModel, VoltageBerCurve};
 use realm::systolic::{Dataflow, EnergyModel, SystolicArray};
+use realm::tensor::engine::{GemmEngine, ReferenceEngine};
 use realm::tensor::rng::SeededRng;
-use realm::tensor::{gemm, quant, rng, MatF32, MatI8};
+use realm::tensor::{gemm, quant, rng, MatF32, MatI8, SimdEngine, SimdParallelEngine};
 
 const CASES: usize = 48;
 
@@ -22,6 +23,148 @@ fn arb_operands(r: &mut SeededRng, max_dim: usize) -> (MatI8, MatI8) {
     let w = MatI8::from_fn(m, k, |_, _| r.gen_range(-60i8..=60));
     let x = MatI8::from_fn(k, n, |_, _| r.gen_range(-60i8..=60));
     (w, x)
+}
+
+/// Every construction of the SIMD microkernel backend, AVX2-dispatched and portable alike.
+fn simd_engines() -> Vec<Box<dyn GemmEngine>> {
+    vec![
+        Box::new(SimdEngine::new()),
+        Box::new(SimdEngine::portable()),
+        Box::new(SimdParallelEngine::new()),
+        Box::new(SimdParallelEngine::portable()),
+        Box::new(SimdParallelEngine::with_threads(3)),
+    ]
+}
+
+/// Asserts accumulator and fused checksums of every SIMD engine are bit-identical to the
+/// scalar oracle on the given operands.
+fn assert_simd_matches_reference(a: &MatI8, b: &MatI8, context: &str) {
+    let oracle = ReferenceEngine.gemm_i8_checksummed_two_pass(a, b).unwrap();
+    for engine in simd_engines() {
+        assert_eq!(
+            engine.gemm_i8(a, b).unwrap(),
+            *oracle.acc(),
+            "{} accumulator diverged: {context}",
+            engine.name()
+        );
+        let fused = engine.gemm_i8_checksummed(a, b).unwrap();
+        assert_eq!(
+            fused.acc(),
+            oracle.acc(),
+            "{} checksummed accumulator diverged: {context}",
+            engine.name()
+        );
+        assert_eq!(
+            fused.expected(),
+            oracle.expected(),
+            "{} expected checksum diverged: {context}",
+            engine.name()
+        );
+        assert_eq!(
+            fused.observed(),
+            oracle.observed(),
+            "{} observed checksum diverged: {context}",
+            engine.name()
+        );
+    }
+}
+
+/// The SIMD microkernel is bit-identical to the scalar oracle on random full-range
+/// operands over shapes drawn to straddle every dispatch edge: depth pairs (odd/even `k`),
+/// the 16-column SIMD width, the 4-row register tile, and the parallel-dispatch threshold.
+#[test]
+fn simd_backend_matches_reference_on_random_operands() {
+    let mut r = rng::seeded(0xB1);
+    for case in 0..CASES {
+        let m = r.gen_range(1usize..40);
+        let k = r.gen_range(1usize..70);
+        let n = r.gen_range(1usize..70);
+        let a = MatI8::from_fn(m, k, |_, _| r.gen_range(-128i16..=127) as i8);
+        let b = MatI8::from_fn(k, n, |_, _| r.gen_range(-128i16..=127) as i8);
+        assert_simd_matches_reference(&a, &b, &format!("case {case}: {m}x{k}x{n}"));
+    }
+}
+
+/// Adversarial rail patterns: every operand element at an INT8 extreme, in the layouts
+/// that break the `pmaddubsw` offset trick (`i8::MIN` pairs whose offset products saturate
+/// i16) — the widening kernel must stay exact on all of them.
+#[test]
+fn simd_backend_is_exact_on_saturating_rail_patterns() {
+    type FillFn = fn(usize, usize) -> i8;
+    let fills: [(&str, FillFn); 5] = [
+        ("all MIN", |_, _| i8::MIN),
+        ("all MAX", |_, _| i8::MAX),
+        ("column-alternating MIN/MAX", |_, c| {
+            if c % 2 == 0 {
+                i8::MIN
+            } else {
+                i8::MAX
+            }
+        }),
+        ("row-alternating MIN/MAX", |r, _| {
+            if r % 2 == 0 {
+                i8::MIN
+            } else {
+                i8::MAX
+            }
+        }),
+        ("checkerboard", |r, c| {
+            if (r + c) % 2 == 0 {
+                i8::MIN
+            } else {
+                i8::MAX
+            }
+        }),
+    ];
+    // Depths straddle the pair width (odd/even) and the shapes straddle the 16-column and
+    // 4-row tile boundaries.
+    for &(m, k, n) in &[(4, 64, 32), (5, 33, 17), (3, 2, 16), (7, 127, 48)] {
+        for (name_a, fill_a) in fills {
+            for (name_b, fill_b) in fills {
+                let a = MatI8::from_fn(m, k, fill_a);
+                let b = MatI8::from_fn(k, n, fill_b);
+                assert_simd_matches_reference(
+                    &a,
+                    &b,
+                    &format!("{m}x{k}x{n}, A = {name_a}, B = {name_b}"),
+                );
+            }
+        }
+    }
+}
+
+/// Depths that are not a multiple of the SIMD pair width (and widths not a multiple of the
+/// 16-column tile) exercise the zero-padded depth tail and the portable column tail.
+#[test]
+fn simd_backend_handles_non_multiple_simd_widths() {
+    let mut r = rng::seeded(0xB2);
+    for k in [1usize, 2, 3, 5, 15, 16, 17, 31, 32, 33, 63, 65] {
+        for n in [1usize, 7, 15, 16, 17, 48, 49] {
+            let m = r.gen_range(1usize..9);
+            let a = MatI8::from_fn(m, k, |_, _| r.gen_range(-128i16..=127) as i8);
+            let b = MatI8::from_fn(k, n, |_, _| r.gen_range(-128i16..=127) as i8);
+            assert_simd_matches_reference(&a, &b, &format!("{m}x{k}x{n}"));
+        }
+    }
+}
+
+/// Degenerate 1×N and N×1 shapes (single-row activations, single-column projections) hit
+/// the row-tail tiles and single-lane stores.
+#[test]
+fn simd_backend_handles_degenerate_vector_shapes() {
+    let mut r = rng::seeded(0xB3);
+    for &(m, k, n) in &[
+        (1, 64, 300),
+        (1, 1, 17),
+        (300, 64, 1),
+        (1, 257, 1),
+        (2, 1, 1),
+        (1, 16, 16),
+    ] {
+        let a = MatI8::from_fn(m, k, |_, _| r.gen_range(-128i16..=127) as i8);
+        let b = MatI8::from_fn(k, n, |_, _| r.gen_range(-128i16..=127) as i8);
+        assert_simd_matches_reference(&a, &b, &format!("{m}x{k}x{n}"));
+    }
 }
 
 /// Classical ABFT detects every single additive error, wherever it lands and whatever its

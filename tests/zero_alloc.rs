@@ -6,9 +6,11 @@
 //! allocations — unprotected and under an always-on statistical-ABFT protector alike (the
 //! fault-free detection path reuses the protector's scratch buffers).
 //!
-//! The test pins the `Reference` backend: its `_into` kernels are the oracle every other
-//! backend is differentially tested against, and it spawns no worker threads whose stacks
-//! would muddy the count.
+//! The test pins two backends: `Reference` (its `_into` kernels are the oracle every other
+//! backend is differentially tested against) and `Simd` (the microkernel keeps its tile in
+//! stack registers and must not allocate packing scratch per call). Neither spawns worker
+//! threads whose stacks would muddy the count. Under `REALM_FORCE_SCALAR=1` the Simd tests
+//! prove the same contract for the portable fallback kernel.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -48,13 +50,17 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-/// A reference-backend model with a context window large enough that the measured decode
-/// window never crosses a workspace capacity ceiling mid-measurement.
-fn reference_model() -> Model {
+/// A model on the given backend with a context window large enough that the measured
+/// decode window never crosses a workspace capacity ceiling mid-measurement.
+fn model_on(engine: EngineKind) -> Model {
     let mut config = ModelConfig::tiny_opt();
-    config.engine = EngineKind::Reference;
+    config.engine = engine;
     config.max_seq_len = 256;
     Model::new(&config, 42).unwrap()
+}
+
+fn reference_model() -> Model {
+    model_on(EngineKind::Reference)
 }
 
 /// Runs `steps` greedy decode steps through one long-lived workspace and returns the
@@ -100,6 +106,34 @@ fn decode_steps_after_warmup_allocate_nothing() {
     assert_eq!(
         allocations, 0,
         "steady-state decode must perform zero heap allocations per step"
+    );
+}
+
+#[test]
+fn simd_decode_steps_after_warmup_allocate_nothing() {
+    // The SIMD backend's `_into` kernels keep their register tile on the stack and have no
+    // packing buffers at all, so the allocation-free contract extends to it verbatim —
+    // on both dispatch paths (AVX2 here; the portable fallback under the CI leg that sets
+    // REALM_FORCE_SCALAR=1).
+    let model = model_on(EngineKind::Simd);
+    let allocations = count_decode_allocations(&model, &mut NoopHook, 64, 40);
+    assert_eq!(
+        allocations, 0,
+        "steady-state SIMD decode must perform zero heap allocations per step"
+    );
+}
+
+#[test]
+fn simd_protected_decode_steps_after_warmup_allocate_nothing() {
+    let model = model_on(EngineKind::Simd);
+    let mut protector = SchemeProtector::with_default_regions(
+        ProtectionScheme::StatisticalAbft,
+        SystolicArray::small(Dataflow::WeightStationary),
+    );
+    let allocations = count_decode_allocations(&model, &mut protector, 64, 40);
+    assert_eq!(
+        allocations, 0,
+        "fault-free protected SIMD decode must perform zero heap allocations per step"
     );
 }
 
