@@ -15,7 +15,7 @@
 //! All checksum arithmetic is carried out in `i64`: operands are INT8 and accumulators INT32,
 //! so exact sums fit comfortably and cannot themselves overflow.
 
-use realm_tensor::{engine, MatI32, MatI8, RowPartition};
+use realm_tensor::{engine, MatI32, MatI8, PackedMatI8, RowPartition};
 
 /// Column sums of the INT8 left operand: `eᵀ·W`, one entry per inner-dimension index.
 ///
@@ -223,6 +223,29 @@ pub fn deviating_groups_into(
     }
 }
 
+/// Per-column deviations of a packed weight replica against its pack-time checksums.
+///
+/// [`PackedMatI8`] snapshots `eᵀ·W` when the weight matrix is packed at model load. Re-reducing
+/// the interleaved tile buffer and subtracting those stored sums audits the *resident* packed
+/// bytes — the copy the decode microkernels actually stream — so a bit flip that lands in the
+/// packed replica after load shows up as a non-zero entry in the affected column. A clean
+/// replica yields all zeros. Note this is a storage-integrity scrub, not a GEMM check: the
+/// activation-dependent expected checksum `(eᵀ·X)·W` still comes from the fused GEMM paths.
+pub fn packed_weight_deviations(pb: &PackedMatI8) -> Vec<i64> {
+    let mut out = Vec::new();
+    packed_weight_deviations_into(pb, &mut out);
+    out
+}
+
+/// [`packed_weight_deviations`] into a caller-provided buffer (cleared and resized in place),
+/// for scrub loops that run periodically without allocating.
+pub fn packed_weight_deviations_into(pb: &PackedMatI8, out: &mut Vec<i64>) {
+    pb.tile_col_sums_into(out);
+    for (d, &reference) in out.iter_mut().zip(pb.col_sums()) {
+        *d -= reference;
+    }
+}
+
 /// Row-side checksums `W·(X·e)` vs `Y·e`, used by two-sided classical ABFT to localise the
 /// corrupted row in addition to detecting it.
 ///
@@ -364,6 +387,35 @@ mod tests {
         let x = MatI8::zeros(3, 2);
         let acc = MatI32::zeros(3, 2);
         let _ = column_deviations(&w, &x, &acc);
+    }
+
+    #[test]
+    fn packed_weight_scrub_flags_corrupted_replica_bytes() {
+        use rand::Rng;
+        let mut r = rng::seeded(11);
+        let w = MatI8::from_fn(37, 21, |_, _| r.gen_range(-40..=40));
+        let mut pb = PackedMatI8::from_mat(w);
+
+        // Fresh pack: the resident tiles agree with the pack-time checksums.
+        let clean = packed_weight_deviations(&pb);
+        assert_eq!(clean.len(), 21);
+        assert!(clean.iter().all(|&d| d == 0));
+
+        // Flip a byte of the packed replica in place. The first tile byte is element
+        // (row 0, col 0) of block 0 in the interleaved layout, so the deviation must land
+        // in column 0 with exactly the injected delta.
+        let before = pb.tiles()[0];
+        pb.tiles_mut()[0] = before.wrapping_add(17);
+        let delta = pb.tiles_mut()[0] as i64 - before as i64;
+        let mut dev = Vec::new();
+        packed_weight_deviations_into(&pb, &mut dev);
+        assert_eq!(dev[0], delta);
+        assert!(dev.iter().skip(1).all(|&d| d == 0));
+
+        // Restoring the byte clears the deviation again.
+        pb.tiles_mut()[0] = before;
+        packed_weight_deviations_into(&pb, &mut dev);
+        assert!(dev.iter().all(|&d| d == 0));
     }
 
     #[test]

@@ -47,6 +47,16 @@ impl MultiHeadAttention {
         }
     }
 
+    /// Routes this layer's projection GEMMs through the packed (default) or unpacked
+    /// weight path — see [`QuantLinear::set_packing`]. The attention-internal `QKᵀ`/`SV`
+    /// GEMMs multiply two activations and are unaffected.
+    pub fn set_weight_packing(&mut self, enabled: bool) {
+        self.wq.set_packing(enabled);
+        self.wk.set_packing(enabled);
+        self.wv.set_packing(enabled);
+        self.wo.set_packing(enabled);
+    }
+
     /// Number of attention heads.
     pub fn num_heads(&self) -> usize {
         self.num_heads

@@ -97,6 +97,13 @@ impl TransformerBlock {
         &self.attention
     }
 
+    /// Routes every static-weight GEMM in this block through the packed (default) or
+    /// unpacked weight path — see [`crate::quantized::QuantLinear::set_packing`].
+    pub fn set_weight_packing(&mut self, enabled: bool) {
+        self.attention.set_weight_packing(enabled);
+        self.mlp.set_weight_packing(enabled);
+    }
+
     /// Runs the block over `x` of shape `(new_tokens, hidden)`.
     ///
     /// # Errors

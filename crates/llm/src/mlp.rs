@@ -37,6 +37,13 @@ impl OptMlp {
         }
     }
 
+    /// Routes this MLP's projection GEMMs through the packed (default) or unpacked
+    /// weight path — see [`QuantLinear::set_packing`].
+    pub fn set_weight_packing(&mut self, enabled: bool) {
+        self.fc1.set_packing(enabled);
+        self.fc2.set_packing(enabled);
+    }
+
     /// Runs the MLP over `x` of shape `(tokens, hidden)`.
     ///
     /// # Errors
@@ -164,6 +171,14 @@ impl LlamaMlp {
                 OutputMode::Float,
             ),
         }
+    }
+
+    /// Routes this MLP's projection GEMMs through the packed (default) or unpacked
+    /// weight path — see [`QuantLinear::set_packing`].
+    pub fn set_weight_packing(&mut self, enabled: bool) {
+        self.gate.set_packing(enabled);
+        self.up.set_packing(enabled);
+        self.down.set_packing(enabled);
     }
 
     /// Runs the gated MLP over `x` of shape `(tokens, hidden)`.
@@ -316,6 +331,15 @@ impl Mlp {
         match config.architecture {
             crate::Architecture::OptStyle => Mlp::Opt(OptMlp::new(config, rng)),
             crate::Architecture::LlamaStyle => Mlp::Llama(LlamaMlp::new(config, rng)),
+        }
+    }
+
+    /// Routes the MLP's projection GEMMs through the packed (default) or unpacked
+    /// weight path — see [`QuantLinear::set_packing`].
+    pub fn set_weight_packing(&mut self, enabled: bool) {
+        match self {
+            Mlp::Opt(m) => m.set_weight_packing(enabled),
+            Mlp::Llama(m) => m.set_weight_packing(enabled),
         }
     }
 

@@ -93,6 +93,16 @@ impl Model {
         self.engine = engine;
     }
 
+    /// Routes every static-weight GEMM in the model through the packed (default) or
+    /// unpacked weight path. Both paths are bit-identical on every backend; the switch
+    /// exists for the packed-vs-unpacked decode benchmarks and differential tests (the
+    /// `lm_head` stays in f32 and is unaffected).
+    pub fn set_weight_packing(&mut self, enabled: bool) {
+        for block in &mut self.blocks {
+            block.set_weight_packing(enabled);
+        }
+    }
+
     /// The model configuration.
     pub fn config(&self) -> &ModelConfig {
         &self.config

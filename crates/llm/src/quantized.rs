@@ -14,7 +14,8 @@
 use crate::hooks::{GemmContext, GemmHook};
 use crate::{LlmError, Result};
 use realm_tensor::{
-    quant, ChecksummedGemm, GemmEngine, MatF32, MatI8, QuantParams, RowPartition, Workspace,
+    quant, ChecksummedGemm, GemmEngine, MatF32, MatI8, PackedMatI8, QuantParams, RowPartition,
+    Workspace,
 };
 use serde::{Deserialize, Serialize};
 
@@ -29,37 +30,53 @@ pub enum OutputMode {
 }
 
 /// A linear layer with INT8-quantized static weights.
+///
+/// The weights are held as a [`PackedMatI8`]: packed once into the SIMD engines'
+/// interleaved tile order at construction (model load), with the `eᵀ·W` pack-time
+/// checksums alongside — the load-time allocation that makes every decode-step GEMM
+/// hit the packed kernels without touching the allocator. The row-major weights stay
+/// reachable through [`QuantLinear::weight_q`] for hooks, workload accounting and
+/// the engines that don't override the packed entry points.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantLinear {
-    weight_q: MatI8,
+    weight: PackedMatI8,
     weight_scale: f32,
     output_mode: OutputMode,
+    use_packed: bool,
 }
 
 impl QuantLinear {
-    /// Quantizes a floating-point weight matrix of shape `(in_features, out_features)`.
+    /// Quantizes a floating-point weight matrix of shape `(in_features, out_features)`
+    /// and packs it for the decode-shape kernels.
     pub fn from_f32(weight: &MatF32, output_mode: OutputMode) -> Self {
         let (weight_q, weight_scale) = quant::quantize_symmetric(weight);
         Self {
-            weight_q,
+            weight: PackedMatI8::from_mat(weight_q),
             weight_scale,
             output_mode,
+            use_packed: true,
         }
     }
 
     /// Input dimension of the layer.
     pub fn in_features(&self) -> usize {
-        self.weight_q.rows()
+        self.weight.rows()
     }
 
     /// Output dimension of the layer.
     pub fn out_features(&self) -> usize {
-        self.weight_q.cols()
+        self.weight.cols()
     }
 
-    /// The quantized weights (used by workload accounting and tests).
+    /// The quantized weights in row-major order (used by workload accounting and tests).
     pub fn weight_q(&self) -> &MatI8 {
-        &self.weight_q
+        self.weight.unpacked()
+    }
+
+    /// The packed weights, including the pack-time `eᵀ·W` column checksums (used by the
+    /// ABFT audit of the packed replica, see `realm-abft`'s `packed_weight_deviations`).
+    pub fn packed_weight(&self) -> &PackedMatI8 {
+        &self.weight
     }
 
     /// Scale of the quantized weights.
@@ -70,6 +87,13 @@ impl QuantLinear {
     /// Output conversion mode.
     pub fn output_mode(&self) -> OutputMode {
         self.output_mode
+    }
+
+    /// Whether forwards route through the engine's packed entry points (the default) or
+    /// the unpacked `gemm_i8*` path. Both are bit-identical; the switch exists for the
+    /// packed-vs-unpacked benchmarks and differential tests.
+    pub fn set_packing(&mut self, enabled: bool) {
+        self.use_packed = enabled;
     }
 
     /// Computes `x · W` through the quantized INT8 → INT32 datapath of `engine`.
@@ -112,7 +136,8 @@ impl QuantLinear {
     ) -> Result<MatF32> {
         let mut xq = ws.take_mat_i8(x.rows(), x.cols());
         let x_scale = quant::quantize_symmetric_into(x, &mut xq);
-        let acc = run_hooked_gemm_ws(&xq, &self.weight_q, engine, ctx, hook, ws);
+        let acc =
+            run_hooked_linear_gemm_ws(&xq, &self.weight, self.use_packed, engine, ctx, hook, ws);
         ws.recycle_mat_i8(xq);
         let acc = acc?;
         let combined = x_scale * self.weight_scale;
@@ -176,7 +201,8 @@ impl QuantLinear {
             ws.recycle_vec_f32(scales);
             return Err(e);
         }
-        let acc = run_hooked_gemm_ws(&xq, &self.weight_q, engine, ctx, hook, ws);
+        let acc =
+            run_hooked_linear_gemm_ws(&xq, &self.weight, self.use_packed, engine, ctx, hook, ws);
         ws.recycle_mat_i8(xq);
         let acc = match acc {
             Ok(acc) => acc,
@@ -432,10 +458,70 @@ pub fn quant_matmul_ws(
     Ok(out)
 }
 
+/// [`run_hooked_gemm_ws`] for the static-weight layers: routes through the engine's
+/// `gemm_i8_packed*` entry points when packing is enabled, falling back to the unpacked
+/// path (on [`PackedMatI8::unpacked`]) when it is not. Hooks always observe the
+/// row-major weights — the packed tiles are an execution detail the detection and
+/// injection layers never see. Bit-identical either way.
+#[allow(clippy::too_many_arguments)] // mirrors run_hooked_gemm_ws plus the packing switch
+fn run_hooked_linear_gemm_ws(
+    aq: &MatI8,
+    weight: &PackedMatI8,
+    use_packed: bool,
+    engine: &dyn GemmEngine,
+    ctx: &GemmContext,
+    hook: &mut dyn GemmHook,
+    ws: &mut Workspace,
+) -> Result<realm_tensor::MatI32> {
+    if hook.wants_checksums() {
+        let acc = ws.take_mat_i32(aq.rows(), weight.cols());
+        let expected = ws.take_vec_i64(weight.cols());
+        let observed = ws.take_vec_i64(weight.cols());
+        let mut result = ChecksummedGemm::from_parts(acc, expected, observed);
+        let mut etw = ws.take_vec_i64(aq.cols());
+        let ran = if use_packed {
+            engine.gemm_i8_packed_checksummed_into(aq, weight, &mut result, &mut etw)
+        } else {
+            engine.gemm_i8_checksummed_into(aq, weight.unpacked(), &mut result, &mut etw)
+        };
+        ws.recycle_vec_i64(etw);
+        if let Err(e) = ran {
+            let (acc, expected, observed) = result.into_parts();
+            ws.recycle_mat_i32(acc);
+            ws.recycle_vec_i64(expected);
+            ws.recycle_vec_i64(observed);
+            return Err(e.into());
+        }
+        hook.on_gemm_checksummed(ctx, aq, weight.unpacked(), &mut result);
+        let (acc, expected, observed) = result.into_parts();
+        ws.recycle_vec_i64(expected);
+        ws.recycle_vec_i64(observed);
+        Ok(acc)
+    } else {
+        let mut acc = ws.take_mat_i32(aq.rows(), weight.cols());
+        let ran = if use_packed {
+            engine.gemm_i8_packed_into(aq, weight, &mut acc)
+        } else {
+            engine.gemm_i8_into(aq, weight.unpacked(), &mut acc)
+        };
+        if let Err(e) = ran {
+            ws.recycle_mat_i32(acc);
+            return Err(e.into());
+        }
+        hook.on_gemm(ctx, aq, weight.unpacked(), &mut acc);
+        Ok(acc)
+    }
+}
+
 /// Executes one quantized GEMM through the engine and hook, picking the fused-checksum pass
 /// only when a hook in the chain will consume the checksums ([`GemmHook::wants_checksums`]).
 /// Fault-free baselines, unprotected runs and injection-only campaigns therefore skip the
 /// checksum reductions entirely.
+///
+/// This is the activation×activation path (attention's `QKᵀ` and `SV` via
+/// [`quant_matmul_ws`]): both operands are produced fresh every step, so there is nothing
+/// to pre-pack — packing here would itself re-stream the operand per GEMM and would need
+/// hot-loop scratch, exactly what [`PackedMatI8`] exists to avoid for static weights.
 ///
 /// The accumulator, the checksum vectors of the fused pass and the operand-checksum
 /// scratch all come from `ws`; the returned accumulator is workspace-pooled. This is the

@@ -32,6 +32,7 @@
 //! than in a separate sweep. The result is a [`ChecksummedGemm`], which downstream ABFT
 //! detectors consume directly instead of re-reading the matrices.
 
+use crate::packed::PackedMatI8;
 use crate::{gemm, MatI32, MatI8, Result, TensorError};
 use std::str::FromStr;
 use std::sync::Arc;
@@ -385,6 +386,55 @@ pub trait GemmEngine: std::fmt::Debug + Send + Sync {
         let observed = observed_col_sums(&acc);
         Ok(ChecksummedGemm::from_parts(acc, expected, observed))
     }
+
+    /// [`GemmEngine::gemm_i8_into`] with a pre-packed B operand — the decode-shape fast
+    /// path: `a` is the (skinny) activation matrix, `pb` a static weight matrix packed
+    /// once at load time ([`PackedMatI8`]).
+    ///
+    /// The default implementation multiplies against the row-major original carried by
+    /// the pack ([`PackedMatI8::unpacked`]), so exotic backends keep working unchanged
+    /// and stay bit-exact; the SIMD engines override it with kernels that stream the
+    /// tiles directly. Results are always bit-identical to [`GemmEngine::gemm_i8_into`]
+    /// on the unpacked matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `a.cols() != pb.rows()`.
+    fn gemm_i8_packed_into(&self, a: &MatI8, pb: &PackedMatI8, out: &mut MatI32) -> Result<()> {
+        self.gemm_i8_into(a, pb.unpacked(), out)
+    }
+
+    /// [`GemmEngine::gemm_i8_checksummed_into`] with a pre-packed B operand.
+    ///
+    /// The default implementation falls back to the unpacked fused pass (bit-exact by
+    /// construction); the SIMD engines override it — for skinny `a` (decode shapes) the
+    /// `(eᵀ·W)·X` expected-checksum reduction rides the packed tile stream in-register,
+    /// eliminating the second full pass over the weights that the unpacked fused path
+    /// pays. Checksums and accumulators are always bit-identical to the unpacked path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `a.cols() != pb.rows()`.
+    fn gemm_i8_packed_checksummed_into(
+        &self,
+        a: &MatI8,
+        pb: &PackedMatI8,
+        dest: &mut ChecksummedGemm,
+        etw_scratch: &mut Vec<i64>,
+    ) -> Result<()> {
+        self.gemm_i8_checksummed_into(a, pb.unpacked(), dest, etw_scratch)
+    }
+}
+
+pub(crate) fn check_packed_compatible(op: &'static str, a: &MatI8, pb: &PackedMatI8) -> Result<()> {
+    if a.cols() != pb.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: pb.shape(),
+        });
+    }
+    Ok(())
 }
 
 pub(crate) fn check_compatible(op: &'static str, a: &MatI8, b: &MatI8) -> Result<()> {

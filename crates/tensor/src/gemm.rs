@@ -117,6 +117,13 @@ pub fn gemm_f32_into(a: &MatF32, b: &MatF32, out: &mut MatF32) -> Result<()> {
 /// on vector units rather than the systolic array, but the error-injection studies still need
 /// the same numeric behaviour.
 ///
+/// Since the decode-shape speed tier landed there is exactly one decode-shape code path:
+/// this legacy convenience routes through [`crate::engine::default_engine`] (the SIMD
+/// backend on hosts that support it), so it hits the same shape-dispatched microkernels
+/// as the serving stack instead of maintaining a private scalar loop. It allocates its
+/// result; hot loops should use the engine `*_into` entry points with workspace-pooled
+/// buffers, and static weights should pre-pack via [`crate::PackedMatI8`].
+///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] if `a.cols() != x.len()`.
@@ -128,16 +135,10 @@ pub fn gemv_i8(a: &MatI8, x: &[i8]) -> Result<Vec<i32>> {
             rhs: (x.len(), 1),
         });
     }
-    let mut out = vec![0i32; a.rows()];
-    for (i, out_i) in out.iter_mut().enumerate() {
-        let row = a.row(i);
-        let mut acc = 0i32;
-        for (p, &a_ip) in row.iter().enumerate() {
-            acc += a_ip as i32 * x[p] as i32;
-        }
-        *out_i = acc;
-    }
-    Ok(out)
+    let xm = MatI8::from_vec(x.len(), 1, x.to_vec())?;
+    let mut out = MatI32::zeros(0, 0);
+    crate::engine::default_engine().gemm_i8_into(a, &xm, &mut out)?;
+    Ok(out.into_vec())
 }
 
 /// Computes `a * b` where `a` is f32 and `b` is f32, adding the result into `acc`.

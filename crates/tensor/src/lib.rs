@@ -14,9 +14,14 @@
 //!   including the fused-checksum variant that computes the ABFT column checksums inside the
 //!   GEMM pass. Every consumer in the workspace routes its quantized GEMMs through a
 //!   [`GemmEngine`] handle selected by [`EngineKind`].
-//! * [`simd`] — the AVX2 i8 microkernel backend ([`SimdEngine`], [`SimdParallelEngine`])
-//!   behind runtime feature detection with a portable fallback; the process-wide default on
-//!   hosts that support it ([`EngineKind::auto`]).
+//! * [`simd`] — the SIMD i8 microkernel backend ([`SimdEngine`], [`SimdParallelEngine`]):
+//!   an AVX2 tier, an optional AVX-512 tier for the packed kernels, and a portable
+//!   fallback, all behind runtime feature detection; the process-wide default on hosts
+//!   that support it ([`EngineKind::auto`]).
+//! * [`packed`] — [`PackedMatI8`], static B-operand (weight) matrices pre-packed at model
+//!   load into the exact interleaved tile order the microkernels consume, with the
+//!   `eᵀ·W` column checksums precomputed at pack time; the decode-shape fast path behind
+//!   [`GemmEngine::gemm_i8_packed_into`].
 //! * [`partition`] — [`RowPartition`], the row-range → sequence map that batched inference
 //!   uses to stack many sequences into one GEMM while keeping quantization scales and ABFT
 //!   attribution per-sequence.
@@ -59,6 +64,7 @@
 pub mod engine;
 pub mod gemm;
 pub mod matrix;
+pub mod packed;
 pub mod partition;
 pub mod quant;
 pub mod rng;
@@ -73,9 +79,10 @@ pub use engine::{
 };
 pub use error::TensorError;
 pub use matrix::{MatF32, MatI32, MatI8, Matrix};
+pub use packed::PackedMatI8;
 pub use partition::RowPartition;
 pub use quant::QuantParams;
-pub use simd::{SimdEngine, SimdParallelEngine};
+pub use simd::{SimdEngine, SimdParallelEngine, SimdTier};
 pub use workspace::Workspace;
 
 /// Crate-wide result alias.

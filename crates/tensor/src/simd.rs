@@ -49,17 +49,40 @@
 //! streaming pass over `B` — the layout the scalar i64 multiply-add vectorizes and
 //! prefetches best at, measurably faster than stripe-local walks on tall decode-shape
 //! weights.
+//!
+//! # Packed-B decode kernels
+//!
+//! Static weights go through [`crate::PackedMatI8`] and the `gemm_i8_packed*` entry
+//! points: the depth-pair interleaving above is done **once at pack time**, so the packed
+//! kernels replace load + 2×widen + 2×unpack (+ a retirement permute) per pair with one
+//! 32-byte load + 2×widen, already in linear column order. Three tiers dispatch at
+//! construction ([`SimdTier`]): portable, AVX2, and AVX-512 (which widens the whole
+//! 32-byte pair row into one zmm register — see [`SimdTier::Avx512`]). For checksummed
+//! GEMV/skinny-M shapes (`m ≤` [`SKINNY_MAX_ROWS`]) a dedicated kernel fuses the
+//! *expected* checksum into the same register stream as the multiply, so a protected
+//! decode step streams the weights exactly once.
 
 use crate::engine::{
-    accumulate_expected_panel, check_compatible, checksummed_into_single, sharded_checksummed_into,
-    sharded_gemm_i8_into, ChecksummedGemm, FusedChecksums, GemmEngine, RowKernel,
+    accumulate_expected_panel, check_compatible, check_packed_compatible, checksummed_into_single,
+    operand_col_sums_into, sharded_checksummed_into, sharded_gemm_i8_into, worker_count,
+    ChecksummedGemm, FusedChecksums, GemmEngine, RowKernel, PARALLEL_MIN_MACS,
 };
+use crate::packed::{PackedMatI8, PACK_BLOCK_COLS, PACK_PAIR_BYTES};
 use crate::{MatI32, MatI8, Result};
 
 /// Width (output columns) of the SIMD register tile.
 pub const SIMD_TILE_COLS: usize = 16;
 /// Height (output rows) of the SIMD register tile.
 pub const SIMD_TILE_ROWS: usize = 4;
+/// Maximum `m` handled by the dedicated GEMV/skinny-M packed kernel: the largest row
+/// count whose activation column sums `eᵀ·X` are guaranteed to fit an `i16` lane
+/// (`4·128 = 512`), which is what lets the expected checksum ride the multiply's
+/// `vpmaddwd` stream.
+pub const SKINNY_MAX_ROWS: usize = 4;
+
+// The packed block width and the SIMD tile width must agree — the packed layout IS the
+// kernels' consumption order.
+const _: () = assert!(SIMD_TILE_COLS == PACK_BLOCK_COLS);
 
 /// Environment variable that forces the portable fallback kernel even when the CPU
 /// supports the AVX2 microkernel. Any non-empty value other than `0` counts as set; CI
@@ -80,10 +103,27 @@ fn avx2_available() -> bool {
     false
 }
 
-/// Returns `true` when the accelerated microkernel will be dispatched: the host CPU
+#[cfg(target_arch = "x86_64")]
+fn avx512_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512bw")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx512_available() -> bool {
+    false
+}
+
+/// Returns `true` when an accelerated microkernel will be dispatched: the host CPU
 /// reports AVX2 and [`FORCE_SCALAR_ENV`] is not set.
 pub fn simd_accelerated() -> bool {
     !force_scalar() && avx2_available()
+}
+
+/// Returns `true` when the AVX-512 tier of the **packed** kernels will be dispatched:
+/// the host CPU reports AVX-512F + AVX-512BW and [`FORCE_SCALAR_ENV`] is not set.
+pub fn avx512_accelerated() -> bool {
+    !force_scalar() && avx512_available()
 }
 
 /// Human-readable description of what the runtime dispatch selected, for benchmark and
@@ -91,6 +131,8 @@ pub fn simd_accelerated() -> bool {
 pub fn simd_dispatch_label() -> &'static str {
     if force_scalar() {
         "portable (REALM_FORCE_SCALAR set)"
+    } else if avx512_available() {
+        "avx512 (packed kernels; avx2 unpacked)"
     } else if avx2_available() {
         "avx2"
     } else {
@@ -98,22 +140,66 @@ pub fn simd_dispatch_label() -> &'static str {
     }
 }
 
-/// The SIMD microkernel backend: AVX2 when the CPU supports it, portable otherwise.
+/// The instruction-set tier a [`SimdEngine`] dispatches, decided once at construction.
+///
+/// Ordered worst-to-best so a requested tier can be clamped to what the host supports
+/// ([`SimdEngine::with_tier`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// The portable unrolled-chunk kernels (every host; pinned by [`FORCE_SCALAR_ENV`]).
+    Portable,
+    /// The AVX2 microkernels (16-wide i16 pair tiles).
+    Avx2,
+    /// AVX2 for the unpacked kernel plus AVX-512F/BW for the **packed** kernels, which
+    /// widen a whole 32-byte packed pair row into one 32-lane i16 zmm register
+    /// (`vpmovsxbw`) and retire two depth pairs per `vpmaddwd`. The unpacked kernel
+    /// deliberately stays on the AVX2 tile: without pre-packing, feeding 512-bit
+    /// registers needs extra cross-lane shuffles that eat the wider multiply, while the
+    /// packed layout feeds them with plain loads — AVX-512 is applied exactly where the
+    /// data layout lets it pay.
+    Avx512,
+}
+
+impl SimdTier {
+    /// The best tier the host supports under the current environment.
+    pub fn detect() -> Self {
+        if force_scalar() {
+            SimdTier::Portable
+        } else if avx512_available() {
+            SimdTier::Avx512
+        } else if avx2_available() {
+            SimdTier::Avx2
+        } else {
+            SimdTier::Portable
+        }
+    }
+
+    /// Short label for reports (`"portable"`, `"avx2"`, `"avx512"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdTier::Portable => "portable",
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Avx512 => "avx512",
+        }
+    }
+}
+
+/// The SIMD microkernel backend: the best of AVX-512/AVX2/portable the CPU supports.
 ///
 /// Dispatch is decided once at construction ([`SimdEngine::new`]) and carried by the
 /// engine value, so the per-GEMM hot path never re-reads the environment or CPUID.
-/// Both paths are bit-identical to [`crate::engine::ReferenceEngine`] on accumulators and
+/// All tiers are bit-identical to [`crate::engine::ReferenceEngine`] on accumulators and
 /// fused checksums.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimdEngine {
-    accelerated: bool,
+    tier: SimdTier,
 }
 
 impl SimdEngine {
-    /// A SIMD engine using the best kernel the host supports (runtime detection).
+    /// A SIMD engine using the best kernel tier the host supports (runtime detection).
     pub fn new() -> Self {
         Self {
-            accelerated: simd_accelerated(),
+            tier: SimdTier::detect(),
         }
     }
 
@@ -122,12 +208,30 @@ impl SimdEngine {
     /// Used by the differential tests so the fallback path is exercised even on AVX2
     /// hosts; equivalent to constructing under [`FORCE_SCALAR_ENV`].
     pub fn portable() -> Self {
-        Self { accelerated: false }
+        Self {
+            tier: SimdTier::Portable,
+        }
     }
 
-    /// Whether this engine dispatches the AVX2 microkernel (`false` = portable fallback).
+    /// A SIMD engine pinned to at most `tier`, clamped to what the host supports — a
+    /// request for [`SimdTier::Avx512`] on an AVX2-only host yields the AVX2 tier, and so
+    /// on down to portable. This is how the differential tests exercise every supported
+    /// tier explicitly (and skip unsupported ones gracefully): construct with the tier,
+    /// then check [`SimdEngine::tier`] for what was actually granted.
+    pub fn with_tier(tier: SimdTier) -> Self {
+        Self {
+            tier: tier.min(SimdTier::detect()),
+        }
+    }
+
+    /// The instruction-set tier this engine dispatches.
+    pub fn tier(&self) -> SimdTier {
+        self.tier
+    }
+
+    /// Whether this engine dispatches an accelerated microkernel (`false` = portable).
     pub fn is_accelerated(&self) -> bool {
-        self.accelerated
+        self.tier != SimdTier::Portable
     }
 
     /// Microkernel pass over a contiguous row range `[row_start, row_end)` of `a`,
@@ -146,12 +250,85 @@ impl SimdEngine {
     ) {
         let mut fused = fused;
         #[cfg(target_arch = "x86_64")]
-        if self.accelerated {
-            // SAFETY: `accelerated` is only set when AVX2 was detected at construction.
+        if self.tier >= SimdTier::Avx2 {
+            // SAFETY: an accelerated tier is only granted when AVX2 was detected at
+            // construction (the AVX-512 tier implies AVX2; see `SimdTier::detect`). The
+            // unpacked kernel stays on the AVX2 tile at every accelerated tier — see
+            // [`SimdTier::Avx512`] for why.
             unsafe { avx2::run_rows(a, b, out_band, row_start, row_end, &mut fused) };
             return;
         }
         portable::run_cols(a, b, out_band, row_start, row_end, 0, b.cols(), &mut fused);
+    }
+
+    /// Packed-B microkernel pass over rows `[row_start, row_end)` of `a`, accumulating
+    /// into `out_band` (same band contract as [`SimdEngine::run_rows`]). The packed tiles
+    /// are streamed in pre-interleaved depth-pair order, so the per-GEMM `vpunpck`
+    /// interleaves and the retirement cross-lane permutes of the unpacked kernel vanish.
+    /// When `observed` is present the output-side checksum `eᵀ·Y` rides the accumulator
+    /// registers; the operand-side expected checksum is the caller's job (see
+    /// [`SimdEngine::run_skinny_packed`] for the shape where it fuses too).
+    pub(crate) fn run_rows_packed(
+        &self,
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        observed: Option<&mut [i64]>,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if self.tier >= SimdTier::Avx512 {
+                // SAFETY: the AVX-512 tier is only granted when AVX-512F/BW (and AVX2)
+                // were detected at construction.
+                unsafe { packed_avx512::run_rows(a, pb, out_band, row_start, row_end, observed) };
+                return;
+            }
+            if self.tier >= SimdTier::Avx2 {
+                // SAFETY: the AVX2 tier is only granted when AVX2 was detected.
+                unsafe { packed_avx2::run_rows(a, pb, out_band, row_start, row_end, observed) };
+                return;
+            }
+        }
+        packed_portable::run_rows(a, pb, out_band, row_start, row_end, observed);
+    }
+
+    /// The GEMV/skinny-M decode kernel: for `m ≤ SKINNY_MAX_ROWS` checksummed GEMMs, the
+    /// operand-side expected checksum `(eᵀ·X)·W` fuses into the **same** streaming pass as
+    /// the multiply — with so few rows, `eᵀ·X` fits an `i16` lane (`|Σ xᵢ| ≤ 4·128`), so
+    /// the packed-B registers already loaded for the multiply feed one extra `vpmaddwd`
+    /// per pair. That halves the memory traffic of a checksummed decode step: the unpacked
+    /// path streams `W` twice (once for the multiply, once for the expected reduction),
+    /// the skinny packed path streams it exactly once.
+    ///
+    /// Overflow bound: each fused partial is `|eᵀ·X[pair]| · |W| ≤ 2·512·128 = 2¹⁷`; the
+    /// `i32` partials drain into `i64` every [`packed_portable::DRAIN_PAIRS`] pairs, and
+    /// `8192 · 2¹⁷ = 2³⁰ < i32::MAX` — exact on every input, like everything else here.
+    pub(crate) fn run_skinny_packed(
+        &self,
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        etx: &[i64],
+        expected: &mut [i64],
+        observed: &mut [i64],
+    ) {
+        debug_assert!(a.rows() <= SKINNY_MAX_ROWS);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if self.tier >= SimdTier::Avx512 {
+                // SAFETY: tier granted only with AVX-512F/BW + AVX2 detected.
+                unsafe { packed_avx512::run_skinny(a, pb, out_band, etx, expected, observed) };
+                return;
+            }
+            if self.tier >= SimdTier::Avx2 {
+                // SAFETY: tier granted only with AVX2 detected.
+                unsafe { packed_avx2::run_skinny(a, pb, out_band, etx, expected, observed) };
+                return;
+            }
+        }
+        packed_portable::run_skinny(a, pb, out_band, etx, expected, observed);
     }
 }
 
@@ -202,6 +379,41 @@ impl GemmEngine for SimdEngine {
             etw_scratch,
         )
     }
+
+    fn gemm_i8_packed_into(&self, a: &MatI8, pb: &PackedMatI8, out: &mut MatI32) -> Result<()> {
+        check_packed_compatible("SimdEngine::gemm_i8_packed", a, pb)?;
+        out.resize_reset(a.rows(), pb.cols());
+        self.run_rows_packed(a, pb, out.as_mut_slice(), 0, a.rows(), None);
+        Ok(())
+    }
+
+    fn gemm_i8_packed_checksummed_into(
+        &self,
+        a: &MatI8,
+        pb: &PackedMatI8,
+        dest: &mut ChecksummedGemm,
+        etw_scratch: &mut Vec<i64>,
+    ) -> Result<()> {
+        check_packed_compatible("SimdEngine::gemm_i8_packed_checksummed", a, pb)?;
+        operand_col_sums_into(a, etw_scratch);
+        dest.prepare(a.rows(), pb.cols());
+        let (acc, expected, observed) = dest.fused_parts_mut();
+        if (1..=SKINNY_MAX_ROWS).contains(&a.rows()) {
+            // Decode shapes: multiply and BOTH checksum reductions ride one stream over
+            // the packed tiles (see `run_skinny_packed` for the overflow argument).
+            self.run_skinny_packed(a, pb, acc.as_mut_slice(), etw_scratch, expected, observed);
+        } else {
+            accumulate_expected_panel(
+                pb.unpacked(),
+                etw_scratch,
+                expected,
+                (0, a.cols()),
+                (0, pb.cols()),
+            );
+            self.run_rows_packed(a, pb, acc.as_mut_slice(), 0, a.rows(), Some(observed));
+        }
+        Ok(())
+    }
 }
 
 impl RowKernel for SimdEngine {
@@ -215,6 +427,56 @@ impl RowKernel for SimdEngine {
         fused: Option<FusedChecksums<'_>>,
     ) {
         SimdEngine::run_rows(self, a, b, out_band, row_start, row_end, fused)
+    }
+}
+
+/// Adapter that lets the packed kernels ride the work-stealing row-shard orchestration:
+/// the `b` operand the sharding helpers thread through is ignored in favour of the packed
+/// tiles (the caller passes [`PackedMatI8::unpacked`] as `b`, so the shape checks and the
+/// shard-zero expected reduction see the same matrix the tiles were packed from).
+struct PackedRowKernel<'p> {
+    engine: &'p SimdEngine,
+    pb: &'p PackedMatI8,
+}
+
+impl RowKernel for PackedRowKernel<'_> {
+    fn run_rows(
+        &self,
+        a: &MatI8,
+        _b: &MatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        fused: Option<FusedChecksums<'_>>,
+    ) {
+        match fused {
+            Some(FusedChecksums {
+                etw,
+                expected,
+                observed,
+            }) => {
+                if let Some(expected) = expected {
+                    accumulate_expected_panel(
+                        self.pb.unpacked(),
+                        etw,
+                        expected,
+                        (0, a.cols()),
+                        (0, self.pb.cols()),
+                    );
+                }
+                self.engine.run_rows_packed(
+                    a,
+                    self.pb,
+                    out_band,
+                    row_start,
+                    row_end,
+                    Some(observed),
+                );
+            }
+            None => self
+                .engine
+                .run_rows_packed(a, self.pb, out_band, row_start, row_end, None),
+        }
     }
 }
 
@@ -310,6 +572,55 @@ impl GemmEngine for SimdParallelEngine {
             "SimdParallelEngine::gemm_i8_checksummed",
             a,
             b,
+            dest,
+            etw_scratch,
+        )
+    }
+
+    fn gemm_i8_packed_into(&self, a: &MatI8, pb: &PackedMatI8, out: &mut MatI32) -> Result<()> {
+        check_packed_compatible("SimdParallelEngine::gemm_i8_packed", a, pb)?;
+        let (m, k) = a.shape();
+        // Inline delegation below the sharding threshold, so GEMV-like decode shapes hit
+        // the single-thread packed (and skinny) kernels without touching thread metadata.
+        if m * k * pb.cols() < PARALLEL_MIN_MACS || worker_count(self.threads, m) <= 1 {
+            return self.inner.gemm_i8_packed_into(a, pb, out);
+        }
+        sharded_gemm_i8_into(
+            &PackedRowKernel {
+                engine: &self.inner,
+                pb,
+            },
+            self.threads,
+            "SimdParallelEngine::gemm_i8_packed",
+            a,
+            pb.unpacked(),
+            out,
+        )
+    }
+
+    fn gemm_i8_packed_checksummed_into(
+        &self,
+        a: &MatI8,
+        pb: &PackedMatI8,
+        dest: &mut ChecksummedGemm,
+        etw_scratch: &mut Vec<i64>,
+    ) -> Result<()> {
+        check_packed_compatible("SimdParallelEngine::gemm_i8_packed_checksummed", a, pb)?;
+        let (m, k) = a.shape();
+        if m * k * pb.cols() < PARALLEL_MIN_MACS || worker_count(self.threads, m) <= 1 {
+            return self
+                .inner
+                .gemm_i8_packed_checksummed_into(a, pb, dest, etw_scratch);
+        }
+        sharded_checksummed_into(
+            &PackedRowKernel {
+                engine: &self.inner,
+                pb,
+            },
+            self.threads,
+            "SimdParallelEngine::gemm_i8_packed_checksummed",
+            a,
+            pb.unpacked(),
             dest,
             etw_scratch,
         )
@@ -615,6 +926,831 @@ mod avx2 {
     }
 }
 
+/// Portable packed-B kernels: the same pre-interleaved depth-pair walk as the SIMD packed
+/// kernels, in scalar arithmetic over a stack tile. Also the partial-final-block handler
+/// for the SIMD tiers — the packed buffer pads every block to 16 columns (the padded
+/// lanes multiply against zero bytes), but the output matrix does not, so the scalar
+/// kernel writes exactly the `n mod 16` live columns.
+mod packed_portable {
+    use super::{MatI8, PackedMatI8, PACK_BLOCK_COLS, PACK_PAIR_BYTES, SKINNY_MAX_ROWS};
+
+    /// Pairs accumulated in `i32` before the fused expected checksum of the SIMD skinny
+    /// kernels drains to `i64`: each pair partial is bounded by `2·512·128 = 2¹⁷`, so
+    /// `8192 · 2¹⁷ = 2³⁰` keeps the `i32` partials exact.
+    pub(super) const DRAIN_PAIRS: usize = 8192;
+
+    pub(super) fn run_rows(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        mut observed: Option<&mut [i64]>,
+    ) {
+        for blk in 0..pb.blocks() {
+            run_block(a, pb, out_band, row_start, row_end, blk, &mut observed);
+        }
+    }
+
+    /// One (possibly partial) 16-column block over the row band.
+    pub(super) fn run_block(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        blk: usize,
+        observed: &mut Option<&mut [i64]>,
+    ) {
+        let k = a.cols();
+        let n = pb.cols();
+        let jc = blk * PACK_BLOCK_COLS;
+        let jc_end = (jc + PACK_BLOCK_COLS).min(n);
+        let width = jc_end - jc;
+        let pairs = pb.padded_k() / 2;
+        let tiles = &pb.tiles()[blk * pb.block_stride()..];
+        for i in row_start..row_end {
+            let a_row = a.row(i);
+            let mut tile = [0i32; PACK_BLOCK_COLS];
+            let tile = &mut tile[..width];
+            for p in 0..pairs {
+                let a0 = a_row[2 * p] as i32;
+                let a1 = if 2 * p + 1 < k {
+                    a_row[2 * p + 1] as i32
+                } else {
+                    0
+                };
+                if (a0 | a1) == 0 {
+                    continue;
+                }
+                let chunk = &tiles[p * PACK_PAIR_BYTES..(p + 1) * PACK_PAIR_BYTES];
+                for (lane, t) in tile.iter_mut().enumerate() {
+                    *t += a0 * chunk[2 * lane] as i32 + a1 * chunk[2 * lane + 1] as i32;
+                }
+            }
+            let band_row = (i - row_start) * n;
+            let out_seg = &mut out_band[band_row + jc..band_row + jc_end];
+            for (o, &t) in out_seg.iter_mut().zip(tile.iter()) {
+                *o += t;
+            }
+            if let Some(observed) = observed.as_deref_mut() {
+                for (s, &v) in observed[jc..jc_end].iter_mut().zip(out_seg.iter()) {
+                    *s += v as i64;
+                }
+            }
+        }
+    }
+
+    pub(super) fn run_skinny(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        etx: &[i64],
+        expected: &mut [i64],
+        observed: &mut [i64],
+    ) {
+        for blk in 0..pb.blocks() {
+            run_skinny_block(a, pb, out_band, blk, etx, expected, observed);
+        }
+    }
+
+    /// One (possibly partial) block of the skinny kernel: multiply, expected and observed
+    /// checksums all accumulated in the same walk over the packed pairs — the portable
+    /// mirror of the single-stream contract of the SIMD skinny kernels (scalar `i64`
+    /// expected, so no drain is needed; same exact value either way).
+    pub(super) fn run_skinny_block(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        blk: usize,
+        etx: &[i64],
+        expected: &mut [i64],
+        observed: &mut [i64],
+    ) {
+        let m = a.rows();
+        debug_assert!(m <= SKINNY_MAX_ROWS);
+        let k = a.cols();
+        let n = pb.cols();
+        let jc = blk * PACK_BLOCK_COLS;
+        let jc_end = (jc + PACK_BLOCK_COLS).min(n);
+        let width = jc_end - jc;
+        let pairs = pb.padded_k() / 2;
+        let tiles = &pb.tiles()[blk * pb.block_stride()..];
+        let mut acc = [[0i32; PACK_BLOCK_COLS]; SKINNY_MAX_ROWS];
+        let mut exp = [0i64; PACK_BLOCK_COLS];
+        for p in 0..pairs {
+            let chunk = &tiles[p * PACK_PAIR_BYTES..(p + 1) * PACK_PAIR_BYTES];
+            let odd_tail = 2 * p + 1 >= k;
+            let e0 = etx[2 * p];
+            let e1 = if odd_tail { 0 } else { etx[2 * p + 1] };
+            if (e0 | e1) != 0 {
+                for (lane, e) in exp[..width].iter_mut().enumerate() {
+                    *e += e0 * chunk[2 * lane] as i64 + e1 * chunk[2 * lane + 1] as i64;
+                }
+            }
+            for (r, row_acc) in acc.iter_mut().take(m).enumerate() {
+                let a_row = a.row(r);
+                let a0 = a_row[2 * p] as i32;
+                let a1 = if odd_tail { 0 } else { a_row[2 * p + 1] as i32 };
+                if (a0 | a1) == 0 {
+                    continue;
+                }
+                for (lane, t) in row_acc[..width].iter_mut().enumerate() {
+                    *t += a0 * chunk[2 * lane] as i32 + a1 * chunk[2 * lane + 1] as i32;
+                }
+            }
+        }
+        for (e, &v) in expected[jc..jc_end].iter_mut().zip(exp.iter()) {
+            *e += v;
+        }
+        for (r, row_acc) in acc.iter().take(m).enumerate() {
+            let band_row = r * n;
+            let out_seg = &mut out_band[band_row + jc..band_row + jc_end];
+            for (o, &t) in out_seg.iter_mut().zip(row_acc[..width].iter()) {
+                *o += t;
+            }
+            for (s, &v) in observed[jc..jc_end].iter_mut().zip(out_seg.iter()) {
+                *s += v as i64;
+            }
+        }
+    }
+}
+
+/// The AVX2 tier of the packed kernels. The pack-time interleaving turns each depth
+/// pair's inner step into one 32-byte load plus two `vpmovsxbw` widenings — the
+/// `vpunpck` interleaves and the retirement cross-lane permutes of the unpacked kernel
+/// are gone, and the accumulator registers hold columns in linear order throughout.
+#[cfg(target_arch = "x86_64")]
+mod packed_avx2 {
+    use super::{
+        packed_portable, MatI8, PackedMatI8, PACK_BLOCK_COLS, PACK_PAIR_BYTES, SIMD_TILE_ROWS,
+    };
+    use std::arch::x86_64::*;
+
+    /// Packed-B microkernel over full 16-column blocks; a partial final block runs
+    /// through the bit-identical portable packed kernel.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn run_rows(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        mut observed: Option<&mut [i64]>,
+    ) {
+        let n = pb.cols();
+        let full_blocks = n / PACK_BLOCK_COLS;
+        for blk in 0..full_blocks {
+            let jc = blk * PACK_BLOCK_COLS;
+            let obs = observed
+                .as_deref_mut()
+                .map(|o| &mut o[jc..jc + PACK_BLOCK_COLS]);
+            col_block(a, pb, out_band, row_start, row_end, blk, obs);
+        }
+        if full_blocks < pb.blocks() {
+            packed_portable::run_block(
+                a,
+                pb,
+                out_band,
+                row_start,
+                row_end,
+                full_blocks,
+                &mut observed,
+            );
+        }
+    }
+
+    /// One full 16-column block over all rows of the band; same observed-checksum
+    /// register discipline as the unpacked `col_block`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 and that block `blk` is full-width.
+    #[target_feature(enable = "avx2")]
+    unsafe fn col_block(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        blk: usize,
+        observed: Option<&mut [i64]>,
+    ) {
+        let mut obs = [_mm256_setzero_si256(); 4];
+        let track = observed.is_some();
+        let mut i = row_start;
+        while i + SIMD_TILE_ROWS <= row_end {
+            if track {
+                tile::<SIMD_TILE_ROWS, true>(a, pb, out_band, row_start, i, blk, &mut obs);
+            } else {
+                tile::<SIMD_TILE_ROWS, false>(a, pb, out_band, row_start, i, blk, &mut obs);
+            }
+            i += SIMD_TILE_ROWS;
+        }
+        macro_rules! row_tail {
+            ($r:literal) => {
+                if track {
+                    tile::<$r, true>(a, pb, out_band, row_start, i, blk, &mut obs)
+                } else {
+                    tile::<$r, false>(a, pb, out_band, row_start, i, blk, &mut obs)
+                }
+            };
+        }
+        match row_end - i {
+            1 => row_tail!(1),
+            2 => row_tail!(2),
+            3 => row_tail!(3),
+            _ => {}
+        }
+        if let Some(observed) = observed {
+            add_i64x4_lanes(&obs, observed);
+        }
+    }
+
+    /// An `R × 16` register tile over the packed pairs of block `blk`: the pair registers
+    /// come out of `load_pair` already in linear column order, so retirement stores the
+    /// accumulators directly — no permutes.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2, `i + R <= a.rows()` and block `blk` full-width.
+    #[target_feature(enable = "avx2")]
+    unsafe fn tile<const R: usize, const FUSED: bool>(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        i: usize,
+        blk: usize,
+        obs: &mut [__m256i; 4],
+    ) {
+        let k = a.cols();
+        let n = pb.cols();
+        let pairs = pb.padded_k() / 2;
+        let tiles = pb.tiles().as_ptr().add(blk * pb.block_stride());
+        let zero = _mm256_setzero_si256();
+        let mut acc_lo = [zero; R];
+        let mut acc_hi = [zero; R];
+        let a_rows: [&[i8]; R] = std::array::from_fn(|r| a.row(i + r));
+        for p in 0..pairs {
+            let (pairs_lo, pairs_hi) = load_pair(tiles.add(p * PACK_PAIR_BYTES));
+            let odd_tail = 2 * p + 1 >= k;
+            for r in 0..R {
+                let a0 = a_rows[r][2 * p] as i16;
+                let a1 = if odd_tail {
+                    0
+                } else {
+                    a_rows[r][2 * p + 1] as i16
+                };
+                let w = pair_weights(a0, a1);
+                acc_lo[r] = _mm256_add_epi32(acc_lo[r], _mm256_madd_epi16(pairs_lo, w));
+                acc_hi[r] = _mm256_add_epi32(acc_hi[r], _mm256_madd_epi16(pairs_hi, w));
+            }
+        }
+        let jc = blk * PACK_BLOCK_COLS;
+        for r in 0..R {
+            let band_row = (i + r - row_start) * n;
+            retire_row::<FUSED>(
+                out_band.as_mut_ptr().add(band_row + jc),
+                acc_lo[r],
+                acc_hi[r],
+                obs,
+            );
+        }
+    }
+
+    /// The GEMV/skinny-M packed kernel: all `m ≤ 4` rows in one register tile, with the
+    /// expected checksum fused into the same pair stream (see
+    /// [`super::SimdEngine::run_skinny_packed`]) — `i32` `vpmaddwd` partials drained into
+    /// `i64` registers every [`packed_portable::DRAIN_PAIRS`] pairs.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 and `1 <= a.rows() <= 4`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn run_skinny(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        etx: &[i64],
+        expected: &mut [i64],
+        observed: &mut [i64],
+    ) {
+        let full_blocks = pb.cols() / PACK_BLOCK_COLS;
+        for blk in 0..full_blocks {
+            match a.rows() {
+                1 => skinny_block::<1>(a, pb, out_band, blk, etx, expected, observed),
+                2 => skinny_block::<2>(a, pb, out_band, blk, etx, expected, observed),
+                3 => skinny_block::<3>(a, pb, out_band, blk, etx, expected, observed),
+                _ => skinny_block::<4>(a, pb, out_band, blk, etx, expected, observed),
+            }
+        }
+        if full_blocks < pb.blocks() {
+            packed_portable::run_skinny_block(
+                a,
+                pb,
+                out_band,
+                full_blocks,
+                etx,
+                expected,
+                observed,
+            );
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2, `a.rows() == R` and block `blk` full-width.
+    #[target_feature(enable = "avx2")]
+    unsafe fn skinny_block<const R: usize>(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        blk: usize,
+        etx: &[i64],
+        expected: &mut [i64],
+        observed: &mut [i64],
+    ) {
+        let k = a.cols();
+        let n = pb.cols();
+        let pairs = pb.padded_k() / 2;
+        let tiles = pb.tiles().as_ptr().add(blk * pb.block_stride());
+        let zero = _mm256_setzero_si256();
+        let mut acc_lo = [zero; R];
+        let mut acc_hi = [zero; R];
+        let mut exp32_lo = zero;
+        let mut exp32_hi = zero;
+        let mut exp64 = [zero; 4];
+        let a_rows: [&[i8]; R] = std::array::from_fn(|r| a.row(r));
+        let mut since_drain = 0usize;
+        for p in 0..pairs {
+            let (pairs_lo, pairs_hi) = load_pair(tiles.add(p * PACK_PAIR_BYTES));
+            let odd_tail = 2 * p + 1 >= k;
+            for r in 0..R {
+                let a0 = a_rows[r][2 * p] as i16;
+                let a1 = if odd_tail {
+                    0
+                } else {
+                    a_rows[r][2 * p + 1] as i16
+                };
+                let w = pair_weights(a0, a1);
+                acc_lo[r] = _mm256_add_epi32(acc_lo[r], _mm256_madd_epi16(pairs_lo, w));
+                acc_hi[r] = _mm256_add_epi32(acc_hi[r], _mm256_madd_epi16(pairs_hi, w));
+            }
+            // Fused expected share: with m ≤ 4 the activation column sums eᵀ·X fit an
+            // i16 lane, so the already-loaded pair registers feed one extra vpmaddwd.
+            let e0 = etx[2 * p] as i16;
+            let e1 = if odd_tail { 0 } else { etx[2 * p + 1] as i16 };
+            let ew = pair_weights(e0, e1);
+            exp32_lo = _mm256_add_epi32(exp32_lo, _mm256_madd_epi16(pairs_lo, ew));
+            exp32_hi = _mm256_add_epi32(exp32_hi, _mm256_madd_epi16(pairs_hi, ew));
+            since_drain += 1;
+            if since_drain == packed_portable::DRAIN_PAIRS {
+                drain(&mut exp32_lo, &mut exp32_hi, &mut exp64);
+                since_drain = 0;
+            }
+        }
+        drain(&mut exp32_lo, &mut exp32_hi, &mut exp64);
+        let jc = blk * PACK_BLOCK_COLS;
+        add_i64x4_lanes(&exp64, &mut expected[jc..jc + PACK_BLOCK_COLS]);
+        let mut obs = [zero; 4];
+        for (r, (&lo, &hi)) in acc_lo.iter().zip(acc_hi.iter()).enumerate() {
+            retire_row::<true>(out_band.as_mut_ptr().add(r * n + jc), lo, hi, &mut obs);
+        }
+        add_i64x4_lanes(&obs, &mut observed[jc..jc + PACK_BLOCK_COLS]);
+    }
+
+    /// Widens the `i32` expected partials into the `i64` accumulator registers and
+    /// resets them — the drain that keeps the fused expected exact at any depth.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn drain(exp32_lo: &mut __m256i, exp32_hi: &mut __m256i, exp64: &mut [__m256i; 4]) {
+        exp64[0] = _mm256_add_epi64(
+            exp64[0],
+            _mm256_cvtepi32_epi64(_mm256_castsi256_si128(*exp32_lo)),
+        );
+        exp64[1] = _mm256_add_epi64(
+            exp64[1],
+            _mm256_cvtepi32_epi64(_mm256_extracti128_si256(*exp32_lo, 1)),
+        );
+        exp64[2] = _mm256_add_epi64(
+            exp64[2],
+            _mm256_cvtepi32_epi64(_mm256_castsi256_si128(*exp32_hi)),
+        );
+        exp64[3] = _mm256_add_epi64(
+            exp64[3],
+            _mm256_cvtepi32_epi64(_mm256_extracti128_si256(*exp32_hi, 1)),
+        );
+        *exp32_lo = _mm256_setzero_si256();
+        *exp32_hi = _mm256_setzero_si256();
+    }
+
+    /// One 32-byte packed pair row → two `i16` pair registers in linear column order
+    /// (lanes `(B[p][j], B[p+1][j])` for `j = 0..8` and `8..16`).
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 and `ptr..ptr+32` in bounds.
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_pair(ptr: *const i8) -> (__m256i, __m256i) {
+        let raw = _mm256_loadu_si256(ptr as *const __m256i);
+        (
+            _mm256_cvtepi8_epi16(_mm256_castsi256_si128(raw)),
+            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(raw, 1)),
+        )
+    }
+
+    /// Adds `acc_lo`/`acc_hi` (linear column order) onto 16 output columns at `out_ptr`
+    /// and, when `FUSED`, folds the finalised values into the observed-checksum
+    /// registers.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 and `out_ptr..out_ptr+16` in bounds.
+    #[target_feature(enable = "avx2")]
+    unsafe fn retire_row<const FUSED: bool>(
+        out_ptr: *mut i32,
+        acc_lo: __m256i,
+        acc_hi: __m256i,
+        obs: &mut [__m256i; 4],
+    ) {
+        let final0 = _mm256_add_epi32(_mm256_loadu_si256(out_ptr as *const __m256i), acc_lo);
+        let final1 = _mm256_add_epi32(_mm256_loadu_si256(out_ptr.add(8) as *const __m256i), acc_hi);
+        _mm256_storeu_si256(out_ptr as *mut __m256i, final0);
+        _mm256_storeu_si256(out_ptr.add(8) as *mut __m256i, final1);
+        if FUSED {
+            obs[0] = _mm256_add_epi64(
+                obs[0],
+                _mm256_cvtepi32_epi64(_mm256_castsi256_si128(final0)),
+            );
+            obs[1] = _mm256_add_epi64(
+                obs[1],
+                _mm256_cvtepi32_epi64(_mm256_extracti128_si256(final0, 1)),
+            );
+            obs[2] = _mm256_add_epi64(
+                obs[2],
+                _mm256_cvtepi32_epi64(_mm256_castsi256_si128(final1)),
+            );
+            obs[3] = _mm256_add_epi64(
+                obs[3],
+                _mm256_cvtepi32_epi64(_mm256_extracti128_si256(final1, 1)),
+            );
+        }
+    }
+
+    /// Stores four `i64×4` registers and adds their lanes onto a 16-entry slice.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 and `sums.len() == 16`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_i64x4_lanes(regs: &[__m256i; 4], sums: &mut [i64]) {
+        let mut lanes = [0i64; PACK_BLOCK_COLS];
+        for (q, &vec) in regs.iter().enumerate() {
+            _mm256_storeu_si256(lanes.as_mut_ptr().add(4 * q) as *mut __m256i, vec);
+        }
+        for (s, &v) in sums.iter_mut().zip(&lanes) {
+            *s += v;
+        }
+    }
+
+    /// A value pair broadcast as packed `i16` pairs for `vpmaddwd` (activations, or the
+    /// `eᵀ·X` sums of the skinny kernel — both fit `i16` by construction).
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn pair_weights(v0: i16, v1: i16) -> __m256i {
+        let packed = ((v1 as u16 as u32) << 16) | (v0 as u16 as u32);
+        _mm256_set1_epi32(packed as i32)
+    }
+}
+
+/// The AVX-512 tier of the packed kernels: one 32-byte packed pair row widens into a full
+/// 32-lane `i16` zmm register (`vpmovsxbw`), so a single `vpmaddwd` retires an entire
+/// depth pair for all 16 columns — half the multiply count of the AVX2 tile, fed by plain
+/// loads thanks to the pack-time interleaving. Requires AVX-512F (arithmetic/converts) +
+/// AVX-512BW (`vpmaddwd` on zmm); only reachable when [`super::SimdTier::Avx512`] was
+/// granted at construction. VNNI's `vpdpbusd` was considered and rejected: it consumes
+/// depth **quads**, which conflicts with the pair interleaving the AVX2 tier shares —
+/// reconstructing quads would reintroduce the per-GEMM shuffles packing exists to remove
+/// (and its unsigned×signed form needs a `128·colsum` correction besides).
+#[cfg(target_arch = "x86_64")]
+mod packed_avx512 {
+    use super::{
+        packed_portable, MatI8, PackedMatI8, PACK_BLOCK_COLS, PACK_PAIR_BYTES, SIMD_TILE_ROWS,
+    };
+    use std::arch::x86_64::*;
+
+    /// Packed-B microkernel over full 16-column blocks; a partial final block runs
+    /// through the bit-identical portable packed kernel.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX-512F, AVX-512BW and AVX2.
+    #[target_feature(enable = "avx512f,avx512bw,avx2")]
+    pub(super) unsafe fn run_rows(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        mut observed: Option<&mut [i64]>,
+    ) {
+        let n = pb.cols();
+        let full_blocks = n / PACK_BLOCK_COLS;
+        for blk in 0..full_blocks {
+            let jc = blk * PACK_BLOCK_COLS;
+            let obs = observed
+                .as_deref_mut()
+                .map(|o| &mut o[jc..jc + PACK_BLOCK_COLS]);
+            col_block(a, pb, out_band, row_start, row_end, blk, obs);
+        }
+        if full_blocks < pb.blocks() {
+            packed_portable::run_block(
+                a,
+                pb,
+                out_band,
+                row_start,
+                row_end,
+                full_blocks,
+                &mut observed,
+            );
+        }
+    }
+
+    /// One full 16-column block over all rows of the band; the observed column sums live
+    /// in two `i64×8` zmm registers across the entire row loop.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F/BW + AVX2 and that block `blk` is full-width.
+    #[target_feature(enable = "avx512f,avx512bw,avx2")]
+    unsafe fn col_block(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        row_end: usize,
+        blk: usize,
+        observed: Option<&mut [i64]>,
+    ) {
+        let mut obs = [_mm512_setzero_si512(); 2];
+        let track = observed.is_some();
+        let mut i = row_start;
+        while i + SIMD_TILE_ROWS <= row_end {
+            if track {
+                tile::<SIMD_TILE_ROWS, true>(a, pb, out_band, row_start, i, blk, &mut obs);
+            } else {
+                tile::<SIMD_TILE_ROWS, false>(a, pb, out_band, row_start, i, blk, &mut obs);
+            }
+            i += SIMD_TILE_ROWS;
+        }
+        macro_rules! row_tail {
+            ($r:literal) => {
+                if track {
+                    tile::<$r, true>(a, pb, out_band, row_start, i, blk, &mut obs)
+                } else {
+                    tile::<$r, false>(a, pb, out_band, row_start, i, blk, &mut obs)
+                }
+            };
+        }
+        match row_end - i {
+            1 => row_tail!(1),
+            2 => row_tail!(2),
+            3 => row_tail!(3),
+            _ => {}
+        }
+        if let Some(observed) = observed {
+            add_i64x8_lanes(&obs, observed);
+        }
+    }
+
+    /// An `R × 16` register tile: one `i32×16` zmm accumulator per row, one `vpmaddwd`
+    /// per row per depth pair.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F/BW + AVX2, `i + R <= a.rows()` and block `blk`
+    /// full-width.
+    #[target_feature(enable = "avx512f,avx512bw,avx2")]
+    unsafe fn tile<const R: usize, const FUSED: bool>(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        row_start: usize,
+        i: usize,
+        blk: usize,
+        obs: &mut [__m512i; 2],
+    ) {
+        let k = a.cols();
+        let n = pb.cols();
+        let pairs = pb.padded_k() / 2;
+        let tiles = pb.tiles().as_ptr().add(blk * pb.block_stride());
+        let mut acc = [_mm512_setzero_si512(); R];
+        let a_rows: [&[i8]; R] = std::array::from_fn(|r| a.row(i + r));
+        for p in 0..pairs {
+            let pair_row = load_pair(tiles.add(p * PACK_PAIR_BYTES));
+            let odd_tail = 2 * p + 1 >= k;
+            for r in 0..R {
+                let a0 = a_rows[r][2 * p] as i16;
+                let a1 = if odd_tail {
+                    0
+                } else {
+                    a_rows[r][2 * p + 1] as i16
+                };
+                acc[r] =
+                    _mm512_add_epi32(acc[r], _mm512_madd_epi16(pair_row, pair_weights(a0, a1)));
+            }
+        }
+        let jc = blk * PACK_BLOCK_COLS;
+        for (r, &row_acc) in acc.iter().enumerate() {
+            let band_row = (i + r - row_start) * n;
+            retire_row::<FUSED>(out_band.as_mut_ptr().add(band_row + jc), row_acc, obs);
+        }
+    }
+
+    /// The GEMV/skinny-M packed kernel at the AVX-512 tier; same structure and drain
+    /// bound as the AVX2 version, with the expected partials in one `i32×16` zmm.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F/BW + AVX2 and `1 <= a.rows() <= 4`.
+    #[target_feature(enable = "avx512f,avx512bw,avx2")]
+    pub(super) unsafe fn run_skinny(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        etx: &[i64],
+        expected: &mut [i64],
+        observed: &mut [i64],
+    ) {
+        let full_blocks = pb.cols() / PACK_BLOCK_COLS;
+        for blk in 0..full_blocks {
+            match a.rows() {
+                1 => skinny_block::<1>(a, pb, out_band, blk, etx, expected, observed),
+                2 => skinny_block::<2>(a, pb, out_band, blk, etx, expected, observed),
+                3 => skinny_block::<3>(a, pb, out_band, blk, etx, expected, observed),
+                _ => skinny_block::<4>(a, pb, out_band, blk, etx, expected, observed),
+            }
+        }
+        if full_blocks < pb.blocks() {
+            packed_portable::run_skinny_block(
+                a,
+                pb,
+                out_band,
+                full_blocks,
+                etx,
+                expected,
+                observed,
+            );
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F/BW + AVX2, `a.rows() == R` and block `blk` full-width.
+    #[target_feature(enable = "avx512f,avx512bw,avx2")]
+    unsafe fn skinny_block<const R: usize>(
+        a: &MatI8,
+        pb: &PackedMatI8,
+        out_band: &mut [i32],
+        blk: usize,
+        etx: &[i64],
+        expected: &mut [i64],
+        observed: &mut [i64],
+    ) {
+        let k = a.cols();
+        let n = pb.cols();
+        let pairs = pb.padded_k() / 2;
+        let tiles = pb.tiles().as_ptr().add(blk * pb.block_stride());
+        let mut acc = [_mm512_setzero_si512(); R];
+        let mut exp32 = _mm512_setzero_si512();
+        let mut exp64 = [_mm512_setzero_si512(); 2];
+        let a_rows: [&[i8]; R] = std::array::from_fn(|r| a.row(r));
+        let mut since_drain = 0usize;
+        for p in 0..pairs {
+            let pair_row = load_pair(tiles.add(p * PACK_PAIR_BYTES));
+            let odd_tail = 2 * p + 1 >= k;
+            for r in 0..R {
+                let a0 = a_rows[r][2 * p] as i16;
+                let a1 = if odd_tail {
+                    0
+                } else {
+                    a_rows[r][2 * p + 1] as i16
+                };
+                acc[r] =
+                    _mm512_add_epi32(acc[r], _mm512_madd_epi16(pair_row, pair_weights(a0, a1)));
+            }
+            let e0 = etx[2 * p] as i16;
+            let e1 = if odd_tail { 0 } else { etx[2 * p + 1] as i16 };
+            exp32 = _mm512_add_epi32(exp32, _mm512_madd_epi16(pair_row, pair_weights(e0, e1)));
+            since_drain += 1;
+            if since_drain == packed_portable::DRAIN_PAIRS {
+                drain(&mut exp32, &mut exp64);
+                since_drain = 0;
+            }
+        }
+        drain(&mut exp32, &mut exp64);
+        let jc = blk * PACK_BLOCK_COLS;
+        add_i64x8_lanes(&exp64, &mut expected[jc..jc + PACK_BLOCK_COLS]);
+        let mut obs = [_mm512_setzero_si512(); 2];
+        for (r, &row_acc) in acc.iter().enumerate() {
+            retire_row::<true>(out_band.as_mut_ptr().add(r * n + jc), row_acc, &mut obs);
+        }
+        add_i64x8_lanes(&obs, &mut observed[jc..jc + PACK_BLOCK_COLS]);
+    }
+
+    /// Widens the `i32` expected partials into the `i64` accumulators and resets them.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F.
+    #[target_feature(enable = "avx512f,avx512bw,avx2")]
+    unsafe fn drain(exp32: &mut __m512i, exp64: &mut [__m512i; 2]) {
+        exp64[0] = _mm512_add_epi64(
+            exp64[0],
+            _mm512_cvtepi32_epi64(_mm512_castsi512_si256(*exp32)),
+        );
+        exp64[1] = _mm512_add_epi64(
+            exp64[1],
+            _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64(*exp32, 1)),
+        );
+        *exp32 = _mm512_setzero_si512();
+    }
+
+    /// One 32-byte packed pair row → 32 `i16` lanes in one zmm register, in linear
+    /// column-pair order.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F/BW + AVX2 and `ptr..ptr+32` in bounds.
+    #[target_feature(enable = "avx512f,avx512bw,avx2")]
+    unsafe fn load_pair(ptr: *const i8) -> __m512i {
+        _mm512_cvtepi8_epi16(_mm256_loadu_si256(ptr as *const __m256i))
+    }
+
+    /// Adds a finalised `i32×16` accumulator onto 16 output columns at `out_ptr` and,
+    /// when `FUSED`, folds the stored values into the observed-checksum registers.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F and `out_ptr..out_ptr+16` in bounds.
+    #[target_feature(enable = "avx512f,avx512bw,avx2")]
+    unsafe fn retire_row<const FUSED: bool>(
+        out_ptr: *mut i32,
+        acc: __m512i,
+        obs: &mut [__m512i; 2],
+    ) {
+        let finalv = _mm512_add_epi32(_mm512_loadu_epi32(out_ptr), acc);
+        _mm512_storeu_epi32(out_ptr, finalv);
+        if FUSED {
+            obs[0] = _mm512_add_epi64(
+                obs[0],
+                _mm512_cvtepi32_epi64(_mm512_castsi512_si256(finalv)),
+            );
+            obs[1] = _mm512_add_epi64(
+                obs[1],
+                _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64(finalv, 1)),
+            );
+        }
+    }
+
+    /// Stores two `i64×8` registers and adds their lanes onto a 16-entry slice.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F and `sums.len() == 16`.
+    #[target_feature(enable = "avx512f,avx512bw,avx2")]
+    unsafe fn add_i64x8_lanes(regs: &[__m512i; 2], sums: &mut [i64]) {
+        let mut lanes = [0i64; PACK_BLOCK_COLS];
+        _mm512_storeu_epi64(lanes.as_mut_ptr(), regs[0]);
+        _mm512_storeu_epi64(lanes.as_mut_ptr().add(8), regs[1]);
+        for (s, &v) in sums.iter_mut().zip(&lanes) {
+            *s += v;
+        }
+    }
+
+    /// A value pair broadcast as packed `i16` pairs across all 16 `i32` lanes.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F.
+    #[target_feature(enable = "avx512f,avx512bw,avx2")]
+    unsafe fn pair_weights(v0: i16, v1: i16) -> __m512i {
+        let packed = ((v1 as u16 as u32) << 16) | (v0 as u16 as u32);
+        _mm512_set1_epi32(packed as i32)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -759,5 +1895,100 @@ mod tests {
         assert!(!SimdEngine::portable().is_accelerated());
         assert!(!SimdParallelEngine::portable().is_accelerated());
         assert!(!simd_dispatch_label().is_empty());
+    }
+
+    #[test]
+    fn with_tier_clamps_to_host_support() {
+        assert_eq!(SimdEngine::portable().tier(), SimdTier::Portable);
+        assert_eq!(
+            SimdEngine::with_tier(SimdTier::Portable).tier(),
+            SimdTier::Portable
+        );
+        assert!(SimdEngine::with_tier(SimdTier::Avx512).tier() <= SimdTier::detect());
+        assert_eq!(SimdEngine::new().tier(), SimdTier::detect());
+        assert!(SimdTier::Portable < SimdTier::Avx2 && SimdTier::Avx2 < SimdTier::Avx512);
+    }
+
+    /// Every tier the host grants, by name; unsupported tiers are skipped (the engine
+    /// clamps them down to an already-listed tier).
+    fn tiered_engines() -> Vec<(String, Box<dyn GemmEngine>)> {
+        let mut engines: Vec<(String, Box<dyn GemmEngine>)> = vec![
+            ("simd-portable".into(), Box::new(SimdEngine::portable())),
+            (
+                "parallel-portable".into(),
+                Box::new(SimdParallelEngine::portable()),
+            ),
+            (
+                "parallel-auto".into(),
+                Box::new(SimdParallelEngine::with_threads(3)),
+            ),
+        ];
+        for tier in [SimdTier::Avx2, SimdTier::Avx512] {
+            let engine = SimdEngine::with_tier(tier);
+            if engine.tier() == tier {
+                engines.push((format!("simd-{}", tier.label()), Box::new(engine)));
+            }
+        }
+        engines
+    }
+
+    #[test]
+    fn packed_paths_match_reference_across_tiers_and_shapes() {
+        // Skinny shapes (m ≤ 4) exercise the fused-expected GEMV kernel, m ≥ 5 the
+        // generic packed kernel, odd k the zero-padded final pair, ragged n the
+        // portable partial-block handler, and the deep shape the i32→i64 expected
+        // drain (k/2 > DRAIN_PAIRS needs k > 16384).
+        for (seed, (m, k, n)) in [
+            (11, (1, 1, 1)),
+            (12, (1, 64, 48)),
+            (13, (2, 63, 17)),
+            (14, (4, 33, 16)),
+            (15, (5, 48, 31)),
+            (16, (9, 7, 130)),
+            (17, (130, 64, 96)),
+            (18, (2, 16500, 16)),
+        ]
+        .into_iter()
+        {
+            let (a, b) = random_pair(seed, m, k, n);
+            let pb = PackedMatI8::pack(&b);
+            let oracle = ReferenceEngine
+                .gemm_i8_checksummed_two_pass(&a, &b)
+                .unwrap();
+            for (name, engine) in tiered_engines() {
+                let mut out = MatI32::zeros(0, 0);
+                engine.gemm_i8_packed_into(&a, &pb, &mut out).unwrap();
+                assert_eq!(&out, oracle.acc(), "{name} {m}x{k}x{n}");
+                let mut dest = ChecksummedGemm::empty();
+                let mut etw = Vec::new();
+                engine
+                    .gemm_i8_packed_checksummed_into(&a, &pb, &mut dest, &mut etw)
+                    .unwrap();
+                assert_eq!(dest.acc(), oracle.acc(), "{name} {m}x{k}x{n}");
+                assert_eq!(dest.expected(), oracle.expected(), "{name} {m}x{k}x{n}");
+                assert_eq!(dest.observed(), oracle.observed(), "{name} {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_shape_mismatch_is_rejected() {
+        let a = MatI8::zeros(2, 3);
+        let pb = PackedMatI8::pack(&MatI8::zeros(4, 2));
+        for (name, engine) in tiered_engines() {
+            let mut out = MatI32::zeros(0, 0);
+            assert!(
+                engine.gemm_i8_packed_into(&a, &pb, &mut out).is_err(),
+                "{name}"
+            );
+            let mut dest = ChecksummedGemm::empty();
+            let mut etw = Vec::new();
+            assert!(
+                engine
+                    .gemm_i8_packed_checksummed_into(&a, &pb, &mut dest, &mut etw)
+                    .is_err(),
+                "{name}"
+            );
+        }
     }
 }

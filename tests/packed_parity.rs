@@ -1,0 +1,231 @@
+//! Differential tests for the decode-shape speed tier: the packed-B entry points
+//! (`gemm_i8_packed_into` / `gemm_i8_packed_checksummed_into`) must be bit-exact against
+//! the scalar reference — on accumulators *and* on fused ABFT checksums — for every
+//! backend, every SIMD dispatch tier the host grants, ragged and degenerate shapes,
+//! saturated INT8 inputs, and whole-model forward passes.
+//!
+//! This is the guarantee that makes pre-packing a pure optimisation: `PackedMatI8` is a
+//! relayout of the same integer operand, integer accumulation is order-invariant, and the
+//! skinny-M kernels fuse the expected-checksum reduction without changing a single bit of
+//! it. Under `REALM_FORCE_SCALAR=1` (the portable CI leg) the same assertions pin the
+//! scalar packed kernels.
+
+use rand::Rng;
+use realm::llm::{config::ModelConfig, model::Model, NoopHook};
+use realm::tensor::engine::{ChecksummedGemm, EngineKind, GemmEngine, ReferenceEngine};
+use realm::tensor::{rng, MatI32, MatI8, PackedMatI8, SimdEngine, SimdParallelEngine, SimdTier};
+use std::sync::Arc;
+
+/// Every backend registered in [`EngineKind::ALL`] plus explicitly-pinned SIMD tiers, so a
+/// host with AVX-512 also differentially tests its clamped AVX2 and portable kernels (and a
+/// host without simply re-tests the granted tier — `with_tier` clamps, never lies).
+fn all_engines() -> Vec<Arc<dyn GemmEngine>> {
+    let mut engines: Vec<Arc<dyn GemmEngine>> =
+        EngineKind::ALL.iter().map(|kind| kind.build()).collect();
+    for tier in [SimdTier::Portable, SimdTier::Avx2, SimdTier::Avx512] {
+        engines.push(Arc::new(SimdEngine::with_tier(tier)));
+    }
+    engines.push(Arc::new(SimdParallelEngine::with_threads(5)));
+    engines
+}
+
+fn random_operands(seed: u64, m: usize, k: usize, n: usize) -> (MatI8, PackedMatI8) {
+    let mut r = rng::seeded(seed);
+    let a = MatI8::from_fn(m, k, |_, _| r.gen_range(-128i16..=127) as i8);
+    let b = MatI8::from_fn(k, n, |_, _| r.gen_range(-128i16..=127) as i8);
+    (a, PackedMatI8::from_mat(b))
+}
+
+/// Shapes chosen to land on every packed-kernel edge: each skinny row count (M = 1..=4),
+/// the first non-skinny count (5) and larger M, depths that are odd (the zero-padded last
+/// pair), column counts off the 16-wide tile (partial final block via the portable
+/// delegate), 1×N / N×1 degenerates, and one shape past the parallel-dispatch threshold.
+const SHAPES: [(usize, usize, usize); 16] = [
+    (1, 1, 1),
+    (1, 64, 48),
+    (1, 37, 1),
+    (1, 200, 300),
+    (2, 63, 17),
+    (3, 5, 16),
+    (3, 128, 33),
+    (4, 33, 16),
+    (4, 96, 96),
+    (5, 48, 31),
+    (9, 1, 11),
+    (9, 7, 130),
+    (17, 23, 31),
+    (65, 129, 257),
+    (130, 64, 96),
+    (301, 5, 1),
+];
+
+#[test]
+fn packed_accumulators_bit_exact_across_backends_and_shapes() {
+    for (i, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let (a, pb) = random_operands(4000 + i as u64, m, k, n);
+        let oracle = ReferenceEngine.gemm_i8(&a, pb.unpacked()).unwrap();
+        for engine in all_engines() {
+            let mut out = MatI32::zeros(0, 0);
+            engine.gemm_i8_packed_into(&a, &pb, &mut out).unwrap();
+            assert_eq!(
+                out,
+                oracle,
+                "{} packed diverged on {m}x{k}x{n}",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_fused_checksums_bit_exact_across_backends_and_shapes() {
+    for (i, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let (a, pb) = random_operands(5000 + i as u64, m, k, n);
+        let oracle = ReferenceEngine
+            .gemm_i8_checksummed_two_pass(&a, pb.unpacked())
+            .unwrap();
+        for engine in all_engines() {
+            let mut dest = ChecksummedGemm::from_parts(MatI32::zeros(0, 0), Vec::new(), Vec::new());
+            let mut etw = Vec::new();
+            engine
+                .gemm_i8_packed_checksummed_into(&a, &pb, &mut dest, &mut etw)
+                .unwrap();
+            assert_eq!(
+                dest.acc(),
+                oracle.acc(),
+                "{} packed acc {m}x{k}x{n}",
+                engine.name()
+            );
+            assert_eq!(
+                dest.expected(),
+                oracle.expected(),
+                "{} packed expected checksum {m}x{k}x{n}",
+                engine.name()
+            );
+            assert_eq!(
+                dest.observed(),
+                oracle.observed(),
+                "{} packed observed checksum {m}x{k}x{n}",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_path_matches_unpacked_path_exactly() {
+    // The switch `QuantLinear::set_packing` toggles at runtime: same engine, same operands,
+    // packed vs unpacked entry points — identical accumulators and checksums.
+    for (i, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let (a, pb) = random_operands(6000 + i as u64, m, k, n);
+        for engine in all_engines() {
+            let unpacked = engine.gemm_i8_checksummed(&a, pb.unpacked()).unwrap();
+            let mut packed =
+                ChecksummedGemm::from_parts(MatI32::zeros(0, 0), Vec::new(), Vec::new());
+            let mut etw = Vec::new();
+            engine
+                .gemm_i8_packed_checksummed_into(&a, &pb, &mut packed, &mut etw)
+                .unwrap();
+            assert_eq!(packed.acc(), unpacked.acc(), "{}", engine.name());
+            assert_eq!(packed.expected(), unpacked.expected(), "{}", engine.name());
+            assert_eq!(packed.observed(), unpacked.observed(), "{}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn saturated_int8_inputs_stay_bit_exact_on_the_packed_path() {
+    // Every element at an INT8 rail: the skinny kernel's i16 `eᵀ·X` weights hit their
+    // extreme (±4·128) and per-pair i32 partials approach the drain bound, so this pins
+    // the widening arithmetic at its specified limits.
+    for &(m, k, n) in &[(1, 511, 3), (2, 64, 64), (4, 257, 65), (33, 64, 48)] {
+        for fill in [(127i8, 127i8), (-128, -128), (127, -128), (-128, 127)] {
+            let a = MatI8::filled(m, k, fill.0);
+            let pb = PackedMatI8::from_mat(MatI8::filled(k, n, fill.1));
+            let oracle = ReferenceEngine
+                .gemm_i8_checksummed_two_pass(&a, pb.unpacked())
+                .unwrap();
+            for engine in all_engines() {
+                let mut dest =
+                    ChecksummedGemm::from_parts(MatI32::zeros(0, 0), Vec::new(), Vec::new());
+                let mut etw = Vec::new();
+                engine
+                    .gemm_i8_packed_checksummed_into(&a, &pb, &mut dest, &mut etw)
+                    .unwrap();
+                assert_eq!(dest.acc(), oracle.acc(), "{} fill {fill:?}", engine.name());
+                assert_eq!(dest.expected(), oracle.expected(), "{}", engine.name());
+                assert_eq!(dest.observed(), oracle.observed(), "{}", engine.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn reused_destination_is_fully_overwritten() {
+    // Decode reuses one `ChecksummedGemm` across layers of different widths. A large fused
+    // GEMM followed by a smaller packed one must leave no stale accumulator or checksum
+    // lane visible through the public accessors.
+    let (big_a, big_pb) = random_operands(7001, 9, 40, 200);
+    let (small_a, small_pb) = random_operands(7002, 2, 24, 17);
+    let oracle = ReferenceEngine
+        .gemm_i8_checksummed_two_pass(&small_a, small_pb.unpacked())
+        .unwrap();
+    for engine in all_engines() {
+        let mut dest = ChecksummedGemm::from_parts(MatI32::zeros(0, 0), Vec::new(), Vec::new());
+        let mut etw = Vec::new();
+        engine
+            .gemm_i8_packed_checksummed_into(&big_a, &big_pb, &mut dest, &mut etw)
+            .unwrap();
+        engine
+            .gemm_i8_packed_checksummed_into(&small_a, &small_pb, &mut dest, &mut etw)
+            .unwrap();
+        assert_eq!(dest.acc(), oracle.acc(), "{} stale acc", engine.name());
+        assert_eq!(dest.expected(), oracle.expected(), "{}", engine.name());
+        assert_eq!(dest.observed(), oracle.observed(), "{}", engine.name());
+    }
+}
+
+#[test]
+fn packed_shape_mismatch_is_rejected_before_any_write() {
+    let (a, _) = random_operands(8000, 3, 10, 4);
+    let (_, pb) = random_operands(8001, 3, 12, 4); // 12 != 10: incompatible inner dim
+    for engine in all_engines() {
+        let mut out = MatI32::zeros(0, 0);
+        assert!(
+            engine.gemm_i8_packed_into(&a, &pb, &mut out).is_err(),
+            "{} accepted mismatched inner dimensions",
+            engine.name()
+        );
+        let mut dest = ChecksummedGemm::from_parts(MatI32::zeros(0, 0), Vec::new(), Vec::new());
+        let mut etw = Vec::new();
+        assert!(
+            engine
+                .gemm_i8_packed_checksummed_into(&a, &pb, &mut dest, &mut etw)
+                .is_err(),
+            "{} accepted mismatched inner dimensions (checksummed)",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn whole_forward_pass_is_packing_invariant() {
+    // End-to-end statement of the tentpole: flipping a model between the packed (default)
+    // and unpacked weight paths changes nothing about its logits, on any backend.
+    let prompt = [1u32, 5, 9, 3, 7, 2];
+    for kind in EngineKind::ALL {
+        let mut config = ModelConfig::tiny_llama();
+        config.engine = kind;
+        let packed_model = Model::new(&config, 77).unwrap();
+        let (packed_logits, _) = packed_model.prefill(&prompt, &mut NoopHook).unwrap();
+
+        let mut unpacked_model = Model::new(&config, 77).unwrap();
+        unpacked_model.set_weight_packing(false);
+        let (unpacked_logits, _) = unpacked_model.prefill(&prompt, &mut NoopHook).unwrap();
+
+        assert_eq!(
+            packed_logits, unpacked_logits,
+            "backend {kind}: packing changed the forward pass"
+        );
+    }
+}

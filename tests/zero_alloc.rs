@@ -11,6 +11,13 @@
 //! stack registers and must not allocate packing scratch per call). Neither spawns worker
 //! threads whose stacks would muddy the count. Under `REALM_FORCE_SCALAR=1` the Simd tests
 //! prove the same contract for the portable fallback kernel.
+//!
+//! Since the decode-shape speed tier landed, `QuantLinear` pre-packs every weight matrix
+//! into a [`realm::tensor::PackedMatI8`] replica at **model load**. That packing is a
+//! one-time construction cost outside the measured window; the decode-path packed kernels
+//! consume the resident tiles read-only, so the steady-state zero-allocation contract below
+//! now covers the packed path by default (and the unpacked path via
+//! `Model::set_weight_packing(false)`).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -111,16 +118,74 @@ fn decode_steps_after_warmup_allocate_nothing() {
 
 #[test]
 fn simd_decode_steps_after_warmup_allocate_nothing() {
-    // The SIMD backend's `_into` kernels keep their register tile on the stack and have no
-    // packing buffers at all, so the allocation-free contract extends to it verbatim —
-    // on both dispatch paths (AVX2 here; the portable fallback under the CI leg that sets
-    // REALM_FORCE_SCALAR=1).
+    // The SIMD backend's `_into` kernels keep their register tile on the stack; the packed
+    // weight replicas they stream were allocated once at `Model::new` and are read-only
+    // here, so the allocation-free contract extends to the packed decode path verbatim —
+    // on every dispatch tier (AVX-512 or AVX2 here; the portable fallback under the CI leg
+    // that sets REALM_FORCE_SCALAR=1).
     let model = model_on(EngineKind::Simd);
     let allocations = count_decode_allocations(&model, &mut NoopHook, 64, 40);
     assert_eq!(
         allocations, 0,
         "steady-state SIMD decode must perform zero heap allocations per step"
     );
+}
+
+#[test]
+fn simd_unpacked_decode_steps_after_warmup_allocate_nothing() {
+    // `set_weight_packing(false)` reroutes every weight GEMM through the legacy unpacked
+    // kernels without repacking or dropping buffers, so the A/B switch the packed-vs-
+    // unpacked benchmarks rely on preserves the zero-allocation contract on both sides.
+    let mut model = model_on(EngineKind::Simd);
+    model.set_weight_packing(false);
+    let allocations = count_decode_allocations(&model, &mut NoopHook, 64, 40);
+    assert_eq!(
+        allocations, 0,
+        "steady-state unpacked SIMD decode must perform zero heap allocations per step"
+    );
+}
+
+#[test]
+fn packed_checksummed_gemv_reuses_buffers_without_allocating() {
+    // Engine-level statement of the same contract: once the packed replica exists and the
+    // destination/scratch buffers have been sized by a first call, repeated checksummed
+    // packed GEMVs (the per-layer decode workload) perform zero heap allocations.
+    use realm::tensor::engine::{ChecksummedGemm, GemmEngine, ReferenceEngine};
+    use realm::tensor::{rng, MatI32, MatI8, PackedMatI8, SimdEngine};
+
+    let mut r = rng::seeded(7);
+    use rand::Rng;
+    let w = MatI8::from_fn(96, 80, |_, _| r.gen_range(-128i16..=127) as i8);
+    let pb = PackedMatI8::from_mat(w);
+    let a = MatI8::from_fn(1, 96, |_, _| r.gen_range(-128i16..=127) as i8);
+    let engine = SimdEngine::new();
+
+    let mut dest = ChecksummedGemm::from_parts(MatI32::zeros(0, 0), Vec::new(), Vec::new());
+    let mut etw = Vec::new();
+    // Warmup sizes the accumulator and the three checksum buffers.
+    engine
+        .gemm_i8_packed_checksummed_into(&a, &pb, &mut dest, &mut etw)
+        .unwrap();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..32 {
+        engine
+            .gemm_i8_packed_checksummed_into(&a, &pb, &mut dest, &mut etw)
+            .unwrap();
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "repeated packed checksummed GEMVs must reuse the caller's buffers"
+    );
+
+    // The loop above really did compute the decode GEMM: cross-check the last result.
+    let oracle = ReferenceEngine
+        .gemm_i8_checksummed_two_pass(&a, pb.unpacked())
+        .unwrap();
+    assert_eq!(dest.acc(), oracle.acc());
+    assert_eq!(dest.expected(), oracle.expected());
+    assert_eq!(dest.observed(), oracle.observed());
 }
 
 #[test]
