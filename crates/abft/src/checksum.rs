@@ -223,6 +223,71 @@ pub fn deviating_groups_into(
     }
 }
 
+/// Per-shard deviation sums of a tensor-parallel column-sharded GEMM: entry `s` is the
+/// sum of the column deviations over shard `s`'s column stripe (its shard-local MSD).
+///
+/// Under column sharding ([`realm_tensor::tp::ShardedLinear`]) every output column is
+/// owned by exactly one shard, so attributing a detection to a shard is a *slice* of the
+/// deviation vector at the shard boundaries — no re-reduction pass at all, unlike the
+/// row-group attribution of batched GEMMs ([`group_column_deviations`]). The boundaries
+/// come from [`realm_tensor::tp::shard_cols`], the same partition the TP dispatch uses,
+/// so attribution and execution can never disagree about stripe ownership.
+///
+/// # Panics
+///
+/// Panics if `degree` is zero.
+pub fn shard_deviation_sums(deviations: &[i64], degree: usize) -> Vec<i64> {
+    let mut out = Vec::new();
+    shard_deviation_sums_into(deviations, degree, &mut out);
+    out
+}
+
+/// [`shard_deviation_sums`] into a caller-provided buffer (cleared and resized in
+/// place), for detectors that attribute on every flagged GEMM without allocating.
+///
+/// # Panics
+///
+/// Panics if `degree` is zero.
+pub fn shard_deviation_sums_into(deviations: &[i64], degree: usize, out: &mut Vec<i64>) {
+    out.clear();
+    out.reserve(degree);
+    for range in realm_tensor::tp::shard_cols(deviations.len(), degree) {
+        out.push(deviations[range].iter().sum());
+    }
+}
+
+/// Indices of the shards of a column-sharded GEMM whose stripes carry a non-zero column
+/// deviation — the fault domains a detection traces back to.
+///
+/// Checks every column, not just the shard sums, so two errors that cancel in a shard's
+/// MSD but sit in different columns still implicate the shard.
+///
+/// # Panics
+///
+/// Panics if `degree` is zero.
+pub fn deviating_shards(deviations: &[i64], degree: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    deviating_shards_into(deviations, degree, &mut out);
+    out
+}
+
+/// [`deviating_shards`] into a caller-provided buffer (cleared in place).
+///
+/// # Panics
+///
+/// Panics if `degree` is zero.
+pub fn deviating_shards_into(deviations: &[i64], degree: usize, out: &mut Vec<usize>) {
+    out.clear();
+    for (s, range) in realm_tensor::tp::shard_cols(deviations.len(), degree)
+        .into_iter()
+        .enumerate()
+    {
+        if deviations[range].iter().any(|&d| d != 0) {
+            out.push(s);
+        }
+    }
+}
+
 /// Per-column deviations of a packed weight replica against its pack-time checksums.
 ///
 /// [`PackedMatI8`] snapshots `eᵀ·W` when the weight matrix is packed at model load. Re-reducing
@@ -366,6 +431,40 @@ mod tests {
         let (w, x, acc) = random_operands(10, 8, 6, 4);
         let parts = RowPartition::from_lens(&[4, 4]);
         assert!(deviating_groups(&w, &x, &acc, &parts).is_empty());
+    }
+
+    #[test]
+    fn shard_attribution_slices_the_deviation_vector_at_stripe_boundaries() {
+        // 10 columns over 4 shards: stripes 0..3, 3..6, 6..8, 8..10 (ragged).
+        let mut dev = vec![0i64; 10];
+        dev[4] = 1 << 14; // shard 1
+        dev[8] = -(1 << 9); // shard 3
+        dev[9] = 1 << 9; // shard 3 — cancels shard 3's MSD but not its columns
+        assert_eq!(
+            shard_deviation_sums(&dev, 4),
+            vec![0, 1 << 14, 0, 0],
+            "shard sums slice at the same boundaries the TP dispatch shards on"
+        );
+        assert_eq!(
+            deviating_shards(&dev, 4),
+            vec![1, 3],
+            "cancelling errors within a stripe still implicate the shard"
+        );
+        assert!(deviating_shards(&[0i64; 10], 4).is_empty());
+
+        let mut sums = Vec::new();
+        shard_deviation_sums_into(&dev, 2, &mut sums);
+        assert_eq!(sums, vec![1 << 14, 0]);
+    }
+
+    #[test]
+    fn shard_attribution_agrees_with_an_actual_sharded_corruption() {
+        let (w, x, mut acc) = random_operands(12, 4, 8, 12);
+        // Corrupt a column owned by shard 2 of 3 (stripes 0..4, 4..8, 8..12).
+        acc[(1, 9)] = acc[(1, 9)].wrapping_add(1 << 20);
+        let dev = column_deviations(&w, &x, &acc);
+        assert_eq!(deviating_shards(&dev, 3), vec![2]);
+        assert_eq!(shard_deviation_sums(&dev, 3), vec![0, 0, 1 << 20]);
     }
 
     #[test]

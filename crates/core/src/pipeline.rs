@@ -10,7 +10,7 @@
 //! * the task evaluation itself,
 //! * the systolic-array area/power model and the energy model for the final accounting.
 
-use crate::protection::{RegionAssignment, SchemeProtector, SequenceAttribution};
+use crate::protection::{RegionAssignment, SchemeProtector, SequenceAttribution, ShardAttribution};
 use crate::{CoreError, Result};
 use realm_eval::task::Task;
 use realm_inject::{
@@ -143,6 +143,10 @@ pub struct BatchedGenerationOutcome {
     pub errors_injected: u64,
     /// Detection/recovery attribution per batch sequence index (dense, one per sequence).
     pub per_sequence: Vec<SequenceAttribution>,
+    /// Detection/recovery attribution per tensor-parallel shard (dense, one per shard;
+    /// empty when the model is unsharded). Sharding is bit-exact, so the *verdicts* are
+    /// identical to an unsharded run — this only localizes them to fault domains.
+    pub per_shard: Vec<ShardAttribution>,
 }
 
 impl BatchedGenerationOutcome {
@@ -232,6 +236,7 @@ impl<'m> ProtectedPipeline<'m> {
             &self.regions,
             self.config.engine.build(),
         );
+        protector.set_shard_attribution(self.model.tp_group().map(|g| g.degree()));
 
         let task_value = {
             let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
@@ -314,6 +319,8 @@ impl<'m> ProtectedPipeline<'m> {
             &self.regions,
             self.config.engine.build(),
         );
+        let tp_degree = self.model.tp_group().map(|g| g.degree());
+        protector.set_shard_attribution(tp_degree);
         let outputs = {
             let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
             self.model
@@ -329,6 +336,15 @@ impl<'m> ProtectedPipeline<'m> {
                     .unwrap_or_default()
             })
             .collect();
+        let per_shard = (0..tp_degree.unwrap_or(0))
+            .map(|shard| {
+                protector
+                    .shard_attribution()
+                    .get(&shard)
+                    .copied()
+                    .unwrap_or_default()
+            })
+            .collect();
         Ok(BatchedGenerationOutcome {
             scheme,
             voltage,
@@ -338,6 +354,7 @@ impl<'m> ProtectedPipeline<'m> {
             recoveries: protector.stats().recoveries_triggered,
             errors_injected: injector.stats().errors_injected,
             per_sequence,
+            per_shard,
         })
     }
 
@@ -577,6 +594,35 @@ mod tests {
         assert!(pipeline
             .run_generation_batch(&[], 4, ProtectionScheme::None, 0.9, 1)
             .is_err());
+    }
+
+    #[test]
+    fn sharded_pipeline_reports_per_shard_attribution() {
+        let mut config = ModelConfig::tiny_opt();
+        config.tp_degree = 2;
+        let model = Model::new(&config, 3).unwrap();
+        let pipeline = ProtectedPipeline::new(&model, small_config());
+        let prompts: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![4, 5]];
+        let outcome = pipeline
+            .run_generation_batch(&prompts, 4, ProtectionScheme::ClassicalAbft, 0.60, 7)
+            .unwrap();
+        assert_eq!(outcome.per_shard.len(), 2, "dense, one entry per shard");
+        assert!(outcome.recoveries > 0);
+        let attributed: u64 = outcome.per_shard.iter().map(|a| a.detections).sum();
+        assert!(
+            attributed > 0,
+            "low-voltage faults must localize to shard stripes"
+        );
+
+        // The unsharded model reports no shard axis at all — and, sharding being
+        // bit-exact, produces the same tokens under the same faults.
+        let unsharded = Model::new(&ModelConfig::tiny_opt(), 3).unwrap();
+        let pipeline = ProtectedPipeline::new(&unsharded, small_config());
+        let baseline = pipeline
+            .run_generation_batch(&prompts, 4, ProtectionScheme::ClassicalAbft, 0.60, 7)
+            .unwrap();
+        assert!(baseline.per_shard.is_empty());
+        assert_eq!(baseline.outputs, outcome.outputs);
     }
 
     #[test]

@@ -31,6 +31,23 @@ pub struct SequenceAttribution {
     pub recoveries: u64,
 }
 
+/// Per-tensor-parallel-shard detection/recovery attribution accumulated by a
+/// [`SchemeProtector`].
+///
+/// When the model's linear layers are column-sharded over a TP rank group
+/// (`realm_tensor::tp`), every fused checksum deviation localizes to the shard stripes
+/// whose columns deviated (see [`realm_abft::checksum::deviating_shards`]); the protector
+/// charges detections and recoveries to those fault domains. Enabled by
+/// [`SchemeProtector::set_shard_attribution`] and only meaningful on the fused
+/// (checksummed) inspection path — the two-pass path never sees per-column deviations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardAttribution {
+    /// Inspections in which this shard's column stripe carried a non-zero deviation.
+    pub detections: u64,
+    /// Detections on this shard's stripe that triggered a recovery.
+    pub recoveries: u64,
+}
+
 /// Per-request protection policy: which ABFT scheme a request's GEMMs should run under.
 ///
 /// The serving layer attaches one policy to every request. Inside a shared batch the
@@ -156,6 +173,7 @@ struct DetectionScratch {
     group_etw: Vec<i64>,
     group_dev: Vec<i64>,
     affected: Vec<usize>,
+    shards: Vec<usize>,
 }
 
 /// A protection scheme attached to the model's GEMM stream.
@@ -171,6 +189,8 @@ pub struct SchemeProtector {
     engine: Arc<dyn GemmEngine>,
     partition: Option<RowPartition>,
     per_sequence: BTreeMap<usize, SequenceAttribution>,
+    tp_degree: Option<usize>,
+    per_shard: BTreeMap<usize, ShardAttribution>,
     sequence_schemes: Option<Vec<ProtectionScheme>>,
     batched_scheme: ProtectionScheme,
     scratch: DetectionScratch,
@@ -211,6 +231,8 @@ impl SchemeProtector {
             engine,
             partition: None,
             per_sequence: BTreeMap::new(),
+            tp_degree: None,
+            per_shard: BTreeMap::new(),
             sequence_schemes: None,
             batched_scheme: scheme,
             scratch: DetectionScratch::default(),
@@ -271,10 +293,31 @@ impl SchemeProtector {
         &self.per_sequence
     }
 
-    /// Resets the accumulated statistics (including per-sequence attribution).
+    /// Resets the accumulated statistics (including per-sequence and per-shard
+    /// attribution).
     pub fn reset_stats(&mut self) {
         self.stats = RecoveryStats::new();
         self.per_sequence = BTreeMap::new();
+        self.per_shard = BTreeMap::new();
+    }
+
+    /// Enables (`Some(degree)`) or disables (`None`) per-shard attribution of fused-path
+    /// detections to the stripes of a `degree`-way column-sharded model.
+    ///
+    /// The serving and pipeline layers set this from the model's TP degree
+    /// (`Model::tp_group`); it never changes detection verdicts or recovery behaviour,
+    /// only the bookkeeping surfaced by [`SchemeProtector::shard_attribution`]. Degrees
+    /// `0` and `1` both disable attribution (there is no sharding to attribute to).
+    pub fn set_shard_attribution(&mut self, degree: Option<usize>) {
+        self.tp_degree = degree.filter(|&d| d > 1);
+    }
+
+    /// Per-tensor-parallel-shard detection/recovery attribution, keyed by shard index.
+    ///
+    /// Empty unless [`SchemeProtector::set_shard_attribution`] enabled it and at least
+    /// one fused-path detection deviated inside some shard's column stripe.
+    pub fn shard_attribution(&self) -> &BTreeMap<usize, ShardAttribution> {
+        &self.per_shard
     }
 
     /// Controls whether a triggered recovery actually restores the correct accumulator.
@@ -435,6 +478,26 @@ impl SchemeProtector {
             }
         }
     }
+
+    /// Resolves which tensor-parallel shard stripes a flagged fused-path deviation vector
+    /// implicates, into `scratch.shards` (empty when shard attribution is disabled).
+    fn affected_shards_into(&self, scratch: &mut DetectionScratch) {
+        scratch.shards.clear();
+        if let Some(degree) = self.tp_degree {
+            checksum::deviating_shards_into(&scratch.deviations, degree, &mut scratch.shards);
+        }
+    }
+
+    /// Charges a detection (and, when `recovered`, a recovery) to each implicated shard.
+    fn attribute_shards(&mut self, shards: &[usize], recovered: bool) {
+        for &shard in shards {
+            let entry = self.per_shard.entry(shard).or_default();
+            entry.detections += 1;
+            if recovered {
+                entry.recoveries += 1;
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for SchemeProtector {
@@ -498,11 +561,14 @@ impl GemmHook for SchemeProtector {
         // re-reduction runs only on flagged GEMMs, so the fault-free fast path stays fast.
         if detection.errors_detected {
             self.affected_sequences_into(ctx, w, x, result.acc(), &mut scratch);
+            self.affected_shards_into(&mut scratch);
         } else {
             scratch.affected.clear();
+            scratch.shards.clear();
         }
         let recover = self.record(&detection, &policy, w.rows(), w.cols(), x.cols());
         self.attribute(&scratch.affected, recover);
+        self.attribute_shards(&scratch.shards, recover);
         if recover {
             // Recompute into the existing accumulator/checksum buffers instead of swapping
             // in a fresh allocation (recoveries rewrite the whole bundle anyway).
@@ -805,6 +871,63 @@ mod tests {
             0,
             "no sequence of an all-None list is inspected, in range or not"
         );
+    }
+
+    #[test]
+    fn fused_detections_attribute_to_the_corrupted_shard() {
+        let mut config = ModelConfig::tiny_opt();
+        config.tp_degree = 3;
+        let model = Model::new(&config, 2).unwrap();
+        let clean = Model::new(&ModelConfig::tiny_opt(), 2)
+            .unwrap()
+            .generate(&[1, 2, 3], 6, &mut NoopHook)
+            .unwrap();
+
+        // Arm a garble on shard 1 only; the protector (which wants checksums, keeping the
+        // fused sharded path on) must localize every detection to that shard's stripe and
+        // repair the run bit-exactly.
+        let group = std::sync::Arc::clone(model.tp_group().unwrap());
+        group.inject_shard_fault(1, realm_tensor::ShardFault::Garble { seed: 21 }, 2);
+        let mut protector =
+            SchemeProtector::with_default_regions(ProtectionScheme::ClassicalAbft, array());
+        protector.set_shard_attribution(Some(group.degree()));
+        let out = model.generate(&[1, 2, 3], 6, &mut protector).unwrap();
+        assert_eq!(out, clean, "the sharded layer itself recovers the garble");
+
+        // The shard's own checksum segment recovered the corruption *below* the hook, so
+        // the protector saw clean merged results: the shard-level stats carry the event.
+        let totals = group.totals();
+        assert_eq!(totals.detections, 2);
+        assert_eq!(totals.failovers, 2);
+        assert!(protector.shard_attribution().is_empty());
+
+        // Now corrupt *above* the sharded layer (the injector mutates the merged
+        // accumulator): the protector detects, recovers, and attributes the deviation to
+        // the shard stripes the deviating columns fall in.
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.2), 9);
+        let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
+        let repaired = model.generate(&[1, 2, 3], 6, &mut chain).unwrap();
+        assert_eq!(repaired, clean);
+        let attribution = protector.shard_attribution();
+        assert!(
+            !attribution.is_empty(),
+            "merged-accumulator corruptions localize to shard stripes"
+        );
+        assert!(attribution.keys().all(|&s| s < 3));
+        let (detections, recoveries) = attribution
+            .values()
+            .fold((0, 0), |(d, r), a| (d + a.detections, r + a.recoveries));
+        assert!(detections >= recoveries && recoveries > 0);
+
+        // Attribution is pure bookkeeping: disabling it changes nothing about repair.
+        protector.reset_stats();
+        assert!(protector.shard_attribution().is_empty());
+        protector.set_shard_attribution(None);
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.2), 9);
+        let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
+        let repaired = model.generate(&[1, 2, 3], 6, &mut chain).unwrap();
+        assert_eq!(repaired, clean);
+        assert!(protector.shard_attribution().is_empty());
     }
 
     #[test]

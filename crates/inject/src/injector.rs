@@ -29,6 +29,10 @@ pub struct InjectionStats {
     /// Unrestricted injection into a batch-stacked GEMM is not attributable a priori and is
     /// left to the protector's checksum-based attribution.
     pub per_sequence: BTreeMap<usize, u64>,
+    /// Number of whole-shard fault scenarios armed ([`ErrorInjector::arm_shard_faults`]).
+    pub shard_faults_armed: u64,
+    /// Armed whole-shard fault count per tensor-parallel shard index.
+    pub per_shard: BTreeMap<usize, u64>,
 }
 
 impl InjectionStats {
@@ -105,6 +109,40 @@ impl<M: ErrorModel> ErrorInjector<M> {
     /// Whether injection is currently enabled.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Arms `fault` for the next `steps` sharded dispatches on every tensor-parallel
+    /// shard of `group` selected by the target's shard filter (every shard when the
+    /// filter is unset). Returns the number of shards armed.
+    ///
+    /// Whole-shard faults live below the GEMM hook interface — the rank group applies
+    /// them at dispatch time and the sharded layer detects and recovers from them
+    /// (`realm_tensor::tp`) — so this is a side channel next to the per-GEMM `corrupt`
+    /// path, with its own per-shard accounting in [`InjectionStats`]. A disabled
+    /// injector arms nothing.
+    pub fn arm_shard_faults(
+        &mut self,
+        group: &realm_tensor::TpGroup,
+        fault: realm_tensor::ShardFault,
+        steps: usize,
+    ) -> usize {
+        if !self.enabled || steps == 0 {
+            return 0;
+        }
+        let mut armed = 0;
+        for shard in 0..group.degree() {
+            if self
+                .target
+                .shard_filter()
+                .is_none_or(|filter| filter.contains(&shard))
+            {
+                group.inject_shard_fault(shard, fault, steps);
+                self.stats.shard_faults_armed += 1;
+                *self.stats.per_shard.entry(shard).or_insert(0) += 1;
+                armed += 1;
+            }
+        }
+        armed
     }
 }
 
@@ -327,5 +365,85 @@ mod tests {
     #[test]
     fn empty_stats_have_zero_corruption_rate() {
         assert_eq!(InjectionStats::default().corruption_rate(), 0.0);
+    }
+
+    #[test]
+    fn shard_kill_is_survived_bit_exact_and_charged_to_the_shard() {
+        let mut config = ModelConfig::tiny_opt();
+        config.tp_degree = 3;
+        let model = Model::new(&config, 1).unwrap();
+        let clean = Model::new(&ModelConfig::tiny_opt(), 1)
+            .unwrap()
+            .generate(&[1, 2, 3], 6, &mut realm_llm::NoopHook)
+            .unwrap();
+        let mut injector = ErrorInjector::new(
+            BitFlipModel::uniform(0.0), // the GEMM-level model stays silent
+            Target::new().shard(1),
+            9,
+        );
+        let group = std::sync::Arc::clone(model.tp_group().unwrap());
+        let armed = injector.arm_shard_faults(&group, realm_tensor::ShardFault::Kill, 4);
+        assert_eq!(armed, 1, "only the targeted shard is armed");
+        let out = model.generate(&[1, 2, 3], 6, &mut injector).unwrap();
+        assert_eq!(
+            out, clean,
+            "killed shard fails over without corrupting output"
+        );
+        assert_eq!(injector.stats().shard_faults_armed, 1);
+        assert_eq!(injector.stats().per_shard.get(&1), Some(&1));
+        let stats = model.shard_stats();
+        assert_eq!(
+            stats[1].kills, 4,
+            "the shard was down for exactly 4 dispatches"
+        );
+        assert_eq!(stats[1].failovers, 4);
+        assert_eq!(stats[0].kills + stats[2].kills, 0);
+    }
+
+    #[test]
+    fn unfiltered_target_arms_every_shard_and_disabled_arms_none() {
+        let mut config = ModelConfig::tiny_opt();
+        config.tp_degree = 2;
+        let model = Model::new(&config, 1).unwrap();
+        let group = std::sync::Arc::clone(model.tp_group().unwrap());
+        let mut injector = ErrorInjector::everywhere(BitFlipModel::uniform(0.0), 9);
+        assert_eq!(
+            injector.arm_shard_faults(&group, realm_tensor::ShardFault::Garble { seed: 7 }, 1),
+            2
+        );
+        group.clear_shard_faults();
+        injector.set_enabled(false);
+        assert_eq!(
+            injector.arm_shard_faults(&group, realm_tensor::ShardFault::Kill, 1),
+            0
+        );
+        assert_eq!(injector.stats().shard_faults_armed, 2);
+    }
+
+    #[test]
+    fn armed_garble_reaches_the_unprotected_sharded_datapath() {
+        // The injector itself declines checksums, so generation under it runs the *plain*
+        // sharded path: an armed garble must land in the output (nothing can detect it
+        // here — that is the protector's job), and clearing the faults must restore
+        // bit-exactness with the unsharded model.
+        let mut config = ModelConfig::tiny_llama();
+        config.tp_degree = 2;
+        let model = Model::new(&config, 3).unwrap();
+        let clean = Model::new(&ModelConfig::tiny_llama(), 3)
+            .unwrap()
+            .generate(&[2, 3, 4], 5, &mut realm_llm::NoopHook)
+            .unwrap();
+        let mut injector =
+            ErrorInjector::new(BitFlipModel::uniform(0.0), Target::new().shard(0), 5);
+        let group = std::sync::Arc::clone(model.tp_group().unwrap());
+        injector.arm_shard_faults(&group, realm_tensor::ShardFault::Garble { seed: 11 }, 3);
+        let corrupted = model.generate(&[2, 3, 4], 5, &mut injector).unwrap();
+        assert_ne!(corrupted, clean, "the garble must reach the datapath");
+        let totals = group.totals();
+        assert!(totals.jobs > 0);
+        assert_eq!(totals.detections, 0, "the plain path cannot detect");
+        group.clear_shard_faults();
+        let recovered = model.generate(&[2, 3, 4], 5, &mut injector).unwrap();
+        assert_eq!(recovered, clean);
     }
 }

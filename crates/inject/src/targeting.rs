@@ -36,6 +36,7 @@ pub struct Target {
     layers: Option<BTreeSet<usize>>,
     stages: Option<BTreeSet<Stage>>,
     sequences: Option<BTreeSet<usize>>,
+    shards: Option<BTreeSet<usize>>,
 }
 
 impl Target {
@@ -93,6 +94,22 @@ impl Target {
         self.sequences([sequence])
     }
 
+    /// Restricts the target to the given tensor-parallel shard indices.
+    ///
+    /// The shard axis selects whole fault domains for the whole-shard scenarios
+    /// (`ErrorInjector::arm_shard_faults`), not individual GEMMs: sharding happens below
+    /// the hook interface, so [`Target::matches`] — which filters per-GEMM contexts — is
+    /// unaffected by this axis.
+    pub fn shards(mut self, shards: impl IntoIterator<Item = usize>) -> Self {
+        self.shards = Some(shards.into_iter().collect());
+        self
+    }
+
+    /// Restricts the target to a single tensor-parallel shard (convenience wrapper).
+    pub fn shard(self, shard: usize) -> Self {
+        self.shards([shard])
+    }
+
     /// Returns `true` if the GEMM described by `ctx` is selected by this target.
     pub fn matches(&self, ctx: &GemmContext) -> bool {
         self.components
@@ -128,6 +145,11 @@ impl Target {
         self.sequences.as_ref()
     }
 
+    /// Returns the configured tensor-parallel shard filter, if any.
+    pub fn shard_filter(&self) -> Option<&BTreeSet<usize>> {
+        self.shards.as_ref()
+    }
+
     /// A one-line description used in experiment reports.
     pub fn describe(&self) -> String {
         let fmt_set = |name: &str, items: Option<String>| match items {
@@ -158,12 +180,19 @@ impl Target {
                 .collect::<Vec<_>>()
                 .join(",")
         });
+        let shards = self.shards.as_ref().map(|s| {
+            s.iter()
+                .map(|q| q.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        });
         format!(
-            "{} {} {} {}",
+            "{} {} {} {} {}",
             fmt_set("components", components),
             fmt_set("layers", layers),
             fmt_set("stages", stages),
-            fmt_set("sequences", sequences)
+            fmt_set("sequences", sequences),
+            fmt_set("shards", shards)
         )
     }
 }
@@ -238,6 +267,18 @@ mod tests {
         assert!(t.matches(&ctx(Component::Q, 0, Stage::Prefill).batched()));
         assert_eq!(t.sequence_filter().unwrap().len(), 1);
         assert!(t.describe().contains("sequences={2}"));
+    }
+
+    #[test]
+    fn shard_filter_selects_fault_domains_not_gemms() {
+        let t = Target::new().shard(2);
+        assert_eq!(t.shard_filter().unwrap().len(), 1);
+        assert!(t.describe().contains("shards={2}"));
+        assert!(Target::new().describe().contains("shards=all"));
+        // The shard axis never restricts per-GEMM matching: sharding happens below the
+        // hook interface.
+        assert!(t.matches(&ctx(Component::Q, 0, Stage::Prefill)));
+        assert_eq!(Target::new().shard(1), Target::new().shards([1]));
     }
 
     #[test]

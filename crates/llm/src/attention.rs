@@ -57,6 +57,16 @@ impl MultiHeadAttention {
         self.wo.set_packing(enabled);
     }
 
+    /// Shards (or, with `None`, un-shards) the four projection weights over a
+    /// tensor-parallel rank group — see [`QuantLinear::set_tensor_parallel`]. The
+    /// attention-internal `QKᵀ`/`SV` GEMMs multiply two activations and are unaffected.
+    pub fn set_tensor_parallel(&mut self, group: Option<&std::sync::Arc<realm_tensor::TpGroup>>) {
+        self.wq.set_tensor_parallel(group);
+        self.wk.set_tensor_parallel(group);
+        self.wv.set_tensor_parallel(group);
+        self.wo.set_tensor_parallel(group);
+    }
+
     /// Number of attention heads.
     pub fn num_heads(&self) -> usize {
         self.num_heads

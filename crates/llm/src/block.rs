@@ -104,6 +104,13 @@ impl TransformerBlock {
         self.mlp.set_weight_packing(enabled);
     }
 
+    /// Shards (or, with `None`, un-shards) every static-weight GEMM in this block over a
+    /// tensor-parallel rank group — see [`crate::quantized::QuantLinear::set_tensor_parallel`].
+    pub fn set_tensor_parallel(&mut self, group: Option<&std::sync::Arc<realm_tensor::TpGroup>>) {
+        self.attention.set_tensor_parallel(group);
+        self.mlp.set_tensor_parallel(group);
+    }
+
     /// Runs the block over `x` of shape `(new_tokens, hidden)`.
     ///
     /// # Errors

@@ -56,6 +56,10 @@ pub struct ModelConfig {
     /// bit-exact (see `realm_tensor::engine`), so this only changes wall-clock speed; the
     /// presets default to [`EngineKind::auto`] (the SIMD parallel backend on AVX2 hosts).
     pub engine: EngineKind,
+    /// Tensor-parallel degree: the number of persistent simulated ranks every linear
+    /// layer's weights are column-sharded over (`realm_tensor::tp`). `1` (the presets'
+    /// default) runs the unsharded single-device path; any degree is bit-exact with it.
+    pub tp_degree: usize,
 }
 
 impl ModelConfig {
@@ -98,6 +102,11 @@ impl ModelConfig {
                 detail: format!("outlier_gain {} must be >= 1", self.outlier_gain),
             });
         }
+        if self.tp_degree == 0 {
+            return Err(LlmError::InvalidConfig {
+                detail: "tp_degree must be >= 1 (1 disables tensor parallelism)".into(),
+            });
+        }
         Ok(())
     }
 
@@ -133,6 +142,7 @@ impl ModelConfig {
             outlier_fraction: 0.03,
             outlier_gain: 24.0,
             engine: EngineKind::auto(),
+            tp_degree: 1,
         }
     }
 
@@ -150,6 +160,7 @@ impl ModelConfig {
             outlier_fraction: 0.03,
             outlier_gain: 24.0,
             engine: EngineKind::auto(),
+            tp_degree: 1,
         }
     }
 
@@ -167,6 +178,7 @@ impl ModelConfig {
             outlier_fraction: 0.03,
             outlier_gain: 24.0,
             engine: EngineKind::auto(),
+            tp_degree: 1,
         }
     }
 
@@ -184,6 +196,7 @@ impl ModelConfig {
             outlier_fraction: 0.05,
             outlier_gain: 16.0,
             engine: EngineKind::auto(),
+            tp_degree: 1,
         }
     }
 
@@ -201,6 +214,7 @@ impl ModelConfig {
             outlier_fraction: 0.05,
             outlier_gain: 16.0,
             engine: EngineKind::auto(),
+            tp_degree: 1,
         }
     }
 
@@ -265,6 +279,16 @@ mod tests {
         let mut cfg = ModelConfig::tiny_opt();
         cfg.outlier_gain = 0.5;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_tp_degree_is_rejected() {
+        let mut cfg = ModelConfig::tiny_opt();
+        assert_eq!(cfg.tp_degree, 1, "presets default to the unsharded path");
+        cfg.tp_degree = 0;
+        assert!(cfg.validate().is_err());
+        cfg.tp_degree = 4;
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -44,6 +44,13 @@ impl OptMlp {
         self.fc2.set_packing(enabled);
     }
 
+    /// Shards (or, with `None`, un-shards) both projection weights over a tensor-parallel
+    /// rank group — see [`QuantLinear::set_tensor_parallel`].
+    pub fn set_tensor_parallel(&mut self, group: Option<&std::sync::Arc<realm_tensor::TpGroup>>) {
+        self.fc1.set_tensor_parallel(group);
+        self.fc2.set_tensor_parallel(group);
+    }
+
     /// Runs the MLP over `x` of shape `(tokens, hidden)`.
     ///
     /// # Errors
@@ -179,6 +186,14 @@ impl LlamaMlp {
         self.gate.set_packing(enabled);
         self.up.set_packing(enabled);
         self.down.set_packing(enabled);
+    }
+
+    /// Shards (or, with `None`, un-shards) the three projection weights over a
+    /// tensor-parallel rank group — see [`QuantLinear::set_tensor_parallel`].
+    pub fn set_tensor_parallel(&mut self, group: Option<&std::sync::Arc<realm_tensor::TpGroup>>) {
+        self.gate.set_tensor_parallel(group);
+        self.up.set_tensor_parallel(group);
+        self.down.set_tensor_parallel(group);
     }
 
     /// Runs the gated MLP over `x` of shape `(tokens, hidden)`.
@@ -340,6 +355,15 @@ impl Mlp {
         match self {
             Mlp::Opt(m) => m.set_weight_packing(enabled),
             Mlp::Llama(m) => m.set_weight_packing(enabled),
+        }
+    }
+
+    /// Shards (or, with `None`, un-shards) the MLP's projection weights over a
+    /// tensor-parallel rank group — see [`QuantLinear::set_tensor_parallel`].
+    pub fn set_tensor_parallel(&mut self, group: Option<&std::sync::Arc<realm_tensor::TpGroup>>) {
+        match self {
+            Mlp::Opt(m) => m.set_tensor_parallel(group),
+            Mlp::Llama(m) => m.set_tensor_parallel(group),
         }
     }
 

@@ -19,7 +19,7 @@ use crate::kv_cache::KvCache;
 use crate::weights::{self, Embedding, SyntheticLanguage};
 use crate::{LlmError, Result};
 use realm_tensor::rng;
-use realm_tensor::{gemm, GemmEngine, MatF32, RowPartition, Workspace};
+use realm_tensor::{gemm, GemmEngine, MatF32, RowPartition, TpGroup, TpShardStats, Workspace};
 use std::sync::Arc;
 
 /// Default temperature applied to the synthetic model's logits.
@@ -50,6 +50,7 @@ pub struct Model {
     lm_head: MatF32,
     logit_temperature: f32,
     engine: Arc<dyn GemmEngine>,
+    tp: Option<Arc<TpGroup>>,
 }
 
 impl Model {
@@ -68,7 +69,7 @@ impl Model {
             .collect();
         let final_norm = Norm::new(config, &mut r);
         let lm_head = weights::lm_head(&embedding, &language);
-        Ok(Self {
+        let mut model = Self {
             config: config.clone(),
             embedding,
             language,
@@ -77,7 +78,10 @@ impl Model {
             lm_head,
             logit_temperature: DEFAULT_LOGIT_TEMPERATURE,
             engine: config.engine.build(),
-        })
+            tp: None,
+        };
+        model.set_tensor_parallel(config.tp_degree);
+        Ok(model)
     }
 
     /// The GEMM execution backend every quantized GEMM of this model runs on.
@@ -89,8 +93,49 @@ impl Model {
     }
 
     /// Overrides the GEMM backend (e.g. to pin a characterization sweep to the oracle).
+    ///
+    /// When the model is tensor-parallel sharded, the rank group's resident engine is
+    /// swapped too, so shards and the unsharded layers always run the same backend.
     pub fn set_engine(&mut self, engine: Arc<dyn GemmEngine>) {
         self.engine = engine;
+        if let Some(group) = &self.tp {
+            group.set_engine(Arc::clone(&self.engine));
+        }
+    }
+
+    /// Re-shards every static-weight GEMM of the model over a fresh group of `degree`
+    /// persistent tensor-parallel ranks (`realm_tensor::tp`); `degree <= 1` tears the
+    /// rank pool down and restores the unsharded single-device path. Sharding is
+    /// bit-exact: tokens, logits and ABFT checksum deviations are unchanged at any
+    /// degree. `config().tp_degree` is updated to match (degree 0 is stored as 1).
+    pub fn set_tensor_parallel(&mut self, degree: usize) {
+        self.config.tp_degree = degree.max(1);
+        self.tp = if self.config.tp_degree > 1 {
+            Some(Arc::new(TpGroup::new(
+                self.config.tp_degree,
+                Arc::clone(&self.engine),
+            )))
+        } else {
+            None
+        };
+        for block in &mut self.blocks {
+            block.set_tensor_parallel(self.tp.as_ref());
+        }
+    }
+
+    /// The tensor-parallel rank group every linear layer is sharded over, or `None` on
+    /// the unsharded path. Exposes per-shard reliability stats
+    /// ([`TpGroup::shard_stats`]) and the whole-shard fault hooks used by the
+    /// injection and serving layers.
+    pub fn tp_group(&self) -> Option<&Arc<TpGroup>> {
+        self.tp.as_ref()
+    }
+
+    /// Per-shard reliability counters summed over every sharded layer of the model
+    /// (empty slice semantics: unsharded models report no shards). Convenience for
+    /// [`TpGroup::shard_stats`].
+    pub fn shard_stats(&self) -> Vec<TpShardStats> {
+        self.tp.as_ref().map_or_else(Vec::new, |g| g.shard_stats())
     }
 
     /// Routes every static-weight GEMM in the model through the packed (default) or
@@ -770,6 +815,35 @@ mod tests {
         assert!(!rec.calls.is_empty());
         assert!(rec.calls.iter().all(|c| c.stage == Stage::Decode));
         assert_eq!(rec.count_for(Component::O), config.num_layers);
+    }
+
+    #[test]
+    fn sharded_model_is_bit_exact_with_unsharded() {
+        for config in [ModelConfig::tiny_opt(), ModelConfig::tiny_llama()] {
+            let base = Model::new(&config, 11).unwrap();
+            let mut sharded_cfg = config.clone();
+            sharded_cfg.tp_degree = 3;
+            let sharded = Model::new(&sharded_cfg, 11).unwrap();
+            assert!(sharded.tp_group().is_some());
+            let a = base.generate(&[1, 2, 3], 8, &mut NoopHook).unwrap();
+            let b = sharded.generate(&[1, 2, 3], 8, &mut NoopHook).unwrap();
+            assert_eq!(a, b, "{}", config.name);
+        }
+    }
+
+    #[test]
+    fn set_tensor_parallel_reshards_and_restores_in_place() {
+        let config = ModelConfig::tiny_opt();
+        let mut m = Model::new(&config, 4).unwrap();
+        let clean = m.generate(&[2, 3], 6, &mut NoopHook).unwrap();
+        m.set_tensor_parallel(4);
+        assert_eq!(m.config().tp_degree, 4);
+        assert_eq!(m.shard_stats().len(), 4);
+        assert_eq!(m.generate(&[2, 3], 6, &mut NoopHook).unwrap(), clean);
+        m.set_tensor_parallel(0);
+        assert_eq!(m.config().tp_degree, 1);
+        assert!(m.tp_group().is_none() && m.shard_stats().is_empty());
+        assert_eq!(m.generate(&[2, 3], 6, &mut NoopHook).unwrap(), clean);
     }
 
     #[test]

@@ -15,9 +15,10 @@ use crate::hooks::{GemmContext, GemmHook};
 use crate::{LlmError, Result};
 use realm_tensor::{
     quant, ChecksummedGemm, GemmEngine, MatF32, MatI8, PackedMatI8, QuantParams, RowPartition,
-    Workspace,
+    ShardedLinear, TpGroup, Workspace,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How a quantized GEMM's INT32 accumulator is converted back for downstream computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,6 +44,10 @@ pub struct QuantLinear {
     weight_scale: f32,
     output_mode: OutputMode,
     use_packed: bool,
+    /// Tensor-parallel execution handle: when present, forwards run the weight's packed
+    /// column stripes on the group's persistent ranks instead of the local engine (see
+    /// [`QuantLinear::set_tensor_parallel`]). Execution state, not layer identity.
+    tp: Option<ShardedLinear>,
 }
 
 impl QuantLinear {
@@ -55,6 +60,7 @@ impl QuantLinear {
             weight_scale,
             output_mode,
             use_packed: true,
+            tp: None,
         }
     }
 
@@ -91,9 +97,28 @@ impl QuantLinear {
 
     /// Whether forwards route through the engine's packed entry points (the default) or
     /// the unpacked `gemm_i8*` path. Both are bit-identical; the switch exists for the
-    /// packed-vs-unpacked benchmarks and differential tests.
+    /// packed-vs-unpacked benchmarks and differential tests. Sharded execution honours
+    /// the same switch per rank.
     pub fn set_packing(&mut self, enabled: bool) {
         self.use_packed = enabled;
+    }
+
+    /// Shards this layer's weights column-wise over `group`'s persistent ranks
+    /// (`Some`), or restores the unsharded single-device path (`None`).
+    ///
+    /// Sharding packs one column stripe per rank at call time — a load-time allocation,
+    /// exactly like the original [`PackedMatI8`] pack — after which every forward
+    /// scatters the activation once, runs the per-rank fused-checksum GEMMs in parallel
+    /// and merges stripes and checksum segments back into the layout hooks already
+    /// consume. Outputs, checksums and hook observations are bit-identical to the
+    /// unsharded path (`tests/tp_parity.rs`).
+    pub fn set_tensor_parallel(&mut self, group: Option<&Arc<TpGroup>>) {
+        self.tp = group.map(|group| ShardedLinear::new(Arc::clone(group), self.weight.unpacked()));
+    }
+
+    /// The tensor-parallel execution handle, when sharded.
+    pub fn tensor_parallel(&self) -> Option<&ShardedLinear> {
+        self.tp.as_ref()
     }
 
     /// Computes `x · W` through the quantized INT8 → INT32 datapath of `engine`.
@@ -136,8 +161,16 @@ impl QuantLinear {
     ) -> Result<MatF32> {
         let mut xq = ws.take_mat_i8(x.rows(), x.cols());
         let x_scale = quant::quantize_symmetric_into(x, &mut xq);
-        let acc =
-            run_hooked_linear_gemm_ws(&xq, &self.weight, self.use_packed, engine, ctx, hook, ws);
+        let acc = run_hooked_linear_gemm_ws(
+            &xq,
+            &self.weight,
+            self.tp.as_ref(),
+            self.use_packed,
+            engine,
+            ctx,
+            hook,
+            ws,
+        );
         ws.recycle_mat_i8(xq);
         let acc = acc?;
         let combined = x_scale * self.weight_scale;
@@ -201,8 +234,16 @@ impl QuantLinear {
             ws.recycle_vec_f32(scales);
             return Err(e);
         }
-        let acc =
-            run_hooked_linear_gemm_ws(&xq, &self.weight, self.use_packed, engine, ctx, hook, ws);
+        let acc = run_hooked_linear_gemm_ws(
+            &xq,
+            &self.weight,
+            self.tp.as_ref(),
+            self.use_packed,
+            engine,
+            ctx,
+            hook,
+            ws,
+        );
         ws.recycle_mat_i8(xq);
         let acc = match acc {
             Ok(acc) => acc,
@@ -460,13 +501,17 @@ pub fn quant_matmul_ws(
 
 /// [`run_hooked_gemm_ws`] for the static-weight layers: routes through the engine's
 /// `gemm_i8_packed*` entry points when packing is enabled, falling back to the unpacked
-/// path (on [`PackedMatI8::unpacked`]) when it is not. Hooks always observe the
-/// row-major weights — the packed tiles are an execution detail the detection and
-/// injection layers never see. Bit-identical either way.
-#[allow(clippy::too_many_arguments)] // mirrors run_hooked_gemm_ws plus the packing switch
+/// path (on [`PackedMatI8::unpacked`]) when it is not. When the layer is tensor-parallel
+/// sharded, the GEMM instead runs on the group's persistent ranks and the merged result
+/// lands in the same workspace-pooled destination. Hooks always observe the row-major
+/// weights and the *merged* accumulator/checksums — sharding, like the packed tiles, is
+/// an execution detail the detection and injection layers never see. Bit-identical on
+/// every route.
+#[allow(clippy::too_many_arguments)] // mirrors run_hooked_gemm_ws plus the routing switches
 fn run_hooked_linear_gemm_ws(
     aq: &MatI8,
     weight: &PackedMatI8,
+    tp: Option<&ShardedLinear>,
     use_packed: bool,
     engine: &dyn GemmEngine,
     ctx: &GemmContext,
@@ -479,7 +524,9 @@ fn run_hooked_linear_gemm_ws(
         let observed = ws.take_vec_i64(weight.cols());
         let mut result = ChecksummedGemm::from_parts(acc, expected, observed);
         let mut etw = ws.take_vec_i64(aq.cols());
-        let ran = if use_packed {
+        let ran = if let Some(tp) = tp {
+            tp.gemm_checksummed_into(aq, use_packed, &mut result)
+        } else if use_packed {
             engine.gemm_i8_packed_checksummed_into(aq, weight, &mut result, &mut etw)
         } else {
             engine.gemm_i8_checksummed_into(aq, weight.unpacked(), &mut result, &mut etw)
@@ -499,7 +546,9 @@ fn run_hooked_linear_gemm_ws(
         Ok(acc)
     } else {
         let mut acc = ws.take_mat_i32(aq.rows(), weight.cols());
-        let ran = if use_packed {
+        let ran = if let Some(tp) = tp {
+            tp.gemm_into(aq, use_packed, &mut acc)
+        } else if use_packed {
             engine.gemm_i8_packed_into(aq, weight, &mut acc)
         } else {
             engine.gemm_i8_into(aq, weight.unpacked(), &mut acc)

@@ -17,7 +17,9 @@
 
 use crate::queue::{QueuedRequest, RequestQueue};
 use crate::request::{RequestId, RequestSummary, ServeError, ServeRequest, TokenEvent};
-use realm_core::protection::{ProtectionPolicy, SchemeProtector, SequenceAttribution};
+use realm_core::protection::{
+    ProtectionPolicy, SchemeProtector, SequenceAttribution, ShardAttribution,
+};
 use realm_llm::batch::BatchedKvCache;
 use realm_llm::hooks::HookChain;
 use realm_llm::model::argmax_with_margin;
@@ -106,6 +108,17 @@ pub struct EngineStats {
     /// steady-state memory footprint of the allocation-free decode loop. Stabilises after
     /// warmup; growth here indicates a scratch leak.
     pub workspace_high_water_bytes: usize,
+    /// Tensor-parallel degree of the served model (1 when unsharded).
+    pub tp_degree: usize,
+    /// Whole-shard kill events survived by the sharded datapath (the owning rank was
+    /// unresponsive and its output stripe was recomputed inline). 0 when unsharded.
+    pub shard_kills: u64,
+    /// Corrupted shard outputs caught by the per-shard fused checksums, below the hook
+    /// interface. 0 when unsharded.
+    pub shard_detections: u64,
+    /// Shard output stripes recomputed after a kill or a per-shard checksum detection —
+    /// every failover kept the engine serving bit-exact output. 0 when unsharded.
+    pub shard_failovers: u64,
 }
 
 impl EngineStats {
@@ -128,6 +141,11 @@ impl EngineStats {
         } else {
             self.detections as f64 / self.requests_admitted as f64
         }
+    }
+
+    /// `true` when the served model is tensor-parallel sharded.
+    pub fn is_sharded(&self) -> bool {
+        self.tp_degree > 1
     }
 }
 
@@ -192,13 +210,18 @@ impl<'m> ServeEngine<'m> {
     /// clamped to at least 1).
     pub fn new(model: &'m Model, config: ServeConfig) -> Self {
         let slots = config.slots.max(1);
+        let mut protector = SchemeProtector::with_default_regions(config.base_scheme, config.array);
+        // On a sharded model the shared decode protector also localises fused-checksum
+        // deviations to shard column stripes, so operator telemetry can name the suspect
+        // fault domain even for corruption injected above the sharded layer.
+        protector.set_shard_attribution(model.tp_group().map(|g| g.degree()));
         Self {
             model,
             config,
             queue: RequestQueue::new(config.aging_steps),
             slots: (0..slots).map(|_| None).collect(),
             cache: model.new_batched_cache(slots),
-            protector: SchemeProtector::with_default_regions(config.base_scheme, config.array),
+            protector,
             fault_hook: None,
             ws: Workspace::new(),
             step_tokens: Vec::new(),
@@ -388,6 +411,11 @@ impl<'m> ServeEngine<'m> {
         let elapsed_seconds = self.started.elapsed().as_secs_f64();
         let mut sorted_us = self.decode_us.clone();
         sorted_us.sort_unstable();
+        let shard_totals = self
+            .model
+            .tp_group()
+            .map(|g| g.totals())
+            .unwrap_or_default();
         EngineStats {
             queue_depth: self.queue.len(),
             active_slots: self.slots.iter().filter(|s| s.is_some()).count(),
@@ -409,7 +437,33 @@ impl<'m> ServeEngine<'m> {
             decode_p50_us: percentile_us(&sorted_us, 0.50),
             decode_p99_us: percentile_us(&sorted_us, 0.99),
             workspace_high_water_bytes: self.ws.high_water_mark_bytes(),
+            tp_degree: self.model.tp_group().map_or(1, |g| g.degree()),
+            shard_kills: shard_totals.kills,
+            shard_detections: shard_totals.detections,
+            shard_failovers: shard_totals.failovers,
         }
+    }
+
+    /// Per-shard reliability counters of the served model's tensor-parallel group, one
+    /// entry per shard in shard order (empty when the model is unsharded).
+    ///
+    /// These count events handled *below* the hook interface by the sharded datapath
+    /// itself — rank kills survived, per-shard checksum detections, stripe recomputes —
+    /// and are cumulative over the `TpGroup`'s lifetime. The aggregate is surfaced in
+    /// [`EngineStats::shard_kills`] and friends.
+    pub fn shard_stats(&self) -> Vec<realm_tensor::TpShardStats> {
+        self.model.shard_stats()
+    }
+
+    /// Shard attribution charged by the shared decode protector: fused-checksum
+    /// detections whose column deviations localise to a shard's output stripe, keyed by
+    /// shard index. Empty when the model is unsharded.
+    ///
+    /// This is the *above*-hook complement of [`ServeEngine::shard_stats`]: corruption
+    /// the sharded layer already repaired never reaches the protector, so entries here
+    /// point at faults injected into the merged accumulator (or real upstream faults).
+    pub fn shard_attribution(&self) -> &std::collections::BTreeMap<usize, ShardAttribution> {
+        self.protector.shard_attribution()
     }
 
     /// Prefills `queued` solo under its own policy, copies its KV rows into `slot`, and
@@ -417,6 +471,7 @@ impl<'m> ServeEngine<'m> {
     fn admit(&mut self, slot: usize, queued: QueuedRequest) -> Result<(), ServeError> {
         let mut prefill_protector =
             SchemeProtector::with_default_regions(queued.policy.scheme, self.config.array);
+        prefill_protector.set_shard_attribution(self.model.tp_group().map(|g| g.degree()));
         // The solo cache only exists to be copied into the batch slot and dropped, so it
         // is deliberately unreserved (`prefill_ws_into`): no full-context-window
         // allocation per admission.
@@ -467,6 +522,7 @@ impl<'m> ServeEngine<'m> {
         let mut prefill_protector =
             SchemeProtector::with_default_regions(self.config.base_scheme, self.config.array);
         prefill_protector.set_sequence_schemes(&schemes);
+        prefill_protector.set_shard_attribution(self.model.tp_group().map(|g| g.degree()));
         let (per_seq_logits, prefill_cache) = {
             let Self {
                 model,
@@ -747,5 +803,99 @@ mod tests {
         assert!(done.tokens_per_second > 0.0);
         assert_eq!(done.detections, 0, "fault-free serving detects nothing");
         assert_eq!(done.detections_per_request(), 0.0);
+    }
+
+    /// Serves the same four requests and returns their token streams plus final stats.
+    fn serve_four(model: &Model) -> (Vec<Vec<u32>>, EngineStats) {
+        let mut engine = engine(model, 2);
+        let mut receivers = Vec::new();
+        for i in 0..4u32 {
+            let (_, rx) = engine
+                .submit(ServeRequest::new(vec![1 + i, 2, 7], 6))
+                .unwrap();
+            receivers.push(rx);
+        }
+        engine.run_until_idle().unwrap();
+        let stats = engine.stats();
+        let tokens = receivers
+            .iter()
+            .map(|rx| collect_done(rx).unwrap().tokens)
+            .collect();
+        (tokens, stats)
+    }
+
+    #[test]
+    fn sharded_engine_is_bit_exact_and_surfaces_shard_telemetry() {
+        let config = ModelConfig::tiny_opt();
+        let baseline = Model::new(&config, 11).unwrap();
+        let mut sharded = Model::new(&config, 11).unwrap();
+        sharded.set_tensor_parallel(3);
+
+        // The shard axis is inert on an unsharded model.
+        let plain = engine(&baseline, 2);
+        let s = plain.stats();
+        assert_eq!(s.tp_degree, 1);
+        assert!(!s.is_sharded());
+        assert_eq!(
+            (s.shard_kills, s.shard_detections, s.shard_failovers),
+            (0, 0, 0)
+        );
+        assert!(plain.shard_stats().is_empty());
+        assert!(plain.shard_attribution().is_empty());
+        drop(plain);
+
+        let (expected, _) = serve_four(&baseline);
+        let (got, stats) = serve_four(&sharded);
+        assert_eq!(got, expected, "sharding never changes served tokens");
+        assert_eq!(stats.tp_degree, 3);
+        assert!(stats.is_sharded());
+        assert_eq!(stats.shard_kills, 0, "no faults were armed");
+        assert_eq!(stats.shard_failovers, 0);
+    }
+
+    #[test]
+    fn killed_shard_keeps_the_engine_serving_bit_exact() {
+        let config = ModelConfig::tiny_opt();
+        let baseline = Model::new(&config, 23).unwrap();
+        let mut sharded = Model::new(&config, 23).unwrap();
+        sharded.set_tensor_parallel(2);
+        let (expected, _) = serve_four(&baseline);
+
+        // Kill shard 1 for its next 3 sharded GEMM dispatches mid-service: the rank is
+        // unresponsive, so the engine recomputes its column stripe inline and keeps going.
+        sharded
+            .tp_group()
+            .unwrap()
+            .inject_shard_fault(1, realm_tensor::ShardFault::Kill, 3);
+        let mut engine = engine(&sharded, 2);
+        let mut receivers = Vec::new();
+        for i in 0..4u32 {
+            let (_, rx) = engine
+                .submit(ServeRequest::new(vec![1 + i, 2, 7], 6))
+                .unwrap();
+            receivers.push(rx);
+        }
+        engine.run_until_idle().unwrap();
+        let got: Vec<Vec<u32>> = receivers
+            .iter()
+            .map(|rx| collect_done(rx).unwrap().tokens)
+            .collect();
+        assert_eq!(got, expected, "failover preserves bit-exact output");
+
+        let stats = engine.stats();
+        assert_eq!(stats.shard_kills, 3);
+        assert_eq!(stats.shard_failovers, 3, "every kill was recovered");
+        let per_shard = engine.shard_stats();
+        assert_eq!(per_shard.len(), 2);
+        assert_eq!(per_shard[1].kills, 3, "kills are charged to the dead shard");
+        assert_eq!(per_shard[0].kills, 0);
+        let totals: u64 = per_shard.iter().map(|s| s.kills).sum();
+        assert_eq!(totals, stats.shard_kills, "aggregate matches per-shard sum");
+        // Kills are survived below the hook interface, so the decode protector never saw
+        // a deviation to attribute.
+        assert!(engine
+            .shard_attribution()
+            .values()
+            .all(|a| a.detections == 0 && a.recoveries == 0));
     }
 }

@@ -760,16 +760,27 @@ fn carve_chunks(
     chunks
 }
 
-/// Effective worker count for a row-sharded GEMM: `threads` if pinned, else one per
-/// available core, clamped to the row count. Shared by [`ParallelEngine`] and
+/// Effective worker count for a row-sharded GEMM: `threads` if pinned, else the
+/// `REALM_NUM_THREADS` environment override if set, else one per available core —
+/// always clamped to the row count. Shared by [`ParallelEngine`] and
 /// [`crate::simd::SimdParallelEngine`].
+///
+/// The environment override exists so TP and parallel-engine benchmarks are reproducible
+/// on shared CI runners whose effective core budget varies run to run; like the hardware
+/// probe it is resolved once per process.
 pub(crate) fn worker_count(threads: Option<usize>, rows: usize) -> usize {
     // `available_parallelism` re-reads cgroup limits from the filesystem on every call on
     // Linux — tens of microseconds, i.e. longer than an entire decode-shape GEMM. The
     // process's CPU budget does not change mid-run, so resolve it once.
     static AVAILABLE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     let hw = threads.unwrap_or_else(|| {
-        *AVAILABLE.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        *AVAILABLE.get_or_init(|| {
+            std::env::var("REALM_NUM_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        })
     });
     hw.max(1).min(rows.max(1))
 }

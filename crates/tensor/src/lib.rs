@@ -28,6 +28,10 @@
 //! * [`quant`] — symmetric quantization between `f32` and `i8`, including the re-quantization
 //!   of INT32 accumulator outputs back to INT8 that gives rise to the bit-position
 //!   saturation effect studied in the paper (Q1.2).
+//! * [`tp`] — simulated tensor-parallel execution: [`TpGroup`], a pool of persistent rank
+//!   threads each holding a packed column stripe of a weight matrix ([`ShardedLinear`]),
+//!   with per-shard fused ABFT checksum segments merged back into the unsharded
+//!   [`ChecksummedGemm`] layout bit-exactly, and whole-shard fault injection + failover.
 //! * [`stats`] — summary statistics (mean, standard deviation, outlier counts) used both by
 //!   the normalization-skew study (Fig. 5) and by synthetic-weight generation.
 //! * [`rng`] — deterministic random-number helpers so every experiment in the workspace is
@@ -70,6 +74,7 @@ pub mod quant;
 pub mod rng;
 pub mod simd;
 pub mod stats;
+pub mod tp;
 pub mod workspace;
 
 mod error;
@@ -83,6 +88,7 @@ pub use packed::PackedMatI8;
 pub use partition::RowPartition;
 pub use quant::QuantParams;
 pub use simd::{SimdEngine, SimdParallelEngine, SimdTier};
+pub use tp::{ShardFault, ShardedLinear, TpGroup, TpShardStats};
 pub use workspace::Workspace;
 
 /// Crate-wide result alias.

@@ -12,14 +12,44 @@
 //! ```text
 //! cargo run --release --example serve_demo
 //! ```
+//!
+//! Tensor parallelism is env-driven so CI can exercise the sharded datapath without a
+//! separate binary: `REALM_TP_DEGREE=4` shards every weight matrix column-wise across 4
+//! persistent ranks, and `REALM_SHARD_KILL=<shard>[:<steps>]` arms a whole-shard kill
+//! (default 16 dispatches) that the engine must survive bit-exactly mid-service:
+//!
+//! ```text
+//! REALM_TP_DEGREE=4 REALM_SHARD_KILL=2:24 cargo run --release --example serve_demo
+//! ```
 
 use realm::core::ProtectionPolicy;
-use realm::inject::{error_model::FixedBitModel, injector::ErrorInjector};
+use realm::inject::{error_model::FixedBitModel, injector::ErrorInjector, targeting::Target};
 use realm::llm::{config::ModelConfig, model::Model};
 use realm::serve::{ServeConfig, ServeEngine, ServeRequest, TokenEvent};
+use realm::tensor::ShardFault;
+
+/// Parses `REALM_SHARD_KILL=<shard>[:<steps>]` (steps defaults to 16 GEMM dispatches).
+fn shard_kill_from_env() -> Option<(usize, usize)> {
+    let spec = std::env::var("REALM_SHARD_KILL").ok()?;
+    let (shard, steps) = match spec.split_once(':') {
+        Some((shard, steps)) => (
+            shard.parse().expect("REALM_SHARD_KILL shard index"),
+            steps.parse().expect("REALM_SHARD_KILL step count"),
+        ),
+        None => (spec.parse().expect("REALM_SHARD_KILL shard index"), 16),
+    };
+    Some((shard, steps))
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let model = Model::new(&ModelConfig::tiny_opt(), 2025)?;
+    let tp_degree: usize = std::env::var("REALM_TP_DEGREE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&d| d > 0)
+        .unwrap_or(1);
+    let mut model = Model::new(&ModelConfig::tiny_opt(), 2025)?;
+    model.set_tensor_parallel(tp_degree);
+    let model = model;
     let config = ServeConfig {
         slots: 4,
         aging_steps: 8,
@@ -34,14 +64,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Name the GEMM backend the default dispatch picked: throughput numbers from this
     // demo are uninterpretable without knowing which kernel actually ran.
     println!(
-        "gemm backend: {} (simd dispatch: {})\n",
+        "gemm backend: {} (simd dispatch: {})",
         model.engine().name(),
         realm::tensor::simd::simd_dispatch_label()
     );
+    match model.tp_group() {
+        Some(group) => println!("tensor parallel: degree {}\n", group.degree()),
+        None => println!("tensor parallel: off\n"),
+    }
 
     // A faulty datapath: transient bit-30 flips on ~0.5% of GEMMs. Protected requests
     // detect and repair these; the unprotected request takes its chances.
-    let injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.005), 7);
+    let shard_kill = shard_kill_from_env();
+    let target = match shard_kill {
+        Some((shard, _)) => Target::new().shard(shard),
+        None => Target::everything(),
+    };
+    let mut injector = ErrorInjector::new(FixedBitModel::bit30(0.005), target, 7);
+    // Optionally kill a whole rank mid-service: its next `steps` sharded GEMM dispatches
+    // go unanswered and the engine must recompute the dead shard's column stripes inline.
+    if let Some((shard, steps)) = shard_kill {
+        let group = model
+            .tp_group()
+            .expect("REALM_SHARD_KILL requires REALM_TP_DEGREE > 1");
+        assert!(
+            shard < group.degree(),
+            "REALM_SHARD_KILL shard out of range"
+        );
+        let armed = injector.arm_shard_faults(group, ShardFault::Kill, steps);
+        println!(
+            "armed shard-kill: shard {shard} for {steps} dispatches ({armed} shard(s) armed)\n"
+        );
+    }
     let mut engine = ServeEngine::new(&model, config).with_fault_hook(Box::new(injector));
 
     // The arrival schedule: (arrival step, priority, budget, policy). More requests than
@@ -121,11 +175,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "latency: decode p50 {:.0} us / p99 {:.0} us per lockstep step; \
-         scratch workspace high-water {:.1} KiB (steady-state, allocation-free)\n",
+         scratch workspace high-water {:.1} KiB (steady-state, allocation-free)",
         stats.decode_p50_us,
         stats.decode_p99_us,
         stats.workspace_high_water_bytes as f64 / 1024.0
     );
+    if stats.is_sharded() {
+        println!(
+            "tensor parallel: {} shard kills survived, {} shard checksum detections, \
+             {} stripe failovers",
+            stats.shard_kills, stats.shard_detections, stats.shard_failovers
+        );
+        for (shard, s) in engine.shard_stats().iter().enumerate() {
+            println!(
+                "  shard {shard}: jobs {:>6}  kills {:>3}  detections {:>3}  failovers {:>3}",
+                s.jobs, s.kills, s.detections, s.failovers
+            );
+        }
+        if shard_kill.is_some() {
+            assert!(stats.shard_kills > 0, "the armed shard kill fired");
+            assert_eq!(
+                stats.shard_failovers, stats.shard_kills,
+                "every kill was survived by an inline stripe recompute"
+            );
+        }
+    }
+    println!();
 
     println!(
         "{:<4} {:<13} {:>6} {:>8} {:>8} {:>11} {:>11}",

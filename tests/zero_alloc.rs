@@ -218,3 +218,44 @@ fn protected_decode_steps_after_warmup_allocate_nothing() {
         "fault-free protected decode must perform zero heap allocations per step"
     );
 }
+
+/// A tensor-parallel model on `engine`: every weight GEMM is scattered across `degree`
+/// persistent rank threads and the stripes merged back on the caller's thread.
+fn sharded_model_on(engine: EngineKind, degree: usize) -> Model {
+    let mut config = ModelConfig::tiny_opt();
+    config.engine = engine;
+    config.max_seq_len = 256;
+    config.tp_degree = degree;
+    Model::new(&config, 42).unwrap()
+}
+
+#[test]
+fn sharded_decode_steps_after_warmup_allocate_nothing() {
+    // The counting allocator is global, so it also sees the rank threads: the zero budget
+    // covers the whole TP machinery — mailbox dispatch, each rank's resident accumulator
+    // and checksum segments, and the caller-side stripe merge. Everything was sized during
+    // warmup; the steady-state sharded decode loop must not touch the heap anywhere.
+    let model = sharded_model_on(EngineKind::Simd, 2);
+    let allocations = count_decode_allocations(&model, &mut NoopHook, 64, 40);
+    assert_eq!(
+        allocations, 0,
+        "steady-state sharded decode must perform zero heap allocations per step"
+    );
+}
+
+#[test]
+fn sharded_protected_decode_steps_after_warmup_allocate_nothing() {
+    // The checksummed sharded path adds the per-shard expected/observed segment merge and
+    // the protector's fused inspection on top — still zero allocations after warmup, with
+    // a ragged shard count (3 does not divide tiny-opt's projection widths).
+    let model = sharded_model_on(EngineKind::Simd, 3);
+    let mut protector = SchemeProtector::with_default_regions(
+        ProtectionScheme::StatisticalAbft,
+        SystolicArray::small(Dataflow::WeightStationary),
+    );
+    let allocations = count_decode_allocations(&model, &mut protector, 64, 40);
+    assert_eq!(
+        allocations, 0,
+        "fault-free protected sharded decode must perform zero heap allocations per step"
+    );
+}
