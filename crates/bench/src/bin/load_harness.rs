@@ -1,0 +1,212 @@
+//! Trace-driven load harness for the network front end.
+//!
+//! Boots a loopback [`realm_net::NetServer`] over a tiny model, replays a seeded
+//! bounded-Pareto arrival trace with a mixed prompt/budget/priority/policy workload, and
+//! reports the serving metrics: TTFT and TPOT p50/p99, shed rate, and per-request ABFT
+//! detection/recovery attribution. The `serving_network` baselines committed to
+//! `BENCH_gemm.json` come from this harness.
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin load_harness [-- --quick | --smoke]
+//! ```
+//!
+//! * default — full measurement trace, prints the metric table and the JSON baseline
+//!   entries for hand-merging into `BENCH_gemm.json`.
+//! * `--quick` — smaller trace, same output shape (CI-friendly measurement pass).
+//! * `--smoke` — the CI resilience gate: ~50 mixed-policy requests with an **armed**
+//!   bit-flip injector behind the engine's protector, one client disconnecting
+//!   mid-stream, one request racing the shed path; asserts clean drain and consistent
+//!   accounting, exits non-zero on any violation.
+
+use realm_bench::{banner, quick_mode, HARNESS_SEED};
+use realm_inject::{error_model::FixedBitModel, injector::ErrorInjector};
+use realm_llm::{config::ModelConfig, model::Model};
+use realm_net::trace::TraceConfig;
+use realm_net::{generate_trace, run_trace, LoadOptions, LoadReport, NetConfig, NetServer};
+use realm_serve::ServeConfig;
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// The harness model: `tiny_opt` with enough context for the long disconnect request.
+fn harness_model() -> Model {
+    let mut config = ModelConfig::tiny_opt();
+    config.max_seq_len = 256;
+    Model::new(&config, HARNESS_SEED).unwrap()
+}
+
+fn harness_trace(requests: usize) -> Vec<realm_net::TraceRequest> {
+    generate_trace(&TraceConfig {
+        seed: HARNESS_SEED,
+        requests,
+        mean_interarrival_us: 1_500.0,
+        ..TraceConfig::default()
+    })
+}
+
+fn serve_and_replay(
+    requests: usize,
+    slots: usize,
+    shed_slo: Option<u64>,
+    inject: bool,
+    disconnect: Option<(usize, usize)>,
+) -> (LoadReport, realm_net::NetReport) {
+    let model = harness_model();
+    let mut trace = harness_trace(requests);
+    if let Some((index, _)) = disconnect {
+        // Give the deliberately-disconnecting request a budget long enough that the
+        // hang-up lands mid-generation, so the engine must actually cancel it.
+        trace[index].body.max_new_tokens = 200;
+    }
+    let server = NetServer::bind(NetConfig {
+        workers: 8,
+        shed_queue_age_steps: shed_slo,
+        serve: ServeConfig::with_slots(slots),
+        ..NetConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let hook: Option<Box<dyn realm_llm::GemmHook + Send>> = inject.then(|| {
+        Box::new(ErrorInjector::everywhere(
+            FixedBitModel::bit30(0.002),
+            HARNESS_SEED,
+        )) as Box<dyn realm_llm::GemmHook + Send>
+    });
+    std::thread::scope(|s| {
+        let serving = s.spawn(|| server.serve_with_hook(&model, hook).unwrap());
+        let report = run_trace(
+            addr,
+            &trace,
+            &LoadOptions {
+                disconnect,
+                ..LoadOptions::default()
+            },
+        );
+        handle.drain();
+        let net = serving.join().unwrap();
+        (report, net)
+    })
+}
+
+fn print_report(report: &LoadReport, net: &realm_net::NetReport) {
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
+    let e = &net.engine;
+    println!(
+        "engine: {} completed, {} cancelled, {} shed, {} detections, {} recoveries",
+        e.requests_completed, e.requests_cancelled, e.requests_shed, e.detections, e.recoveries
+    );
+    println!(
+        "server: {} connections, {} http requests, {} streams completed, {} disconnects",
+        net.connections, net.http_requests, net.streams_completed, net.disconnects
+    );
+}
+
+/// Prints the `serving_network` baseline entries in the `BENCH_gemm.json` schema
+/// (values in nanoseconds; the shed rate is encoded as permille in `best_ns`).
+fn print_bench_entries(report: &LoadReport) {
+    let entries = [
+        ("serving_network/ttft_p50", report.ttft_ns.0),
+        ("serving_network/ttft_p99", report.ttft_ns.1),
+        ("serving_network/tpot_p50", report.tpot_ns.0),
+        ("serving_network/tpot_p99", report.tpot_ns.1),
+        (
+            "serving_network/shed_permille",
+            (report.shed_rate * 1_000.0).round() as u64,
+        ),
+    ];
+    println!("\nBENCH_gemm.json `serving_network` entries:");
+    for (name, value) in entries {
+        println!(
+            "    {{ \"name\": \"{name}\", \"best_ns\": {value}, \"median_ns\": {value}, \"iterations\": {} }},",
+            report.completed.max(1)
+        );
+    }
+}
+
+fn measurement() {
+    let requests = if quick_mode() { 40 } else { 160 };
+    banner(
+        &format!("load_harness: {requests}-request bounded-Pareto network trace"),
+        "serving front end",
+    );
+    let (report, net) = serve_and_replay(requests, 4, Some(512), false, None);
+    print_report(&report, &net);
+    assert_eq!(
+        report.errors, 0,
+        "no transport errors under the measurement trace"
+    );
+    print_bench_entries(&report);
+}
+
+fn smoke() {
+    banner(
+        "load_harness --smoke: mixed-policy resilience gate over loopback",
+        "serving front end",
+    );
+    let requests = 50;
+    // Tight slots + a finite SLO so the shed path is reachable; armed injector so the
+    // ABFT path is live; one mid-stream disconnect so cancellation is exercised.
+    let (report, net) = serve_and_replay(requests, 2, Some(64), true, Some((7, 3)));
+    print_report(&report, &net);
+
+    let mut failures = Vec::new();
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            failures.push(what.to_string());
+        }
+    };
+    check(report.errors == 0, "zero transport errors");
+    check(
+        report.disconnected == 1,
+        "exactly one deliberate disconnect",
+    );
+    check(
+        report.completed + report.shed + report.disconnected == requests,
+        "every request accounted for (completed + shed + disconnected)",
+    );
+    check(
+        net.engine.requests_cancelled >= 1,
+        "the mid-stream disconnect cancelled its request",
+    );
+    check(
+        net.disconnects == 1,
+        "the server observed exactly one mid-stream disconnect",
+    );
+    check(
+        net.engine.requests_shed == report.shed as u64,
+        "engine and client agree on the shed count",
+    );
+    check(
+        net.engine.requests_completed >= report.completed as u64,
+        "engine completed at least every fully-streamed request",
+    );
+    check(
+        net.engine.active_slots == 0 && net.engine.queue_depth == 0,
+        "clean drain: no active slots, empty queue",
+    );
+    check(
+        net.streams_completed == report.completed as u64,
+        "every completed request got its terminal chunk",
+    );
+    if failures.is_empty() {
+        println!("\nsmoke: all assertions passed, drain was clean");
+    } else {
+        eprintln!("\nsmoke FAILED:");
+        for failure in &failures {
+            eprintln!("  - {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    if smoke_mode() {
+        smoke();
+    } else {
+        measurement();
+    }
+}

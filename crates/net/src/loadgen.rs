@@ -1,0 +1,297 @@
+//! Open-loop trace replay against a running front end, with latency accounting.
+//!
+//! [`run_trace`] replays a [`TraceRequest`] schedule over loopback: one thread per
+//! request sleeps until its arrival offset, then streams `/generate` and timestamps
+//! every token. Arrival times are **open-loop** — a slow server does not slow the
+//! arrival process down, so queueing and shedding behave like production ingress.
+//!
+//! The resulting [`LoadReport`] carries the serving-paper metrics: TTFT and TPOT
+//! p50/p99, shed rate, and the per-request ABFT detection/recovery attribution summed
+//! over the completed requests.
+
+use crate::client::{stream_generate, ClientError, StreamResult};
+use crate::trace::TraceRequest;
+use crate::wire::WireEvent;
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Options controlling one trace replay.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Disconnect request `index` after `events` parsed stream events (exercises
+    /// cancel-on-disconnect under load). `None` replays the trace faithfully.
+    pub disconnect: Option<(usize, usize)>,
+    /// Multiplier on arrival offsets (2.0 = replay at half speed).
+    pub time_scale: f64,
+    /// Per-request socket timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self {
+            disconnect: None,
+            time_scale: 1.0,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Outcome of one replayed request.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// Index of the request in the trace.
+    pub index: usize,
+    /// Scheduled arrival offset in microseconds.
+    pub arrival_us: u64,
+    /// HTTP status (`200` accepted, `429` shed, `503` draining, 0 on transport error).
+    pub status: u16,
+    /// Time to first token in nanoseconds (completed requests only).
+    pub ttft_ns: Option<u64>,
+    /// Inter-token gaps in nanoseconds.
+    pub tpot_ns: Vec<u64>,
+    /// Generated tokens.
+    pub tokens: Vec<u32>,
+    /// ABFT detections charged to this request (from the terminal `done` line).
+    pub detections: u64,
+    /// ABFT recoveries charged to this request (from the terminal `done` line).
+    pub recoveries: u64,
+    /// `true` when this client hung up early on purpose.
+    pub disconnected: bool,
+    /// Transport-level failure, if any.
+    pub error: Option<String>,
+}
+
+/// Aggregated metrics of one trace replay.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Per-request outcomes in trace order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Requests that streamed to completion (terminal `done` event received).
+    pub completed: usize,
+    /// Requests refused with `429` (load shedding).
+    pub shed: usize,
+    /// Requests that deliberately disconnected mid-stream.
+    pub disconnected: usize,
+    /// Requests that failed at the transport level.
+    pub errors: usize,
+    /// Time-to-first-token percentiles in nanoseconds: `(p50, p99)`.
+    pub ttft_ns: (u64, u64),
+    /// Time-per-output-token percentiles in nanoseconds: `(p50, p99)`.
+    pub tpot_ns: (u64, u64),
+    /// Shed requests over total requests.
+    pub shed_rate: f64,
+    /// Total ABFT detections attributed across completed requests.
+    pub detections: u64,
+    /// Total ABFT recoveries attributed across completed requests.
+    pub recoveries: u64,
+}
+
+impl LoadReport {
+    /// Human-readable one-line-per-metric summary.
+    pub fn summary_lines(&self) -> Vec<String> {
+        vec![
+            format!(
+                "requests: {} completed, {} shed, {} disconnected, {} errors",
+                self.completed, self.shed, self.disconnected, self.errors
+            ),
+            format!(
+                "ttft_ns: p50 {} p99 {}  tpot_ns: p50 {} p99 {}",
+                self.ttft_ns.0, self.ttft_ns.1, self.tpot_ns.0, self.tpot_ns.1
+            ),
+            format!(
+                "shed_rate: {:.3}  detections: {}  recoveries: {}",
+                self.shed_rate, self.detections, self.recoveries
+            ),
+        ]
+    }
+}
+
+/// Replays `trace` against `addr` and aggregates the outcome.
+///
+/// Blocks until every request's stream ended (or failed). The server is expected to be
+/// serving already; requests that cannot connect are reported as errors, not panics.
+pub fn run_trace(addr: SocketAddr, trace: &[TraceRequest], options: &LoadOptions) -> LoadReport {
+    let outcomes = Mutex::new(Vec::with_capacity(trace.len()));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (index, request) in trace.iter().enumerate() {
+            let outcomes = &outcomes;
+            let options_ref = options;
+            s.spawn(move || {
+                let arrival = Duration::from_micros(
+                    (request.arrival_us as f64 * options_ref.time_scale) as u64,
+                );
+                if let Some(wait) = arrival.checked_sub(start.elapsed()) {
+                    std::thread::sleep(wait);
+                }
+                let disconnect_after = match options_ref.disconnect {
+                    Some((i, events)) if i == index => Some(events),
+                    _ => None,
+                };
+                let outcome = match stream_generate(
+                    addr,
+                    &request.body,
+                    disconnect_after,
+                    options_ref.timeout,
+                ) {
+                    Ok(result) => outcome_from_stream(index, request.arrival_us, &result),
+                    Err(e) => error_outcome(index, request.arrival_us, &e),
+                };
+                outcomes
+                    .lock()
+                    .expect("outcome collection lock")
+                    .push(outcome);
+            });
+        }
+    });
+    let mut outcomes = outcomes.into_inner().expect("outcome collection lock");
+    outcomes.sort_by_key(|o| o.index);
+    aggregate(outcomes)
+}
+
+fn outcome_from_stream(index: usize, arrival_us: u64, result: &StreamResult) -> RequestOutcome {
+    let (detections, recoveries) = result
+        .events
+        .iter()
+        .find_map(|e| match e {
+            WireEvent::Done {
+                detections,
+                recoveries,
+                ..
+            } => Some((*detections, *recoveries)),
+            _ => None,
+        })
+        .unwrap_or((0, 0));
+    RequestOutcome {
+        index,
+        arrival_us,
+        status: result.status,
+        ttft_ns: result.ttft_ns,
+        tpot_ns: result.tpot_ns.clone(),
+        tokens: result.tokens.clone(),
+        detections,
+        recoveries,
+        disconnected: result.disconnected,
+        error: None,
+    }
+}
+
+fn error_outcome(index: usize, arrival_us: u64, error: &ClientError) -> RequestOutcome {
+    RequestOutcome {
+        index,
+        arrival_us,
+        status: 0,
+        ttft_ns: None,
+        tpot_ns: Vec::new(),
+        tokens: Vec::new(),
+        detections: 0,
+        recoveries: 0,
+        disconnected: false,
+        error: Some(error.to_string()),
+    }
+}
+
+fn aggregate(outcomes: Vec<RequestOutcome>) -> LoadReport {
+    let total = outcomes.len().max(1);
+    let completed = outcomes
+        .iter()
+        .filter(|o| o.status == 200 && !o.disconnected && o.error.is_none())
+        .count();
+    let shed = outcomes.iter().filter(|o| o.status == 429).count();
+    let disconnected = outcomes.iter().filter(|o| o.disconnected).count();
+    let errors = outcomes.iter().filter(|o| o.error.is_some()).count();
+    let mut ttft: Vec<u64> = outcomes.iter().filter_map(|o| o.ttft_ns).collect();
+    let mut tpot: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.tpot_ns.iter().copied())
+        .collect();
+    ttft.sort_unstable();
+    tpot.sort_unstable();
+    LoadReport {
+        completed,
+        shed,
+        disconnected,
+        errors,
+        ttft_ns: (percentile(&ttft, 0.50), percentile(&ttft, 0.99)),
+        tpot_ns: (percentile(&tpot, 0.50), percentile(&tpot, 0.99)),
+        shed_rate: shed as f64 / total as f64,
+        detections: outcomes.iter().map(|o| o.detections).sum(),
+        recoveries: outcomes.iter().map(|o| o.recoveries).sum(),
+        outcomes,
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample (0 for an empty sample).
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 0.50), 51, "(99 * 0.5).round() = 50 -> v[50]");
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+    }
+
+    #[test]
+    fn aggregate_classifies_outcomes() {
+        let ok = RequestOutcome {
+            index: 0,
+            arrival_us: 0,
+            status: 200,
+            ttft_ns: Some(100),
+            tpot_ns: vec![10, 20],
+            tokens: vec![1, 2, 3],
+            detections: 2,
+            recoveries: 1,
+            disconnected: false,
+            error: None,
+        };
+        let shed = RequestOutcome {
+            index: 1,
+            status: 429,
+            ttft_ns: None,
+            tpot_ns: vec![],
+            tokens: vec![],
+            detections: 0,
+            recoveries: 0,
+            ..ok.clone()
+        };
+        let hung_up = RequestOutcome {
+            index: 2,
+            disconnected: true,
+            ..ok.clone()
+        };
+        let failed = RequestOutcome {
+            index: 3,
+            status: 0,
+            error: Some("connection refused".into()),
+            ..shed.clone()
+        };
+        let report = aggregate(vec![ok, shed, hung_up, failed]);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.shed, 1);
+        assert_eq!(report.disconnected, 1);
+        assert_eq!(report.errors, 1);
+        assert!((report.shed_rate - 0.25).abs() < 1e-9);
+        assert_eq!(
+            report.detections, 4,
+            "both streams with done-attribution count"
+        );
+        assert_eq!(report.ttft_ns.0, 100);
+    }
+}

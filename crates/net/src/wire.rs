@@ -1,0 +1,391 @@
+//! The application-level wire format carried over HTTP: the `/generate` request body and
+//! the token-stream lines inside the chunked response.
+//!
+//! # Request body
+//!
+//! `POST /generate` takes a form-style body — easy to produce from `curl -d`:
+//!
+//! ```text
+//! prompt=1,5,9&max_new_tokens=8&priority=2&policy=classical
+//! ```
+//!
+//! `prompt` (comma-separated token ids) and `max_new_tokens` are required; `priority`
+//! (default 0) and `policy` (default `statistical`) are optional. Unknown keys are
+//! rejected so client typos surface as `400`s instead of silently-defaulted requests.
+//!
+//! # Response stream
+//!
+//! Each chunk of the response carries whole lines:
+//!
+//! ```text
+//! t <index> <token> <margin-bits-hex>
+//! done id=<id> tokens=<n> prompt_len=<p> queued_steps=<q> service_steps=<s> detections=<d> recoveries=<r> policy=<name>
+//! ```
+//!
+//! The greedy-decode margin is transported as the raw `f32` bit pattern in hex, so the
+//! conformance tests can assert the served stream **bit-identical** to the in-process
+//! [`realm_serve::TokenEvent`]s — no decimal round-trip ambiguity.
+
+use realm_core::protection::ProtectionPolicy;
+use realm_serve::{RequestSummary, ServeRequest, TokenEvent};
+use realm_systolic::ProtectionScheme;
+
+/// A parsed `/generate` request body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenBody {
+    /// Prompt token ids.
+    pub prompt: Vec<u32>,
+    /// Generation budget.
+    pub max_new_tokens: usize,
+    /// Scheduling priority (higher first).
+    pub priority: u8,
+    /// Requested ABFT protection policy.
+    pub policy: ProtectionPolicy,
+}
+
+impl GenBody {
+    /// The equivalent in-process serving request.
+    pub fn to_request(&self) -> ServeRequest {
+        ServeRequest::new(self.prompt.clone(), self.max_new_tokens)
+            .with_priority(self.priority)
+            .with_policy(self.policy)
+    }
+}
+
+/// Wire name of a protection policy (round-trips through [`parse_policy`]).
+pub fn policy_name(policy: ProtectionPolicy) -> &'static str {
+    match policy.scheme {
+        ProtectionScheme::None => "unprotected",
+        ProtectionScheme::ApproxAbft => "approx",
+        ProtectionScheme::StatisticalAbft => "statistical",
+        ProtectionScheme::ThunderVolt => "thundervolt",
+        ProtectionScheme::RazorFfs => "razor",
+        ProtectionScheme::Dmr => "dmr",
+        ProtectionScheme::ClassicalAbft => "classical",
+    }
+}
+
+/// Parses a wire policy name back into a [`ProtectionPolicy`].
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the accepted values.
+pub fn parse_policy(name: &str) -> Result<ProtectionPolicy, String> {
+    let scheme = match name.trim().to_ascii_lowercase().as_str() {
+        "unprotected" | "none" => ProtectionScheme::None,
+        "approx" => ProtectionScheme::ApproxAbft,
+        "statistical" => ProtectionScheme::StatisticalAbft,
+        "thundervolt" => ProtectionScheme::ThunderVolt,
+        "razor" => ProtectionScheme::RazorFfs,
+        "dmr" => ProtectionScheme::Dmr,
+        "classical" => ProtectionScheme::ClassicalAbft,
+        other => {
+            return Err(format!(
+                "unknown policy '{other}' (expected unprotected, approx, statistical, \
+                 thundervolt, razor, dmr or classical)"
+            ))
+        }
+    };
+    Ok(ProtectionPolicy::new(scheme))
+}
+
+/// Serializes a [`GenBody`] into the form-style request body.
+pub fn encode_gen_body(body: &GenBody) -> String {
+    let prompt = body
+        .prompt
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "prompt={prompt}&max_new_tokens={}&priority={}&policy={}",
+        body.max_new_tokens,
+        body.priority,
+        policy_name(body.policy)
+    )
+}
+
+/// Parses a `/generate` request body.
+///
+/// # Errors
+///
+/// Returns a human-readable message for missing/duplicate/unknown keys or unparseable
+/// values; the server answers these with `400`.
+pub fn parse_gen_body(body: &str) -> Result<GenBody, String> {
+    let mut prompt: Option<Vec<u32>> = None;
+    let mut max_new_tokens: Option<usize> = None;
+    let mut priority: u8 = 0;
+    let mut policy = ProtectionPolicy::default();
+    for pair in body.split('&').filter(|p| !p.is_empty()) {
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(format!("'{pair}' is not a key=value pair"));
+        };
+        match key {
+            "prompt" => {
+                let tokens = value
+                    .split(',')
+                    .filter(|t| !t.is_empty())
+                    .map(|t| {
+                        t.trim()
+                            .parse::<u32>()
+                            .map_err(|_| format!("prompt token '{t}' is not a u32"))
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?;
+                if prompt.replace(tokens).is_some() {
+                    return Err("duplicate 'prompt' key".into());
+                }
+            }
+            "max_new_tokens" => {
+                let n = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("max_new_tokens '{value}' is not a usize"))?;
+                if max_new_tokens.replace(n).is_some() {
+                    return Err("duplicate 'max_new_tokens' key".into());
+                }
+            }
+            "priority" => {
+                priority = value
+                    .trim()
+                    .parse::<u8>()
+                    .map_err(|_| format!("priority '{value}' is not a u8"))?;
+            }
+            "policy" => policy = parse_policy(value)?,
+            other => return Err(format!("unknown key '{other}'")),
+        }
+    }
+    Ok(GenBody {
+        prompt: prompt.ok_or("missing required key 'prompt'")?,
+        max_new_tokens: max_new_tokens.ok_or("missing required key 'max_new_tokens'")?,
+        priority,
+        policy,
+    })
+}
+
+/// One event parsed from (or formatted into) the response stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireEvent {
+    /// A generated token.
+    Token {
+        /// Zero-based position in the generated output.
+        index: usize,
+        /// The committed token id.
+        token: u32,
+        /// Raw bit pattern of the greedy-decode margin (`f32::to_bits`).
+        margin_bits: u32,
+    },
+    /// The request completed; mirrors the fields of [`RequestSummary`] that cross the wire.
+    Done {
+        /// Engine-assigned request id.
+        id: u64,
+        /// Number of generated tokens.
+        tokens: usize,
+        /// Prompt length in tokens.
+        prompt_len: usize,
+        /// Engine steps spent queued before admission.
+        queued_steps: u64,
+        /// Engine steps between admission and completion.
+        service_steps: u64,
+        /// ABFT detections charged to this request.
+        detections: u64,
+        /// ABFT recoveries charged to this request.
+        recoveries: u64,
+        /// Wire name of the policy the request ran under.
+        policy: String,
+    },
+}
+
+/// Formats a streamed [`TokenEvent`] as one wire line (newline included).
+pub fn format_event(event: &TokenEvent) -> String {
+    match event {
+        TokenEvent::Token {
+            index,
+            token,
+            margin,
+            ..
+        } => format!("t {index} {token} {:08x}\n", margin.to_bits()),
+        TokenEvent::Done(summary) => format_done(summary),
+    }
+}
+
+/// Formats the terminal summary line (newline included).
+pub fn format_done(summary: &RequestSummary) -> String {
+    format!(
+        "done id={} tokens={} prompt_len={} queued_steps={} service_steps={} detections={} \
+         recoveries={} policy={}\n",
+        summary.id,
+        summary.tokens.len(),
+        summary.prompt_len,
+        summary.queued_steps,
+        summary.service_steps,
+        summary.attribution.detections,
+        summary.attribution.recoveries,
+        policy_name(summary.policy)
+    )
+}
+
+/// Parses one stream line back into a [`WireEvent`].
+///
+/// # Errors
+///
+/// Returns a human-readable message when the line matches neither format.
+pub fn parse_event(line: &str) -> Result<WireEvent, String> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if let Some(rest) = line.strip_prefix("t ") {
+        let mut parts = rest.split(' ');
+        let (Some(index), Some(token), Some(bits), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("token line '{line}' is not 't INDEX TOKEN MARGIN'"));
+        };
+        return Ok(WireEvent::Token {
+            index: index
+                .parse()
+                .map_err(|_| format!("bad token index in '{line}'"))?,
+            token: token
+                .parse()
+                .map_err(|_| format!("bad token id in '{line}'"))?,
+            margin_bits: u32::from_str_radix(bits, 16)
+                .map_err(|_| format!("bad margin bits in '{line}'"))?,
+        });
+    }
+    if let Some(rest) = line.strip_prefix("done ") {
+        let field = |key: &str| -> Result<String, String> {
+            rest.split(' ')
+                .find_map(|kv| kv.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+                .map(str::to_string)
+                .ok_or_else(|| format!("done line '{line}' is missing '{key}='"))
+        };
+        let num = |v: String, what: &str| -> Result<u64, String> {
+            v.parse().map_err(|_| format!("bad {what} in '{line}'"))
+        };
+        return Ok(WireEvent::Done {
+            id: num(field("id")?, "id")?,
+            tokens: num(field("tokens")?, "tokens")? as usize,
+            prompt_len: num(field("prompt_len")?, "prompt_len")? as usize,
+            queued_steps: num(field("queued_steps")?, "queued_steps")?,
+            service_steps: num(field("service_steps")?, "service_steps")?,
+            detections: num(field("detections")?, "detections")?,
+            recoveries: num(field("recoveries")?, "recoveries")?,
+            policy: field("policy")?,
+        });
+    }
+    Err(format!("unrecognised stream line '{line}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_core::protection::SequenceAttribution;
+
+    #[test]
+    fn gen_body_round_trips() {
+        let body = GenBody {
+            prompt: vec![1, 5, 9],
+            max_new_tokens: 8,
+            priority: 3,
+            policy: ProtectionPolicy::classical(),
+        };
+        let encoded = encode_gen_body(&body);
+        assert_eq!(
+            encoded,
+            "prompt=1,5,9&max_new_tokens=8&priority=3&policy=classical"
+        );
+        assert_eq!(parse_gen_body(&encoded).unwrap(), body);
+        let request = body.to_request();
+        assert_eq!(request.prompt, vec![1, 5, 9]);
+        assert_eq!(request.priority, 3);
+    }
+
+    #[test]
+    fn gen_body_defaults_and_rejections() {
+        let body = parse_gen_body("prompt=4&max_new_tokens=2").unwrap();
+        assert_eq!(body.priority, 0);
+        assert_eq!(body.policy, ProtectionPolicy::statistical());
+        for bad in [
+            "max_new_tokens=2",                         // missing prompt
+            "prompt=1,2",                               // missing budget
+            "prompt=1&max_new_tokens=2&unknown=1",      // unknown key
+            "prompt=1&prompt=2&max_new_tokens=2",       // duplicate
+            "prompt=x&max_new_tokens=2",                // bad token
+            "prompt=1&max_new_tokens=two",              // bad budget
+            "prompt=1&max_new_tokens=2&priority=300",   // u8 overflow
+            "prompt=1&max_new_tokens=2&policy=quantum", // unknown policy
+            "prompt=1&max_new_tokens=2&noequals",       // not key=value
+        ] {
+            assert!(parse_gen_body(bad).is_err(), "must reject '{bad}'");
+        }
+    }
+
+    #[test]
+    fn every_policy_name_round_trips() {
+        use realm_systolic::ProtectionScheme as S;
+        for scheme in [
+            S::None,
+            S::ApproxAbft,
+            S::StatisticalAbft,
+            S::ThunderVolt,
+            S::RazorFfs,
+            S::Dmr,
+            S::ClassicalAbft,
+        ] {
+            let policy = ProtectionPolicy::new(scheme);
+            assert_eq!(parse_policy(policy_name(policy)).unwrap(), policy);
+        }
+    }
+
+    #[test]
+    fn stream_lines_round_trip_bit_exactly() {
+        let margin = 1.2345678e-3_f32;
+        let event = TokenEvent::Token {
+            id: 7,
+            index: 2,
+            token: 41,
+            margin,
+        };
+        let line = format_event(&event);
+        let WireEvent::Token {
+            index,
+            token,
+            margin_bits,
+        } = parse_event(&line).unwrap()
+        else {
+            panic!("token line parses as a token");
+        };
+        assert_eq!((index, token), (2, 41));
+        assert_eq!(
+            margin_bits,
+            margin.to_bits(),
+            "margin crosses the wire bit-exactly"
+        );
+
+        let summary = RequestSummary {
+            id: 9,
+            tokens: vec![1, 2, 3],
+            margins: vec![0.5, 0.25, 0.125],
+            prompt_len: 4,
+            queued_steps: 2,
+            service_steps: 3,
+            attribution: SequenceAttribution {
+                detections: 5,
+                recoveries: 4,
+            },
+            policy: ProtectionPolicy::unprotected(),
+        };
+        let line = format_done(&summary);
+        let WireEvent::Done {
+            id,
+            tokens,
+            detections,
+            recoveries,
+            policy,
+            ..
+        } = parse_event(&line).unwrap()
+        else {
+            panic!("done line parses as done");
+        };
+        assert_eq!((id, tokens, detections, recoveries), (9, 3, 5, 4));
+        assert_eq!(policy, "unprotected");
+        assert!(parse_event("garbage line").is_err());
+    }
+}

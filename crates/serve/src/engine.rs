@@ -90,6 +90,13 @@ pub struct EngineStats {
     pub requests_completed: u64,
     /// Requests abandoned because their receiver was dropped mid-stream.
     pub requests_cancelled: u64,
+    /// Requests refused by load shedding before they ever entered the queue (counted via
+    /// [`ServeEngine::note_shed`]; a network front end answers these with `429`).
+    pub requests_shed: u64,
+    /// Engine steps the longest-waiting queued request has spent in the queue (0 when the
+    /// queue is empty). This is the age a shedding SLO is compared against — see
+    /// [`ServeEngine::oldest_queue_age`].
+    pub queue_oldest_age_steps: u64,
     /// ABFT detections charged to requests (completed and in-flight).
     pub detections: u64,
     /// ABFT recoveries charged to requests (completed and in-flight).
@@ -201,6 +208,7 @@ pub struct ServeEngine<'m> {
     admitted: u64,
     completed: u64,
     cancelled: u64,
+    shed: u64,
     completed_detections: u64,
     completed_recoveries: u64,
 }
@@ -233,6 +241,7 @@ impl<'m> ServeEngine<'m> {
             admitted: 0,
             completed: 0,
             cancelled: 0,
+            shed: 0,
             completed_detections: 0,
             completed_recoveries: 0,
         }
@@ -398,6 +407,27 @@ impl<'m> ServeEngine<'m> {
         !self.queue.is_empty() || self.slots.iter().any(Option::is_some)
     }
 
+    /// Engine steps the longest-waiting queued request has spent in the queue, or `None`
+    /// when nothing is queued.
+    ///
+    /// This is the queue's own age bookkeeping, exposed so an admission-control layer (the
+    /// network front end's load shedder) can compare the backlog against an age SLO
+    /// without duplicating enqueue-step tracking. Measured in engine steps — the same
+    /// deterministic clock queue aging uses — not wall-clock time.
+    pub fn oldest_queue_age(&self) -> Option<u64> {
+        self.queue.oldest_age(self.steps)
+    }
+
+    /// Records one load-shed decision: a request that was refused *before* submission
+    /// because the queue backlog exceeded the operator's age SLO.
+    ///
+    /// The engine never sheds on its own — [`ServeEngine::submit`] accepts everything
+    /// valid — so the admission layer that refused the request charges the event here,
+    /// keeping all serving counters in one [`EngineStats`] snapshot.
+    pub fn note_shed(&mut self) {
+        self.shed += 1;
+    }
+
     /// A snapshot of queue depth, slot occupancy, throughput and reliability counters.
     pub fn stats(&self) -> EngineStats {
         let mut detections = self.completed_detections;
@@ -426,6 +456,8 @@ impl<'m> ServeEngine<'m> {
             requests_admitted: self.admitted,
             requests_completed: self.completed,
             requests_cancelled: self.cancelled,
+            requests_shed: self.shed,
+            queue_oldest_age_steps: self.oldest_queue_age().unwrap_or(0),
             detections,
             recoveries,
             elapsed_seconds,
@@ -803,6 +835,45 @@ mod tests {
         assert!(done.tokens_per_second > 0.0);
         assert_eq!(done.detections, 0, "fault-free serving detects nothing");
         assert_eq!(done.detections_per_request(), 0.0);
+    }
+
+    #[test]
+    fn queue_age_and_shed_counters_surface_in_stats() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 3).unwrap();
+        let mut engine = engine(&model, 1);
+        assert_eq!(
+            engine.oldest_queue_age(),
+            None,
+            "idle engine has no backlog"
+        );
+        assert_eq!(engine.stats().queue_oldest_age_steps, 0);
+
+        // Occupy the only slot and queue two more; stepping ages the backlog.
+        let mut receivers = Vec::new();
+        for i in 0..3 {
+            let (_, rx) = engine.submit(ServeRequest::new(vec![1 + i, 2], 8)).unwrap();
+            receivers.push(rx);
+        }
+        engine.step().unwrap(); // admits the first, queues the rest at step 0
+        engine.step().unwrap();
+        engine.step().unwrap();
+        let age = engine
+            .oldest_queue_age()
+            .expect("two requests still queued");
+        assert!(
+            age >= 2,
+            "backlog age advances with engine steps (got {age})"
+        );
+        assert_eq!(engine.stats().queue_oldest_age_steps, age);
+
+        // Shed decisions made by the admission layer land in the same snapshot.
+        engine.note_shed();
+        engine.note_shed();
+        assert_eq!(engine.stats().requests_shed, 2);
+        engine.run_until_idle().unwrap();
+        assert_eq!(engine.oldest_queue_age(), None);
+        assert_eq!(engine.stats().queue_oldest_age_steps, 0);
+        assert_eq!(engine.stats().requests_shed, 2, "sheds are cumulative");
     }
 
     /// Serves the same four requests and returns their token streams plus final stats.

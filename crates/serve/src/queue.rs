@@ -87,6 +87,21 @@ impl RequestQueue {
         u64::from(entry.priority) + bumps
     }
 
+    /// Steps the longest-waiting entry has spent in the queue at `step`, or `None` when
+    /// the queue is empty.
+    ///
+    /// This is the queue's own age bookkeeping exposed for load shedding: a network front
+    /// end that sheds when the oldest queued request exceeds an age SLO reads this instead
+    /// of duplicating enqueue-step tracking outside the queue. The age is measured in
+    /// engine steps (the same clock aging uses), so it is deterministic for a given
+    /// schedule.
+    pub(crate) fn oldest_age(&self, step: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .map(|e| step.saturating_sub(e.enqueue_step))
+            .max()
+    }
+
     /// Removes and returns the request with the highest effective priority at `step`
     /// (arrival order breaks ties — ids are assigned in submission order), or `None` if
     /// the queue is empty.
@@ -127,6 +142,24 @@ mod tests {
         assert_eq!(q.pop(0).unwrap().id, 1);
         assert!(q.pop(0).is_none());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn oldest_age_tracks_the_longest_waiting_entry() {
+        let mut q = RequestQueue::new(0);
+        assert_eq!(q.oldest_age(5), None, "empty queue has no age");
+        q.push(queued(1, 0, 4));
+        q.push(queued(2, 9, 10)); // higher priority but fresher
+        assert_eq!(q.oldest_age(10), Some(6), "age follows the oldest entry");
+        // Popping removes the high-priority entry first; the old one still sets the age.
+        assert_eq!(q.pop(10).unwrap().id, 2);
+        assert_eq!(q.oldest_age(12), Some(8));
+        assert_eq!(q.pop(12).unwrap().id, 1);
+        assert_eq!(q.oldest_age(12), None);
+        // A step earlier than the enqueue step saturates to zero rather than wrapping.
+        let mut q = RequestQueue::new(0);
+        q.push(queued(1, 0, 20));
+        assert_eq!(q.oldest_age(3), Some(0));
     }
 
     #[test]

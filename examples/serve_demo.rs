@@ -21,10 +21,22 @@
 //! ```text
 //! REALM_TP_DEGREE=4 REALM_SHARD_KILL=2:24 cargo run --release --example serve_demo
 //! ```
+//!
+//! With `REALM_LISTEN=<addr>` the demo becomes a network server instead: the same
+//! engine (same injector) serves `POST /generate` over HTTP/1.1 with chunked token
+//! streaming until `POST /admin/drain` gracefully drains it:
+//!
+//! ```text
+//! REALM_LISTEN=127.0.0.1:8080 cargo run --release --example serve_demo
+//! curl -N -d 'prompt=1,5,9&max_new_tokens=8&policy=classical' http://127.0.0.1:8080/generate
+//! curl http://127.0.0.1:8080/stats
+//! curl -X POST http://127.0.0.1:8080/admin/drain
+//! ```
 
 use realm::core::ProtectionPolicy;
 use realm::inject::{error_model::FixedBitModel, injector::ErrorInjector, targeting::Target};
 use realm::llm::{config::ModelConfig, model::Model};
+use realm::net::{NetConfig, NetServer};
 use realm::serve::{ServeConfig, ServeEngine, ServeRequest, TokenEvent};
 use realm::tensor::ShardFault;
 
@@ -96,6 +108,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "armed shard-kill: shard {shard} for {steps} dispatches ({armed} shard(s) armed)\n"
         );
     }
+    // Network mode: hand the same engine configuration to the HTTP front end and serve
+    // until an operator drains it (`POST /admin/drain`).
+    if let Ok(listen) = std::env::var("REALM_LISTEN") {
+        let server = NetServer::bind(NetConfig {
+            addr: listen,
+            serve: config,
+            ..NetConfig::default()
+        })?;
+        let addr = server.local_addr();
+        println!("listening on http://{addr}  (faulty datapath armed: bit-30 flips)");
+        println!(
+            "  curl -N -d 'prompt=1,5,9&max_new_tokens=8&policy=classical' http://{addr}/generate"
+        );
+        println!("  curl http://{addr}/stats");
+        println!("  curl -X POST http://{addr}/admin/drain   # graceful shutdown\n");
+        let report = server.serve_with_hook(&model, Some(Box::new(injector)))?;
+        let e = report.engine;
+        println!(
+            "drained: {} connections, {} requests completed, {} cancelled, {} shed, \
+             {} detections, {} recoveries",
+            report.connections,
+            e.requests_completed,
+            e.requests_cancelled,
+            e.requests_shed,
+            e.detections,
+            e.recoveries
+        );
+        return Ok(());
+    }
+
     let mut engine = ServeEngine::new(&model, config).with_fault_hook(Box::new(injector));
 
     // The arrival schedule: (arrival step, priority, budget, policy). More requests than

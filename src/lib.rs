@@ -17,6 +17,7 @@
 //! | [`eval`] | `realm-eval` | synthetic perplexity / accuracy / ROUGE tasks |
 //! | [`core`] | `realm-core` | characterization, critical-region fitting, protected pipelines, sweeps |
 //! | [`serve`] | `realm-serve` | continuous-batching serving: request queue, engine loop, token streams |
+//! | [`net`] | `realm-net` | HTTP/1.1 front end, token-stream wire protocol, trace-driven load generator |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use realm_core as core;
 pub use realm_eval as eval;
 pub use realm_inject as inject;
 pub use realm_llm as llm;
+pub use realm_net as net;
 pub use realm_serve as serve;
 pub use realm_systolic as systolic;
 pub use realm_tensor as tensor;

@@ -1,0 +1,248 @@
+//! Resilience suite for the network front end: disconnects, load shedding, drain.
+//!
+//! * **Cancel-on-disconnect** — a client hanging up mid-stream must cancel its request
+//!   at the engine's next commit and free the slot, observable through `/stats`
+//!   (`requests_cancelled`, `active_slots`) and the final [`realm::net::NetReport`].
+//! * **Shed without starvation** — once the oldest queued request exceeds the SLO, new
+//!   submissions are refused with `429` + `Retry-After` *before* entering the queue, and
+//!   the already-queued request still completes: shedding protects the backlog, it never
+//!   replaces it.
+//! * **Graceful drain** — after `POST /admin/drain`, the in-flight stream runs to
+//!   completion, new work is refused with `503`, and `serve` returns a consistent final
+//!   report.
+
+use realm::core::ProtectionPolicy;
+use realm::llm::{config::ModelConfig, model::Model};
+use realm::net::client::stats_field;
+use realm::net::{http_request, stream_generate, GenBody, NetConfig, NetServer, WireEvent};
+use realm::serve::ServeConfig;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+/// `tiny_opt` with a context window large enough for deliberately long-running requests.
+fn long_context_model() -> Model {
+    let mut config = ModelConfig::tiny_opt();
+    config.max_seq_len = 256;
+    Model::new(&config, 2025).unwrap()
+}
+
+fn gen(prompt: Vec<u32>, budget: usize, priority: u8) -> GenBody {
+    GenBody {
+        prompt,
+        max_new_tokens: budget,
+        priority,
+        policy: ProtectionPolicy::statistical(),
+    }
+}
+
+/// Polls `/stats` until `predicate` holds or the deadline passes; returns the last JSON.
+fn poll_stats(
+    addr: std::net::SocketAddr,
+    deadline: Duration,
+    predicate: impl Fn(&str) -> bool,
+) -> String {
+    let start = Instant::now();
+    loop {
+        let response = http_request(addr, "GET", "/stats", b"", TIMEOUT).unwrap();
+        let json = String::from_utf8(response.body).unwrap();
+        if predicate(&json) || start.elapsed() > deadline {
+            return json;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn mid_stream_disconnect_cancels_the_request_and_frees_the_slot() {
+    let model = long_context_model();
+    let server = NetServer::bind(NetConfig {
+        serve: ServeConfig::with_slots(2),
+        ..NetConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let report = std::thread::scope(|s| {
+        let serving = s.spawn(|| server.serve(&model).unwrap());
+
+        // A request with a 200-token budget, abandoned after 2 events: the hang-up lands
+        // far from completion, so only cancellation can explain the freed slot.
+        let result = stream_generate(addr, &gen(vec![1, 2, 3], 200, 0), Some(2), TIMEOUT).unwrap();
+        assert_eq!(result.status, 200);
+        assert!(result.disconnected);
+        assert!(
+            result.done().is_none(),
+            "the abandoned stream must not have completed"
+        );
+
+        // The engine notices at its next commit: cancelled counted, slot released.
+        let json = poll_stats(addr, Duration::from_secs(10), |j| {
+            stats_field(j, "requests_cancelled") == Some(1)
+        });
+        assert_eq!(
+            stats_field(&json, "requests_cancelled"),
+            Some(1),
+            "disconnect must surface as a cancellation: {json}"
+        );
+        let json = poll_stats(addr, Duration::from_secs(10), |j| {
+            stats_field(j, "active_slots") == Some(0)
+        });
+        assert_eq!(
+            stats_field(&json, "active_slots"),
+            Some(0),
+            "the cancelled request's slot must be freed: {json}"
+        );
+        assert_eq!(stats_field(&json, "requests_completed"), Some(0));
+
+        // The freed slot is immediately usable: a follow-up request completes.
+        let follow_up = stream_generate(addr, &gen(vec![4, 5], 3, 0), None, TIMEOUT).unwrap();
+        assert_eq!(follow_up.status, 200);
+        assert_eq!(follow_up.tokens.len(), 3);
+
+        handle.drain();
+        serving.join().unwrap()
+    });
+    assert_eq!(report.engine.requests_cancelled, 1);
+    assert_eq!(report.engine.requests_completed, 1);
+    assert_eq!(report.disconnects, 1);
+    assert_eq!(report.streams_completed, 1);
+    assert_eq!(report.engine.active_slots, 0, "clean teardown");
+}
+
+#[test]
+fn shed_returns_429_with_retry_after_and_never_starves_the_queue() {
+    let model = long_context_model();
+    // One slot and a tiny SLO: the first request occupies the engine, the second queues
+    // and ages past the SLO, the third must be shed.
+    let server = NetServer::bind(NetConfig {
+        shed_queue_age_steps: Some(4),
+        retry_after_secs: 3,
+        serve: ServeConfig::with_slots(1),
+        ..NetConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let report = std::thread::scope(|s| {
+        let serving = s.spawn(|| server.serve(&model).unwrap());
+
+        // Occupy the only slot with a long-running request.
+        let hog = s
+            .spawn(move || stream_generate(addr, &gen(vec![1, 2], 200, 0), None, TIMEOUT).unwrap());
+        // Wait for it to be admitted, then queue a high-priority request behind it.
+        poll_stats(addr, Duration::from_secs(10), |j| {
+            stats_field(j, "active_slots") == Some(1)
+        });
+        let queued = s.spawn(move || {
+            stream_generate(addr, &gen(vec![7, 8, 9], 4, 7), None, TIMEOUT).unwrap()
+        });
+        // Let the queued request age past the SLO.
+        let json = poll_stats(addr, Duration::from_secs(10), |j| {
+            stats_field(j, "queue_oldest_age_steps").unwrap_or(0) >= 4
+        });
+        assert!(
+            stats_field(&json, "queue_oldest_age_steps").unwrap_or(0) >= 4,
+            "the queued request must age past the SLO: {json}"
+        );
+
+        // New work is now shed before it touches the queue.
+        let shed = stream_generate(addr, &gen(vec![3], 2, 0), None, TIMEOUT).unwrap();
+        assert_eq!(
+            shed.status, 429,
+            "aged queue must shed new work: {:?}",
+            shed.error_body
+        );
+        assert_eq!(
+            shed.retry_after_secs,
+            Some(3),
+            "the configured Retry-After must be advertised"
+        );
+        assert!(
+            shed.error_body.contains("SLO"),
+            "the refusal names the SLO: {:?}",
+            shed.error_body
+        );
+
+        // Shedding refused the NEW request only: the queued one still completes in full.
+        let queued_result = queued.join().unwrap();
+        assert_eq!(queued_result.status, 200);
+        assert_eq!(
+            queued_result.tokens.len(),
+            4,
+            "the queued high-priority request is never starved by shedding"
+        );
+        let hog_result = hog.join().unwrap();
+        assert_eq!(hog_result.status, 200);
+        assert_eq!(hog_result.tokens.len(), 200);
+
+        handle.drain();
+        serving.join().unwrap()
+    });
+    assert_eq!(
+        report.engine.requests_shed, 1,
+        "exactly one request was shed"
+    );
+    assert_eq!(report.engine.requests_completed, 2);
+    assert_eq!(
+        report.engine.requests_submitted, 2,
+        "the shed request never entered the queue"
+    );
+    assert_eq!(report.engine.queue_depth, 0);
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_streams_and_refuses_new_work() {
+    let model = long_context_model();
+    let server = NetServer::bind(NetConfig {
+        serve: ServeConfig::with_slots(2),
+        ..NetConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let report = std::thread::scope(|s| {
+        let serving = s.spawn(|| server.serve(&model).unwrap());
+
+        // Start a long stream, then trigger the drain while it is mid-flight.
+        let in_flight = s.spawn(move || {
+            stream_generate(addr, &gen(vec![1, 2, 3], 100, 0), None, TIMEOUT).unwrap()
+        });
+        poll_stats(addr, Duration::from_secs(10), |j| {
+            stats_field(j, "active_slots") == Some(1)
+        });
+        let drain = http_request(addr, "POST", "/admin/drain", b"", TIMEOUT).unwrap();
+        assert_eq!(drain.status, 202);
+
+        // While draining: health reports 503 and new generate requests are refused — or,
+        // once the accept loop has already stopped, the connection is simply never
+        // served (an Err on probe timeout, also a correct refusal). The probes use a
+        // short timeout because an unserved backlog connection never answers.
+        let probe = Duration::from_millis(800);
+        if let Ok(health) = http_request(addr, "GET", "/healthz", b"", probe) {
+            assert_eq!(health.status, 503, "draining health must be 503");
+        }
+        if let Ok(refused) = stream_generate(addr, &gen(vec![4], 2, 0), None, probe) {
+            assert_eq!(refused.status, 503, "draining generate must be 503");
+        }
+
+        // The in-flight stream still runs to full completion.
+        let result = in_flight.join().unwrap();
+        assert_eq!(result.status, 200);
+        assert_eq!(
+            result.tokens.len(),
+            100,
+            "drain must let the in-flight stream finish, not truncate it"
+        );
+        let Some(WireEvent::Done { tokens, .. }) = result.done() else {
+            panic!("the in-flight stream must deliver its terminal summary");
+        };
+        assert_eq!(*tokens, 100);
+
+        serving.join().unwrap()
+    });
+    assert_eq!(report.engine.requests_completed, 1);
+    assert_eq!(report.engine.requests_cancelled, 0);
+    assert_eq!(report.engine.active_slots, 0);
+    assert_eq!(report.engine.queue_depth, 0);
+    assert_eq!(report.streams_completed, 1);
+}
