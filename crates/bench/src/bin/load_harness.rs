@@ -29,31 +29,37 @@ fn smoke_mode() -> bool {
     std::env::args().any(|a| a == "--smoke")
 }
 
-/// The harness model: `tiny_opt` with enough context for the long disconnect request.
+/// The harness model: `tiny_opt` with enough context for the bimodal long prompts (up
+/// to 512 tokens) plus the long disconnect request's 200-token budget.
 fn harness_model() -> Model {
     let mut config = ModelConfig::tiny_opt();
-    config.max_seq_len = 256;
+    config.max_seq_len = 768;
     Model::new(&config, HARNESS_SEED).unwrap()
 }
 
-fn harness_trace(requests: usize) -> Vec<realm_net::TraceRequest> {
+/// A bounded-Pareto trace with a bimodal prompt mix: `long_prompt_permille` of the
+/// requests carry a 256–512-token prompt — the head-of-line-blocking workload chunked
+/// prefill exists for. `0` reproduces the historical short-prompt trace.
+fn harness_trace(requests: usize, long_prompt_permille: u32) -> Vec<realm_net::TraceRequest> {
     generate_trace(&TraceConfig {
         seed: HARNESS_SEED,
         requests,
         mean_interarrival_us: 1_500.0,
+        long_prompt_permille,
+        long_prompt_len: (256, 512),
         ..TraceConfig::default()
     })
 }
 
 fn serve_and_replay(
-    requests: usize,
+    mut trace: Vec<realm_net::TraceRequest>,
     slots: usize,
+    step_budget: usize,
     shed_slo: Option<u64>,
     inject: bool,
     disconnect: Option<(usize, usize)>,
 ) -> (LoadReport, realm_net::NetReport) {
     let model = harness_model();
-    let mut trace = harness_trace(requests);
     if let Some((index, _)) = disconnect {
         // Give the deliberately-disconnecting request a budget long enough that the
         // hang-up lands mid-generation, so the engine must actually cancel it.
@@ -61,8 +67,8 @@ fn serve_and_replay(
     }
     let server = NetServer::bind(NetConfig {
         workers: 8,
-        shed_queue_age_steps: shed_slo,
-        serve: ServeConfig::with_slots(slots),
+        shed_queue_age_tokens: shed_slo,
+        serve: ServeConfig::with_slots(slots).with_step_token_budget(step_budget),
         ..NetConfig::default()
     })
     .unwrap();
@@ -103,6 +109,10 @@ fn print_report(report: &LoadReport, net: &realm_net::NetReport) {
         "server: {} connections, {} http requests, {} streams completed, {} disconnects",
         net.connections, net.http_requests, net.streams_completed, net.disconnects
     );
+    println!(
+        "chunked prefill: {} chunks, budget utilization {:.3}, decode stall p99 {:.1}us",
+        e.prefill_chunks, e.step_budget_utilization, e.decode_stall_p99_us
+    );
 }
 
 /// Prints the `serving_network` baseline entries in the `BENCH_gemm.json` schema
@@ -130,10 +140,13 @@ fn print_bench_entries(report: &LoadReport) {
 fn measurement() {
     let requests = if quick_mode() { 40 } else { 160 };
     banner(
-        &format!("load_harness: {requests}-request bounded-Pareto network trace"),
+        &format!("load_harness: {requests}-request bimodal bounded-Pareto network trace"),
         "serving front end",
     );
-    let (report, net) = serve_and_replay(requests, 4, Some(512), false, None);
+    // 15% long prompts (256–512 tokens) over 4 slots with a 64-token step budget: the
+    // workload where chunked prefill keeps decode streams flowing past long arrivals.
+    let trace = harness_trace(requests, 150);
+    let (report, net) = serve_and_replay(trace, 4, 64, Some(8_192), false, None);
     print_report(&report, &net);
     assert_eq!(
         report.errors, 0,
@@ -148,9 +161,17 @@ fn smoke() {
         "serving front end",
     );
     let requests = 50;
-    // Tight slots + a finite SLO so the shed path is reachable; armed injector so the
-    // ABFT path is live; one mid-stream disconnect so cancellation is exercised.
-    let (report, net) = serve_and_replay(requests, 2, Some(64), true, Some((7, 3)));
+    // Tight slots + a finite token SLO so the shed path is reachable; armed injector so
+    // the ABFT path is live; one mid-stream disconnect so cancellation is exercised.
+    // 10% of the mix carries long prompts, and request 1 is pinned to a 384-token
+    // prompt: it is admitted while slots are still free (so shedding cannot eat it) and
+    // must prefill in at least ceil(384/32) budgeted chunks without parking the
+    // concurrent short streams.
+    let mut trace = harness_trace(requests, 100);
+    let pinned_long = 384usize;
+    trace[1].body.prompt = (0..pinned_long as u32).map(|t| t % 64).collect();
+    let step_budget = 32;
+    let (report, net) = serve_and_replay(trace, 2, step_budget, Some(512), true, Some((7, 3)));
     print_report(&report, &net);
 
     let mut failures = Vec::new();
@@ -191,6 +212,14 @@ fn smoke() {
     check(
         net.streams_completed == report.completed as u64,
         "every completed request got its terminal chunk",
+    );
+    check(
+        net.engine.prefill_chunks >= (pinned_long / step_budget) as u64,
+        "the pinned 384-token prompt was prefilled chunk by chunk under the step budget",
+    );
+    check(
+        net.engine.step_budget_utilization > 0.0 && net.engine.step_budget_utilization <= 1.0,
+        "the per-step token budget was exercised and never overrun",
     );
     if failures.is_empty() {
         println!("\nsmoke: all assertions passed, drain was clean");

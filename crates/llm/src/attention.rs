@@ -7,7 +7,7 @@
 //! normalization, which is why the paper finds it to be the most sensitive attention
 //! component.
 
-use crate::activation::{apply_causal_mask, softmax_rows_in_place};
+use crate::activation::softmax_rows_in_place;
 use crate::batch::BatchedLayerCache;
 use crate::component::{Component, Stage};
 use crate::config::ModelConfig;
@@ -105,6 +105,13 @@ impl MultiHeadAttention {
     /// slices, transposed keys, scores, probabilities and the context matrix — from `ws`.
     /// The returned matrix is workspace-pooled; output is bit-identical.
     ///
+    /// The score/context GEMMs run **per query row** against exactly that row's visible
+    /// prefix of the cache (rows `0..=p` for the query at global position `p`), so no
+    /// causal mask is needed and — together with the per-row quantization of the
+    /// projections — processing a prompt in chunks of any size is bit-identical to
+    /// processing it monolithically: prefilling `n` tokens is the same arithmetic as `n`
+    /// decode steps. This is the invariant `tests/chunked_parity.rs` proves end to end.
+    ///
     /// # Errors
     ///
     /// Propagates shape errors from the underlying GEMMs and cache operations.
@@ -151,70 +158,67 @@ impl MultiHeadAttention {
         let scale = 1.0 / (self.head_dim as f32).sqrt();
 
         let cached = cache.len();
-        for h in 0..self.num_heads {
-            let start = h * self.head_dim;
-            let mut q_h = ws.take_mat_f32(new_tokens, self.head_dim);
-            cols_slice_into(&q, start, self.head_dim, &mut q_h);
+        let mut q_h = ws.take_mat_f32(1, self.head_dim);
+        let mut k_h_t = ws.take_mat_f32(self.head_dim, cached);
+        let mut v_h = ws.take_mat_f32(cached, self.head_dim);
+        let ran = (|| -> Result<()> {
             let keys = cache.keys().expect("cache populated by append");
             let values = cache.values().expect("cache populated by append");
-            // The transposed key block is written directly from the cache columns — the
-            // same values `cols_slice(..).transposed()` would produce, without the
-            // intermediate.
-            let mut k_h_t = ws.take_mat_f32(self.head_dim, cached);
-            cols_slice_transposed_into(keys, start, self.head_dim, &mut k_h_t);
-            let mut v_h = ws.take_mat_f32(cached, self.head_dim);
-            cols_slice_into(values, start, self.head_dim, &mut v_h);
+            for i in 0..new_tokens {
+                // Query row i sits at global position offset + i and attends to exactly
+                // the cache rows 0..=offset+i; truncating the operands replaces the
+                // causal mask and keeps each row's GEMM shapes a function of its global
+                // position alone — never of the chunk boundaries.
+                let visible = offset + i + 1;
+                for h in 0..self.num_heads {
+                    let start = h * self.head_dim;
+                    rows_cols_slice_into(&q, i, 1, start, self.head_dim, &mut q_h);
+                    limited_cols_slice_transposed_into(
+                        keys,
+                        visible,
+                        start,
+                        self.head_dim,
+                        &mut k_h_t,
+                    );
+                    limited_cols_slice_into(values, visible, start, self.head_dim, &mut v_h);
 
-            let scores = quant_matmul_ws(
-                &q_h,
-                &k_h_t,
-                engine,
-                &ctx(Component::QkT, sequence),
-                hook,
-                OutputMode::Float,
-                ws,
-            );
-            ws.recycle_mat_f32(k_h_t);
-            let mut scores = match scores {
-                Ok(scores) => scores,
-                Err(e) => {
-                    ws.recycle_mat_f32(q_h);
-                    ws.recycle_mat_f32(v_h);
-                    ws.recycle_mat_f32(context);
-                    ws.recycle_mat_f32(q);
-                    return Err(e);
-                }
-            };
-            ws.recycle_mat_f32(q_h);
-            scores.apply(|s| s * scale);
-            apply_causal_mask(&mut scores, offset);
-            softmax_rows_in_place(&mut scores);
+                    let mut scores = quant_matmul_ws(
+                        &q_h,
+                        &k_h_t,
+                        engine,
+                        &ctx(Component::QkT, sequence),
+                        hook,
+                        OutputMode::Float,
+                        ws,
+                    )?;
+                    scores.apply(|s| s * scale);
+                    softmax_rows_in_place(&mut scores);
 
-            let ctx_h = quant_matmul_ws(
-                &scores,
-                &v_h,
-                engine,
-                &ctx(Component::Sv, sequence),
-                hook,
-                OutputMode::Float,
-                ws,
-            );
-            ws.recycle_mat_f32(scores);
-            ws.recycle_mat_f32(v_h);
-            let ctx_h = match ctx_h {
-                Ok(ctx_h) => ctx_h,
-                Err(e) => {
-                    ws.recycle_mat_f32(context);
-                    ws.recycle_mat_f32(q);
-                    return Err(e);
+                    let ctx_h = quant_matmul_ws(
+                        &scores,
+                        &v_h,
+                        engine,
+                        &ctx(Component::Sv, sequence),
+                        hook,
+                        OutputMode::Float,
+                        ws,
+                    );
+                    ws.recycle_mat_f32(scores);
+                    let ctx_h = ctx_h?;
+                    context.row_mut(i)[start..start + self.head_dim].copy_from_slice(ctx_h.row(0));
+                    ws.recycle_mat_f32(ctx_h);
                 }
-            };
-            for r in 0..new_tokens {
-                context.row_mut(r)[start..start + self.head_dim].copy_from_slice(ctx_h.row(r));
             }
-            ws.recycle_mat_f32(ctx_h);
-        }
+            Ok(())
+        })();
+        ws.recycle_mat_f32(q_h);
+        ws.recycle_mat_f32(k_h_t);
+        ws.recycle_mat_f32(v_h);
         ws.recycle_mat_f32(q);
+        if let Err(e) = ran {
+            ws.recycle_mat_f32(context);
+            return Err(e);
+        }
 
         let out = self
             .wo
@@ -226,11 +230,11 @@ impl MultiHeadAttention {
     /// Runs attention over a batch-stacked `x` (shape `(sum_new_tokens, hidden)`, rows
     /// grouped by `parts`), reading and updating the shared layer cache.
     ///
-    /// The `Q`/`K`/`V`/`O` projections each run as **one** batch-wide GEMM (per-group
+    /// The `Q`/`K`/`V`/`O` projections each run as **one** batch-wide GEMM (per-row
     /// quantization keeps them bit-exact with per-sequence execution); the score and
-    /// context GEMMs run per sequence and per head because each sequence has its own cache
-    /// length and causal mask. Empty groups (completed sequences in lockstep decode) are
-    /// skipped.
+    /// context GEMMs run per query row and per head against that row's visible prefix of
+    /// the cache, because each sequence has its own cache length. Empty groups (completed
+    /// sequences in lockstep decode) are skipped.
     ///
     /// # Errors
     ///
@@ -319,7 +323,7 @@ impl MultiHeadAttention {
             }
         };
 
-        // Cache lengths before the append are each sequence's causal-mask offset.
+        // Cache lengths before the append are each sequence's resident-prefix offset.
         let result = self.attend_batch_ws(
             x, parts, layer, stage, cache, sequence, engine, hook, ws, &q, &k, &v,
         );
@@ -340,8 +344,9 @@ impl MultiHeadAttention {
     }
 
     /// The per-sequence half of the batched attention pass: appends the new keys/values,
-    /// then runs the score/context GEMMs per sequence and per head (each sequence has its
-    /// own cache length and causal mask), assembling the workspace-pooled context matrix.
+    /// then runs the score/context GEMMs per query row and per head against that row's
+    /// visible prefix (each sequence has its own cache length), assembling the
+    /// workspace-pooled context matrix.
     #[allow(clippy::too_many_arguments)] // internal splice of the batched forward
     fn attend_batch_ws(
         &self,
@@ -358,7 +363,7 @@ impl MultiHeadAttention {
         k: &MatF32,
         v: &MatF32,
     ) -> Result<MatF32> {
-        // Cache lengths before the append are each sequence's causal-mask offset; the
+        // Cache lengths before the append are each sequence's resident-prefix offset; the
         // buffer is pooled (as i64, the workspace's integer-scratch type) so the serving
         // loop does not re-allocate it every layer of every step.
         let mut prior = ws.take_vec_i64(parts.num_groups());
@@ -380,18 +385,14 @@ impl MultiHeadAttention {
             .map(|g| cache.seq_len(g))
             .max()
             .unwrap_or(0);
-        let max_new = (0..parts.num_groups())
-            .map(|g| parts.len(g))
-            .max()
-            .unwrap_or(0);
         let mut keys_g = ws.take_mat_f32(max_len, hidden);
         let mut values_g = ws.take_mat_f32(max_len, hidden);
-        let mut q_h = ws.take_mat_f32(max_new, self.head_dim);
+        let mut q_h = ws.take_mat_f32(1, self.head_dim);
         let mut k_h_t = ws.take_mat_f32(self.head_dim, max_len);
         let mut v_h = ws.take_mat_f32(max_len, self.head_dim);
         let ran = (|| -> Result<()> {
-            for (g, &mask_offset) in prior.iter().enumerate() {
-                let mask_offset = mask_offset as usize;
+            for (g, &prior_len) in prior.iter().enumerate() {
+                let prior_len = prior_len as usize;
                 let range = parts.range(g);
                 if range.is_empty() {
                     continue;
@@ -405,48 +406,51 @@ impl MultiHeadAttention {
                     c
                 };
 
-                for h in 0..self.num_heads {
-                    let start = h * self.head_dim;
-                    rows_cols_slice_into(
-                        q,
-                        range.start,
-                        new_tokens,
-                        start,
-                        self.head_dim,
-                        &mut q_h,
-                    );
-                    cols_slice_transposed_into(&keys_g, start, self.head_dim, &mut k_h_t);
-                    cols_slice_into(&values_g, start, self.head_dim, &mut v_h);
+                for i in 0..new_tokens {
+                    // Same visible-prefix truncation as the solo path: query row i of
+                    // this group sits at global position prior_len + i, so its score and
+                    // context GEMMs see exactly the rows a solo forward at that position
+                    // would — chunk- and batch-invariant by construction.
+                    let visible = prior_len + i + 1;
+                    for h in 0..self.num_heads {
+                        let start = h * self.head_dim;
+                        rows_cols_slice_into(q, range.start + i, 1, start, self.head_dim, &mut q_h);
+                        limited_cols_slice_transposed_into(
+                            &keys_g,
+                            visible,
+                            start,
+                            self.head_dim,
+                            &mut k_h_t,
+                        );
+                        limited_cols_slice_into(&values_g, visible, start, self.head_dim, &mut v_h);
 
-                    let mut scores = quant_matmul_ws(
-                        &q_h,
-                        &k_h_t,
-                        engine,
-                        &seq_ctx(Component::QkT, sequence),
-                        hook,
-                        OutputMode::Float,
-                        ws,
-                    )?;
-                    scores.apply(|s| s * scale);
-                    apply_causal_mask(&mut scores, mask_offset);
-                    softmax_rows_in_place(&mut scores);
+                        let mut scores = quant_matmul_ws(
+                            &q_h,
+                            &k_h_t,
+                            engine,
+                            &seq_ctx(Component::QkT, sequence),
+                            hook,
+                            OutputMode::Float,
+                            ws,
+                        )?;
+                        scores.apply(|s| s * scale);
+                        softmax_rows_in_place(&mut scores);
 
-                    let ctx_h = quant_matmul_ws(
-                        &scores,
-                        &v_h,
-                        engine,
-                        &seq_ctx(Component::Sv, sequence),
-                        hook,
-                        OutputMode::Float,
-                        ws,
-                    );
-                    ws.recycle_mat_f32(scores);
-                    let ctx_h = ctx_h?;
-                    for r in 0..new_tokens {
-                        context.row_mut(range.start + r)[start..start + self.head_dim]
-                            .copy_from_slice(ctx_h.row(r));
+                        let ctx_h = quant_matmul_ws(
+                            &scores,
+                            &v_h,
+                            engine,
+                            &seq_ctx(Component::Sv, sequence),
+                            hook,
+                            OutputMode::Float,
+                            ws,
+                        );
+                        ws.recycle_mat_f32(scores);
+                        let ctx_h = ctx_h?;
+                        context.row_mut(range.start + i)[start..start + self.head_dim]
+                            .copy_from_slice(ctx_h.row(0));
+                        ws.recycle_mat_f32(ctx_h);
                     }
-                    ws.recycle_mat_f32(ctx_h);
                 }
             }
             Ok(())
@@ -474,15 +478,6 @@ pub(crate) fn cols_slice(m: &MatF32, start: usize, count: usize) -> MatF32 {
     MatF32::from_fn(m.rows(), count, |r, c| m[(r, start + c)])
 }
 
-/// [`cols_slice`] into caller-provided storage (reshaped in place, identical values).
-fn cols_slice_into(m: &MatF32, start: usize, count: usize, out: &mut MatF32) {
-    out.resize_overwrite(m.rows(), count);
-    for r in 0..m.rows() {
-        out.row_mut(r)
-            .copy_from_slice(&m.row(r)[start..start + count]);
-    }
-}
-
 /// A row range of [`cols_slice`] into caller-provided storage (identical values to
 /// `rows_slice(row_start, rows)` followed by `cols_slice(start, count)`).
 fn rows_cols_slice_into(
@@ -500,11 +495,29 @@ fn rows_cols_slice_into(
     }
 }
 
-/// The transpose of [`cols_slice`] into caller-provided storage: identical values to
-/// `cols_slice(m, start, count).transposed()`, written without the intermediate.
-fn cols_slice_transposed_into(m: &MatF32, start: usize, count: usize, out: &mut MatF32) {
-    out.resize_overwrite(count, m.rows());
-    for r in 0..m.rows() {
+/// The first `rows` rows of a column block of `m` into caller-provided storage: identical
+/// values to `cols_slice(m, start, count)` truncated to its leading rows. The truncation
+/// is how the attention path limits a query to its visible prefix of the KV cache.
+fn limited_cols_slice_into(m: &MatF32, rows: usize, start: usize, count: usize, out: &mut MatF32) {
+    out.resize_overwrite(rows, count);
+    for r in 0..rows {
+        out.row_mut(r)
+            .copy_from_slice(&m.row(r)[start..start + count]);
+    }
+}
+
+/// The transpose of [`limited_cols_slice_into`] into caller-provided storage: identical
+/// values to `cols_slice(m, start, count)` truncated to `rows` rows and transposed,
+/// written without the intermediate.
+fn limited_cols_slice_transposed_into(
+    m: &MatF32,
+    rows: usize,
+    start: usize,
+    count: usize,
+    out: &mut MatF32,
+) {
+    out.resize_overwrite(count, rows);
+    for r in 0..rows {
         for c in 0..count {
             out[(c, r)] = m[(r, start + c)];
         }
@@ -563,12 +576,12 @@ mod tests {
             &mut rec,
         )
         .unwrap();
-        // Q, K, V once each; QK^T and SV once per head; O once.
+        // Q, K, V once each; QK^T and SV once per query row per head; O once.
         assert_eq!(rec.count_for(Component::Q), 1);
         assert_eq!(rec.count_for(Component::K), 1);
         assert_eq!(rec.count_for(Component::V), 1);
-        assert_eq!(rec.count_for(Component::QkT), attn.num_heads());
-        assert_eq!(rec.count_for(Component::Sv), attn.num_heads());
+        assert_eq!(rec.count_for(Component::QkT), x.rows() * attn.num_heads());
+        assert_eq!(rec.count_for(Component::Sv), x.rows() * attn.num_heads());
         assert_eq!(rec.count_for(Component::O), 1);
         assert!(rec.calls.iter().all(|c| c.layer == 3));
         // Sequence numbers are strictly increasing.
@@ -610,17 +623,15 @@ mod tests {
     }
 
     #[test]
-    fn prefill_then_decode_matches_full_prefill() {
-        // Processing tokens [0..5) then token 5 must give the same final-token output as
-        // processing all six at once: the KV-cache path is numerically consistent (up to
-        // re-quantization of the incremental activations, which is exact here because each
-        // row is quantized with the same per-tensor scale derived from identical data).
+    fn prefill_then_decode_matches_full_prefill_bit_exactly() {
+        // Processing the six tokens in any chunking must give bit-identical outputs to
+        // processing all six at once: every projection row is quantized with its own
+        // scale and every query row's score/context GEMMs see exactly its visible prefix,
+        // so nothing in the arithmetic depends on the chunk boundaries.
         let config = ModelConfig::tiny_opt();
         let mut r = rng::seeded(4);
         let attn = MultiHeadAttention::new(&config, &mut r);
         let full = rng::gaussian_matrix(&mut r, 6, config.hidden_size, 0.0, 1.0);
-        let prefix = full.rows_slice(0, 5).unwrap();
-        let last = full.rows_slice(5, 1).unwrap();
 
         let mut cache_full = LayerCache::new();
         let mut seq = 0;
@@ -636,37 +647,52 @@ mod tests {
             )
             .unwrap();
 
-        let mut cache_inc = LayerCache::new();
-        let mut seq = 0;
-        attn.forward(
-            &prefix,
-            0,
-            Stage::Prefill,
-            &mut cache_inc,
-            &mut seq,
-            &ReferenceEngine,
-            &mut NoopHook,
-        )
-        .unwrap();
-        let y_inc = attn
-            .forward(
-                &last,
-                0,
-                Stage::Decode,
-                &mut cache_inc,
-                &mut seq,
-                &ReferenceEngine,
-                &mut NoopHook,
-            )
-            .unwrap();
-
-        for c in 0..config.hidden_size {
-            let a = y_full[(5, c)];
-            let b = y_inc[(0, c)];
-            assert!(
-                (a - b).abs() < 0.35,
-                "channel {c}: full {a} vs incremental {b}"
-            );
+        for split in 1..full.rows() {
+            let head = full.rows_slice(0, split).unwrap();
+            let tail = full.rows_slice(split, full.rows() - split).unwrap();
+            let mut cache_inc = LayerCache::new();
+            let mut seq = 0;
+            let y_head = attn
+                .forward(
+                    &head,
+                    0,
+                    Stage::Prefill,
+                    &mut cache_inc,
+                    &mut seq,
+                    &ReferenceEngine,
+                    &mut NoopHook,
+                )
+                .unwrap();
+            let y_tail = attn
+                .forward(
+                    &tail,
+                    0,
+                    if tail.rows() == 1 {
+                        Stage::Decode
+                    } else {
+                        Stage::Prefill
+                    },
+                    &mut cache_inc,
+                    &mut seq,
+                    &ReferenceEngine,
+                    &mut NoopHook,
+                )
+                .unwrap();
+            assert_eq!(cache_inc.len(), full.rows());
+            for rr in 0..split {
+                assert_eq!(
+                    y_full.row(rr),
+                    y_head.row(rr),
+                    "split {split} head row {rr}"
+                );
+            }
+            for rr in split..full.rows() {
+                assert_eq!(
+                    y_full.row(rr),
+                    y_tail.row(rr - split),
+                    "split {split} tail row {rr}"
+                );
+            }
         }
     }
 

@@ -10,8 +10,8 @@
 //! because each sequence has its own cache length and causal mask.
 //!
 //! Everything is bit-exact with the single-sequence path: activations are quantized with one
-//! symmetric scale per row group (see
-//! [`quantize_symmetric_grouped`](crate::quantized::quantize_symmetric_grouped)), so a
+//! symmetric scale per row (see
+//! [`quantize_symmetric_rows_into`](crate::quantized::quantize_symmetric_rows_into)), so a
 //! batched [`crate::Model::generate_batch`] produces token-identical output to running
 //! [`crate::Model::generate`] once per sequence — the contract `tests/batched_parity.rs`
 //! enforces on every GEMM backend.
@@ -462,9 +462,20 @@ impl BatchedKvCache {
         if solo.num_layers() != self.layers.len() {
             return Err(LlmError::InvalidSequence {
                 detail: format!(
-                    "cannot admit a {}-layer sequence cache into a {}-layer batched cache",
+                    "cannot admit a {}-layer sequence cache into slot {seq} of a {}-layer \
+                     batched cache",
                     solo.num_layers(),
                     self.layers.len()
+                ),
+            });
+        }
+        if self.seq_len(seq) != 0 {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "cannot admit a {}-token sequence into slot {seq}: the slot still holds \
+                     {} resident tokens; release it first",
+                    solo.seq_len(),
+                    self.seq_len(seq)
                 ),
             });
         }
@@ -479,8 +490,9 @@ impl BatchedKvCache {
                 rollback(&mut self.layers, layer_idx);
                 return Err(LlmError::InvalidSequence {
                     detail: format!(
-                        "cannot admit an unprefilled sequence: layer {layer_idx} of the solo \
-                         cache is empty"
+                        "cannot admit an unprefilled sequence into slot {seq}: layer \
+                         {layer_idx} of the solo cache is empty (expected {} resident rows)",
+                        solo.seq_len()
                     ),
                 });
             };
@@ -520,9 +532,20 @@ impl BatchedKvCache {
         if source.num_layers() != self.layers.len() {
             return Err(LlmError::InvalidSequence {
                 detail: format!(
-                    "cannot admit from a {}-layer batched cache into a {}-layer batched cache",
+                    "cannot admit from a {}-layer batched cache into slot {seq} of a \
+                     {}-layer batched cache",
                     source.num_layers(),
                     self.layers.len()
+                ),
+            });
+        }
+        if self.seq_len(seq) != 0 {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "cannot admit a {}-token sequence into slot {seq}: the slot still holds \
+                     {} resident tokens; release it first",
+                    source.seq_len(source_seq),
+                    self.seq_len(seq)
                 ),
             });
         }
@@ -1037,6 +1060,42 @@ mod tests {
         }
         batched.admit(0, &solo).unwrap();
         assert_eq!(batched.seq_len(0), 4);
+    }
+
+    #[test]
+    fn admit_errors_name_the_slot_and_lengths() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 11).unwrap();
+        let prompts = vec![vec![1u32, 2, 3], vec![4, 5]];
+        let (_, mut batched) = model.prefill_batch(&prompts, &mut NoopHook).unwrap();
+        let (_, solo) = model.prefill(&[6, 7, 8, 9], &mut NoopHook).unwrap();
+
+        // Occupied slot: names the slot and both the resident and incoming lengths.
+        let err = batched.admit(1, &solo).unwrap_err().to_string();
+        assert!(err.contains("slot 1"), "{err}");
+        assert!(err.contains("2 resident tokens"), "{err}");
+        assert!(err.contains("4-token"), "{err}");
+
+        // Layer-count mismatch: names the slot.
+        batched.release_slot(1);
+        let err = batched.admit(1, &KvCache::new(1)).unwrap_err().to_string();
+        assert!(err.contains("slot 1"), "{err}");
+
+        // Unprefilled solo cache: names the slot and the empty layer.
+        let err = batched
+            .admit(1, &model.new_cache())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("slot 1"), "{err}");
+        assert!(err.contains("layer 0"), "{err}");
+
+        // admit_from mirrors the same diagnostics.
+        let (_, source) = model
+            .prefill_batch(&[vec![9u32, 8], vec![7, 6, 5]], &mut NoopHook)
+            .unwrap();
+        let err = batched.admit_from(0, &source, 1).unwrap_err().to_string();
+        assert!(err.contains("slot 0"), "{err}");
+        assert!(err.contains("3 resident tokens"), "{err}");
+        assert!(err.contains("3-token"), "{err}");
     }
 
     #[test]

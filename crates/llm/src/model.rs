@@ -39,6 +39,19 @@ pub struct GenerationOutput {
     pub margins: Vec<f32>,
 }
 
+/// One slot's prompt window in a batched chunked-prefill step
+/// ([`Model::prefill_chunks_batch_ws`]).
+#[derive(Debug, Clone)]
+pub struct PrefillChunk<'a> {
+    /// The full prompt the window is cut from.
+    pub prompt: &'a [u32],
+    /// The window of prompt positions this chunk advances; `range.start` must equal the
+    /// slot's resident KV length.
+    pub range: std::ops::Range<usize>,
+    /// The batched-cache slot the chunk's KV rows append to.
+    pub slot: usize,
+}
+
 /// A synthetic quantized LLM.
 #[derive(Debug, Clone)]
 pub struct Model {
@@ -385,6 +398,271 @@ impl Model {
         self.logits_from_hidden_ws(hidden, ws)
     }
 
+    /// Runs one prefill **chunk** — the token window `range` of `prompt` — against a
+    /// partially-filled cache, returning the chunk's per-position logits.
+    ///
+    /// The cache must hold exactly `range.start` resident tokens (the previously
+    /// prefilled prefix). Chunked prefill is **bit-identical** to the monolithic
+    /// [`Model::prefill`] at any chunk granularity on every backend and TP degree:
+    /// activations are quantized per row and every query row's attention GEMMs run
+    /// against exactly its visible prefix of the cache, so no number in the forward pass
+    /// depends on where the chunk boundaries fall (`tests/chunked_parity.rs`).
+    ///
+    /// This is the substrate of the serving layer's budgeted prefill: a long prompt is
+    /// advanced a budget-bounded window at a time between decode steps instead of
+    /// stalling every in-flight request for the whole prompt.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty or out-of-bounds `range`, out-of-range tokens, a
+    /// prompt longer than the configured context, or a cache whose layer count or
+    /// resident length does not match `range.start`.
+    pub fn prefill_chunk_ws(
+        &self,
+        prompt: &[u32],
+        range: std::ops::Range<usize>,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+        cache: &mut KvCache,
+    ) -> Result<MatF32> {
+        if prompt.len() > self.config.max_seq_len {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "prompt of {} tokens exceeds max_seq_len {}",
+                    prompt.len(),
+                    self.config.max_seq_len
+                ),
+            });
+        }
+        if range.is_empty() || range.end > prompt.len() {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "chunk {}..{} is empty or exceeds the {}-token prompt",
+                    range.start,
+                    range.end,
+                    prompt.len()
+                ),
+            });
+        }
+        if cache.num_layers() != self.config.num_layers || cache.seq_len() != range.start {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "chunk {}..{} needs a {}-layer cache holding exactly {} resident tokens \
+                     (got {} layers, {} tokens)",
+                    range.start,
+                    range.end,
+                    self.config.num_layers,
+                    range.start,
+                    cache.num_layers(),
+                    cache.seq_len()
+                ),
+            });
+        }
+        let mut x = ws.take_mat_f32(range.len(), self.config.hidden_size);
+        if let Err(e) = self.embed_into(&prompt[range], &mut x) {
+            ws.recycle_mat_f32(x);
+            return Err(e);
+        }
+        let hidden = self.run_blocks_ws(x, Stage::Prefill, cache, hook, ws)?;
+        self.logits_from_hidden_ws(hidden, ws)
+    }
+
+    /// [`Model::prefill_chunk_ws`] against one **slot** of a batched cache: the chunk's
+    /// rows are announced to the hook as a [`RowPartition`] whose only non-empty group is
+    /// `slot`, so protectors attribute any detection in the chunk's GEMMs to the right
+    /// sequence and apply that sequence's protection scheme — the same machinery the
+    /// lockstep decode step uses, now shared by the serving layer's budgeted admission.
+    ///
+    /// The returned logits matrix (`range.len()` rows) is workspace-pooled; recycle it
+    /// once consumed. Bit-identical to a monolithic solo prefill of the same prompt.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::prefill_chunk_ws`], with the resident length checked
+    /// on `slot` of the batched cache.
+    pub fn prefill_chunk_slot_ws(
+        &self,
+        prompt: &[u32],
+        range: std::ops::Range<usize>,
+        slot: usize,
+        cache: &mut BatchedKvCache,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<MatF32> {
+        if prompt.len() > self.config.max_seq_len {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "prompt of {} tokens exceeds max_seq_len {}",
+                    prompt.len(),
+                    self.config.max_seq_len
+                ),
+            });
+        }
+        if range.is_empty() || range.end > prompt.len() {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "chunk {}..{} is empty or exceeds the {}-token prompt",
+                    range.start,
+                    range.end,
+                    prompt.len()
+                ),
+            });
+        }
+        if slot >= cache.batch_size() || cache.num_layers() != self.config.num_layers {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "chunk targets slot {slot} of a {}-slot, {}-layer batched cache \
+                     (model has {} layers)",
+                    cache.batch_size(),
+                    cache.num_layers(),
+                    self.config.num_layers
+                ),
+            });
+        }
+        if cache.seq_len(slot) != range.start {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "chunk {}..{} needs slot {slot} to hold exactly {} resident tokens \
+                     (got {})",
+                    range.start,
+                    range.end,
+                    range.start,
+                    cache.seq_len(slot)
+                ),
+            });
+        }
+        let mut lens = vec![0usize; cache.batch_size()];
+        lens[slot] = range.len();
+        let parts = RowPartition::from_lens(&lens);
+        hook.on_batch_begin(&parts);
+        let mut x = ws.take_mat_f32(range.len(), self.config.hidden_size);
+        if let Err(e) = self.embed_into(&prompt[range], &mut x) {
+            ws.recycle_mat_f32(x);
+            return Err(e);
+        }
+        let hidden = self.run_blocks_batch_ws(x, &parts, Stage::Prefill, cache, hook, ws)?;
+        self.logits_from_hidden_ws(hidden, ws)
+    }
+
+    /// Advances several slots' chunked prefills in **one** batched forward: every chunk's
+    /// rows are stacked into a single activation matrix (announced to the hook as one
+    /// [`RowPartition`] with one group per slot), so the shared weight GEMMs — and their
+    /// checksums — run once for the whole step instead of once per slot. This is what
+    /// keeps the serving layer's budgeted admission as cheap as the old batched admission
+    /// prefill: a wave of admissions costs one forward, not one forward per request.
+    ///
+    /// Per-row activation quantization and per-query-row visible-prefix attention make
+    /// each chunk's rows independent of its batch neighbours, so every returned logits
+    /// matrix (one per chunk, in `chunks` order, each an ordinary owned value) is
+    /// bit-identical to advancing that slot alone via
+    /// [`Model::prefill_chunk_slot_ws`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty chunk list, duplicate slots, or any chunk failing
+    /// the [`Model::prefill_chunk_slot_ws`] validation (window bounds, slot bounds,
+    /// resident-prefix mismatch).
+    pub fn prefill_chunks_batch_ws(
+        &self,
+        chunks: &[PrefillChunk<'_>],
+        cache: &mut BatchedKvCache,
+        hook: &mut dyn GemmHook,
+        ws: &mut Workspace,
+    ) -> Result<Vec<MatF32>> {
+        if chunks.is_empty() {
+            return Err(LlmError::InvalidSequence {
+                detail: "cannot advance an empty chunk batch".into(),
+            });
+        }
+        if cache.num_layers() != self.config.num_layers {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "chunk batch needs a {}-layer cache (got {})",
+                    self.config.num_layers,
+                    cache.num_layers()
+                ),
+            });
+        }
+        let mut lens = vec![0usize; cache.batch_size()];
+        for chunk in chunks {
+            if chunk.prompt.len() > self.config.max_seq_len {
+                return Err(LlmError::InvalidSequence {
+                    detail: format!(
+                        "prompt of {} tokens exceeds max_seq_len {}",
+                        chunk.prompt.len(),
+                        self.config.max_seq_len
+                    ),
+                });
+            }
+            if chunk.range.is_empty() || chunk.range.end > chunk.prompt.len() {
+                return Err(LlmError::InvalidSequence {
+                    detail: format!(
+                        "chunk {}..{} is empty or exceeds the {}-token prompt",
+                        chunk.range.start,
+                        chunk.range.end,
+                        chunk.prompt.len()
+                    ),
+                });
+            }
+            if chunk.slot >= cache.batch_size() {
+                return Err(LlmError::InvalidSequence {
+                    detail: format!(
+                        "chunk targets slot {} of a {}-slot batched cache",
+                        chunk.slot,
+                        cache.batch_size()
+                    ),
+                });
+            }
+            if lens[chunk.slot] != 0 {
+                return Err(LlmError::InvalidSequence {
+                    detail: format!("slot {} appears twice in the chunk batch", chunk.slot),
+                });
+            }
+            if cache.seq_len(chunk.slot) != chunk.range.start {
+                return Err(LlmError::InvalidSequence {
+                    detail: format!(
+                        "chunk {}..{} needs slot {} to hold exactly {} resident tokens \
+                         (got {})",
+                        chunk.range.start,
+                        chunk.range.end,
+                        chunk.slot,
+                        chunk.range.start,
+                        cache.seq_len(chunk.slot)
+                    ),
+                });
+            }
+            lens[chunk.slot] = chunk.range.len();
+        }
+        let parts = RowPartition::from_lens(&lens);
+        hook.on_batch_begin(&parts);
+        // Activation rows must follow slot order (the partition's group order), not the
+        // caller's chunk order.
+        let mut by_slot: Vec<&PrefillChunk<'_>> = chunks.iter().collect();
+        by_slot.sort_unstable_by_key(|c| c.slot);
+        let stacked: Vec<u32> = by_slot
+            .iter()
+            .flat_map(|c| c.prompt[c.range.clone()].iter().copied())
+            .collect();
+        let mut x = ws.take_mat_f32(stacked.len(), self.config.hidden_size);
+        if let Err(e) = self.embed_into(&stacked, &mut x) {
+            ws.recycle_mat_f32(x);
+            return Err(e);
+        }
+        let hidden = self.run_blocks_batch_ws(x, &parts, Stage::Prefill, cache, hook, ws)?;
+        let logits = self.logits_from_hidden_ws(hidden, ws)?;
+        let per_chunk = chunks
+            .iter()
+            .map(|c| {
+                let range = parts.range(c.slot);
+                logits
+                    .rows_slice(range.start, range.len())
+                    .map_err(Into::into)
+            })
+            .collect::<Result<Vec<_>>>();
+        ws.recycle_mat_f32(logits);
+        per_chunk
+    }
+
     /// Runs one decode step for `token`, updating the KV cache, and returns the logits for
     /// the next token.
     ///
@@ -682,7 +960,9 @@ impl Model {
         let heads = self.config.num_heads as u64;
         let d = self.config.head_dim() as u64;
         let attn_proj = 4 * t * h * h; // Q, K, V, O
-        let attn_scores = heads * (t * d * t + t * t * d); // QK^T and SV per head
+                                       // QK^T and SV per head: query position p multiplies against its p+1 visible
+                                       // cache rows, so each side sums to d * t(t+1)/2.
+        let attn_scores = heads * d * t * (t + 1);
         let mlp = match self.config.architecture {
             crate::Architecture::OptStyle => 2 * t * h * f,
             crate::Architecture::LlamaStyle => 3 * t * h * f,
@@ -844,6 +1124,91 @@ mod tests {
         assert_eq!(m.config().tp_degree, 1);
         assert!(m.tp_group().is_none() && m.shard_stats().is_empty());
         assert_eq!(m.generate(&[2, 3], 6, &mut NoopHook).unwrap(), clean);
+    }
+
+    #[test]
+    fn chunked_prefill_is_bit_exact_with_monolithic() {
+        let config = ModelConfig::tiny_opt();
+        let m = Model::new(&config, 21).unwrap();
+        let prompt: Vec<u32> = (0..9u32).map(|t| (t * 3 + 1) % 16).collect();
+        let (full, full_cache) = m.prefill(&prompt, &mut NoopHook).unwrap();
+        for chunk in [1usize, 2, 4, 9] {
+            let mut ws = Workspace::new();
+            let mut cache = m.new_cache();
+            let mut row = 0usize;
+            let mut start = 0usize;
+            while start < prompt.len() {
+                let end = (start + chunk).min(prompt.len());
+                let logits = m
+                    .prefill_chunk_ws(&prompt, start..end, &mut NoopHook, &mut ws, &mut cache)
+                    .unwrap();
+                for r in 0..logits.rows() {
+                    assert_eq!(
+                        full.row(row),
+                        logits.row(r),
+                        "chunk size {chunk}, position {row}"
+                    );
+                    row += 1;
+                }
+                ws.recycle_mat_f32(logits);
+                start = end;
+            }
+            assert_eq!(cache.seq_len(), prompt.len());
+            for layer in 0..cache.num_layers() {
+                assert_eq!(
+                    cache.layer(layer).keys(),
+                    full_cache.layer(layer).keys(),
+                    "chunk size {chunk}, layer {layer} keys"
+                );
+            }
+        }
+        // Validation: empty window, misaligned resident prefix, overlong prompt.
+        let mut ws = Workspace::new();
+        let mut cache = m.new_cache();
+        assert!(m
+            .prefill_chunk_ws(&prompt, 3..3, &mut NoopHook, &mut ws, &mut cache)
+            .is_err());
+        assert!(m
+            .prefill_chunk_ws(&prompt, 2..4, &mut NoopHook, &mut ws, &mut cache)
+            .is_err());
+        let long = vec![0u32; config.max_seq_len + 1];
+        assert!(m
+            .prefill_chunk_ws(&long, 0..2, &mut NoopHook, &mut ws, &mut cache)
+            .is_err());
+    }
+
+    #[test]
+    fn chunked_slot_prefill_matches_solo_and_announces_the_slot() {
+        let config = ModelConfig::tiny_opt();
+        let m = Model::new(&config, 23).unwrap();
+        let prompts = vec![vec![1u32, 2, 3], vec![4, 5]];
+        let (_, mut batched) = m.prefill_batch(&prompts, &mut NoopHook).unwrap();
+        batched.release_slot(1);
+
+        let prompt: Vec<u32> = (0..7u32).map(|t| (t * 5 + 2) % 16).collect();
+        let (full, _) = m.prefill(&prompt, &mut NoopHook).unwrap();
+        let mut ws = Workspace::new();
+        let mut row = 0usize;
+        for range in [0..3usize, 3..4, 4..7] {
+            let logits = m
+                .prefill_chunk_slot_ws(&prompt, range, 1, &mut batched, &mut NoopHook, &mut ws)
+                .unwrap();
+            for r in 0..logits.rows() {
+                assert_eq!(full.row(row), logits.row(r), "position {row}");
+                row += 1;
+            }
+            ws.recycle_mat_f32(logits);
+        }
+        assert_eq!(batched.seq_len(1), prompt.len());
+        assert_eq!(batched.seq_len(0), 3, "the resident neighbour is untouched");
+
+        // Misaligned chunk and out-of-range slot are rejected.
+        assert!(m
+            .prefill_chunk_slot_ws(&prompt, 0..2, 1, &mut batched, &mut NoopHook, &mut ws)
+            .is_err());
+        assert!(m
+            .prefill_chunk_slot_ws(&prompt, 0..2, 9, &mut batched, &mut NoopHook, &mut ws)
+            .is_err());
     }
 
     #[test]

@@ -160,7 +160,8 @@ impl QuantLinear {
         ws: &mut Workspace,
     ) -> Result<MatF32> {
         let mut xq = ws.take_mat_i8(x.rows(), x.cols());
-        let x_scale = quant::quantize_symmetric_into(x, &mut xq);
+        let mut scales = ws.take_vec_f32(x.rows());
+        quantize_symmetric_rows_into(x, &mut xq, &mut scales);
         let acc = run_hooked_linear_gemm_ws(
             &xq,
             &self.weight,
@@ -172,12 +173,22 @@ impl QuantLinear {
             ws,
         );
         ws.recycle_mat_i8(xq);
-        let acc = acc?;
-        let combined = x_scale * self.weight_scale;
+        let acc = match acc {
+            Ok(acc) => acc,
+            Err(e) => {
+                ws.recycle_vec_f32(scales);
+                return Err(e);
+            }
+        };
+        // Reuse the scale buffer in place for the combined (activation × weight) scales.
+        for s in scales.iter_mut() {
+            *s *= self.weight_scale;
+        }
         let mut out = ws.take_mat_f32(acc.rows(), acc.cols());
         let mut mags = ws.take_vec_f32(mags_len(&acc, self.output_mode));
-        convert_accumulator_into(&acc, combined, self.output_mode, &mut out, &mut mags);
+        convert_accumulator_rows_into(&acc, &scales, self.output_mode, &mut out, &mut mags);
         ws.recycle_vec_f32(mags);
+        ws.recycle_vec_f32(scales);
         ws.recycle_mat_i32(acc);
         Ok(out)
     }
@@ -186,12 +197,13 @@ impl QuantLinear {
     /// keeping every per-sequence number bit-identical to [`QuantLinear::forward`] on that
     /// sequence alone.
     ///
-    /// `x` holds the rows of every sequence in the batch, grouped by `parts`. Each row
-    /// group is quantized with its *own* symmetric scale (the scale a single-sequence
-    /// forward would have derived from exactly those rows), the stacked INT8 matrix runs
-    /// through a single (optionally fused-checksum) GEMM — this is where checksum and
-    /// detection cost amortise across the batch — and the INT32 accumulator is converted
-    /// back per group, including the per-group robust requantization scale.
+    /// `x` holds the rows of every sequence in the batch, grouped by `parts`. Each row is
+    /// quantized with its *own* symmetric scale — exactly what [`QuantLinear::forward`]
+    /// does per row — so the grouping carries attribution metadata only and never touches
+    /// the numerics. The stacked INT8 matrix runs through a single (optionally
+    /// fused-checksum) GEMM — this is where checksum and detection cost amortise across
+    /// the batch — and the INT32 accumulator is converted back per row, including the
+    /// per-row robust requantization scale.
     ///
     /// # Errors
     ///
@@ -227,63 +239,84 @@ impl QuantLinear {
         hook: &mut dyn GemmHook,
         ws: &mut Workspace,
     ) -> Result<MatF32> {
-        let mut xq = ws.take_mat_i8(x.rows(), x.cols());
-        let mut scales = ws.take_vec_f32(parts.num_groups());
-        if let Err(e) = quantize_symmetric_grouped_into(x, parts, &mut xq, &mut scales) {
-            ws.recycle_mat_i8(xq);
-            ws.recycle_vec_f32(scales);
-            return Err(e);
+        if parts.total_rows() != x.rows() {
+            return Err(LlmError::InvalidSequence {
+                detail: format!(
+                    "row partition covers {} rows but the stacked matrix has {}",
+                    parts.total_rows(),
+                    x.rows()
+                ),
+            });
         }
-        let acc = run_hooked_linear_gemm_ws(
-            &xq,
-            &self.weight,
-            self.tp.as_ref(),
-            self.use_packed,
-            engine,
-            ctx,
-            hook,
-            ws,
-        );
-        ws.recycle_mat_i8(xq);
-        let acc = match acc {
-            Ok(acc) => acc,
-            Err(e) => {
-                ws.recycle_vec_f32(scales);
-                return Err(e);
-            }
-        };
-        // Reuse the scale buffer in place for the combined (activation × weight) scales.
-        for s in scales.iter_mut() {
-            *s *= self.weight_scale;
+        // Per-row quantization makes the batched path numerically identical to the solo
+        // path row by row: the partition is attribution metadata for the hooks, nothing
+        // more. This is also what makes chunked prefill bit-exact — a row's scale depends
+        // on that row alone, never on which chunk (or batch) it happens to ride in.
+        self.forward_ws(x, engine, ctx, hook, ws)
+    }
+}
+
+/// Quantizes each row of `x` with its own symmetric scale, filling `scales` with one
+/// scale per row.
+///
+/// Bit-identical to calling [`realm_tensor::quant::quantize_symmetric`] on each row in
+/// isolation and stacking the results. Because a row's scale depends on that row alone,
+/// the quantized codes are invariant to how rows are grouped into batches or prefill
+/// chunks — the property the chunked-prefill parity contract (`tests/chunked_parity.rs`)
+/// rests on. A single-row input degenerates to exactly the former per-tensor scale, so
+/// the decode hot path is unchanged bit for bit.
+pub fn quantize_symmetric_rows_into(x: &MatF32, q: &mut MatI8, scales: &mut Vec<f32>) {
+    q.resize_reset(x.rows(), x.cols());
+    scales.clear();
+    scales.resize(x.rows(), 1.0);
+    for (r, scale) in scales.iter_mut().enumerate() {
+        let mut abs_max = 0.0f32;
+        for &v in x.row(r) {
+            abs_max = abs_max.max(v.abs());
         }
-        let mut out = ws.take_mat_f32(acc.rows(), acc.cols());
-        let mut mags = ws.take_vec_f32(mags_len(&acc, self.output_mode));
-        let converted = convert_accumulator_grouped_into(
-            &acc,
-            &scales,
-            self.output_mode,
-            parts,
-            &mut out,
-            &mut mags,
-        );
-        ws.recycle_vec_f32(mags);
-        ws.recycle_vec_f32(scales);
-        ws.recycle_mat_i32(acc);
-        match converted {
-            Ok(()) => Ok(out),
-            Err(e) => {
-                ws.recycle_mat_f32(out);
-                Err(e)
-            }
+        let params = QuantParams::from_abs_max(abs_max);
+        *scale = params.scale;
+        for (qv, &v) in q.row_mut(r).iter_mut().zip(x.row(r)) {
+            *qv = params.quantize(v);
         }
+    }
+}
+
+/// Converts an INT32 accumulator back to f32 row by row, using `combined_scales[r]` for
+/// row `r` (and, for [`OutputMode::RequantizedInt8`], a robust percentile-calibrated
+/// output scale derived from that row's magnitudes alone).
+///
+/// The single-row counterpart of [`convert_accumulator_grouped_into`]: bit-identical to
+/// converting each row's accumulator in isolation, so the conversion — like the per-row
+/// quantization it pairs with — is invariant to batching and chunking.
+///
+/// # Panics
+///
+/// Panics if `combined_scales.len() != acc.rows()`.
+pub fn convert_accumulator_rows_into(
+    acc: &realm_tensor::MatI32,
+    combined_scales: &[f32],
+    mode: OutputMode,
+    out: &mut MatF32,
+    mags_scratch: &mut Vec<f32>,
+) {
+    assert_eq!(
+        combined_scales.len(),
+        acc.rows(),
+        "one combined scale per accumulator row"
+    );
+    out.resize_reset(acc.rows(), acc.cols());
+    for (r, &combined) in combined_scales.iter().enumerate() {
+        convert_rows_into(acc, r..r + 1, combined, mode, out, mags_scratch);
     }
 }
 
 /// Quantizes each row group of `x` with its own symmetric per-group scale.
 ///
 /// Bit-identical to calling [`realm_tensor::quant::quantize_symmetric`] on each group's rows
-/// in isolation and stacking the results — the property that makes the batched forward path
-/// reproduce per-sequence numbers exactly. Empty groups get the neutral scale 1.0.
+/// in isolation and stacking the results. The forward paths now quantize per *row*
+/// ([`quantize_symmetric_rows_into`]); this grouped variant remains the oracle for
+/// group-granular callers and tests. Empty groups get the neutral scale 1.0.
 ///
 /// # Errors
 ///
@@ -864,6 +897,45 @@ mod tests {
                     solo,
                     "{mode:?} rows {start}..{}",
                     start + len
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_rows_are_invariant_to_row_chunking() {
+        let w = MatF32::from_fn(6, 4, |r, c| ((r * 3 + c) % 7) as f32 * 0.2 - 0.5);
+        for mode in [OutputMode::Float, OutputMode::RequantizedInt8] {
+            let layer = QuantLinear::from_f32(&w, mode);
+            let x = MatF32::from_fn(5, 6, |r, c| {
+                let gain = if r < 2 { 10.0 } else { 0.3 };
+                gain * ((r * 6 + c) % 9) as f32 - gain
+            });
+            let full = layer
+                .forward(&x, &ReferenceEngine, &ctx(), &mut NoopHook)
+                .unwrap();
+            for split in 1..x.rows() {
+                let head = layer
+                    .forward(
+                        &x.rows_slice(0, split).unwrap(),
+                        &ReferenceEngine,
+                        &ctx(),
+                        &mut NoopHook,
+                    )
+                    .unwrap();
+                let tail = layer
+                    .forward(
+                        &x.rows_slice(split, x.rows() - split).unwrap(),
+                        &ReferenceEngine,
+                        &ctx(),
+                        &mut NoopHook,
+                    )
+                    .unwrap();
+                assert_eq!(full.rows_slice(0, split).unwrap(), head, "{mode:?}");
+                assert_eq!(
+                    full.rows_slice(split, x.rows() - split).unwrap(),
+                    tail,
+                    "{mode:?} split {split}"
                 );
             }
         }

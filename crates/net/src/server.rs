@@ -17,9 +17,12 @@
 //!   at most `accept_backlog` accepted sockets wait in the hand-off channel; beyond that
 //!   the accept loop blocks and further clients queue in the kernel listen backlog.
 //! * **Load shedding** happens at admission, on the engine thread: when the oldest queued
-//!   request's age ([`ServeEngine::oldest_queue_age`]) meets the configured SLO, new
-//!   requests are refused with `429` + `Retry-After` *before* they enter the queue —
-//!   already-queued requests are never dropped, so shedding cannot starve them.
+//!   request's age in budgeted tokens ([`ServeEngine::oldest_token_age`]) meets the
+//!   configured SLO, new requests are refused with `429` + `Retry-After` *before* they
+//!   enter the queue — already-queued requests are never dropped, so shedding cannot
+//!   starve them. Token age (work the engine did while the request waited) rather than
+//!   step age keeps the SLO meaningful under chunked prefill, where a step's cost varies
+//!   with [`realm_serve::ServeConfig::step_token_budget`].
 //! * **Cancel-on-disconnect** rides the existing channel teardown: a failed chunk write
 //!   makes the worker drop its [`TokenEvent`] receiver, the engine's next send fails, and
 //!   the slot is released and counted in [`EngineStats::requests_cancelled`].
@@ -59,9 +62,10 @@ pub struct NetConfig {
     pub workers: usize,
     /// Accepted sockets that may wait for a free worker before the accept loop blocks.
     pub accept_backlog: usize,
-    /// Load-shedding SLO: refuse new requests with `429` once the oldest queued request
-    /// has waited this many engine steps. `None` disables shedding.
-    pub shed_queue_age_steps: Option<u64>,
+    /// Load-shedding SLO: refuse new requests with `429` once the engine has processed
+    /// this many budgeted tokens (decode rows plus prefill-chunk rows) while the oldest
+    /// queued request waited. `None` disables shedding.
+    pub shed_queue_age_tokens: Option<u64>,
     /// Value of the `Retry-After` header on shed responses, in seconds.
     pub retry_after_secs: u64,
     /// Per-connection socket read timeout (an idle or stalled client frees its worker
@@ -77,7 +81,7 @@ impl Default for NetConfig {
             addr: "127.0.0.1:0".into(),
             workers: 8,
             accept_backlog: 16,
-            shed_queue_age_steps: Some(256),
+            shed_queue_age_tokens: Some(1024),
             retry_after_secs: 1,
             read_timeout: Duration::from_secs(10),
             serve: ServeConfig::default(),
@@ -157,8 +161,8 @@ enum SubmitReply {
     },
     Shed {
         retry_after_secs: u64,
-        oldest_age_steps: u64,
-        slo_steps: u64,
+        oldest_age_tokens: u64,
+        slo_tokens: u64,
     },
     Rejected {
         detail: String,
@@ -412,16 +416,16 @@ impl NetServer {
             Ok(SubmitReply::Accepted { rx }) => self.stream_tokens(stream, rx),
             Ok(SubmitReply::Shed {
                 retry_after_secs,
-                oldest_age_steps,
-                slo_steps,
+                oldest_age_tokens,
+                slo_tokens,
             }) => write_response(
                 stream,
                 429,
                 "Too Many Requests",
                 &[("Retry-After", retry_after_secs.to_string())],
                 format!(
-                    "shed: oldest queued request has waited {oldest_age_steps} engine steps \
-                     (SLO {slo_steps}); retry after {retry_after_secs}s\n"
+                    "shed: oldest queued request was passed over for {oldest_age_tokens} \
+                     budgeted tokens (SLO {slo_tokens}); retry after {retry_after_secs}s\n"
                 )
                 .as_bytes(),
             ),
@@ -551,14 +555,14 @@ fn handle_cmd(
             let outcome = if draining.load(Ordering::SeqCst) {
                 SubmitReply::Draining
             } else if let (Some(slo), Some(age)) =
-                (config.shed_queue_age_steps, engine.oldest_queue_age())
+                (config.shed_queue_age_tokens, engine.oldest_token_age())
             {
                 if age >= slo {
                     engine.note_shed();
                     SubmitReply::Shed {
                         retry_after_secs: config.retry_after_secs,
-                        oldest_age_steps: age,
-                        slo_steps: slo,
+                        oldest_age_tokens: age,
+                        slo_tokens: slo,
                     }
                 } else {
                     submit(engine, &body)
@@ -588,10 +592,13 @@ fn stats_json(s: &EngineStats, c: &Counters, draining: bool) -> String {
     format!(
         concat!(
             "{{\"queue_depth\":{},\"active_slots\":{},\"total_slots\":{},\"steps\":{},",
+            "\"token_clock\":{},\"prefill_chunks\":{},",
             "\"tokens_generated\":{},\"requests_submitted\":{},\"requests_admitted\":{},",
             "\"requests_completed\":{},\"requests_cancelled\":{},\"requests_shed\":{},",
-            "\"queue_oldest_age_steps\":{},\"detections\":{},\"recoveries\":{},",
+            "\"queue_oldest_age_steps\":{},\"queue_oldest_age_tokens\":{},",
+            "\"detections\":{},\"recoveries\":{},",
             "\"tokens_per_second\":{:.1},\"decode_p50_us\":{:.1},\"decode_p99_us\":{:.1},",
+            "\"decode_stall_p99_us\":{:.1},\"step_budget_utilization\":{:.3},",
             "\"tp_degree\":{},\"server\":{{\"connections\":{},\"http_requests\":{},",
             "\"streams_completed\":{},\"disconnects\":{},\"draining\":{}}}}}\n"
         ),
@@ -599,6 +606,8 @@ fn stats_json(s: &EngineStats, c: &Counters, draining: bool) -> String {
         s.active_slots,
         s.total_slots,
         s.steps,
+        s.token_clock,
+        s.prefill_chunks,
         s.tokens_generated,
         s.requests_submitted,
         s.requests_admitted,
@@ -606,11 +615,14 @@ fn stats_json(s: &EngineStats, c: &Counters, draining: bool) -> String {
         s.requests_cancelled,
         s.requests_shed,
         s.queue_oldest_age_steps,
+        s.queue_oldest_age_tokens,
         s.detections,
         s.recoveries,
         s.tokens_per_second,
         s.decode_p50_us,
         s.decode_p99_us,
+        s.decode_stall_p99_us,
+        s.step_budget_utilization,
         s.tp_degree,
         c.connections.load(Ordering::Relaxed),
         c.http_requests.load(Ordering::Relaxed),
@@ -629,7 +641,7 @@ mod tests {
         let config = NetConfig::default();
         assert!(config.workers >= 1);
         assert!(config.accept_backlog >= 1);
-        assert!(config.shed_queue_age_steps.unwrap() > 0);
+        assert!(config.shed_queue_age_tokens.unwrap() > 0);
         assert_eq!(config.addr, "127.0.0.1:0");
     }
 
@@ -657,6 +669,11 @@ mod tests {
         let json = stats_json(&engine.stats(), &server.counters, false);
         assert!(json.contains("\"queue_depth\":0"));
         assert!(json.contains("\"requests_shed\":0"));
+        assert!(json.contains("\"queue_oldest_age_tokens\":0"));
+        assert!(json.contains("\"token_clock\":0"));
+        assert!(json.contains("\"prefill_chunks\":0"));
+        assert!(json.contains("\"decode_stall_p99_us\":0.0"));
+        assert!(json.contains("\"step_budget_utilization\":0.000"));
         assert!(json.contains("\"draining\":false"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

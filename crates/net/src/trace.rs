@@ -58,8 +58,19 @@ pub struct TraceConfig {
     pub pareto_shape: f64,
     /// Truncation point as a multiple of the scale (caps the longest lull).
     pub pareto_cap_ratio: f64,
-    /// Inclusive range of prompt lengths in tokens.
+    /// Inclusive range of prompt lengths in tokens (the short mode of the mix).
     pub prompt_len: (usize, usize),
+    /// Per-mille probability that a request draws its prompt length from
+    /// [`long_prompt_len`](Self::long_prompt_len) instead of
+    /// [`prompt_len`](Self::prompt_len). `0` (the default) keeps the mix unimodal —
+    /// and, deliberately, byte-identical to traces generated before the bimodal mode
+    /// existed: the long/short coin is only flipped when the weight is non-zero, so
+    /// the RNG stream of legacy configs is untouched.
+    pub long_prompt_permille: u32,
+    /// Inclusive prompt-length range of the long mode. Long prompts are what make
+    /// head-of-line blocking observable: without chunked prefill, one of these parks
+    /// every concurrent decode stream for a full monolithic prefill.
+    pub long_prompt_len: (usize, usize),
     /// Inclusive range of generation budgets in tokens.
     pub max_new_tokens: (usize, usize),
     /// Vocabulary size prompts are drawn from (tokens are `0..vocab`).
@@ -79,6 +90,8 @@ impl Default for TraceConfig {
             pareto_shape: 1.5,
             pareto_cap_ratio: 50.0,
             prompt_len: (2, 8),
+            long_prompt_permille: 0,
+            long_prompt_len: (256, 512),
             max_new_tokens: (2, 8),
             vocab: 64,
             priorities: vec![(0, 6), (3, 3), (7, 1)],
@@ -109,6 +122,12 @@ pub struct TraceRequest {
 /// loudly.
 pub fn generate_trace(config: &TraceConfig) -> Vec<TraceRequest> {
     assert!(config.prompt_len.0 >= 1 && config.prompt_len.0 <= config.prompt_len.1);
+    assert!(config.long_prompt_permille <= 1000);
+    if config.long_prompt_permille > 0 {
+        assert!(
+            config.long_prompt_len.0 >= 1 && config.long_prompt_len.0 <= config.long_prompt_len.1
+        );
+    }
     assert!(config.max_new_tokens.0 >= 1 && config.max_new_tokens.0 <= config.max_new_tokens.1);
     assert!(config.vocab >= 1);
     assert!(
@@ -131,7 +150,16 @@ pub fn generate_trace(config: &TraceConfig) -> Vec<TraceRequest> {
     (0..config.requests)
         .map(|_| {
             arrival += gap.sample(&mut rng) * rescale;
-            let prompt_len = rng.gen_range(config.prompt_len.0..=config.prompt_len.1);
+            // The bimodal coin is only flipped when long prompts are enabled, so legacy
+            // (unimodal) configs reproduce their historical RNG stream exactly.
+            let (len_lo, len_hi) = if config.long_prompt_permille > 0
+                && rng.gen_range(0..1000) < config.long_prompt_permille
+            {
+                config.long_prompt_len
+            } else {
+                config.prompt_len
+            };
+            let prompt_len = rng.gen_range(len_lo..=len_hi);
             let prompt = (0..prompt_len)
                 .map(|_| rng.gen_range(0..config.vocab))
                 .collect();
@@ -238,6 +266,44 @@ mod tests {
             saw_non_default_policy,
             "the weighted mix produces non-default policies"
         );
+    }
+
+    #[test]
+    fn bimodal_mix_produces_both_modes_and_stays_deterministic() {
+        let config = TraceConfig {
+            requests: 400,
+            long_prompt_permille: 200,
+            long_prompt_len: (64, 96),
+            ..TraceConfig::default()
+        };
+        let trace = generate_trace(&config);
+        let long = trace
+            .iter()
+            .filter(|r| (64..=96).contains(&r.body.prompt.len()))
+            .count();
+        let short = trace
+            .iter()
+            .filter(|r| (2..=8).contains(&r.body.prompt.len()))
+            .count();
+        assert_eq!(long + short, 400, "every prompt falls in one of the modes");
+        // 200 permille of 400 requests: expect ~80 long prompts; a wide tolerance keeps
+        // the check seed-robust while still proving both modes are live.
+        assert!(
+            (40..=140).contains(&long),
+            "long-prompt mode should claim roughly a fifth of the mix, got {long}"
+        );
+        assert_eq!(
+            trace,
+            generate_trace(&config),
+            "the bimodal trace is still a pure function of its config"
+        );
+        // Enabling the mix must not perturb the legacy unimodal stream.
+        let legacy = generate_trace(&TraceConfig::default());
+        let legacy_again = generate_trace(&TraceConfig {
+            long_prompt_len: (999, 1000), // ignored while permille is 0
+            ..TraceConfig::default()
+        });
+        assert_eq!(legacy, legacy_again);
     }
 
     #[test]

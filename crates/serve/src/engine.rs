@@ -3,17 +3,32 @@
 //! [`ServeEngine`] owns a [`BatchedKvCache`] with a fixed number of *slots* and drives
 //! lockstep decode over whatever sequences currently occupy them. Between decode steps —
 //! never in the middle of one — completed sequences release their slot
-//! ([`BatchedKvCache::release_slot`]) and queued requests are admitted into the freed rows
-//! ([`BatchedKvCache::admit`]), so the batch stays full under sustained load instead of
-//! draining in lockstep. Admissions are prefilled solo under the request's own
-//! [`ProtectionPolicy`] and their KV rows copied into the slot; decode runs under one
-//! shared [`SchemeProtector`] whose per-slot schemes are refreshed on every admission and
-//! retirement, so each request keeps the protection it asked for (batch-stacked GEMMs
-//! escalate to the strictest active policy).
+//! ([`BatchedKvCache::release_slot`]) and queued requests are admitted into the freed
+//! slots, so the batch stays full under sustained load instead of draining in lockstep.
 //!
-//! Everything is bit-exact with solo inference: a request admitted mid-flight produces
-//! exactly the tokens [`Model::generate`] would have produced for it alone — continuous
-//! batching changes throughput and detection amortisation, never output.
+//! Admission assigns a slot but runs **no model work**: the prompt is prefilled chunk by
+//! chunk by the budgeted step scheduler. Every step reserves one budget token per slot in
+//! the decoding phase — decode always has priority — and spends
+//! the rest of [`ServeConfig::step_token_budget`] advancing in-progress prefills, oldest
+//! admission first, with every chunk stacked into one batched forward
+//! ([`Model::prefill_chunks_batch_ws`]); the decode pass then runs, joined by any prompt
+//! that completed within the budget. A long prompt therefore never stalls concurrent
+//! decode streams for more than one budget-bounded chunk round — the head-of-line
+//! blocking a monolithic admission prefill causes is gone — while a wave of short
+//! admissions still costs a single forward and starts decoding the same step, exactly
+//! like the old batched admission prefill.
+//!
+//! Both chunk and decode GEMMs run under the one shared [`SchemeProtector`] whose per-slot
+//! schemes are refreshed on every admission and retirement, so each request keeps the
+//! protection it asked for (batch-stacked GEMMs escalate to the strictest active policy)
+//! and detections during a mid-prompt chunk are attributed to the owning slot through the
+//! chunk's row window.
+//!
+//! Everything is bit-exact with solo inference: chunked prefill produces the same KV rows,
+//! logits and fused checksums as the monolithic one (per-row quantization and
+//! visible-prefix attention make the forward pass chunk-invariant), so a request admitted
+//! mid-flight produces exactly the tokens [`Model::generate`] would have produced for it
+//! alone — chunking changes latency distribution and detection amortisation, never output.
 
 use crate::queue::{QueuedRequest, RequestQueue};
 use crate::request::{RequestId, RequestSummary, ServeError, ServeRequest, TokenEvent};
@@ -22,7 +37,7 @@ use realm_core::protection::{
 };
 use realm_llm::batch::BatchedKvCache;
 use realm_llm::hooks::HookChain;
-use realm_llm::model::argmax_with_margin;
+use realm_llm::model::{argmax_with_margin, PrefillChunk};
 use realm_llm::{GemmHook, Model};
 use realm_systolic::{Dataflow, ProtectionScheme, SystolicArray};
 use realm_tensor::Workspace;
@@ -46,6 +61,15 @@ pub struct ServeConfig {
     /// engine steps, so low-priority requests cannot starve behind a sustained
     /// high-priority stream. `0` disables aging (strict priority).
     pub aging_steps: u64,
+    /// Per-step token budget for the chunked-prefill scheduler; `0` means unlimited.
+    ///
+    /// Each step first decodes one token per occupied decoding slot (decode is never
+    /// budgeted away), then advances at most one in-progress prefill by a chunk of at most
+    /// `step_token_budget − decode_rows` tokens. A budget at or below the decode width
+    /// stalls prefill for that step only — decoding sequences retire and free budget, so
+    /// prefill always makes progress eventually, and when no slot is decoding the whole
+    /// budget (at least one token) goes to the prefill chunk.
+    pub step_token_budget: usize,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +79,7 @@ impl Default for ServeConfig {
             array: SystolicArray::small(Dataflow::WeightStationary),
             base_scheme: ProtectionScheme::StatisticalAbft,
             aging_steps: 32,
+            step_token_budget: 0,
         }
     }
 }
@@ -66,6 +91,12 @@ impl ServeConfig {
             slots,
             ..Self::default()
         }
+    }
+
+    /// Sets the per-step token budget (see [`ServeConfig::step_token_budget`]).
+    pub fn with_step_token_budget(mut self, budget: usize) -> Self {
+        self.step_token_budget = budget;
+        self
     }
 }
 
@@ -84,7 +115,7 @@ pub struct EngineStats {
     pub tokens_generated: u64,
     /// Requests accepted by [`ServeEngine::submit`].
     pub requests_submitted: u64,
-    /// Requests admitted into a slot (prefilled).
+    /// Requests assigned a batch slot (their prompts prefill chunk by chunk from there).
     pub requests_admitted: u64,
     /// Requests that ran to completion and delivered their summary.
     pub requests_completed: u64,
@@ -94,9 +125,31 @@ pub struct EngineStats {
     /// [`ServeEngine::note_shed`]; a network front end answers these with `429`).
     pub requests_shed: u64,
     /// Engine steps the longest-waiting queued request has spent in the queue (0 when the
-    /// queue is empty). This is the age a shedding SLO is compared against — see
-    /// [`ServeEngine::oldest_queue_age`].
+    /// queue is empty). Queue aging still runs on this clock; shedding SLOs compare
+    /// against [`EngineStats::queue_oldest_age_tokens`] instead.
     pub queue_oldest_age_steps: u64,
+    /// Budgeted tokens processed since the longest-waiting queued request was enqueued
+    /// (0 when the queue is empty). This is the age a shedding SLO is compared against —
+    /// see [`ServeEngine::oldest_token_age`]: under chunked prefill a step's cost varies
+    /// with the budget, so token age measures backlog in units of actual work.
+    pub queue_oldest_age_tokens: u64,
+    /// Cumulative tokens the engine has processed: decode rows plus prefill-chunk rows.
+    /// The deterministic clock token-age shedding runs on.
+    pub token_clock: u64,
+    /// Prefill chunks executed by the budgeted scheduler (a monolithic prefill under an
+    /// unlimited budget counts as one chunk).
+    pub prefill_chunks: u64,
+    /// 99th-percentile gap between consecutive decode commits on the same slot, in
+    /// microseconds, over the recent window (0.0 until a slot has decoded twice). This is
+    /// the head-of-line-blocking metric: a monolithic admission prefill stalls every
+    /// in-flight decode for a full prompt, which lands here as a giant gap; budgeted
+    /// chunking bounds it.
+    pub decode_stall_p99_us: f64,
+    /// Fraction of the cumulative per-step token budget actually spent (decode rows plus
+    /// chunk rows over budget × steps). 0.0 when the budget is unlimited; may slightly
+    /// exceed 1.0 when the decode width alone exceeds the budget, since decode is never
+    /// budgeted away.
+    pub step_budget_utilization: f64,
     /// ABFT detections charged to requests (completed and in-flight).
     pub detections: u64,
     /// ABFT recoveries charged to requests (completed and in-flight).
@@ -156,24 +209,54 @@ impl EngineStats {
     }
 }
 
+/// Where a slot's sequence is in its lifecycle: the admission state machine.
+///
+/// ```text
+///   admit (slot assignment, no model work)
+///     │
+///     ▼
+///   Prefilling { done: 0 } ──chunk──▶ Prefilling { done } ──chunk──▶ ⋯
+///     │                                                        │
+///     └────────── final chunk: commit first token ─────────────┘
+///                              │
+///                              ▼
+///                          Decoding ──budget reached / cancelled──▶ finalize
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotPhase {
+    /// The prompt's first `done` tokens are resident in the slot's KV rows; the rest wait
+    /// for budget. The sequence takes no part in lockstep decode yet.
+    Prefilling {
+        /// Prompt tokens already processed into the slot.
+        done: usize,
+    },
+    /// Prefill is complete and the first token is committed; the slot decodes in lockstep.
+    Decoding,
+}
+
 /// A sequence currently occupying a batch slot.
 #[derive(Debug)]
 struct ActiveSeq {
     id: RequestId,
     sender: std::sync::mpsc::Sender<TokenEvent>,
-    /// Last committed token — the input of the next decode step.
+    /// Prompt tokens, retained until prefill completes (chunks index into it).
+    prompt: Vec<u32>,
+    /// Prefill progress / decode membership.
+    phase: SlotPhase,
+    /// Last committed token — the input of the next decode step (meaningful once
+    /// `phase` is [`SlotPhase::Decoding`]).
     last: u32,
     tokens: Vec<u32>,
     margins: Vec<f32>,
     target: usize,
     policy: ProtectionPolicy,
-    prompt_len: usize,
     enqueue_step: u64,
     admit_step: u64,
-    /// Attribution charged by the request's private prefill protector.
-    prefill_attr: SequenceAttribution,
-    /// The shared decode protector's attribution for this slot at admission time; the
-    /// request is charged the delta (slots are reused across requests).
+    /// Instant of this slot's most recent token commit, once the first token exists;
+    /// consecutive-commit gaps feed [`EngineStats::decode_stall_p99_us`].
+    last_decode_at: Option<Instant>,
+    /// The shared protector's attribution for this slot at admission time; the request is
+    /// charged the delta (slots are reused across requests).
     baseline: SequenceAttribution,
 }
 
@@ -201,8 +284,19 @@ pub struct ServeEngine<'m> {
     step_tokens: Vec<Option<u32>>,
     /// Recent per-step decode latencies in microseconds (bounded window).
     decode_us: Vec<u64>,
+    /// Recent decode-to-decode commit gaps per slot in microseconds (bounded window).
+    stall_us: Vec<u64>,
     started: Instant,
     steps: u64,
+    /// Cumulative tokens processed: decode rows plus prefill-chunk rows.
+    token_clock: u64,
+    /// Prefill chunks executed by the budgeted scheduler.
+    prefill_chunks: u64,
+    /// Cumulative tokens spent in budgeted steps (decode rows + chunk rows).
+    budget_used: u64,
+    /// Cumulative budget offered across budgeted steps (`step_token_budget × steps`);
+    /// 0 while the budget is unlimited.
+    budget_available: u64,
     tokens_generated: u64,
     submitted: u64,
     admitted: u64,
@@ -234,8 +328,13 @@ impl<'m> ServeEngine<'m> {
             ws: Workspace::new(),
             step_tokens: Vec::new(),
             decode_us: Vec::new(),
+            stall_us: Vec::new(),
             started: Instant::now(),
             steps: 0,
+            token_clock: 0,
+            prefill_chunks: 0,
+            budget_used: 0,
+            budget_available: 0,
             tokens_generated: 0,
             submitted: 0,
             admitted: 0,
@@ -298,90 +397,239 @@ impl<'m> ServeEngine<'m> {
         let (sender, receiver) = channel();
         self.submitted += 1;
         let id = self.submitted;
-        self.queue
-            .push(QueuedRequest::new(id, request, sender, self.steps));
+        self.queue.push(QueuedRequest::new(
+            id,
+            request,
+            sender,
+            self.steps,
+            self.token_clock,
+        ));
         Ok((id, receiver))
     }
 
-    /// Advances the engine by one round: admits queued requests into free slots, then runs
-    /// one lockstep decode step across the occupied slots, committing one token per active
-    /// sequence. Returns `true` while work remains (occupied slots or queued requests).
+    /// Advances the engine by one round: assigns queued requests to free slots, spends
+    /// the token budget left after reserving the decoding slots' width advancing
+    /// in-progress prefills by one batched chunk forward, then runs one lockstep decode
+    /// step across the decoding slots — including prompts that just completed, while the
+    /// budget admits their rows. Returns `true` while work remains (occupied slots or
+    /// queued requests).
+    ///
+    /// Decode has strict priority through the reservation: a newly admitted long prompt
+    /// cannot stall in-flight streams for more than the chunk rows the budget leaves
+    /// after their own. Among prefilling slots the budget is split
+    /// oldest-admission-first (FIFO), so chunked admissions complete in order.
     ///
     /// # Errors
     ///
     /// Propagates model-inference errors; validation at [`ServeEngine::submit`] makes
     /// these unreachable for accepted requests in normal operation.
     pub fn step(&mut self) -> Result<bool, ServeError> {
-        // Admission: fill every free slot from the queue. When two or more slots free up
-        // in the same decode gap the queued heads are prefilled together in ONE
-        // `prefill_batch` call (batched admission prefill); a freshly admitted request
-        // with a budget of 0 or 1 completes at admission and releases the slot again, so
-        // keep draining until slots are genuinely busy or the queue is empty.
-        loop {
-            let mut admits: Vec<(usize, QueuedRequest)> = Vec::new();
-            for slot in 0..self.slots.len() {
-                if self.slots[slot].is_none() {
-                    let Some(queued) = self.queue.pop(self.steps) else {
-                        break;
-                    };
-                    admits.push((slot, queued));
-                }
-            }
-            match admits.len() {
-                0 => break,
-                1 => {
-                    let (slot, queued) = admits.pop().expect("one admission");
-                    self.admit(slot, queued)?;
-                }
-                _ => self.admit_batch(admits)?,
-            }
+        // Admission: assign every free slot a queued request. Assignment is pure
+        // bookkeeping — the prompt is prefilled chunk by chunk below, under the shared
+        // protector, so admission itself never blocks a decode.
+        while let Some(slot) = self.slots.iter().position(Option::is_none) {
+            let Some(queued) = self.queue.pop(self.steps) else {
+                break;
+            };
+            self.install(slot, queued);
         }
+        if self.slots.iter().all(Option::is_none) {
+            return Ok(!self.queue.is_empty());
+        }
+        self.steps += 1;
 
+        // Prefill pass first: the token budget minus the width reserved for the decoding
+        // slots advances in-progress prefills, oldest admission first, in one batched
+        // forward. Running prefill *before* decode lets a prompt that completes within
+        // the budget join the same step's decode pass — admission costs no pipeline
+        // bubble — while the reservation keeps decode's strict budget priority: in-flight
+        // streams never wait on more chunk rows than the budget leaves after their own.
+        let decoding_now = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|a| matches!(a.phase, SlotPhase::Decoding))
+            .count();
+        let budget = self.config.step_token_budget;
+        let chunk_allow = if budget == 0 {
+            usize::MAX
+        } else {
+            budget.saturating_sub(decoding_now)
+        };
+        let (chunk_rows, fresh) = if chunk_allow > 0 {
+            self.advance_prefills(chunk_allow)?
+        } else {
+            (0, Vec::new())
+        };
+
+        // Decode pass: one token for every pre-step decoding slot, plus as many freshly
+        // prefilled slots as the budget still admits (their chunk rows are spent above;
+        // the rest join next step). With no decoding slots the whole budget was available
+        // to chunks, so a chunk of at least one token always fits and prefill can never
+        // livelock.
+        let blocked = &fresh[if budget == 0 {
+            fresh.len()
+        } else {
+            budget.saturating_sub(decoding_now + chunk_rows)
+        }
+        .min(fresh.len())..];
         let Self {
             slots, step_tokens, ..
         } = self;
         step_tokens.clear();
-        step_tokens.extend(slots.iter().map(|s| s.as_ref().map(|a| a.last)));
-        if step_tokens.iter().all(Option::is_none) {
-            return Ok(!self.queue.is_empty());
+        step_tokens.extend(slots.iter().enumerate().map(|(slot, s)| {
+            s.as_ref().and_then(|a| match a.phase {
+                SlotPhase::Decoding if !blocked.contains(&slot) => Some(a.last),
+                _ => None,
+            })
+        }));
+        let decode_rows = step_tokens.iter().filter(|t| t.is_some()).count();
+        if decode_rows > 0 {
+            let decode_started = Instant::now();
+            let step_logits = {
+                let Self {
+                    model,
+                    cache,
+                    protector,
+                    fault_hook,
+                    ws,
+                    step_tokens,
+                    ..
+                } = self;
+                let mut chain = HookChain::new();
+                if let Some(hook) = fault_hook {
+                    chain.push(hook.as_mut());
+                }
+                chain.push(protector);
+                model.decode_step_batch_ws(step_tokens, cache, &mut chain, ws)?
+            };
+            self.note_decode_latency(decode_started);
+            for (slot, logits) in step_logits.into_iter().enumerate() {
+                let Some(logits) = logits else { continue };
+                let (next, margin) = argmax_with_margin(&logits);
+                self.ws.recycle_vec_f32(logits);
+                let active = self.slots[slot]
+                    .as_mut()
+                    .expect("decode produced logits for an occupied slot");
+                active.last = next;
+                let stall = active
+                    .last_decode_at
+                    .replace(Instant::now())
+                    .map(|prev| prev.elapsed());
+                let finished = Self::commit(active, next, margin);
+                self.tokens_generated += 1;
+                if let Some(stall) = stall {
+                    self.note_decode_stall(stall);
+                }
+                if finished {
+                    self.finalize(slot);
+                }
+            }
         }
 
-        let decode_started = Instant::now();
-        let step_logits = {
+        self.token_clock += (decode_rows + chunk_rows) as u64;
+        if budget > 0 {
+            self.budget_available += budget as u64;
+            self.budget_used += (decode_rows + chunk_rows) as u64;
+        }
+        self.ws.reset();
+        Ok(self.has_work())
+    }
+
+    /// Spends up to `budget_tokens` prompt tokens advancing every in-progress prefill,
+    /// oldest admission first, in **one** batched forward under the shared protector
+    /// ([`Model::prefill_chunks_batch_ws`]); returns the number of tokens processed plus
+    /// the slots that completed their prompt this step and are still active (FIFO order)
+    /// — candidates for joining the same step's decode pass. The budget is split FIFO by
+    /// admission order — the oldest prefill takes as much as it needs, the next takes
+    /// what is left — so chunked admissions complete in order while a wave of admissions
+    /// still costs one forward, not one per request. A slot's final chunk commits the
+    /// request's first token (budget-0 requests finalize with empty output); earlier
+    /// chunks only extend the slot's resident KV rows.
+    fn advance_prefills(
+        &mut self,
+        budget_tokens: usize,
+    ) -> Result<(usize, Vec<usize>), ServeError> {
+        let mut order: Vec<(u64, RequestId, usize)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, s)| s.as_ref().map(|a| (a, slot)))
+            .filter(|(a, _)| matches!(a.phase, SlotPhase::Prefilling { .. }))
+            .map(|(a, slot)| (a.admit_step, a.id, slot))
+            .collect();
+        if order.is_empty() {
+            return Ok((0, Vec::new()));
+        }
+        order.sort_unstable();
+        let mut left = budget_tokens;
+        let mut plan: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        for (_, _, slot) in order {
+            if left == 0 {
+                break;
+            }
+            let active = self.slots[slot].as_ref().expect("slot is occupied");
+            let SlotPhase::Prefilling { done } = active.phase else {
+                unreachable!("the plan only holds prefilling slots")
+            };
+            let take = left.min(active.prompt.len() - done);
+            plan.push((slot, done..done + take));
+            left -= take;
+        }
+        let per_chunk = {
             let Self {
                 model,
+                slots,
                 cache,
                 protector,
                 fault_hook,
                 ws,
-                step_tokens,
                 ..
             } = self;
+            let chunks: Vec<PrefillChunk<'_>> = plan
+                .iter()
+                .map(|(slot, range)| PrefillChunk {
+                    prompt: &slots[*slot].as_ref().expect("slot is occupied").prompt,
+                    range: range.clone(),
+                    slot: *slot,
+                })
+                .collect();
             let mut chain = HookChain::new();
             if let Some(hook) = fault_hook {
                 chain.push(hook.as_mut());
             }
             chain.push(protector);
-            model.decode_step_batch_ws(step_tokens, cache, &mut chain, ws)?
+            model.prefill_chunks_batch_ws(&chunks, cache, &mut chain, ws)?
         };
-        self.note_decode_latency(decode_started);
-        self.steps += 1;
-        for (slot, logits) in step_logits.into_iter().enumerate() {
-            let Some(logits) = logits else { continue };
-            let (next, margin) = argmax_with_margin(&logits);
-            self.ws.recycle_vec_f32(logits);
-            let active = self.slots[slot]
-                .as_mut()
-                .expect("decode produced logits for an occupied slot");
-            active.last = next;
-            let finished = Self::commit(active, next, margin);
+        self.prefill_chunks += plan.len() as u64;
+        let mut rows = 0;
+        let mut fresh = Vec::new();
+        for ((slot, range), logits) in plan.into_iter().zip(per_chunk) {
+            rows += range.len();
+            let active = self.slots[slot].as_mut().expect("slot stays occupied");
+            if range.end < active.prompt.len() {
+                active.phase = SlotPhase::Prefilling { done: range.end };
+                continue;
+            }
+            // Final chunk: its last row is the prompt's last position, so its argmax is
+            // the request's first token — bit-identical to a monolithic prefill's commit.
+            let (first, margin) = argmax_with_margin(logits.row(logits.rows() - 1));
+            active.phase = SlotPhase::Decoding;
+            active.last = first;
+            active.last_decode_at = Some(Instant::now());
+            if active.target == 0 {
+                self.finalize(slot);
+                continue;
+            }
+            let finished = Self::commit(active, first, margin);
             self.tokens_generated += 1;
             if finished {
                 self.finalize(slot);
+            } else {
+                fresh.push(slot);
             }
         }
-        self.ws.reset();
-        Ok(self.has_work())
+        Ok((rows, fresh))
     }
 
     /// Records one decode step's wall-clock latency in the bounded sample window.
@@ -390,6 +638,14 @@ impl<'m> ServeEngine<'m> {
             self.decode_us.drain(..LATENCY_WINDOW);
         }
         self.decode_us.push(started.elapsed().as_micros() as u64);
+    }
+
+    /// Records one slot's gap between consecutive token commits in the bounded window.
+    fn note_decode_stall(&mut self, gap: std::time::Duration) {
+        if self.stall_us.len() >= 2 * LATENCY_WINDOW {
+            self.stall_us.drain(..LATENCY_WINDOW);
+        }
+        self.stall_us.push(gap.as_micros() as u64);
     }
 
     /// Pumps [`ServeEngine::step`] until no queued or active request remains.
@@ -418,6 +674,18 @@ impl<'m> ServeEngine<'m> {
         self.queue.oldest_age(self.steps)
     }
 
+    /// Budgeted tokens processed since the longest-waiting queued request was enqueued,
+    /// or `None` when nothing is queued.
+    ///
+    /// This is the age a shedding SLO should compare against: with a per-step token
+    /// budget, steps are no longer uniform units of work, but the token clock — decode
+    /// rows plus prefill-chunk rows — still is. A request that has watched N budgeted
+    /// tokens go to other requests has waited N tokens' worth of compute, whatever the
+    /// step count says. Deterministic for a given schedule, like the step clock.
+    pub fn oldest_token_age(&self) -> Option<u64> {
+        self.queue.oldest_token_age(self.token_clock)
+    }
+
     /// Records one load-shed decision: a request that was refused *before* submission
     /// because the queue backlog exceeded the operator's age SLO.
     ///
@@ -441,6 +709,8 @@ impl<'m> ServeEngine<'m> {
         let elapsed_seconds = self.started.elapsed().as_secs_f64();
         let mut sorted_us = self.decode_us.clone();
         sorted_us.sort_unstable();
+        let mut sorted_stall_us = self.stall_us.clone();
+        sorted_stall_us.sort_unstable();
         let shard_totals = self
             .model
             .tp_group()
@@ -458,6 +728,15 @@ impl<'m> ServeEngine<'m> {
             requests_cancelled: self.cancelled,
             requests_shed: self.shed,
             queue_oldest_age_steps: self.oldest_queue_age().unwrap_or(0),
+            queue_oldest_age_tokens: self.oldest_token_age().unwrap_or(0),
+            token_clock: self.token_clock,
+            prefill_chunks: self.prefill_chunks,
+            decode_stall_p99_us: percentile_us(&sorted_stall_us, 0.99),
+            step_budget_utilization: if self.budget_available == 0 {
+                0.0
+            } else {
+                self.budget_used as f64 / self.budget_available as f64
+            },
             detections,
             recoveries,
             elapsed_seconds,
@@ -498,98 +777,11 @@ impl<'m> ServeEngine<'m> {
         self.protector.shard_attribution()
     }
 
-    /// Prefills `queued` solo under its own policy, copies its KV rows into `slot`, and
-    /// commits its first token. Budget-0/1 requests complete (and free the slot) here.
-    fn admit(&mut self, slot: usize, queued: QueuedRequest) -> Result<(), ServeError> {
-        let mut prefill_protector =
-            SchemeProtector::with_default_regions(queued.policy.scheme, self.config.array);
-        prefill_protector.set_shard_attribution(self.model.tp_group().map(|g| g.degree()));
-        // The solo cache only exists to be copied into the batch slot and dropped, so it
-        // is deliberately unreserved (`prefill_ws_into`): no full-context-window
-        // allocation per admission.
-        let mut solo_cache = realm_llm::kv_cache::KvCache::new(self.model.config().num_layers);
-        let logits = {
-            let Self {
-                model,
-                fault_hook,
-                ws,
-                ..
-            } = self;
-            let mut chain = HookChain::new();
-            if let Some(hook) = fault_hook {
-                chain.push(hook.as_mut());
-            }
-            chain.push(&mut prefill_protector);
-            model.prefill_ws_into(&queued.prompt, &mut chain, ws, &mut solo_cache)?
-        };
-        let admitted = self.cache.admit(slot, &solo_cache);
-        let (first, margin) = argmax_with_margin(logits.row(logits.rows() - 1));
-        self.ws.recycle_mat_f32(logits);
-        admitted?;
-        self.admitted += 1;
-        // Solo forwards attribute everything to sequence index 0.
-        let prefill_attr = prefill_protector
-            .sequence_attribution()
-            .get(&0)
-            .copied()
-            .unwrap_or_default();
-        self.install(slot, queued, first, margin, prefill_attr);
-        Ok(())
-    }
-
-    /// Prefills several queued requests together in **one** shared `prefill_batch` call
-    /// and admits each into its destination slot.
-    ///
-    /// The shared prefill runs under one protector whose per-sequence schemes are the
-    /// admitted requests' own policies: each request's private attention GEMMs are
-    /// inspected under its own scheme, while the batch-stacked projections escalate to the
-    /// strictest admitted policy (the same escalation decode applies). Detections are
-    /// attributed back per sequence, so every request is charged exactly what its rows
-    /// caused. Tokens and KV rows are bit-identical to solo admission — `prefill_batch`'s
-    /// parity contract — this only removes the per-request prefill overhead that made the
-    /// engine trail the raw continuous scheduler.
-    fn admit_batch(&mut self, admits: Vec<(usize, QueuedRequest)>) -> Result<(), ServeError> {
-        let prompts: Vec<Vec<u32>> = admits.iter().map(|(_, q)| q.prompt.clone()).collect();
-        let schemes: Vec<ProtectionScheme> = admits.iter().map(|(_, q)| q.policy.scheme).collect();
-        let mut prefill_protector =
-            SchemeProtector::with_default_regions(self.config.base_scheme, self.config.array);
-        prefill_protector.set_sequence_schemes(&schemes);
-        prefill_protector.set_shard_attribution(self.model.tp_group().map(|g| g.degree()));
-        let (per_seq_logits, prefill_cache) = {
-            let Self {
-                model,
-                fault_hook,
-                ws,
-                ..
-            } = self;
-            let mut chain = HookChain::new();
-            if let Some(hook) = fault_hook {
-                chain.push(hook.as_mut());
-            }
-            chain.push(&mut prefill_protector);
-            model.prefill_batch_ws(&prompts, &mut chain, ws)?
-        };
-        let attribution = prefill_protector.sequence_attribution();
-        for (g, ((slot, queued), logits)) in admits.into_iter().zip(&per_seq_logits).enumerate() {
-            self.cache.admit_from(slot, &prefill_cache, g)?;
-            self.admitted += 1;
-            let prefill_attr = attribution.get(&g).copied().unwrap_or_default();
-            let (first, margin) = argmax_with_margin(logits.row(logits.rows() - 1));
-            self.install(slot, queued, first, margin, prefill_attr);
-        }
-        Ok(())
-    }
-
-    /// Installs an admitted request into `slot` and commits its first token. Budget-0/1
-    /// requests complete (and free the slot) here.
-    fn install(
-        &mut self,
-        slot: usize,
-        queued: QueuedRequest,
-        first: u32,
-        margin: f32,
-        prefill_attr: SequenceAttribution,
-    ) {
+    /// Installs `queued` into `slot` in the [`SlotPhase::Prefilling`] phase. No model
+    /// work happens here — the budgeted scheduler prefills the prompt chunk by chunk —
+    /// but the slot's protection scheme is announced to the shared protector immediately
+    /// so the very first chunk GEMMs already run under the request's policy.
+    fn install(&mut self, slot: usize, queued: QueuedRequest) {
         let baseline = self
             .protector
             .sequence_attribution()
@@ -599,28 +791,20 @@ impl<'m> ServeEngine<'m> {
         self.slots[slot] = Some(ActiveSeq {
             id: queued.id,
             sender: queued.sender,
-            last: first,
+            prompt: queued.prompt,
+            phase: SlotPhase::Prefilling { done: 0 },
+            last: 0,
             tokens: Vec::with_capacity(queued.max_new_tokens),
             margins: Vec::with_capacity(queued.max_new_tokens),
             target: queued.max_new_tokens,
             policy: queued.policy,
-            prompt_len: queued.prompt.len(),
             enqueue_step: queued.enqueue_step,
             admit_step: self.steps,
-            prefill_attr,
+            last_decode_at: None,
             baseline,
         });
+        self.admitted += 1;
         self.refresh_schemes();
-        if queued.max_new_tokens == 0 {
-            self.finalize(slot);
-            return;
-        }
-        let active = self.slots[slot].as_mut().expect("just installed");
-        let finished = Self::commit(active, first, margin);
-        self.tokens_generated += 1;
-        if finished {
-            self.finalize(slot);
-        }
     }
 
     /// Records a committed token and streams it; returns `true` if the request finished
@@ -640,8 +824,10 @@ impl<'m> ServeEngine<'m> {
         !delivered || active.tokens.len() >= active.target
     }
 
-    /// Total attribution charged to the request in `slot`: its private prefill plus the
-    /// shared decode protector's delta since admission.
+    /// Total attribution charged to the request in `slot`: the shared protector's delta
+    /// since admission. Prefill chunks and decode steps both run under the shared
+    /// protector (chunks announce a row partition whose only non-empty group is this
+    /// slot), so one delta covers the request's whole lifetime.
     fn slot_attribution(&self, slot: usize, active: &ActiveSeq) -> SequenceAttribution {
         let current = self
             .protector
@@ -650,14 +836,12 @@ impl<'m> ServeEngine<'m> {
             .copied()
             .unwrap_or_default();
         SequenceAttribution {
-            detections: active.prefill_attr.detections
-                + current
-                    .detections
-                    .saturating_sub(active.baseline.detections),
-            recoveries: active.prefill_attr.recoveries
-                + current
-                    .recoveries
-                    .saturating_sub(active.baseline.recoveries),
+            detections: current
+                .detections
+                .saturating_sub(active.baseline.detections),
+            recoveries: current
+                .recoveries
+                .saturating_sub(active.baseline.recoveries),
         }
     }
 
@@ -673,7 +857,7 @@ impl<'m> ServeEngine<'m> {
         self.completed_recoveries += attribution.recoveries;
         let summary = RequestSummary {
             id: active.id,
-            prompt_len: active.prompt_len,
+            prompt_len: active.prompt.len(),
             queued_steps: active.admit_step.saturating_sub(active.enqueue_step),
             service_steps: self.steps.saturating_sub(active.admit_step),
             attribution,
@@ -874,6 +1058,125 @@ mod tests {
         assert_eq!(engine.oldest_queue_age(), None);
         assert_eq!(engine.stats().queue_oldest_age_steps, 0);
         assert_eq!(engine.stats().requests_shed, 2, "sheds are cumulative");
+    }
+
+    #[test]
+    fn budgeted_prefill_chunks_long_prompts_without_stalling_decode() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 3).unwrap();
+        let long_prompt: Vec<u32> = (0..24).map(|i| 1 + (i % 7)).collect();
+
+        // Unbudgeted reference: one monolithic chunk per admission.
+        let mut mono = ServeEngine::new(&model, ServeConfig::with_slots(2));
+        let (_, mono_short) = mono.submit(ServeRequest::new(vec![1, 5, 9], 8)).unwrap();
+        let (_, mono_long) = mono
+            .submit(ServeRequest::new(long_prompt.clone(), 4))
+            .unwrap();
+        mono.run_until_idle().unwrap();
+        assert_eq!(mono.stats().prefill_chunks, 2, "one chunk per admission");
+        assert_eq!(
+            mono.stats().step_budget_utilization,
+            0.0,
+            "unlimited budget reports no utilization"
+        );
+
+        // Budget 4: the 24-token prompt needs several steps, and the short request's
+        // decode proceeds every step in between.
+        let config = ServeConfig::with_slots(2).with_step_token_budget(4);
+        let mut engine = ServeEngine::new(&model, config);
+        let (_, rx_short) = engine.submit(ServeRequest::new(vec![1, 5, 9], 8)).unwrap();
+        let (_, rx_long) = engine
+            .submit(ServeRequest::new(long_prompt.clone(), 4))
+            .unwrap();
+        // Step 1: both admitted; short prefills first (FIFO), chunk of 3 completes it.
+        engine.step().unwrap();
+        // Step 2: short decodes (1 row), long advances by 3 — and every later step keeps
+        // decoding short while long's prefill is in flight.
+        let mut short_events = Vec::new();
+        for _ in 0..8 {
+            short_events.extend(rx_short.try_iter());
+            engine.step().unwrap();
+        }
+        short_events.extend(rx_short.try_iter());
+        let chunked_short = short_events
+            .iter()
+            .find_map(|e| match e {
+                TokenEvent::Done(s) => Some(s.clone()),
+                TokenEvent::Token { .. } => None,
+            })
+            .expect("short stream finished its 8 tokens while the long prompt chunked");
+        engine.run_until_idle().unwrap();
+        let stats = engine.stats();
+        // 24 tokens at ≤ 3 per chunk (budget 4 minus one decode row) plus the short
+        // prompt's single chunk: at least 9 chunks.
+        assert!(
+            stats.prefill_chunks >= 9,
+            "long prompt was split into budgeted chunks (got {})",
+            stats.prefill_chunks
+        );
+        assert!(
+            stats.step_budget_utilization > 0.0 && stats.step_budget_utilization <= 1.0,
+            "utilization is a fraction of the offered budget (got {})",
+            stats.step_budget_utilization
+        );
+        assert_eq!(
+            stats.token_clock,
+            24 + 3 + stats.tokens_generated - 2,
+            "token clock counts prompt rows once plus every decode row \
+             (first tokens come from prefill logits, not decode rows)"
+        );
+
+        // Chunking never changes output: both requests match the monolithic engine.
+        let chunked_long = collect_done(&rx_long).unwrap();
+        let mono_short = collect_done(&mono_short).unwrap();
+        let mono_long = collect_done(&mono_long).unwrap();
+        assert_eq!(chunked_short.tokens, mono_short.tokens);
+        assert_eq!(chunked_short.margins, mono_short.margins);
+        assert_eq!(chunked_long.tokens, mono_long.tokens);
+        assert_eq!(chunked_long.margins, mono_long.margins);
+        // And both match solo generation bit-exactly.
+        let solo_long = model
+            .generate(&long_prompt, 4, &mut realm_llm::NoopHook)
+            .unwrap();
+        assert_eq!(chunked_long.tokens, solo_long.tokens);
+        assert_eq!(chunked_long.margins, solo_long.margins);
+    }
+
+    #[test]
+    fn token_age_tracks_budgeted_work_for_shedding() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 3).unwrap();
+        let config = ServeConfig::with_slots(1).with_step_token_budget(2);
+        let mut engine = ServeEngine::new(&model, config);
+        assert_eq!(
+            engine.oldest_token_age(),
+            None,
+            "idle engine has no backlog"
+        );
+
+        let mut receivers = Vec::new();
+        for i in 0..2 {
+            let (_, rx) = engine
+                .submit(ServeRequest::new(vec![1 + i, 2, 3, 4], 4))
+                .unwrap();
+            receivers.push(rx);
+        }
+        // The first request occupies the only slot; the second queues at token clock 0.
+        engine.step().unwrap();
+        engine.step().unwrap();
+        let age = engine.oldest_token_age().expect("one request still queued");
+        let stats = engine.stats();
+        assert_eq!(
+            age, stats.token_clock,
+            "the queued request has been passed over for every budgeted token so far"
+        );
+        assert!(
+            age >= 4,
+            "two budget-2 steps processed at least 4 tokens (got {age})"
+        );
+        assert_eq!(stats.queue_oldest_age_tokens, age);
+        engine.run_until_idle().unwrap();
+        assert_eq!(engine.oldest_token_age(), None);
+        assert_eq!(engine.stats().queue_oldest_age_tokens, 0);
+        assert_eq!(engine.stats().requests_completed, 2);
     }
 
     /// Serves the same four requests and returns their token streams plus final stats.

@@ -15,8 +15,11 @@
 //! 1. requests wait in a priority queue (aging prevents starvation — see
 //!    [`ServeConfig::aging_steps`]);
 //! 2. between decode steps, completed sequences release their KV rows
-//!    ([`realm_llm::BatchedKvCache::release_slot`]) and queued requests are admitted into
-//!    the freed slots ([`realm_llm::BatchedKvCache::admit`]);
+//!    ([`realm_llm::BatchedKvCache::release_slot`]) and queued requests are assigned the
+//!    freed slots — assignment is bookkeeping only; the prompt prefills chunk by chunk
+//!    ([`realm_llm::Model::prefill_chunk_slot_ws`]) under the per-step token budget
+//!    ([`ServeConfig::step_token_budget`]), so a long prompt never stalls concurrent
+//!    decode streams for more than one budget-bounded chunk;
 //! 3. tokens stream back to each client over an [`std::sync::mpsc`] channel as
 //!    [`TokenEvent`]s, ending with a [`RequestSummary`] that carries the ABFT
 //!    detection/recovery attribution charged to that request.
@@ -26,21 +29,25 @@
 //!
 //! # Reliability is per-request
 //!
-//! Every [`ServeRequest`] carries a [`ProtectionPolicy`]. Admission prefill runs under the
-//! request's own scheme; the shared decode protector is refreshed with the slot → scheme
-//! map on every admission and retirement
+//! Every [`ServeRequest`] carries a [`ProtectionPolicy`]. Prefill chunks and decode steps
+//! alike run under one shared protector that is refreshed with the slot → scheme map on
+//! every admission and retirement
 //! ([`realm_core::SchemeProtector::set_sequence_schemes`]), so per-sequence attention GEMMs
 //! keep their request's scheme while batch-stacked GEMMs escalate to the strictest active
 //! policy. Detections are traced back to the owning request by re-reducing the fused
-//! checksums over its row group ([`realm_core::SchemeProtector::sequence_attribution`]) and
-//! reported in the request's [`RequestSummary`], giving operators per-request reliability
-//! telemetry at the serving boundary.
+//! checksums over its row group ([`realm_core::SchemeProtector::sequence_attribution`]) —
+//! a chunk announces a row partition whose only non-empty group is its slot, so even a
+//! fault striking a mid-prompt chunk is charged to the right request — and reported in the
+//! request's [`RequestSummary`], giving operators per-request reliability telemetry at the
+//! serving boundary.
 //!
 //! # Bit-exactness
 //!
-//! Serving never changes output: a request admitted mid-flight into a recycled slot
-//! produces exactly the tokens a solo [`realm_llm::Model::generate`] call would — the
-//! contract `tests/serve_continuous.rs` enforces on every GEMM backend.
+//! Serving never changes output: per-row quantization and visible-prefix attention make
+//! the forward pass chunk-invariant, so a prompt prefilled in budgeted chunks into a
+//! recycled slot produces exactly the tokens (and margin bits, and fused checksums) a solo
+//! [`realm_llm::Model::generate`] call would — the contract `tests/serve_continuous.rs`
+//! and `tests/chunked_parity.rs` enforce on every GEMM backend.
 //!
 //! # Example
 //!

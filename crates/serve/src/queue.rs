@@ -28,6 +28,12 @@ pub(crate) struct QueuedRequest {
     pub sender: Sender<TokenEvent>,
     /// Engine step at which the request was submitted.
     pub enqueue_step: u64,
+    /// Engine token-clock reading at submission (cumulative tokens the engine had
+    /// processed — decode rows plus prefill-chunk rows). Shed-age SLOs compare against
+    /// this clock instead of the step counter: a step's cost now varies with the token
+    /// budget, so "steps waited" no longer measures how much work the backlog was passed
+    /// over for, but "tokens processed since enqueue" does.
+    pub enqueue_tokens: u64,
 }
 
 impl QueuedRequest {
@@ -36,6 +42,7 @@ impl QueuedRequest {
         request: ServeRequest,
         sender: Sender<TokenEvent>,
         enqueue_step: u64,
+        enqueue_tokens: u64,
     ) -> Self {
         Self {
             id,
@@ -45,6 +52,7 @@ impl QueuedRequest {
             policy: request.policy,
             sender,
             enqueue_step,
+            enqueue_tokens,
         }
     }
 }
@@ -102,6 +110,21 @@ impl RequestQueue {
             .max()
     }
 
+    /// Budgeted tokens the longest-waiting entry has been passed over for: the engine's
+    /// token clock at `now_tokens` minus the oldest entry's clock reading at enqueue, or
+    /// `None` when the queue is empty.
+    ///
+    /// This is the shed-age measure: under chunked prefill an engine step processes a
+    /// variable number of tokens (decode rows plus at most one prefill chunk), so token
+    /// age — unlike step age — stays proportional to actual work done while the request
+    /// waited, keeping a shedding SLO meaningful across budget settings.
+    pub(crate) fn oldest_token_age(&self, now_tokens: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .map(|e| now_tokens.saturating_sub(e.enqueue_tokens))
+            .max()
+    }
+
     /// Removes and returns the request with the highest effective priority at `step`
     /// (arrival order breaks ties — ids are assigned in submission order), or `None` if
     /// the queue is empty.
@@ -128,6 +151,8 @@ mod tests {
             ServeRequest::new(vec![1], 1).with_priority(priority),
             tx,
             enqueue_step,
+            // Tests drive the step-based paths; a fixed token clock keeps them simple.
+            enqueue_step * 10,
         )
     }
 
@@ -160,6 +185,23 @@ mod tests {
         let mut q = RequestQueue::new(0);
         q.push(queued(1, 0, 20));
         assert_eq!(q.oldest_age(3), Some(0));
+    }
+
+    #[test]
+    fn oldest_token_age_follows_the_token_clock() {
+        let mut q = RequestQueue::new(0);
+        assert_eq!(q.oldest_token_age(100), None, "empty queue has no age");
+        q.push(queued(1, 0, 4)); // enqueue_tokens = 40
+        q.push(queued(2, 9, 10)); // enqueue_tokens = 100, higher priority but fresher
+        assert_eq!(q.oldest_token_age(130), Some(90));
+        assert_eq!(q.pop(10).unwrap().id, 2, "priority still decides pops");
+        assert_eq!(
+            q.oldest_token_age(130),
+            Some(90),
+            "oldest entry sets the age"
+        );
+        // A clock reading before enqueue saturates to zero rather than wrapping.
+        assert_eq!(q.oldest_token_age(7), Some(0));
     }
 
     #[test]

@@ -65,13 +65,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ServeConfig {
         slots: 4,
         aging_steps: 8,
+        step_token_budget: 8,
         ..ServeConfig::default()
     };
     println!(
-        "serving {} on {} slots (queue aging: 1 priority level per {} steps)",
+        "serving {} on {} slots (queue aging: 1 priority level per {} steps, \
+         {}-token step budget)",
         model.config().name,
         config.slots,
-        config.aging_steps
+        config.aging_steps,
+        config.step_token_budget
     );
     // Name the GEMM backend the default dispatch picked: throughput numbers from this
     // demo are uninterpretable without knowing which kernel actually ran.
@@ -221,6 +224,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.decode_p50_us,
         stats.decode_p99_us,
         stats.workspace_high_water_bytes as f64 / 1024.0
+    );
+    println!(
+        "chunked prefill: {} chunks under the {}-token step budget \
+         (budget utilization {:.2}, decode stall p99 {:.0} us)",
+        stats.prefill_chunks,
+        config.step_token_budget,
+        stats.step_budget_utilization,
+        stats.decode_stall_p99_us
     );
     if stats.is_sharded() {
         println!(

@@ -3,10 +3,10 @@
 //! * **Cancel-on-disconnect** — a client hanging up mid-stream must cancel its request
 //!   at the engine's next commit and free the slot, observable through `/stats`
 //!   (`requests_cancelled`, `active_slots`) and the final [`realm::net::NetReport`].
-//! * **Shed without starvation** — once the oldest queued request exceeds the SLO, new
-//!   submissions are refused with `429` + `Retry-After` *before* entering the queue, and
-//!   the already-queued request still completes: shedding protects the backlog, it never
-//!   replaces it.
+//! * **Shed without starvation** — once the oldest queued request has been passed over
+//!   for more budgeted tokens than the SLO allows, new submissions are refused with
+//!   `429` + `Retry-After` *before* entering the queue, and the already-queued request
+//!   still completes: shedding protects the backlog, it never replaces it.
 //! * **Graceful drain** — after `POST /admin/drain`, the in-flight stream runs to
 //!   completion, new work is refused with `503`, and `serve` returns a consistent final
 //!   report.
@@ -116,7 +116,7 @@ fn shed_returns_429_with_retry_after_and_never_starves_the_queue() {
     // One slot and a tiny SLO: the first request occupies the engine, the second queues
     // and ages past the SLO, the third must be shed.
     let server = NetServer::bind(NetConfig {
-        shed_queue_age_steps: Some(4),
+        shed_queue_age_tokens: Some(4),
         retry_after_secs: 3,
         serve: ServeConfig::with_slots(1),
         ..NetConfig::default()
@@ -137,12 +137,14 @@ fn shed_returns_429_with_retry_after_and_never_starves_the_queue() {
         let queued = s.spawn(move || {
             stream_generate(addr, &gen(vec![7, 8, 9], 4, 7), None, TIMEOUT).unwrap()
         });
-        // Let the queued request age past the SLO.
+        // Let the queued request age past the SLO (the hog decodes one token per step,
+        // so the token clock — and with it the queued request's token age — keeps
+        // climbing while it waits).
         let json = poll_stats(addr, Duration::from_secs(10), |j| {
-            stats_field(j, "queue_oldest_age_steps").unwrap_or(0) >= 4
+            stats_field(j, "queue_oldest_age_tokens").unwrap_or(0) >= 4
         });
         assert!(
-            stats_field(&json, "queue_oldest_age_steps").unwrap_or(0) >= 4,
+            stats_field(&json, "queue_oldest_age_tokens").unwrap_or(0) >= 4,
             "the queued request must age past the SLO: {json}"
         );
 
