@@ -106,6 +106,23 @@ impl CriticalRegion {
         (effective_frequency as f64) > self.theta_freq()
     }
 
+    /// A scalar sensitivity score: *higher means more sensitive*. The score is
+    /// `−θ_freq_log2` — the horizontal boundary dominates the region's reach, because it
+    /// alone decides whether a component tolerates sporadic errors at all (a sensitive
+    /// region with `θ_freq < 1` recovers on *any* counted error, whereas the inclined
+    /// boundary only filters which deviations are counted). Regions with equal frequency
+    /// thresholds are ordered by their inclined boundaries in
+    /// [`rank_by_sensitivity`], not here.
+    pub fn sensitivity_log2(&self) -> f64 {
+        -self.theta_freq_log2
+    }
+
+    /// Whether this region exhibits sensitive-component behaviour: a frequency threshold
+    /// below one error per GEMM, meaning any counted error triggers recovery.
+    pub fn is_sensitive(&self) -> bool {
+        self.theta_freq() < 1.0
+    }
+
     /// Fits the region from characterization samples under a degradation budget.
     ///
     /// * `θ_freq` is the largest sampled `log₂(freq)` such that **every** sample at or below
@@ -192,6 +209,32 @@ impl CriticalRegion {
             theta_freq_log2,
         })
     }
+}
+
+/// Ranks keyed regions from most to least sensitive (descending
+/// [`CriticalRegion::sensitivity_log2`]; ties break on the intercept `b`, ascending, so
+/// the ordering is total and deterministic). This is the spatial-protection order an
+/// adaptive controller uses: the most sensitive components earn a stricter scheme first
+/// and give it up last.
+pub fn rank_by_sensitivity<K: Copy>(regions: &[(K, CriticalRegion)]) -> Vec<K> {
+    let mut indexed: Vec<usize> = (0..regions.len()).collect();
+    indexed.sort_by(|&i, &j| {
+        let (si, sj) = (
+            regions[i].1.sensitivity_log2(),
+            regions[j].1.sensitivity_log2(),
+        );
+        sj.partial_cmp(&si)
+            .expect("finite sensitivity scores")
+            .then(
+                regions[i]
+                    .1
+                    .b
+                    .partial_cmp(&regions[j].1.b)
+                    .expect("finite intercepts"),
+            )
+            .then(i.cmp(&j))
+    });
+    indexed.into_iter().map(|i| regions[i].0).collect()
 }
 
 #[cfg(test)]
@@ -306,5 +349,29 @@ mod tests {
     fn theta_freq_roundtrips_log_and_linear() {
         let region = CriticalRegion::new(1.5, 20.0, 3.0);
         assert!((region.theta_freq() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensitivity_orders_the_default_regions() {
+        let sensitive = CriticalRegion::sensitive_default();
+        let resilient = CriticalRegion::resilient_default();
+        assert!(sensitive.sensitivity_log2() > resilient.sensitivity_log2());
+        assert!(sensitive.is_sensitive());
+        assert!(!resilient.is_sensitive());
+    }
+
+    #[test]
+    fn rank_by_sensitivity_puts_sensitive_regions_first() {
+        let regions = [
+            ("resilient", CriticalRegion::resilient_default()),
+            ("sensitive", CriticalRegion::sensitive_default()),
+            ("middle", CriticalRegion::new(1.5, 21.0, 0.5)),
+        ];
+        let ranked = rank_by_sensitivity(&regions);
+        assert_eq!(ranked, vec!["sensitive", "middle", "resilient"]);
+        // Identical regions rank deterministically by input order.
+        let tied = [(0usize, CriticalRegion::resilient_default()); 3];
+        let tied = [tied[0], (1, tied[1].1), (2, tied[2].1)];
+        assert_eq!(rank_by_sensitivity(&tied), vec![0, 1, 2]);
     }
 }

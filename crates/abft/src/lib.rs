@@ -59,7 +59,7 @@ pub mod statistical_unit;
 
 pub use approx::ApproxAbft;
 pub use classical::ClassicalAbft;
-pub use critical_region::CriticalRegion;
+pub use critical_region::{rank_by_sensitivity, CriticalRegion};
 pub use detector::{AbftDetector, Detection};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use statistical::StatisticalAbft;

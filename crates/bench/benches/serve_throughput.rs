@@ -20,9 +20,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use realm_core::SchemeProtector;
+use realm_inject::{error_model::MagFreqModel, injector::ErrorInjector, targeting::Target};
 use realm_llm::batch::{BatchRequest, BatchScheduler};
-use realm_llm::{config::ModelConfig, model::Model};
-use realm_serve::{ServeConfig, ServeEngine, ServeRequest};
+use realm_llm::{config::ModelConfig, model::Model, Component};
+use realm_serve::{AdaptiveConfig, ProtectionPolicy, ServeConfig, ServeEngine, ServeRequest};
 use realm_systolic::{Dataflow, ProtectionScheme, SystolicArray};
 use realm_tensor::EngineKind;
 use std::time::Instant;
@@ -281,14 +282,228 @@ fn report_chunked_prefill(_c: &mut Criterion) {
     }
 }
 
+/// Burst schedule of the adaptive-protection arms: 16 faulty steps, 16 clean steps.
+/// The burst is long relative to the controller's two-step escalation latency (one
+/// observe to elevate, one more to escalate), so nearly all of each burst runs under
+/// escalated protection — the fraction lost to the ladder is what separates adaptive
+/// recovery from classical's perfect rate.
+const BURST_STEPS: u64 = 16;
+const BURST_GAP: u64 = 16;
+
+/// The burst-arm fault hook: one +2^30 error per targeted GEMM during each burst, on
+/// one sensitive component (`O` — always repaired, fuels the detection window) and one
+/// resilient component (`Fc1` — tolerated by statistical ABFT, repaired by classical).
+/// The recovery-rate gap between the static arms is entirely the `Fc1` faults; the
+/// adaptive arm closes it by escalating to classical while the burst is hot.
+fn burst_injector() -> ErrorInjector<MagFreqModel> {
+    ErrorInjector::new(
+        MagFreqModel::new(1 << 30, 1),
+        Target::new().components([Component::O, Component::Fc1]),
+        11,
+    )
+    .with_burst(BURST_STEPS, BURST_GAP)
+}
+
+/// Fast-reacting controller for the burst workload: one attributed detection elevates,
+/// two escalate, and a short clean window steps back down between bursts.
+fn bench_adaptive_config() -> AdaptiveConfig {
+    AdaptiveConfig {
+        window_steps: 4,
+        elevate_detections: 1,
+        escalate_detections: 2,
+        clean_window_steps: 4,
+        hysteresis_steps: 1,
+        ..AdaptiveConfig::enabled()
+    }
+}
+
+struct ProtectedRound {
+    tokens: usize,
+    detections: u64,
+    recoveries: u64,
+    escalations: u64,
+    wall: f64,
+}
+
+/// One full 16-request round through the engine under the burst injector, every request
+/// pinned to `policy`, with the adaptive controller configured by `adaptive`.
+fn run_protected_round(
+    model: &Model,
+    policy: ProtectionPolicy,
+    adaptive: AdaptiveConfig,
+) -> ProtectedRound {
+    let mut engine = ServeEngine::new(
+        model,
+        ServeConfig::with_slots(SLOTS).with_adaptive(adaptive),
+    )
+    .with_fault_hook(Box::new(burst_injector()));
+    let receivers: Vec<_> = requests()
+        .iter()
+        .map(|r| {
+            engine
+                .submit(ServeRequest::new(r.prompt.clone(), r.max_new_tokens).with_policy(policy))
+                .unwrap()
+                .1
+        })
+        .collect();
+    let start = Instant::now();
+    engine.run_until_idle().unwrap();
+    let wall = start.elapsed().as_secs_f64();
+    drop(receivers);
+    let stats = engine.stats();
+    ProtectedRound {
+        tokens: stats.tokens_generated as usize,
+        detections: stats.detections,
+        recoveries: stats.recoveries,
+        escalations: stats.policy_escalations,
+        wall,
+    }
+}
+
+fn bench_adaptive_protection(c: &mut Criterion) {
+    let model = Model::new(&scheduling_config(), 5).unwrap();
+    let expected = total_tokens();
+    let mut group = c.benchmark_group("adaptive_protection");
+    group.sample_size(10);
+    group.bench_function("static_statistical", |b| {
+        b.iter(|| {
+            let round = run_protected_round(
+                &model,
+                ProtectionPolicy::statistical(),
+                AdaptiveConfig::default(),
+            );
+            assert_eq!(round.tokens, expected);
+            round.tokens
+        });
+    });
+    group.bench_function("static_classical", |b| {
+        b.iter(|| {
+            let round = run_protected_round(
+                &model,
+                ProtectionPolicy::classical(),
+                AdaptiveConfig::default(),
+            );
+            assert_eq!(round.tokens, expected);
+            round.tokens
+        });
+    });
+    group.bench_function("adaptive", |b| {
+        b.iter(|| {
+            let round = run_protected_round(
+                &model,
+                ProtectionPolicy::statistical(),
+                bench_adaptive_config(),
+            );
+            assert_eq!(round.tokens, expected);
+            round.tokens
+        });
+    });
+    group.finish();
+}
+
+fn report_adaptive_protection(_c: &mut Criterion) {
+    // Not a timing benchmark: pins the adaptive-protection contract under the burst
+    // injector. Adaptive must deliver at least 0.95x the static-statistical tokens/s
+    // (the protection it adds is paid only while bursts are hot) while recovering at
+    // least 0.9x classical's recovery rate (statistical alone tolerates every resilient
+    // Fc1 fault and lands strictly lower).
+    let model = Model::new(&scheduling_config(), 5).unwrap();
+    let tokens = total_tokens() as f64;
+    // The arms are interleaved rep by rep (not measured back to back) so slow drift on
+    // a shared box — a co-tenant burning CPU for half a second — taxes every arm alike
+    // instead of one arm's whole measurement window; the asserted ratios are between
+    // per-arm best-of floors, which interleaving makes directly comparable.
+    let reps = 15;
+    let arms = [
+        (ProtectionPolicy::statistical(), AdaptiveConfig::default()),
+        (ProtectionPolicy::classical(), AdaptiveConfig::default()),
+        (ProtectionPolicy::statistical(), bench_adaptive_config()),
+    ];
+    let mut walls = [f64::INFINITY; 3];
+    let mut rounds: Vec<ProtectedRound> = arms
+        .iter()
+        .map(|&(policy, adaptive)| run_protected_round(&model, policy, adaptive)) // warm-up
+        .collect();
+    for _ in 0..reps {
+        for (i, &(policy, adaptive)) in arms.iter().enumerate() {
+            let round = run_protected_round(&model, policy, adaptive);
+            walls[i] = walls[i].min(round.wall);
+            rounds[i] = round;
+        }
+    }
+    let [statistical_tps, classical_tps, adaptive_tps] = walls.map(|w| tokens / w);
+    let adaptive = rounds.pop().unwrap();
+    let classical = rounds.pop().unwrap();
+    let statistical = rounds.pop().unwrap();
+
+    let rate = |r: &ProtectedRound| r.recoveries as f64 / r.detections.max(1) as f64;
+    let (statistical_rate, classical_rate, adaptive_rate) =
+        (rate(&statistical), rate(&classical), rate(&adaptive));
+    println!(
+        "adaptive protection under a {BURST_STEPS}/{BURST_GAP} burst injector: \
+         statistical {statistical_tps:.0} tok/s (recovery {statistical_rate:.3}), \
+         classical {classical_tps:.0} tok/s (recovery {classical_rate:.3}), \
+         adaptive {adaptive_tps:.0} tok/s (recovery {adaptive_rate:.3}, \
+         {} escalations)",
+        adaptive.escalations
+    );
+    assert!(
+        adaptive.escalations >= 2,
+        "the burst workload must drive repeated escalations ({})",
+        adaptive.escalations
+    );
+    assert!(
+        adaptive_tps >= 0.95 * statistical_tps,
+        "adaptive protection must stay within 5% of static statistical throughput \
+         ({adaptive_tps:.0} vs {statistical_tps:.0} tok/s)"
+    );
+    assert!(
+        adaptive_rate >= 0.9 * classical_rate,
+        "adaptive protection must match classical's recovery rate within 10% \
+         ({adaptive_rate:.3} vs {classical_rate:.3})"
+    );
+    assert!(
+        statistical_rate < adaptive_rate,
+        "static statistical must recover strictly less than adaptive \
+         ({statistical_rate:.3} vs {adaptive_rate:.3})"
+    );
+    println!("\nBENCH_gemm.json `adaptive_protection` entries:");
+    for (name, value) in [
+        ("adaptive_protection/tps_statistical", statistical_tps),
+        ("adaptive_protection/tps_classical", classical_tps),
+        ("adaptive_protection/tps_adaptive", adaptive_tps),
+        (
+            "adaptive_protection/recovery_permille_statistical",
+            statistical_rate * 1_000.0,
+        ),
+        (
+            "adaptive_protection/recovery_permille_classical",
+            classical_rate * 1_000.0,
+        ),
+        (
+            "adaptive_protection/recovery_permille_adaptive",
+            adaptive_rate * 1_000.0,
+        ),
+    ] {
+        let value = value.round();
+        println!(
+            "    {{ \"name\": \"{name}\", \"best_ns\": {value}, \"median_ns\": {value}, \"iterations\": {reps} }},"
+        );
+    }
+}
+
 // The chunked report runs before the throughput report: the throughput ratios are the
 // noisier contract (scheduler wall-clock on a shared box), and a flake there must not
-// mask the chunked-prefill gate's output.
+// mask the chunked-prefill gate's output. The adaptive report sits between them for the
+// same reason: its recovery-rate contract is deterministic, only its 5% throughput bound
+// is wall-clock sensitive.
 criterion_group!(
     benches,
     bench_serving,
     bench_chunked_prefill,
     report_chunked_prefill,
+    bench_adaptive_protection,
+    report_adaptive_protection,
     report_serving_throughput
 );
 criterion_main!(benches);

@@ -19,11 +19,15 @@
 //!   accounting, exits non-zero on any violation.
 
 use realm_bench::{banner, quick_mode, HARNESS_SEED};
-use realm_inject::{error_model::FixedBitModel, injector::ErrorInjector};
-use realm_llm::{config::ModelConfig, model::Model};
+use realm_inject::{
+    error_model::{FixedBitModel, MagFreqModel},
+    injector::ErrorInjector,
+    targeting::Target,
+};
+use realm_llm::{config::ModelConfig, model::Model, Component, NoopHook};
 use realm_net::trace::TraceConfig;
 use realm_net::{generate_trace, run_trace, LoadOptions, LoadReport, NetConfig, NetServer};
-use realm_serve::ServeConfig;
+use realm_serve::{AdaptiveConfig, ProtectionPolicy, ServeConfig};
 
 fn smoke_mode() -> bool {
     std::env::args().any(|a| a == "--smoke")
@@ -56,7 +60,8 @@ fn serve_and_replay(
     slots: usize,
     step_budget: usize,
     shed_slo: Option<u64>,
-    inject: bool,
+    hook: Option<Box<dyn realm_llm::GemmHook + Send>>,
+    adaptive: AdaptiveConfig,
     disconnect: Option<(usize, usize)>,
 ) -> (LoadReport, realm_net::NetReport) {
     let model = harness_model();
@@ -68,18 +73,14 @@ fn serve_and_replay(
     let server = NetServer::bind(NetConfig {
         workers: 8,
         shed_queue_age_tokens: shed_slo,
-        serve: ServeConfig::with_slots(slots).with_step_token_budget(step_budget),
+        serve: ServeConfig::with_slots(slots)
+            .with_step_token_budget(step_budget)
+            .with_adaptive(adaptive),
         ..NetConfig::default()
     })
     .unwrap();
     let addr = server.local_addr();
     let handle = server.handle();
-    let hook: Option<Box<dyn realm_llm::GemmHook + Send>> = inject.then(|| {
-        Box::new(ErrorInjector::everywhere(
-            FixedBitModel::bit30(0.002),
-            HARNESS_SEED,
-        )) as Box<dyn realm_llm::GemmHook + Send>
-    });
     std::thread::scope(|s| {
         let serving = s.spawn(|| server.serve_with_hook(&model, hook).unwrap());
         let report = run_trace(
@@ -146,7 +147,15 @@ fn measurement() {
     // 15% long prompts (256–512 tokens) over 4 slots with a 64-token step budget: the
     // workload where chunked prefill keeps decode streams flowing past long arrivals.
     let trace = harness_trace(requests, 150);
-    let (report, net) = serve_and_replay(trace, 4, 64, Some(8_192), false, None);
+    let (report, net) = serve_and_replay(
+        trace,
+        4,
+        64,
+        Some(8_192),
+        None,
+        AdaptiveConfig::default(),
+        None,
+    );
     print_report(&report, &net);
     assert_eq!(
         report.errors, 0,
@@ -171,7 +180,19 @@ fn smoke() {
     let pinned_long = 384usize;
     trace[1].body.prompt = (0..pinned_long as u32).map(|t| t % 64).collect();
     let step_budget = 32;
-    let (report, net) = serve_and_replay(trace, 2, step_budget, Some(512), true, Some((7, 3)));
+    let everywhere: Box<dyn realm_llm::GemmHook + Send> = Box::new(ErrorInjector::everywhere(
+        FixedBitModel::bit30(0.002),
+        HARNESS_SEED,
+    ));
+    let (report, net) = serve_and_replay(
+        trace,
+        2,
+        step_budget,
+        Some(512),
+        Some(everywhere),
+        AdaptiveConfig::default(),
+        Some((7, 3)),
+    );
     print_report(&report, &net);
 
     let mut failures = Vec::new();
@@ -221,6 +242,104 @@ fn smoke() {
         net.engine.step_budget_utilization > 0.0 && net.engine.step_budget_utilization <= 1.0,
         "the per-step token budget was exercised and never overrun",
     );
+
+    // Phase 2: the adaptive-protection gate. A time-correlated burst injector (one
+    // +2^30 error per GEMM on the attention output projection, 4 steps on / 12 steps
+    // off) drives the adaptive controller through at least one full escalate →
+    // de-escalate cycle while every stream must stay bit-identical to an uninjected
+    // solo run. `Component::O` is sensitive, so even before escalation the statistical
+    // protector repairs its faults bit-exactly — the burst fuels the detection window
+    // without ever corrupting output. A single-error model (rather than per-element
+    // bit flips) keeps the matrix-sum deviation non-zero by construction: two
+    // opposite-sign flips in one inspection window would cancel the MSD and be
+    // tolerated, which is faithful to the hardware but would make this gate flaky.
+    println!("\nphase 2: burst-injector adaptive-protection gate");
+    let burst_requests = 40;
+    let burst_trace = generate_trace(&TraceConfig {
+        seed: HARNESS_SEED + 1,
+        requests: burst_requests,
+        mean_interarrival_us: 800.0,
+        max_new_tokens: (6, 10),
+        // No unprotected requests: a batch window holding only unprotected sequences
+        // skips inspection entirely, which would let burst faults through unrepaired.
+        policies: vec![
+            (ProtectionPolicy::statistical(), 3),
+            (ProtectionPolicy::classical(), 1),
+        ],
+        ..TraceConfig::default()
+    });
+    let burst_injector: Box<dyn realm_llm::GemmHook + Send> = Box::new(
+        ErrorInjector::new(
+            MagFreqModel::new(1 << 30, 1),
+            Target::new().components([Component::O]),
+            HARNESS_SEED,
+        )
+        .with_burst(4, 12),
+    );
+    let adaptive = AdaptiveConfig {
+        window_steps: 4,
+        elevate_detections: 1,
+        escalate_detections: 6,
+        clean_window_steps: 2,
+        hysteresis_steps: 1,
+        ..AdaptiveConfig::enabled()
+    };
+    let (burst_report, burst_net) = serve_and_replay(
+        burst_trace.clone(),
+        2,
+        step_budget,
+        None,
+        Some(burst_injector),
+        adaptive,
+        None,
+    );
+    print_report(&burst_report, &burst_net);
+    let be = &burst_net.engine;
+    println!(
+        "adaptive: {} escalations, {} de-escalations, {} protection-shed steps",
+        be.policy_escalations, be.policy_deescalations, be.protection_shed_steps
+    );
+    check(burst_report.errors == 0, "burst arm: zero transport errors");
+    check(
+        burst_report.completed == burst_requests,
+        "burst arm: every request completed (no shedding configured)",
+    );
+    check(
+        be.policy_escalations >= 1,
+        "burst arm: the detection bursts drove at least one escalation",
+    );
+    check(
+        be.policy_deescalations >= 1,
+        "burst arm: a clean window stepped protection back down at least once",
+    );
+    check(
+        be.detections > 0,
+        "burst arm: the armed injector produced detections",
+    );
+    let clean_model = harness_model();
+    let mut bit_clean = true;
+    for outcome in &burst_report.outcomes {
+        if outcome.status != 200 {
+            continue;
+        }
+        let body = &burst_trace[outcome.index].body;
+        let solo = clean_model
+            .generate(&body.prompt, body.max_new_tokens, &mut NoopHook)
+            .expect("clean solo generation succeeds");
+        if outcome.tokens != solo.tokens {
+            bit_clean = false;
+            eprintln!(
+                "  stream {} diverged from the clean solo run ({} tokens)",
+                outcome.index,
+                outcome.tokens.len()
+            );
+        }
+    }
+    check(
+        bit_clean,
+        "burst arm: every stream is bit-identical to an uninjected solo run",
+    );
+
     if failures.is_empty() {
         println!("\nsmoke: all assertions passed, drain was clean");
     } else {

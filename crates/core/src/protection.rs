@@ -101,20 +101,6 @@ impl Default for ProtectionPolicy {
     }
 }
 
-/// Detection coverage rank used to escalate mixed-policy batches: the batch-stacked GEMMs
-/// run under the scheme with the highest rank among active requests.
-fn strictness(scheme: ProtectionScheme) -> u8 {
-    match scheme {
-        ProtectionScheme::None => 0,
-        ProtectionScheme::ApproxAbft => 1,
-        ProtectionScheme::StatisticalAbft => 2,
-        ProtectionScheme::ThunderVolt => 3,
-        ProtectionScheme::RazorFfs => 4,
-        ProtectionScheme::Dmr => 5,
-        ProtectionScheme::ClassicalAbft => 6,
-    }
-}
-
 /// Per-component critical regions used by the statistical scheme.
 ///
 /// Components without an explicit entry fall back to the paper's defaults: the sensitive
@@ -149,6 +135,30 @@ impl RegionAssignment {
                 CriticalRegion::resilient_default()
             }
         })
+    }
+
+    /// Every model component ranked most-sensitive-first by its (explicit or default)
+    /// critical region, via [`realm_abft::critical_region::rank_by_sensitivity`].
+    ///
+    /// This is the spatial-protection order an adaptive controller uses: components at
+    /// the front of the list earn a stricter scheme first and give it up last; components
+    /// at the back are the first to shed protection under load.
+    pub fn ranked_components(&self) -> Vec<Component> {
+        let keyed: Vec<(Component, CriticalRegion)> = Component::ALL
+            .iter()
+            .map(|&c| (c, self.region_for(c)))
+            .collect();
+        realm_abft::critical_region::rank_by_sensitivity(&keyed)
+    }
+
+    /// The components whose regions exhibit sensitive behaviour (`θ_freq < 1`: any
+    /// counted error triggers recovery). With default regions this is `O`, `FC2`, `Down`.
+    pub fn sensitive_components(&self) -> Vec<Component> {
+        Component::ALL
+            .iter()
+            .copied()
+            .filter(|&c| self.region_for(c).is_sensitive())
+            .collect()
     }
 
     /// Number of explicitly assigned components.
@@ -193,6 +203,7 @@ pub struct SchemeProtector {
     per_shard: BTreeMap<usize, ShardAttribution>,
     sequence_schemes: Option<Vec<ProtectionScheme>>,
     batched_scheme: ProtectionScheme,
+    component_schemes: BTreeMap<Component, ProtectionScheme>,
     scratch: DetectionScratch,
 }
 
@@ -235,6 +246,7 @@ impl SchemeProtector {
             per_shard: BTreeMap::new(),
             sequence_schemes: None,
             batched_scheme: scheme,
+            component_schemes: BTreeMap::new(),
             scratch: DetectionScratch::default(),
         }
     }
@@ -348,7 +360,7 @@ impl SchemeProtector {
         self.batched_scheme = schemes
             .iter()
             .copied()
-            .max_by_key(|&s| strictness(s))
+            .max_by_key(|&s| s.strictness())
             .unwrap_or(self.scheme);
         self.sequence_schemes = Some(schemes.to_vec());
     }
@@ -359,8 +371,37 @@ impl SchemeProtector {
         self.batched_scheme = self.scheme;
     }
 
-    /// The scheme that applies to `ctx`, honouring per-sequence policies when installed.
+    /// Installs a *spatial* scheme overlay: every GEMM of an overlaid component — whoever
+    /// owns its rows — is inspected under the overlay scheme instead of whatever the
+    /// per-sequence policies would pick. Replaces any previous overlay wholesale.
+    ///
+    /// The overlay is how an adaptive controller protects components, not requests: the
+    /// batch-stacked projections mix every active sequence's rows, so stepping a
+    /// sensitive component up to classical ABFT (or a resilient one down under load
+    /// pressure) is inherently a batch-global, per-component decision. The overlay
+    /// deliberately *replaces* rather than escalates — shedding protection under load
+    /// needs to be able to select a scheme weaker than what the requests asked for.
+    pub fn set_component_schemes(&mut self, schemes: &[(Component, ProtectionScheme)]) {
+        self.component_schemes = schemes.iter().copied().collect();
+    }
+
+    /// Removes the spatial overlay; per-sequence policies (or the construction scheme)
+    /// decide again for every component.
+    pub fn clear_component_schemes(&mut self) {
+        self.component_schemes.clear();
+    }
+
+    /// The overlay scheme pinned for `component`, if any.
+    pub fn component_scheme(&self, component: Component) -> Option<ProtectionScheme> {
+        self.component_schemes.get(&component).copied()
+    }
+
+    /// The scheme that applies to `ctx`: a spatial component overlay wins outright,
+    /// otherwise per-sequence policies apply when installed.
     fn effective_scheme(&self, ctx: &GemmContext) -> ProtectionScheme {
+        if let Some(&scheme) = self.component_schemes.get(&ctx.component) {
+            return scheme;
+        }
         let Some(schemes) = &self.sequence_schemes else {
             return self.scheme;
         };
@@ -394,15 +435,18 @@ impl SchemeProtector {
         }
     }
 
-    /// The recovery policy applying to a GEMM inspected under `scheme`.
+    /// The recovery policy applying to a GEMM inspected under the scheme resolved for
+    /// `ctx`.
     ///
-    /// Without per-sequence schemes this is the protector-wide policy (which
-    /// [`SchemeProtector::set_policy`] can override); with per-sequence schemes installed
-    /// the policy follows the effective scheme, so e.g. a classical-ABFT request recomputes
-    /// on recovery even when the protector was constructed unprotected.
-    fn policy_for(&self, scheme: ProtectionScheme) -> RecoveryPolicy {
-        if self.sequence_schemes.is_some() {
-            RecoveryPolicy::default_for_scheme(scheme)
+    /// Without per-sequence schemes or a component overlay this is the protector-wide
+    /// policy (which [`SchemeProtector::set_policy`] can override); when the scheme is
+    /// picked dynamically — per-sequence policies installed, or this component overlaid —
+    /// the policy follows the effective scheme, so e.g. a classical-ABFT request (or an
+    /// escalated component) recomputes on recovery even when the protector was
+    /// constructed unprotected.
+    fn policy_for(&self, ctx: &GemmContext) -> RecoveryPolicy {
+        if self.sequence_schemes.is_some() || self.component_schemes.contains_key(&ctx.component) {
+            RecoveryPolicy::default_for_scheme(self.effective_scheme(ctx))
         } else {
             self.policy
         }
@@ -512,7 +556,7 @@ impl std::fmt::Debug for SchemeProtector {
 
 impl GemmHook for SchemeProtector {
     fn on_gemm(&mut self, ctx: &GemmContext, w: &MatI8, x: &MatI8, acc: &mut MatI32) {
-        let policy = self.policy_for(self.effective_scheme(ctx));
+        let policy = self.policy_for(ctx);
         let mut scratch = std::mem::take(&mut self.scratch);
         let Some(detector) = self.detector_for(ctx) else {
             self.scratch = scratch;
@@ -545,7 +589,7 @@ impl GemmHook for SchemeProtector {
         x: &MatI8,
         result: &mut ChecksummedGemm,
     ) {
-        let policy = self.policy_for(self.effective_scheme(ctx));
+        let policy = self.policy_for(ctx);
         // The scratch is taken around the detector borrow (a couple of pointer moves, no
         // allocation), so every inspection of the decode hot loop reuses the same buffers.
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -586,6 +630,14 @@ impl GemmHook for SchemeProtector {
         // reductions even when the construction scheme would inspect. (A sequence beyond
         // the installed list still falls back to the construction scheme — its detector
         // then pays the two-pass inspection path instead of reading fused checksums.)
+        // A spatial overlay that inspects *any* component keeps the reductions on too.
+        if self
+            .component_schemes
+            .values()
+            .any(|s| !matches!(s, ProtectionScheme::None))
+        {
+            return true;
+        }
         match &self.sequence_schemes {
             Some(schemes) => schemes.iter().any(|s| !matches!(s, ProtectionScheme::None)),
             None => !matches!(self.scheme, ProtectionScheme::None),
@@ -790,7 +842,7 @@ mod tests {
             ProtectionPolicy::new(ProtectionScheme::ApproxAbft).scheme,
             ProtectionScheme::ApproxAbft
         );
-        assert!(strictness(ProtectionScheme::ClassicalAbft) > strictness(ProtectionScheme::None));
+        assert!(ProtectionScheme::ClassicalAbft.strictness() > ProtectionScheme::None.strictness());
     }
 
     #[test]
@@ -812,6 +864,72 @@ mod tests {
         // Clearing the schemes reverts to the (unprotected) construction scheme.
         protector.clear_sequence_schemes();
         assert!(!protector.wants_checksums());
+    }
+
+    #[test]
+    fn region_assignment_ranks_sensitive_components_first() {
+        let assignment = RegionAssignment::new();
+        let ranked = assignment.ranked_components();
+        assert_eq!(ranked.len(), Component::ALL.len());
+        // With default regions the three sensitive components lead the ranking.
+        assert!(ranked[..3].iter().all(|c| c.is_sensitive()), "{ranked:?}");
+        assert_eq!(
+            assignment.sensitive_components(),
+            vec![Component::O, Component::Fc2, Component::Down]
+        );
+        // A fitted region can promote a nominally resilient component to the front.
+        let mut custom = RegionAssignment::new();
+        custom.set(Component::Fc1, CriticalRegion::new(1.1, 10.0, -2.0));
+        assert_eq!(custom.ranked_components()[0], Component::Fc1);
+        assert!(custom.sensitive_components().contains(&Component::Fc1));
+    }
+
+    #[test]
+    fn component_overlay_replaces_the_effective_scheme() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 2).unwrap();
+        let (clean_logits, _) = model.prefill(&[1, 2, 3, 4], &mut NoopHook).unwrap();
+
+        // An unprotected base with a classical overlay on every component behaves like a
+        // classical protector: the overlay replaces, per component, what the sequence
+        // policies (here: none installed, so the construction scheme) would pick.
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.2), 9);
+        let mut protector = SchemeProtector::with_default_regions(ProtectionScheme::None, array());
+        let overlay: Vec<(Component, ProtectionScheme)> = Component::ALL
+            .iter()
+            .map(|&c| (c, ProtectionScheme::ClassicalAbft))
+            .collect();
+        protector.set_component_schemes(&overlay);
+        assert!(protector.wants_checksums());
+        assert_eq!(
+            protector.component_scheme(Component::O),
+            Some(ProtectionScheme::ClassicalAbft)
+        );
+        let mut chain = HookChain::new().with(&mut injector).with(&mut protector);
+        let (protected_logits, _) = model.prefill(&[1, 2, 3, 4], &mut chain).unwrap();
+        assert_eq!(protected_logits, clean_logits);
+        assert!(protector.stats().recoveries_triggered > 0);
+
+        // Clearing the overlay reverts to the unprotected construction scheme.
+        protector.clear_component_schemes();
+        assert!(!protector.wants_checksums());
+        assert_eq!(protector.component_scheme(Component::O), None);
+
+        // The overlay also *weakens*: pinning one component to None on a classical base
+        // leaves that component's faults unrepaired while the rest stay covered.
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(0.2), 9);
+        let mut shed =
+            SchemeProtector::with_default_regions(ProtectionScheme::ClassicalAbft, array());
+        shed.set_component_schemes(&[(Component::Fc1, ProtectionScheme::None)]);
+        let mut chain = HookChain::new().with(&mut injector).with(&mut shed);
+        let (shed_logits, _) = model.prefill(&[1, 2, 3, 4], &mut chain).unwrap();
+        assert_ne!(
+            shed_logits, clean_logits,
+            "faults on the shed component flow through"
+        );
+        assert!(
+            shed.stats().recoveries_triggered > 0,
+            "other components are still repaired"
+        );
     }
 
     #[test]

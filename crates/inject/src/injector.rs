@@ -46,6 +46,32 @@ impl InjectionStats {
     }
 }
 
+/// A time-correlated burst schedule in engine steps: `burst_steps` of injection, then
+/// `gap_steps` of silence, repeating. Phase 0 of the cycle is the burst, so an armed
+/// schedule starts injecting immediately.
+///
+/// Real voltage-noise and aging faults cluster in time rather than arriving i.i.d.; the
+/// schedule models that clustering at engine-step granularity, which is the clock an
+/// adaptive protection controller reacts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurstSchedule {
+    /// Consecutive engine steps during which injection is active.
+    pub burst_steps: u64,
+    /// Silent engine steps between bursts.
+    pub gap_steps: u64,
+}
+
+impl BurstSchedule {
+    /// Whether `step` falls inside a burst window of the repeating cycle.
+    pub fn active(&self, step: u64) -> bool {
+        let period = self.burst_steps + self.gap_steps;
+        if period == 0 {
+            return false;
+        }
+        step % period < self.burst_steps
+    }
+}
+
 /// A GEMM hook that corrupts accumulator results according to an [`ErrorModel`].
 ///
 /// The injector owns a deterministic RNG: two injectors constructed with the same model,
@@ -58,6 +84,10 @@ pub struct ErrorInjector<M> {
     stats: InjectionStats,
     enabled: bool,
     partition: Option<RowPartition>,
+    burst: Option<BurstSchedule>,
+    /// Whether the current engine step falls inside a burst window. `true` when no burst
+    /// schedule is armed (steady injection) and re-evaluated on every `on_step_begin`.
+    in_burst: bool,
 }
 
 impl<M: ErrorModel> ErrorInjector<M> {
@@ -70,6 +100,8 @@ impl<M: ErrorModel> ErrorInjector<M> {
             stats: InjectionStats::default(),
             enabled: true,
             partition: None,
+            burst: None,
+            in_burst: true,
         }
     }
 
@@ -109,6 +141,42 @@ impl<M: ErrorModel> ErrorInjector<M> {
     /// Whether injection is currently enabled.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Arms a time-correlated burst schedule: inject for `burst_steps` engine steps, stay
+    /// silent for `gap_steps`, repeat. The cycle starts in-burst at step 0 and advances
+    /// on the serving engine's [`GemmHook::on_step_begin`] clock; outside a serving loop
+    /// (where that clock never ticks) the injector stays in the initial burst window, so
+    /// standalone runs behave like an unscheduled injector.
+    ///
+    /// Returns the injector for builder-style chaining.
+    pub fn with_burst(mut self, burst_steps: u64, gap_steps: u64) -> Self {
+        self.set_burst(Some(BurstSchedule {
+            burst_steps,
+            gap_steps,
+        }));
+        self
+    }
+
+    /// Installs (`Some`) or removes (`None`) the burst schedule. Removing it restores
+    /// steady injection.
+    pub fn set_burst(&mut self, schedule: Option<BurstSchedule>) {
+        self.burst = schedule;
+        self.in_burst = match schedule {
+            Some(s) => s.active(0),
+            None => true,
+        };
+    }
+
+    /// The armed burst schedule, if any.
+    pub fn burst(&self) -> Option<BurstSchedule> {
+        self.burst
+    }
+
+    /// Whether the current engine step is inside a burst window (always `true` without a
+    /// schedule).
+    pub fn burst_active(&self) -> bool {
+        self.in_burst
     }
 
     /// Arms `fault` for the next `steps` sharded dispatches on every tensor-parallel
@@ -230,7 +298,7 @@ impl<M: ErrorModel> ErrorInjector<M> {
 impl<M: ErrorModel> GemmHook for ErrorInjector<M> {
     fn on_gemm(&mut self, ctx: &GemmContext, _w: &MatI8, _x: &MatI8, acc: &mut MatI32) {
         self.stats.gemms_observed += 1;
-        if !self.enabled || !self.target.matches(ctx) {
+        if !self.enabled || !self.in_burst || !self.target.matches(ctx) {
             return;
         }
         self.corrupt_targeted(ctx, acc);
@@ -246,8 +314,9 @@ impl<M: ErrorModel> GemmHook for ErrorInjector<M> {
         self.stats.gemms_observed += 1;
         // Untargeted (and fault-free) GEMMs must not touch the accumulator at all: taking
         // `acc_mut` would mark the fused observed checksum stale and force a downstream
-        // protector into a full recompute — at low BER that is almost every GEMM.
-        if !self.enabled || !self.target.matches(ctx) {
+        // protector into a full recompute — at low BER that is almost every GEMM. The
+        // same applies to steps between bursts.
+        if !self.enabled || !self.in_burst || !self.target.matches(ctx) {
             return;
         }
         if self.corrupt_targeted(ctx, result.acc_mut()) == 0 {
@@ -263,6 +332,12 @@ impl<M: ErrorModel> GemmHook for ErrorInjector<M> {
 
     fn on_batch_begin(&mut self, partition: &RowPartition) {
         self.partition = Some(partition.clone());
+    }
+
+    fn on_step_begin(&mut self, step: u64) {
+        if let Some(schedule) = self.burst {
+            self.in_burst = schedule.active(step);
+        }
     }
 }
 
@@ -365,6 +440,85 @@ mod tests {
     #[test]
     fn empty_stats_have_zero_corruption_rate() {
         assert_eq!(InjectionStats::default().corruption_rate(), 0.0);
+    }
+
+    #[test]
+    fn burst_schedule_cycles_burst_then_gap() {
+        let schedule = BurstSchedule {
+            burst_steps: 2,
+            gap_steps: 3,
+        };
+        let active: Vec<bool> = (0..10).map(|s| schedule.active(s)).collect();
+        assert_eq!(
+            active,
+            vec![true, true, false, false, false, true, true, false, false, false]
+        );
+        // A degenerate all-gap schedule never fires; an all-burst one always does.
+        assert!(!BurstSchedule {
+            burst_steps: 0,
+            gap_steps: 4
+        }
+        .active(0));
+        assert!(BurstSchedule {
+            burst_steps: 1,
+            gap_steps: 0
+        }
+        .active(7));
+    }
+
+    #[test]
+    fn burst_mode_injects_only_inside_burst_windows() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 1).unwrap();
+        let mut injector = ErrorInjector::everywhere(FixedBitModel::bit30(1.0), 5).with_burst(2, 3);
+        assert_eq!(
+            injector.burst(),
+            Some(BurstSchedule {
+                burst_steps: 2,
+                gap_steps: 3
+            })
+        );
+        let (clean_logits, _) = model.prefill(&[1, 2, 3], &mut realm_llm::NoopHook).unwrap();
+
+        // Steps 0 and 1 are in-burst, steps 2..5 are the gap, step 5 bursts again.
+        let mut corrupted_steps = Vec::new();
+        for step in 0..6u64 {
+            injector.on_step_begin(step);
+            assert_eq!(injector.burst_active(), step % 5 < 2, "step {step}");
+            let before = injector.stats().errors_injected;
+            let (logits, _) = model.prefill(&[1, 2, 3], &mut injector).unwrap();
+            let injected = injector.stats().errors_injected > before;
+            assert_eq!(injected, step % 5 < 2, "injection follows the window");
+            assert_eq!(logits != clean_logits, injected);
+            if injected {
+                corrupted_steps.push(step);
+            }
+        }
+        assert_eq!(corrupted_steps, vec![0, 1, 5]);
+
+        // Removing the schedule restores steady injection regardless of the last step.
+        injector.on_step_begin(2);
+        injector.set_burst(None);
+        assert!(injector.burst_active());
+        let before = injector.stats().errors_injected;
+        model.prefill(&[1, 2, 3], &mut injector).unwrap();
+        assert!(injector.stats().errors_injected > before);
+    }
+
+    #[test]
+    fn burst_injection_is_seed_deterministic() {
+        let model = Model::new(&ModelConfig::tiny_opt(), 1).unwrap();
+        let run = |seed| {
+            let mut injector =
+                ErrorInjector::everywhere(BitFlipModel::high_bits(1e-3), seed).with_burst(1, 2);
+            let mut all_logits = Vec::new();
+            for step in 0..6u64 {
+                injector.on_step_begin(step);
+                let (logits, _) = model.prefill(&[5, 6, 7], &mut injector).unwrap();
+                all_logits.push(logits);
+            }
+            (all_logits, injector.stats().errors_injected)
+        };
+        assert_eq!(run(11), run(11));
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub mod targeting;
 pub mod voltage;
 
 pub use error_model::{BitFlipModel, ErrorModel, FixedBitModel, MagFreqModel};
-pub use injector::{ErrorInjector, InjectionStats};
+pub use injector::{BurstSchedule, ErrorInjector, InjectionStats};
 pub use targeting::Target;
 pub use voltage::VoltageBerCurve;

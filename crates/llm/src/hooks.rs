@@ -131,6 +131,19 @@ pub trait GemmHook {
     fn on_batch_begin(&mut self, partition: &RowPartition) {
         let _ = partition;
     }
+
+    /// Announces the start of engine step `step` (a serving engine's monotone step
+    /// counter).
+    ///
+    /// Unlike [`GemmHook::on_batch_begin`] — which fires before *every* batched forward
+    /// pass, up to twice per step (prefill pass, then decode pass) — this is a true step
+    /// clock: the serving layer calls it exactly once per scheduler step, before any
+    /// forward of that step runs. Time-correlated hooks (e.g. a burst-mode error
+    /// injector) key their schedules off it. Hooks that do not care (the default) ignore
+    /// it; standalone (non-serving) runs never call it.
+    fn on_step_begin(&mut self, step: u64) {
+        let _ = step;
+    }
 }
 
 /// A hook that does nothing: fault-free, unprotected inference.
@@ -183,6 +196,10 @@ impl<H: GemmHook + ?Sized> GemmHook for &mut H {
     fn on_batch_begin(&mut self, partition: &RowPartition) {
         (**self).on_batch_begin(partition);
     }
+
+    fn on_step_begin(&mut self, step: u64) {
+        (**self).on_step_begin(step);
+    }
 }
 
 impl<H: GemmHook + ?Sized> GemmHook for Box<H> {
@@ -206,6 +223,10 @@ impl<H: GemmHook + ?Sized> GemmHook for Box<H> {
 
     fn on_batch_begin(&mut self, partition: &RowPartition) {
         (**self).on_batch_begin(partition);
+    }
+
+    fn on_step_begin(&mut self, step: u64) {
+        (**self).on_step_begin(step);
     }
 }
 
@@ -280,6 +301,12 @@ impl GemmHook for HookChain<'_> {
     fn on_batch_begin(&mut self, partition: &RowPartition) {
         for hook in &mut self.hooks {
             hook.on_batch_begin(partition);
+        }
+    }
+
+    fn on_step_begin(&mut self, step: u64) {
+        for hook in &mut self.hooks {
+            hook.on_step_begin(step);
         }
     }
 }
@@ -400,6 +427,30 @@ mod tests {
         assert_eq!(rec.count_for(Component::Q), 1);
         assert_eq!(rec.count_for(Component::O), 0);
         assert_eq!(rec.count_for_stage(Stage::Prefill), 1);
+    }
+
+    #[test]
+    fn step_clock_forwards_through_chain_and_box() {
+        #[derive(Default)]
+        struct StepRecorder {
+            steps: Vec<u64>,
+        }
+        impl GemmHook for StepRecorder {
+            fn on_gemm(&mut self, _: &GemmContext, _: &MatI8, _: &MatI8, _: &mut MatI32) {}
+            fn on_step_begin(&mut self, step: u64) {
+                self.steps.push(step);
+            }
+        }
+
+        let mut a = StepRecorder::default();
+        let mut boxed: Box<dyn GemmHook> = Box::new(StepRecorder::default());
+        let mut chain = HookChain::new().with(&mut a).with(&mut boxed);
+        chain.on_step_begin(3);
+        chain.on_step_begin(4);
+        drop(chain);
+        assert_eq!(a.steps, vec![3, 4]);
+        // The default implementation is a no-op, so arbitrary hooks stay valid.
+        NoopHook.on_step_begin(9);
     }
 
     #[test]

@@ -511,7 +511,16 @@ fn engine_loop(
     cmd_rx: Receiver<EngineCmd>,
     draining: &AtomicBool,
 ) -> Result<EngineStats, ServeError> {
-    let mut engine = ServeEngine::new(model, config.serve);
+    let mut serve = config.serve;
+    // Shed protection before traffic: when the adaptive controller is on but no shed
+    // pressure was configured, arm it at 3/4 of the front end's 429 SLO, so resilient
+    // protection steps down while requests are still being accepted.
+    if serve.adaptive.enabled && serve.adaptive.shed_pressure_tokens == 0 {
+        if let Some(slo) = config.shed_queue_age_tokens {
+            serve.adaptive.shed_pressure_tokens = (slo.saturating_mul(3) / 4).max(1);
+        }
+    }
+    let mut engine = ServeEngine::new(model, serve);
     if let Some(hook) = hook {
         engine = engine.with_fault_hook(hook);
     }
@@ -597,6 +606,9 @@ fn stats_json(s: &EngineStats, c: &Counters, draining: bool) -> String {
             "\"requests_completed\":{},\"requests_cancelled\":{},\"requests_shed\":{},",
             "\"queue_oldest_age_steps\":{},\"queue_oldest_age_tokens\":{},",
             "\"detections\":{},\"recoveries\":{},",
+            "\"policy_escalations\":{},\"policy_deescalations\":{},",
+            "\"protection_shed_steps\":{},",
+            "\"steps_at_scheme\":[{},{},{},{},{},{},{}],",
             "\"tokens_per_second\":{:.1},\"decode_p50_us\":{:.1},\"decode_p99_us\":{:.1},",
             "\"decode_stall_p99_us\":{:.1},\"step_budget_utilization\":{:.3},",
             "\"tp_degree\":{},\"server\":{{\"connections\":{},\"http_requests\":{},",
@@ -618,6 +630,16 @@ fn stats_json(s: &EngineStats, c: &Counters, draining: bool) -> String {
         s.queue_oldest_age_tokens,
         s.detections,
         s.recoveries,
+        s.policy_escalations,
+        s.policy_deescalations,
+        s.protection_shed_steps,
+        s.steps_at_scheme[0],
+        s.steps_at_scheme[1],
+        s.steps_at_scheme[2],
+        s.steps_at_scheme[3],
+        s.steps_at_scheme[4],
+        s.steps_at_scheme[5],
+        s.steps_at_scheme[6],
         s.tokens_per_second,
         s.decode_p50_us,
         s.decode_p99_us,
@@ -674,7 +696,12 @@ mod tests {
         assert!(json.contains("\"prefill_chunks\":0"));
         assert!(json.contains("\"decode_stall_p99_us\":0.0"));
         assert!(json.contains("\"step_budget_utilization\":0.000"));
+        assert!(json.contains("\"policy_escalations\":0"));
+        assert!(json.contains("\"policy_deescalations\":0"));
+        assert!(json.contains("\"protection_shed_steps\":0"));
+        assert!(json.contains("\"steps_at_scheme\":[0,0,0,0,0,0,0]"));
         assert!(json.contains("\"draining\":false"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

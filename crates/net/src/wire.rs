@@ -370,6 +370,7 @@ mod tests {
                 detections: 5,
                 recoveries: 4,
             },
+            escalations: 0,
             policy: ProtectionPolicy::unprotected(),
         };
         let line = format_done(&summary);

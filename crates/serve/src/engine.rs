@@ -30,10 +30,11 @@
 //! mid-flight produces exactly the tokens [`Model::generate`] would have produced for it
 //! alone — chunking changes latency distribution and detection amortisation, never output.
 
+use crate::adaptive::{AdaptiveConfig, AdaptiveController};
 use crate::queue::{QueuedRequest, RequestQueue};
 use crate::request::{RequestId, RequestSummary, ServeError, ServeRequest, TokenEvent};
 use realm_core::protection::{
-    ProtectionPolicy, SchemeProtector, SequenceAttribution, ShardAttribution,
+    ProtectionPolicy, RegionAssignment, SchemeProtector, SequenceAttribution, ShardAttribution,
 };
 use realm_llm::batch::BatchedKvCache;
 use realm_llm::hooks::HookChain;
@@ -70,6 +71,10 @@ pub struct ServeConfig {
     /// prefill always makes progress eventually, and when no slot is decoding the whole
     /// budget (at least one token) goes to the prefill chunk.
     pub step_token_budget: usize,
+    /// Runtime-adaptive protection (escalation, hysteresis, protection-first shedding).
+    /// Disabled by default: the engine then behaves bit-identically to a build without
+    /// the controller. See [`crate::adaptive`].
+    pub adaptive: AdaptiveConfig,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +85,7 @@ impl Default for ServeConfig {
             base_scheme: ProtectionScheme::StatisticalAbft,
             aging_steps: 32,
             step_token_budget: 0,
+            adaptive: AdaptiveConfig::default(),
         }
     }
 }
@@ -96,6 +102,12 @@ impl ServeConfig {
     /// Sets the per-step token budget (see [`ServeConfig::step_token_budget`]).
     pub fn with_step_token_budget(mut self, budget: usize) -> Self {
         self.step_token_budget = budget;
+        self
+    }
+
+    /// Sets the adaptive-protection configuration (see [`crate::adaptive`]).
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = adaptive;
         self
     }
 }
@@ -179,6 +191,21 @@ pub struct EngineStats {
     /// Shard output stripes recomputed after a kill or a per-shard checksum detection —
     /// every failover kept the engine serving bit-exact output. 0 when unsharded.
     pub shard_failovers: u64,
+    /// Adaptive-controller stage-up transitions (Calm → Elevated, Elevated → Escalated)
+    /// across all slots. 0 while adaptation is disabled.
+    pub policy_escalations: u64,
+    /// Adaptive-controller stage-down transitions earned by clean windows. 0 while
+    /// adaptation is disabled.
+    pub policy_deescalations: u64,
+    /// Steps spent with resilient-component protection shed under queue pressure — the
+    /// protection-first alternative to a 429. 0 while adaptation (or shedding) is off.
+    pub protection_shed_steps: u64,
+    /// Steps spent under each protection scheme, indexed by
+    /// [`ProtectionScheme::strictness`]. A step is charged to the strictest sequence
+    /// scheme any occupied slot announced that step (after adaptive escalation), i.e.
+    /// the scheme the batch-stacked GEMMs ran under. Counted whether or not adaptation
+    /// is enabled, so static and adaptive runs are directly comparable.
+    pub steps_at_scheme: [u64; 7],
 }
 
 impl EngineStats {
@@ -276,6 +303,17 @@ pub struct ServeEngine<'m> {
     slots: Vec<Option<ActiveSeq>>,
     cache: BatchedKvCache,
     protector: SchemeProtector,
+    /// The runtime policy machine driving escalation/de-escalation and protection
+    /// shedding; a transparent no-op unless [`ServeConfig::adaptive`] enables it.
+    adaptive: AdaptiveController,
+    /// Absolute per-slot detection counts last seen by the adaptive controller, so each
+    /// step feeds it the attribution delta (slots are reused across requests).
+    adaptive_seen: Vec<u64>,
+    /// Reused per-step buffers for the controller's observations.
+    adaptive_deltas: Vec<u64>,
+    adaptive_occupied: Vec<bool>,
+    /// Steps charged per scheme strictness rank (see [`EngineStats::steps_at_scheme`]).
+    steps_at_scheme: [u64; 7],
     fault_hook: Option<Box<dyn GemmHook + Send>>,
     /// Long-lived scratch arena shared by every admission prefill and decode step: after
     /// the first few steps warm its pools, the steady-state loop stops allocating.
@@ -324,6 +362,11 @@ impl<'m> ServeEngine<'m> {
             slots: (0..slots).map(|_| None).collect(),
             cache: model.new_batched_cache(slots),
             protector,
+            adaptive: AdaptiveController::new(slots, config.adaptive, &RegionAssignment::new()),
+            adaptive_seen: vec![0; slots],
+            adaptive_deltas: vec![0; slots],
+            adaptive_occupied: vec![false; slots],
+            steps_at_scheme: [0; 7],
             fault_hook: None,
             ws: Workspace::new(),
             step_tokens: Vec::new(),
@@ -437,6 +480,25 @@ impl<'m> ServeEngine<'m> {
             return Ok(!self.queue.is_empty());
         }
         self.steps += 1;
+        // Tick the step clock on the fault hook before any of the step's GEMMs run, so a
+        // time-correlated injector (burst mode) sees exactly one tick per scheduler step —
+        // `on_batch_begin` fires once per *forward* and a step may run two (chunk + decode).
+        if let Some(hook) = self.fault_hook.as_mut() {
+            hook.on_step_begin(self.steps);
+        }
+        // Charge the step to the strictest sequence scheme any occupied slot announces —
+        // the scheme this step's batch-stacked GEMMs run under.
+        let step_scheme = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, s)| {
+                s.as_ref()
+                    .map(|a| self.adaptive.slot_scheme(slot, a.policy.scheme))
+            })
+            .max_by_key(|s| s.strictness())
+            .unwrap_or(ProtectionScheme::None);
+        self.steps_at_scheme[step_scheme.strictness() as usize] += 1;
 
         // Prefill pass first: the token budget minus the width reserved for the decoding
         // slots advances in-progress prefills, oldest admission first, in one batched
@@ -532,8 +594,39 @@ impl<'m> ServeEngine<'m> {
             self.budget_available += budget as u64;
             self.budget_used += (decode_rows + chunk_rows) as u64;
         }
+        if self.adaptive.is_enabled() {
+            self.update_adaptive();
+        }
         self.ws.reset();
         Ok(self.has_work())
+    }
+
+    /// Feeds this step's per-slot detection deltas and queue pressure to the adaptive
+    /// controller and re-announces schemes when the policy machine moved. Runs at the end
+    /// of every step, after the step's GEMMs charged their attribution, so a transition
+    /// takes effect from the *next* step's first GEMM — the controller never changes
+    /// protection mid-forward.
+    fn update_adaptive(&mut self) {
+        for slot in 0..self.slots.len() {
+            let current = self
+                .protector
+                .sequence_attribution()
+                .get(&slot)
+                .map_or(0, |a| a.detections);
+            self.adaptive_deltas[slot] = current.saturating_sub(self.adaptive_seen[slot]);
+            self.adaptive_seen[slot] = current;
+            self.adaptive_occupied[slot] = self.slots[slot].is_some();
+        }
+        let pressure = self.queue.oldest_token_age(self.token_clock);
+        let changed = self.adaptive.observe_step(
+            self.steps,
+            &self.adaptive_deltas,
+            &self.adaptive_occupied,
+            pressure,
+        );
+        if changed {
+            self.refresh_schemes();
+        }
     }
 
     /// Spends up to `budget_tokens` prompt tokens advancing every in-progress prefill,
@@ -752,7 +845,17 @@ impl<'m> ServeEngine<'m> {
             shard_kills: shard_totals.kills,
             shard_detections: shard_totals.detections,
             shard_failovers: shard_totals.failovers,
+            policy_escalations: self.adaptive.escalations(),
+            policy_deescalations: self.adaptive.deescalations(),
+            protection_shed_steps: self.adaptive.shed_steps(),
+            steps_at_scheme: self.steps_at_scheme,
         }
+    }
+
+    /// The runtime policy machine: per-slot escalation stages, the shed flag and the
+    /// transition counters. A disabled controller reports every slot Calm forever.
+    pub fn adaptive(&self) -> &AdaptiveController {
+        &self.adaptive
     }
 
     /// Per-shard reliability counters of the served model's tensor-parallel group, one
@@ -855,12 +958,14 @@ impl<'m> ServeEngine<'m> {
         let attribution = self.slot_attribution(slot, &active);
         self.completed_detections += attribution.detections;
         self.completed_recoveries += attribution.recoveries;
+        let escalations = self.adaptive.retire_slot(slot);
         let summary = RequestSummary {
             id: active.id,
             prompt_len: active.prompt.len(),
             queued_steps: active.admit_step.saturating_sub(active.enqueue_step),
             service_steps: self.steps.saturating_sub(active.admit_step),
             attribution,
+            escalations,
             policy: active.policy,
             tokens: active.tokens,
             margins: active.margins,
@@ -874,17 +979,34 @@ impl<'m> ServeEngine<'m> {
     }
 
     /// Re-announces the slot → scheme map to the shared decode protector (free slots count
-    /// as unprotected and never weaken an occupied slot's scheme).
+    /// as unprotected and never weaken an occupied slot's scheme), with adaptive
+    /// escalation applied per slot, and installs the controller's per-component overlay
+    /// (escalated sensitive components, shed resilient components) when adaptation is on.
     fn refresh_schemes(&mut self) {
-        let schemes: Vec<ProtectionScheme> = self
-            .slots
+        let Self {
+            slots,
+            adaptive,
+            protector,
+            ..
+        } = self;
+        let schemes: Vec<ProtectionScheme> = slots
             .iter()
-            .map(|s| {
-                s.as_ref()
-                    .map_or(ProtectionScheme::None, |a| a.policy.scheme)
+            .enumerate()
+            .map(|(slot, s)| {
+                s.as_ref().map_or(ProtectionScheme::None, |a| {
+                    adaptive.slot_scheme(slot, a.policy.scheme)
+                })
             })
             .collect();
-        self.protector.set_sequence_schemes(&schemes);
+        protector.set_sequence_schemes(&schemes);
+        if adaptive.is_enabled() {
+            let overlay = adaptive.component_overlay();
+            if overlay.is_empty() {
+                protector.clear_component_schemes();
+            } else {
+                protector.set_component_schemes(&overlay);
+            }
+        }
     }
 }
 

@@ -82,10 +82,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adaptive;
 pub mod engine;
 mod queue;
 pub mod request;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveController, ProtectionStage};
 pub use engine::{EngineStats, ServeConfig, ServeEngine};
 pub use realm_core::protection::ProtectionPolicy;
 pub use request::{RequestId, RequestSummary, ServeError, ServeRequest, TokenEvent};

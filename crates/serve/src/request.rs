@@ -85,6 +85,9 @@ pub struct RequestSummary {
     /// combined — via the per-row-group checksum re-reduction
     /// ([`realm_core::SchemeProtector::sequence_attribution`]).
     pub attribution: SequenceAttribution,
+    /// Adaptive-controller stage-up transitions this request's detection history caused
+    /// while it held its slot (0 when adaptation is disabled — see [`crate::adaptive`]).
+    pub escalations: u64,
     /// The protection policy the request ran under.
     pub policy: ProtectionPolicy,
 }

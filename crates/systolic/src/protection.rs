@@ -58,6 +58,23 @@ impl ProtectionScheme {
         Self::ABFT_FAMILY.contains(&self)
     }
 
+    /// Strictness ranking used when several schemes protect one batched GEMM: the
+    /// strictest requested scheme wins. Higher is stricter. The order reflects coverage,
+    /// not enum declaration order: no protection < thresholded checksums (ApproxABFT) <
+    /// statistical checksums < timing-error schemes (ThunderVolt, Razor) < full
+    /// duplication (DMR) < classical ABFT, which recovers every detected deviation.
+    pub fn strictness(self) -> u8 {
+        match self {
+            ProtectionScheme::None => 0,
+            ProtectionScheme::ApproxAbft => 1,
+            ProtectionScheme::StatisticalAbft => 2,
+            ProtectionScheme::ThunderVolt => 3,
+            ProtectionScheme::RazorFfs => 4,
+            ProtectionScheme::Dmr => 5,
+            ProtectionScheme::ClassicalAbft => 6,
+        }
+    }
+
     /// Display label matching the paper's figures.
     pub fn label(self) -> &'static str {
         match self {
@@ -172,6 +189,26 @@ mod tests {
         assert!(!ProtectionScheme::Dmr.is_abft());
         assert!(!ProtectionScheme::None.detects_errors());
         assert!(ProtectionScheme::RazorFfs.detects_errors());
+    }
+
+    #[test]
+    fn strictness_ranks_every_scheme_uniquely() {
+        let mut ranks: Vec<u8> = ProtectionScheme::ALL
+            .iter()
+            .map(|s| s.strictness())
+            .collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..7).collect::<Vec<u8>>());
+        assert_eq!(ProtectionScheme::None.strictness(), 0);
+        assert_eq!(ProtectionScheme::ClassicalAbft.strictness(), 6);
+        assert!(
+            ProtectionScheme::ClassicalAbft.strictness()
+                > ProtectionScheme::StatisticalAbft.strictness()
+        );
+        assert!(
+            ProtectionScheme::StatisticalAbft.strictness()
+                > ProtectionScheme::ApproxAbft.strictness()
+        );
     }
 
     #[test]

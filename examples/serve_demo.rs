@@ -37,7 +37,8 @@ use realm::core::ProtectionPolicy;
 use realm::inject::{error_model::FixedBitModel, injector::ErrorInjector, targeting::Target};
 use realm::llm::{config::ModelConfig, model::Model};
 use realm::net::{NetConfig, NetServer};
-use realm::serve::{ServeConfig, ServeEngine, ServeRequest, TokenEvent};
+use realm::serve::{AdaptiveConfig, ServeConfig, ServeEngine, ServeRequest, TokenEvent};
+use realm::systolic::ProtectionScheme;
 use realm::tensor::ShardFault;
 
 /// Parses `REALM_SHARD_KILL=<shard>[:<steps>]` (steps defaults to 16 GEMM dispatches).
@@ -66,11 +67,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         slots: 4,
         aging_steps: 8,
         step_token_budget: 8,
+        // Runtime policy selection: detection bursts escalate protection per slot,
+        // clean windows step it back down (see `realm_serve::adaptive`).
+        adaptive: AdaptiveConfig::enabled(),
         ..ServeConfig::default()
     };
     println!(
         "serving {} on {} slots (queue aging: 1 priority level per {} steps, \
-         {}-token step budget)",
+         {}-token step budget, adaptive protection on)",
         model.config().name,
         config.slots,
         config.aging_steps,
@@ -218,6 +222,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.recoveries,
         stats.detections_per_request()
     );
+    let scheme_mix: Vec<String> = ProtectionScheme::ALL
+        .iter()
+        .map(|s| (s, stats.steps_at_scheme[s.strictness() as usize]))
+        .filter(|&(_, steps)| steps > 0)
+        .map(|(s, steps)| format!("{} x{steps}", s.label()))
+        .collect();
+    println!(
+        "adaptive protection: {} escalations, {} de-escalations, {} protection-shed steps; \
+         steps per batch scheme: {}",
+        stats.policy_escalations,
+        stats.policy_deescalations,
+        stats.protection_shed_steps,
+        scheme_mix.join(", ")
+    );
     println!(
         "latency: decode p50 {:.0} us / p99 {:.0} us per lockstep step; \
          scratch workspace high-water {:.1} KiB (steady-state, allocation-free)",
@@ -256,8 +274,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     println!(
-        "{:<4} {:<13} {:>6} {:>8} {:>8} {:>11} {:>11}",
-        "id", "policy", "tokens", "queued", "service", "detections", "recoveries"
+        "{:<4} {:<13} {:>6} {:>8} {:>8} {:>11} {:>11} {:>11}",
+        "id", "policy", "tokens", "queued", "service", "detections", "recoveries", "escalations"
     );
     for (id, budget, policy_name, rx) in &receivers {
         let events: Vec<TokenEvent> = rx.try_iter().collect();
@@ -266,14 +284,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         assert_eq!(summary.tokens.len(), *budget, "budget honoured");
         println!(
-            "{:<4} {:<13} {:>6} {:>8} {:>8} {:>11} {:>11}",
+            "{:<4} {:<13} {:>6} {:>8} {:>8} {:>11} {:>11} {:>11}",
             id,
             policy_name,
             summary.tokens.len(),
             summary.queued_steps,
             summary.service_steps,
             summary.attribution.detections,
-            summary.attribution.recoveries
+            summary.attribution.recoveries,
+            summary.escalations
         );
     }
     println!("\nall requests served; every budget met.");
